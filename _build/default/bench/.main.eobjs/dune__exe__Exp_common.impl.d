@@ -1,0 +1,1 @@
+bench/exp_common.ml: Baselines Dialects Fuzz Lego List Minidb Printf String Sys

@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Baselines Bechamel Benchmark Dialects Exp_common Fuzz Hashtbl Lazy Lego List Measure Minidb Printf Reprutil Sqlcore Sqlparser Staged String Test Time Toolkit

@@ -1,0 +1,86 @@
+(* Shared campaign machinery for the paper-reproduction benches.
+
+   One campaign = one fuzzer on one simulated DBMS with a fixed execution
+   budget (the stand-in for the paper's 24-hour wall-clock runs; see
+   DESIGN.md). Campaign results feed Figure 9 and Tables II-IV; extending
+   a LEGO campaign to a larger budget gives the "continuous fuzzing" data
+   of Table I. *)
+
+type campaign = {
+  c_fuzzer : string;
+  c_dialect : string;
+  c_series : (int * int) list;  (* (execs, branches) checkpoints *)
+  c_final : Fuzz.Driver.snapshot;
+  c_fz : Fuzz.Driver.fuzzer;
+  c_lego : Lego.Lego_fuzzer.t option;
+}
+
+let budget =
+  match Sys.getenv_opt "REPRO_EXECS" with
+  | Some s -> (try max 1000 (int_of_string s) with Failure _ -> 60_000)
+  | None -> 60_000
+
+let continuous_budget = budget * 3
+
+let dialects = Dialects.Registry.all
+
+let dialect_name p = Minidb.Profile.name p
+
+(* Keep the checkpoint count fixed so the Fig. 9 series is readable. *)
+let checkpoint_every = max 1 (budget / 6)
+
+let run_campaign ?(execs = budget) profile (name, fz, lego) =
+  let series = ref [] in
+  let final =
+    Fuzz.Driver.run_until_execs ~checkpoint_every
+      ~on_checkpoint:(fun snap ->
+          series := (snap.Fuzz.Driver.st_execs, snap.st_branches) :: !series)
+      fz ~execs
+  in
+  { c_fuzzer = name;
+    c_dialect = dialect_name profile;
+    c_series =
+      List.rev ((final.Fuzz.Driver.st_execs, final.st_branches) :: !series);
+    c_final = final;
+    c_fz = fz;
+    c_lego = lego }
+
+let make_lego ?(seq = true) ?(max_seq_len = 5) ?(seed = 1) profile =
+  let config =
+    { Lego.Lego_fuzzer.default_config with
+      sequence_oriented = seq; max_seq_len; seed }
+  in
+  let t = Lego.Lego_fuzzer.create ~config profile in
+  ( (if seq then "LEGO" else "LEGO-"),
+    Lego.Lego_fuzzer.fuzzer t,
+    Some t )
+
+let make_squirrel profile =
+  ("SQUIRREL", Baselines.Squirrel_sim.fuzzer (Baselines.Squirrel_sim.create profile), None)
+
+let make_sqlancer profile =
+  ("SQLancer", Baselines.Sqlancer_sim.fuzzer (Baselines.Sqlancer_sim.create profile), None)
+
+let make_sqlsmith profile =
+  ("SQLsmith", Baselines.Sqlsmith_sim.fuzzer (Baselines.Sqlsmith_sim.create profile), None)
+
+(* --- table rendering ------------------------------------------------ *)
+
+let hr width = print_endline (String.make width '-')
+
+let section title =
+  print_newline ();
+  hr 78;
+  Printf.printf "%s\n" title;
+  hr 78
+
+let print_row widths cells =
+  let padded =
+    List.map2
+      (fun w c -> Printf.sprintf "%-*s" w c)
+      widths cells
+  in
+  print_endline (String.concat "  " padded)
+
+let pct_improvement a b =
+  if b = 0 then 0.0 else 100.0 *. (float_of_int a /. float_of_int b -. 1.0)

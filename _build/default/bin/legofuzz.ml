@@ -1,0 +1,315 @@
+(* legofuzz: command-line driver for the LEGO reproduction.
+
+   Subcommands:
+     fuzz       run one fuzzer on one simulated DBMS
+     compare    run every fuzzer on one DBMS with the same budget
+     bugs       print the seeded bug inventory (Table I data)
+     affinities run LEGO briefly and dump the learned affinity map
+     exec       execute a SQL file against a simulated DBMS *)
+
+open Cmdliner
+
+let profile_of_name name =
+  match Dialects.Registry.by_name name with
+  | Some p -> Ok p
+  | None ->
+    Error
+      (`Msg
+         (Printf.sprintf
+            "unknown DBMS %S (try postgresql, mysql, mariadb, comdb2)" name))
+
+let dialect_conv =
+  Arg.conv
+    ( (fun s -> profile_of_name s),
+      fun fmt p -> Format.pp_print_string fmt (Minidb.Profile.name p) )
+
+let dialect_arg =
+  let doc = "Simulated DBMS: postgresql, mysql, mariadb or comdb2." in
+  Arg.(
+    value
+    & opt dialect_conv Dialects.Registry.pg_sim
+    & info [ "d"; "dialect" ] ~docv:"DBMS" ~doc)
+
+let execs_arg =
+  let doc = "Execution budget." in
+  Arg.(value & opt int 50_000 & info [ "n"; "execs" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed (campaigns are deterministic per seed)." in
+  Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
+
+let make_fuzzer name profile seed =
+  match String.lowercase_ascii name with
+  | "lego" ->
+    let cfg = { Lego.Lego_fuzzer.default_config with seed } in
+    Ok (Lego.Lego_fuzzer.fuzzer (Lego.Lego_fuzzer.create ~config:cfg profile))
+  | "lego-" | "lego_minus" ->
+    let cfg =
+      { Lego.Lego_fuzzer.default_config with seed; sequence_oriented = false }
+    in
+    Ok (Lego.Lego_fuzzer.fuzzer (Lego.Lego_fuzzer.create ~config:cfg profile))
+  | "squirrel" ->
+    Ok
+      (Baselines.Squirrel_sim.fuzzer
+         (Baselines.Squirrel_sim.create ~seed profile))
+  | "sqlancer" ->
+    Ok
+      (Baselines.Sqlancer_sim.fuzzer
+         (Baselines.Sqlancer_sim.create ~seed profile))
+  | "sqlsmith" ->
+    Ok
+      (Baselines.Sqlsmith_sim.fuzzer
+         (Baselines.Sqlsmith_sim.create ~seed profile))
+  | other ->
+    Error
+      (`Msg
+         (Printf.sprintf
+            "unknown fuzzer %S (lego, lego-, squirrel, sqlancer, sqlsmith)"
+            other))
+
+let report name snap =
+  Printf.printf
+    "%-9s execs=%d branches=%d crashes(total)=%d crashes(unique)=%d\n" name
+    snap.Fuzz.Driver.st_execs snap.st_branches snap.st_total_crashes
+    snap.st_unique_crashes;
+  if snap.st_bugs <> [] then
+    Printf.printf "  bugs: %s\n" (String.concat ", " snap.st_bugs)
+
+(* --- fuzz ------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let fuzzer_arg =
+    let doc = "Fuzzer: lego, lego-, squirrel, sqlancer or sqlsmith." in
+    Arg.(
+      value & opt string "lego" & info [ "f"; "fuzzer" ] ~docv:"FUZZER" ~doc)
+  in
+  let save_arg =
+    let doc = "Directory to write one reduced .sql reproducer per bug." in
+    Arg.(value & opt (some string) None & info [ "o"; "save" ] ~docv:"DIR" ~doc)
+  in
+  let run fuzzer profile execs seed save =
+    match make_fuzzer fuzzer profile seed with
+    | Error (`Msg m) ->
+      prerr_endline m;
+      exit 2
+    | Ok fz ->
+      Printf.printf "fuzzing %s with %s, %d executions...\n%!"
+        (Minidb.Profile.name profile) fuzzer execs;
+      let snap =
+        Fuzz.Driver.run_until_execs ~checkpoint_every:(max 1 (execs / 5))
+          ~on_checkpoint:(fun s ->
+              Printf.printf "  ... execs=%d branches=%d bugs=%d\n%!"
+                s.Fuzz.Driver.st_execs s.st_branches (List.length s.st_bugs))
+          fz ~execs
+      in
+      report fuzzer snap;
+      (match save with
+       | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+       | _ -> ());
+      let tri = Fuzz.Harness.triage fz.Fuzz.Driver.f_harness in
+      List.iter
+        (fun ((c : Minidb.Fault.crash), testcase) ->
+           Format.printf "@.%a@." Minidb.Fault.pp_crash c;
+           match testcase with
+           | None -> ()
+           | Some tc ->
+             (* ship a minimized reproducer, like the paper's Fig. 3/7 *)
+             let bug_id = c.Minidb.Fault.c_bug.Minidb.Fault.bug_id in
+             let reduced =
+               (Fuzz.Reducer.reduce ~profile ~max_tries:256 ~bug_id tc)
+                 .Fuzz.Reducer.r_testcase
+             in
+             let sql = Sqlcore.Sql_printer.testcase reduced in
+             Printf.printf "reproducer (%d statements):\n%s\n"
+               (List.length reduced) sql;
+             (match save with
+              | None -> ()
+              | Some dir ->
+                let path = Filename.concat dir (bug_id ^ ".sql") in
+                Out_channel.with_open_text path (fun oc ->
+                    Out_channel.output_string oc (sql ^ "\n"));
+                Printf.printf "saved to %s\n" path))
+        (Fuzz.Triage.unique_with_cases tri)
+  in
+  let term =
+    Term.(const run $ fuzzer_arg $ dialect_arg $ execs_arg $ seed_arg
+          $ save_arg)
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc:"Run one fuzzer on one simulated DBMS.") term
+
+(* --- compare --------------------------------------------------------- *)
+
+let compare_cmd =
+  let run profile execs seed =
+    List.iter
+      (fun name ->
+         match make_fuzzer name profile seed with
+         | Error _ -> ()
+         | Ok fz ->
+           let snap = Fuzz.Driver.run_until_execs fz ~execs in
+           report name snap)
+      [ "lego"; "lego-"; "squirrel"; "sqlancer"; "sqlsmith" ]
+  in
+  let term = Term.(const run $ dialect_arg $ execs_arg $ seed_arg) in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Run every fuzzer on one DBMS with the same budget.")
+    term
+
+(* --- bugs ------------------------------------------------------------ *)
+
+let bugs_cmd =
+  let run profile =
+    let bugs = Minidb.Profile.bugs profile in
+    Printf.printf "%s: %d seeded bugs\n" (Minidb.Profile.name profile)
+      (List.length bugs);
+    List.iter
+      (fun (b : Minidb.Fault.bug) ->
+         Printf.printf "  %-12s %-10s %-5s %s\n" b.Minidb.Fault.bug_id
+           b.Minidb.Fault.component
+           (Minidb.Fault.kind_name b.Minidb.Fault.kind)
+           b.Minidb.Fault.identifier)
+      bugs
+  in
+  let term = Term.(const run $ dialect_arg) in
+  Cmd.v
+    (Cmd.info "bugs" ~doc:"Print the seeded bug inventory (Table I data).")
+    term
+
+(* --- affinities ------------------------------------------------------ *)
+
+let affinities_cmd =
+  let run profile execs seed =
+    let cfg = { Lego.Lego_fuzzer.default_config with seed } in
+    let t = Lego.Lego_fuzzer.create ~config:cfg profile in
+    let _ = Fuzz.Driver.run_until_execs (Lego.Lego_fuzzer.fuzzer t) ~execs in
+    let aff = Lego.Lego_fuzzer.affinities t in
+    Printf.printf "%d affinities after %d executions on %s:\n"
+      (Lego.Affinity.count aff) execs (Minidb.Profile.name profile);
+    List.iter
+      (fun (a, b) ->
+         Printf.printf "  %s -> %s\n" (Sqlcore.Stmt_type.name a)
+           (Sqlcore.Stmt_type.name b))
+      (Lego.Affinity.pairs aff)
+  in
+  let term = Term.(const run $ dialect_arg $ execs_arg $ seed_arg) in
+  Cmd.v
+    (Cmd.info "affinities"
+       ~doc:"Run LEGO briefly and dump the learned type-affinity map.")
+    term
+
+(* --- exec ------------------------------------------------------------ *)
+
+let exec_cmd =
+  let file_arg =
+    let doc = "SQL file to execute ('-' for stdin)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run profile file =
+    let sql =
+      if file = "-" then In_channel.input_all In_channel.stdin
+      else In_channel.with_open_text file In_channel.input_all
+    in
+    match Sqlparser.Parser.parse_testcase sql with
+    | Error msg ->
+      Printf.eprintf "parse error: %s\n" msg;
+      exit 1
+    | Ok tc ->
+      let cov = Coverage.Bitmap.create () in
+      let engine = Minidb.Engine.create ~profile ~cov () in
+      (try
+         List.iter
+           (fun stmt ->
+              Printf.printf "%s;\n" (Sqlcore.Sql_printer.stmt stmt);
+              match Minidb.Engine.exec_stmt engine stmt with
+              | Minidb.Engine.Ok_result
+                  (Minidb.Executor.Rows (headers, rows)) ->
+                Printf.printf "  -> %s\n" (String.concat " | " headers);
+                List.iter
+                  (fun row ->
+                     Printf.printf "     %s\n"
+                       (String.concat " | "
+                          (Array.to_list
+                             (Array.map Storage.Value.to_display row))))
+                  rows
+              | Minidb.Engine.Ok_result (Minidb.Executor.Affected n) ->
+                Printf.printf "  -> %d row(s)\n" n
+              | Minidb.Engine.Ok_result (Minidb.Executor.Done msg) ->
+                Printf.printf "  -> %s\n" msg
+              | Minidb.Engine.Sql_failed e ->
+                Printf.printf "  !! %s\n" (Minidb.Errors.message e))
+           tc
+       with Minidb.Fault.Crashed c ->
+         Format.printf "@.*** server crash ***@.%a@." Minidb.Fault.pp_crash c);
+      Printf.printf "\n%d branches covered\n"
+        (Coverage.Bitmap.count_nonzero cov)
+  in
+  let term = Term.(const run $ dialect_arg $ file_arg) in
+  Cmd.v
+    (Cmd.info "exec" ~doc:"Execute a SQL file against a simulated DBMS.")
+    term
+
+(* --- reduce ----------------------------------------------------------- *)
+
+let reduce_cmd =
+  let file_arg =
+    let doc = "SQL file holding the crashing test case ('-' for stdin)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let bug_arg =
+    let doc =
+      "Internal bug id to preserve (see the $(b,bugs) subcommand); when \
+       omitted, the bug the case currently triggers is used."
+    in
+    Arg.(value & opt (some string) None & info [ "b"; "bug" ] ~docv:"ID" ~doc)
+  in
+  let run profile file bug_opt =
+    let sql =
+      if file = "-" then In_channel.input_all In_channel.stdin
+      else In_channel.with_open_text file In_channel.input_all
+    in
+    match Sqlparser.Parser.parse_testcase sql with
+    | Error msg ->
+      Printf.eprintf "parse error: %s\n" msg;
+      exit 1
+    | Ok tc ->
+      let bug_id =
+        match bug_opt with
+        | Some id -> Some id
+        | None -> (
+            let cov = Coverage.Bitmap.create () in
+            let engine = Minidb.Engine.create ~profile ~cov () in
+            match
+              (Minidb.Engine.run_testcase engine tc).Minidb.Engine.rs_crash
+            with
+            | Some c -> Some c.Minidb.Fault.c_bug.Minidb.Fault.bug_id
+            | None -> None)
+      in
+      (match bug_id with
+       | None ->
+         Printf.eprintf "the test case does not crash %s\n"
+           (Minidb.Profile.name profile);
+         exit 1
+       | Some bug_id ->
+         let out = Fuzz.Reducer.reduce ~profile ~bug_id tc in
+         Printf.printf
+           "-- reduced for %s: %d -> %d statements (%d oracle runs)\n%s\n"
+           bug_id (List.length tc)
+           (List.length out.Fuzz.Reducer.r_testcase)
+           out.Fuzz.Reducer.r_tries
+           (Sqlcore.Sql_printer.testcase out.Fuzz.Reducer.r_testcase))
+  in
+  let term = Term.(const run $ dialect_arg $ file_arg $ bug_arg) in
+  Cmd.v
+    (Cmd.info "reduce"
+       ~doc:"Shrink a crashing SQL test case while keeping the same bug.")
+    term
+
+let () =
+  let doc = "LEGO (ICDE'23) sequence-oriented DBMS fuzzing, reproduced." in
+  let info = Cmd.info "legofuzz" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ fuzz_cmd; compare_cmd; bugs_cmd; affinities_cmd; exec_cmd;
+            reduce_cmd ]))

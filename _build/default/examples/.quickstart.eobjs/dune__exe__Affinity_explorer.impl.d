@@ -1,0 +1,1 @@
+examples/affinity_explorer.ml: Array Dialects Fuzz Lego List Minidb Printf Sqlcore Stmt_type Sys

@@ -1,0 +1,1 @@
+examples/case_notify_with.ml: Dialects Format Fuzz List Minidb Printf Sqlcore Sqlparser String

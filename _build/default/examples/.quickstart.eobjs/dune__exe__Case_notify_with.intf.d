@@ -1,0 +1,1 @@
+examples/case_notify_with.mli:

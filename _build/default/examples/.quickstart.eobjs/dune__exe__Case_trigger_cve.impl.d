@@ -1,0 +1,1 @@
+examples/case_trigger_cve.ml: Dialects Format Fuzz Lego List Minidb Printf Reprutil Sql_printer Sqlcore Sqlparser Stmt_type

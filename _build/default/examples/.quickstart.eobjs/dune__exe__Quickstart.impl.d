@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Coverage Dialects Fuzz Lego List Minidb Printf Sqlcore Sqlparser Storage String

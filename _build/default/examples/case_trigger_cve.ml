@@ -1,0 +1,108 @@
+(* The paper's Figure 3 case study: CVE-2021-35643.
+
+   LEGO first learns the type-affinity INSERT -> CREATE TRIGGER from a
+   mutated seed, then synthesizes the short sequence
+   CREATE TABLE -> INSERT -> CREATE TRIGGER -> SELECT and instantiates it;
+   one instantiation with a window function crashes the MySQL server.
+
+   This example replays that pipeline explicitly: affinity analysis
+   (Algorithm 2), progressive synthesis (Algorithm 3), instantiation, and
+   finally the handcrafted crashing test case from the paper.
+
+   dune exec examples/case_trigger_cve.exe *)
+
+open Sqlcore
+
+let () =
+  let profile = Dialects.Registry.mysql_sim in
+
+  (* Step 1: affinity analysis on a mutated seed (paper Fig. 3, left). *)
+  print_endline "== Step 1: proactive affinity analysis ==";
+  let affinity = Lego.Affinity.create () in
+  let mutated_seed =
+    Sqlparser.Parser.parse_testcase_exn
+      "DROP TABLE IF EXISTS t1;\n\
+       CREATE TEMPORARY TABLE t1 (a INT, b INT, c VARCHAR(100));\n\
+       INSERT IGNORE INTO t1 VALUES (1, 1, 'name1');\n\
+       SELECT * FROM t1;\n\
+       INSERT IGNORE INTO t1 VALUES (2, 2, 'water');\n\
+       CREATE TRIGGER v0 AFTER UPDATE ON t1 FOR EACH ROW INSERT INTO t1 \
+       VALUES (3, 3, 'x');\n\
+       SELECT * FROM t1 GROUP BY c;"
+  in
+  (* a second coverage-increasing seed from earlier in the campaign *)
+  let earlier_seed =
+    Sqlparser.Parser.parse_testcase_exn
+      "CREATE TABLE t2 (a INT, b INT);\n\
+       INSERT INTO t2 VALUES (1, 2);\n\
+       SELECT * FROM t2;"
+  in
+  let news =
+    Lego.Affinity.analyze affinity earlier_seed
+    @ Lego.Affinity.analyze affinity mutated_seed
+  in
+  List.iter
+    (fun (a, b) ->
+       Printf.printf "  new type-affinity: %s -> %s\n" (Stmt_type.name a)
+         (Stmt_type.name b))
+    news;
+
+  (* Step 2: progressive synthesis from the new affinity (Alg 3). *)
+  print_endline "\n== Step 2: progressive sequence synthesis ==";
+  let synthesis =
+    Lego.Synthesis.create ~max_len:4 ~types:(Minidb.Profile.types profile) ()
+  in
+  (* announce every discovered affinity in order, as the fuzzing loop
+     does; the last announcement is the interesting one *)
+  let seqs =
+    List.concat_map
+      (fun pair -> Lego.Synthesis.on_new_affinity synthesis affinity pair)
+      news
+  in
+  Printf.printf "  %d sequences synthesized from the seed's affinities\n"
+    (List.length seqs);
+  let wanted =
+    [ Stmt_type.Create_table; Stmt_type.Insert; Stmt_type.Create_trigger;
+      Stmt_type.Select ]
+  in
+  let have_wanted = List.mem wanted seqs in
+  Printf.printf "  contains the paper's 2->3->5->4 sequence: %b\n"
+    have_wanted;
+
+  (* Step 3: instantiate until the CVE fires. *)
+  print_endline "\n== Step 3: instantiation until the server crashes ==";
+  let rng = Reprutil.Rng.create 2021 in
+  let skeletons = Lego.Skeleton_library.create () in
+  ignore (Lego.Skeleton_library.harvest skeletons mutated_seed);
+  let harness = Fuzz.Harness.create ~profile () in
+  let rec hunt i =
+    if i > 3000 then print_endline "  (no crash in 3000 instantiations)"
+    else
+      let tc = Lego.Instantiate.sequence rng ~skeletons wanted in
+      match (Fuzz.Harness.execute harness tc).Fuzz.Harness.o_crash with
+      | Some crash ->
+        Printf.printf "  crash after %d instantiations!\n\n" i;
+        print_endline (Sql_printer.testcase tc);
+        print_newline ();
+        Format.printf "%a@." Minidb.Fault.pp_crash crash
+      | None -> hunt (i + 1)
+  in
+  hunt 1;
+
+  (* The paper's own synthesized test case, for good measure. *)
+  print_endline "\n== The paper's synthesized test case ==";
+  let paper_case =
+    Sqlparser.Parser.parse_testcase_exn
+      "CREATE TABLE v0 (v1 YEAR);\n\
+       INSERT IGNORE INTO v0 VALUES (NULL), (2021), (1999);\n\
+       CREATE TRIGGER v9 AFTER UPDATE ON v0 FOR EACH ROW INSERT INTO v0 \
+       SELECT * FROM v0 GROUP BY v1;\n\
+       SELECT LEAD(v1) OVER (ORDER BY v1 ASC) AS w FROM v0;"
+  in
+  match (Fuzz.Harness.execute harness paper_case).Fuzz.Harness.o_crash with
+  | Some crash ->
+    Printf.printf "reproduces %s (%s in %s)\n"
+      crash.Minidb.Fault.c_bug.Minidb.Fault.identifier
+      (Minidb.Fault.kind_name crash.Minidb.Fault.c_bug.Minidb.Fault.kind)
+      crash.Minidb.Fault.c_bug.Minidb.Fault.component
+  | None -> print_endline "no crash -- unexpected!"

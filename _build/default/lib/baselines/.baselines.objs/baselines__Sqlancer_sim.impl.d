@@ -1,0 +1,1 @@
+lib/baselines/sqlancer_sim.ml: Ast Fuzz Lego List Minidb Reprutil Sqlcore Stmt_type

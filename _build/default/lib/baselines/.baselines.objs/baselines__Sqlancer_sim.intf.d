@@ -1,0 +1,1 @@
+lib/baselines/sqlancer_sim.mli: Fuzz Minidb

@@ -1,0 +1,1 @@
+lib/baselines/sqlsmith_sim.ml: Ast Fuzz Lego List Option Reprutil Sqlcore Sqlparser

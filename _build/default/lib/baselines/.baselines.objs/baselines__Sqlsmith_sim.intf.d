@@ -1,0 +1,1 @@
+lib/baselines/sqlsmith_sim.mli: Fuzz Minidb

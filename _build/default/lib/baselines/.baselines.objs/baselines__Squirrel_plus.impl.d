@@ -1,0 +1,1 @@
+lib/baselines/squirrel_plus.ml: Ast Fuzz Lego List Minidb Reprutil Sqlcore Stmt_type

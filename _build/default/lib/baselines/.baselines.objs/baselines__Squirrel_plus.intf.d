@@ -1,0 +1,1 @@
+lib/baselines/squirrel_plus.mli: Fuzz Lego Minidb

@@ -1,0 +1,1 @@
+lib/baselines/squirrel_sim.mli: Fuzz Minidb

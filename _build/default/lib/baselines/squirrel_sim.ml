@@ -1,0 +1,47 @@
+module Rng = Reprutil.Rng
+
+type t = {
+  rng : Rng.t;
+  harness : Fuzz.Harness.t;
+  pool : Fuzz.Seed_pool.t;
+  mutants_per_step : int;
+}
+
+let process t tc =
+  let outcome = Fuzz.Harness.execute t.harness tc in
+  if outcome.Fuzz.Harness.o_new_branches > 0 then
+    ignore
+      (Fuzz.Seed_pool.add t.pool ~tc ~cov_hash:outcome.o_cov_hash
+         ~new_branches:outcome.o_new_branches ~cost:outcome.o_cost)
+
+let create ?(seed = 1) ?(mutants_per_step = 6) ?limits profile =
+  let t =
+    { rng = Rng.create (seed lxor 0x5153); (* distinct stream from LEGO *)
+      harness = Fuzz.Harness.create ?limits ~profile ();
+      pool = Fuzz.Seed_pool.create ();
+      mutants_per_step }
+  in
+  List.iter (process t) (Fuzz.Corpus.initial profile);
+  t
+
+let step t () =
+  match Fuzz.Seed_pool.select t.pool t.rng with
+  | None -> ()
+  | Some seed ->
+    for _ = 1 to t.mutants_per_step do
+      let mutant =
+        Lego.Conventional.mutate_testcase t.rng seed.Fuzz.Seed_pool.sd_tc
+      in
+      process t mutant
+    done
+
+let fuzzer t =
+  { Fuzz.Driver.f_name = "SQUIRREL";
+    f_step = step t;
+    f_harness = t.harness;
+    f_corpus =
+      (fun () ->
+         List.map (fun s -> s.Fuzz.Seed_pool.sd_tc)
+           (Fuzz.Seed_pool.seeds t.pool)) }
+
+let pool_size t = Fuzz.Seed_pool.size t.pool

@@ -1,0 +1,1 @@
+lib/core/affinity.ml: Array Ast Hashtbl List Printf Sqlcore Stmt_type String

@@ -1,0 +1,1 @@
+lib/core/affinity.mli: Ast Sqlcore Stmt_type

@@ -1,0 +1,1 @@
+lib/core/conventional.ml: Ast_util Generator Instantiate List Reprutil Sqlcore Sym_schema

@@ -1,0 +1,1 @@
+lib/core/conventional.mli: Ast Reprutil Sqlcore Sym_schema

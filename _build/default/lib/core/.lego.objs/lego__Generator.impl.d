@@ -1,0 +1,1 @@
+lib/core/generator.ml: Ast List Printf Reprutil Sqlcore Stmt_type Sym_schema

@@ -1,0 +1,1 @@
+lib/core/generator.mli: Ast Reprutil Sqlcore Stmt_type Sym_schema

@@ -1,0 +1,1 @@
+lib/core/instantiate.ml: Ast Ast_util Generator Hashtbl List Reprutil Skeleton_library Sqlcore Sym_schema

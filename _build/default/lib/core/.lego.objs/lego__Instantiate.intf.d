@@ -1,0 +1,1 @@
+lib/core/instantiate.mli: Ast Reprutil Skeleton_library Sqlcore Stmt_type Sym_schema

@@ -1,0 +1,1 @@
+lib/core/lego_fuzzer.ml: Affinity Ast Conventional Fuzz Generator Instantiate List Minidb Reprutil Seq_mutation Skeleton_library Sqlcore Stmt_type Sym_schema Synthesis

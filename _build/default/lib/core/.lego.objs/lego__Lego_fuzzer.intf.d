@@ -1,0 +1,1 @@
+lib/core/lego_fuzzer.mli: Affinity Fuzz Minidb Skeleton_library

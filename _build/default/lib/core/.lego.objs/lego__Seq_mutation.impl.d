@@ -1,0 +1,1 @@
+lib/core/seq_mutation.ml: Ast Instantiate List Reprutil Sqlcore Stmt_type Sym_schema

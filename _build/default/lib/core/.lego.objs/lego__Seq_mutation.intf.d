@@ -1,0 +1,1 @@
+lib/core/seq_mutation.mli: Ast Reprutil Skeleton_library Sqlcore Stmt_type

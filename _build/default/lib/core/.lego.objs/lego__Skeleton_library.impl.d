@@ -1,0 +1,1 @@
+lib/core/skeleton_library.ml: Array Ast Hashtbl List Reprutil Sql_printer Sqlcore Stmt_type

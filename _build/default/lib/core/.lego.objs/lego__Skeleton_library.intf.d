@@ -1,0 +1,1 @@
+lib/core/skeleton_library.mli: Ast Reprutil Sqlcore Stmt_type

@@ -1,0 +1,1 @@
+lib/core/sym_schema.ml: Ast List Printf Reprutil Sqlcore

@@ -1,0 +1,1 @@
+lib/core/sym_schema.mli: Ast Reprutil Sqlcore

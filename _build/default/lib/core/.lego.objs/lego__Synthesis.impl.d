@@ -1,0 +1,1 @@
+lib/core/synthesis.ml: Affinity Hashtbl List Reprutil Sqlcore Stmt_type String

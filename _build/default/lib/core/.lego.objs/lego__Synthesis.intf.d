@@ -1,0 +1,1 @@
+lib/core/synthesis.mli: Affinity Sqlcore Stmt_type

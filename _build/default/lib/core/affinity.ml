@@ -1,0 +1,116 @@
+open Sqlcore
+
+type t = {
+  map : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+  mutable total : int;
+}
+
+let create () = { map = Hashtbl.create 64; total = 0 }
+
+let mem t t1 t2 =
+  match Hashtbl.find_opt t.map (Stmt_type.to_index t1) with
+  | None -> false
+  | Some set -> Hashtbl.mem set (Stmt_type.to_index t2)
+
+let add t t1 t2 =
+  let i1 = Stmt_type.to_index t1 in
+  let i2 = Stmt_type.to_index t2 in
+  let set =
+    match Hashtbl.find_opt t.map i1 with
+    | Some set -> set
+    | None ->
+      let set = Hashtbl.create 8 in
+      Hashtbl.replace t.map i1 set;
+      set
+  in
+  if Hashtbl.mem set i2 then false
+  else begin
+    Hashtbl.replace set i2 ();
+    t.total <- t.total + 1;
+    true
+  end
+
+(* Algorithm 2: walk adjacent pairs, skipping same-type pairs. *)
+let analyze_sequence t types =
+  let news = ref [] in
+  let rec loop = function
+    | a :: (b :: _ as rest) ->
+      if not (Stmt_type.equal a b) then
+        if add t a b then news := (a, b) :: !news;
+      loop rest
+    | [ _ ] | [] -> ()
+  in
+  loop types;
+  List.rev !news
+
+let analyze t tc = analyze_sequence t (Ast.type_sequence tc)
+
+let successors t ty =
+  match Hashtbl.find_opt t.map (Stmt_type.to_index ty) with
+  | None -> []
+  | Some set ->
+    Hashtbl.fold (fun i () acc -> Stmt_type.of_index i :: acc) set []
+    |> List.sort Stmt_type.compare
+
+let count t = t.total
+
+let pairs t =
+  Hashtbl.fold
+    (fun i1 set acc ->
+       Hashtbl.fold
+         (fun i2 () acc ->
+            (Stmt_type.of_index i1, Stmt_type.of_index i2) :: acc)
+         set acc)
+    t.map []
+  |> List.sort compare
+
+let of_corpus tcs =
+  let t = create () in
+  List.iter (fun tc -> ignore (analyze t tc)) tcs;
+  t
+
+let analyze_within t ~distance tc =
+  let types = Array.of_list (Ast.type_sequence tc) in
+  let n = Array.length types in
+  let news = ref [] in
+  for i = 0 to n - 2 do
+    for j = i + 1 to min (n - 1) (i + distance) do
+      let a = types.(i) and b = types.(j) in
+      if not (Stmt_type.equal a b) then
+        if add t a b then news := (a, b) :: !news
+    done
+  done;
+  List.rev !news
+
+let to_string t =
+  String.concat "\n"
+    (List.map
+       (fun (a, b) -> Stmt_type.name a ^ " -> " ^ Stmt_type.name b)
+       (pairs t))
+
+let of_string s =
+  let t = create () in
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' s)
+  in
+  let rec load = function
+    | [] -> Ok t
+    | line :: rest -> (
+        match String.index_opt line '-' with
+        | Some i
+          when i + 1 < String.length line
+               && line.[i + 1] = '>'
+               && i >= 1 ->
+          let left = String.trim (String.sub line 0 i) in
+          let right =
+            String.trim
+              (String.sub line (i + 2) (String.length line - i - 2))
+          in
+          (match (Stmt_type.of_name left, Stmt_type.of_name right) with
+           | Some a, Some b ->
+             ignore (add t a b);
+             load rest
+           | _ -> Error (Printf.sprintf "unknown statement type in %S" line))
+        | _ -> Error (Printf.sprintf "malformed affinity line %S" line))
+  in
+  load lines

@@ -1,0 +1,52 @@
+(** Type-affinity map and analysis — the paper's Algorithm 2.
+
+    A type-affinity [(t1, t2)] is a chronological relation between two
+    adjacent SQL statement types: [t1] can be followed by [t2]. The map is
+    the paper's [T : type -> Set<type>]. Adjacent statements of the {e
+    same} type are ignored (Algorithm 2, lines 5-7): repeating one type
+    contributes nothing to sequence abundance. *)
+
+open Sqlcore
+
+type t
+
+val create : unit -> t
+
+val mem : t -> Stmt_type.t -> Stmt_type.t -> bool
+
+val add : t -> Stmt_type.t -> Stmt_type.t -> bool
+(** [true] when the pair was new. *)
+
+val analyze : t -> Ast.testcase -> (Stmt_type.t * Stmt_type.t) list
+(** Algorithm 2: record every affinity appearing in the test case;
+    returns the affinities that were new to the map, in order of
+    appearance. *)
+
+val analyze_sequence :
+  t -> Stmt_type.t list -> (Stmt_type.t * Stmt_type.t) list
+(** Same, over a bare type sequence. *)
+
+val successors : t -> Stmt_type.t -> Stmt_type.t list
+
+val count : t -> int
+(** Number of distinct affinities — the paper's Tables II and IV
+    metric. *)
+
+val pairs : t -> (Stmt_type.t * Stmt_type.t) list
+
+val of_corpus : Ast.testcase list -> t
+(** Affinity census over a corpus (Table II counts affinities contained
+    in the seeds each fuzzer generated). *)
+
+val analyze_within : t -> distance:int -> Ast.testcase -> (Stmt_type.t * Stmt_type.t) list
+(** The paper's SVI refinement sketch: also record affinities between
+    {e non-adjacent} statements up to [distance] apart ([distance = 1] is
+    Algorithm 2). Same-type pairs are still skipped. *)
+
+val to_string : t -> string
+(** Serialize as ["TYPE1 -> TYPE2"] lines, one affinity per line — the
+    exchange format the paper's SVI suggests for extending existing
+    fuzzers with LEGO's affinities. *)
+
+val of_string : string -> (t, string) result
+(** Parse the {!to_string} format; unknown type names are an error. *)

@@ -1,0 +1,22 @@
+(** Conventional syntax-preserving, semantics-guided mutations.
+
+    These mutate the {e inner structure} of a single statement — data
+    values and clause structure — without changing its statement type, so
+    the SQL Type Sequence of the test case is preserved. This is the
+    mutation class the paper attributes to SQUIRREL (its Fig. 1 example
+    turns [WHERE v1 = 1] into [ORDER BY v1]); LEGO layers them on top of
+    sequence synthesis ("fine mutations ... further increase the depth of
+    exploration"). *)
+
+open Sqlcore
+
+val mutate_stmt :
+  ?rich:bool -> Reprutil.Rng.t -> Sym_schema.t -> Ast.stmt -> Ast.stmt
+(** One structural or data mutation; [type_of_stmt] is preserved
+    (property-tested). [rich:false] disables the window-function mutation,
+    for callers modelling a fuzzer with narrower grammar support. *)
+
+val mutate_testcase :
+  ?rich:bool -> Reprutil.Rng.t -> Ast.testcase -> Ast.testcase
+(** Pick a statement, mutate it, re-validate the test case. The type
+    sequence is preserved. *)

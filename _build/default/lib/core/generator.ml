@@ -1,0 +1,650 @@
+open Sqlcore
+open Sqlcore.Ast
+module Rng = Reprutil.Rng
+
+let interesting_ints = [| 0; 1; -1; 2; 16; 255; 256; -128; 1024; 65535 |]
+
+let words = [| "alpha"; "beta"; "gamma"; "x"; "name1"; "water"; ""; "zz" |]
+
+let literal rng (dt : data_type) =
+  match dt with
+  | T_int ->
+    if Rng.ratio rng 1 3 then L_int (Rng.choose_arr rng interesting_ints)
+    else L_int (Rng.int rng 1000 - 500)
+  | T_float -> L_float (float_of_int (Rng.int rng 2000 - 1000) /. 8.0)
+  | T_text | T_varchar _ -> L_string (Rng.choose_arr rng words)
+  | T_bool -> L_bool (Rng.bool rng)
+  | T_year -> L_int (1901 + Rng.int rng 120)
+
+let any_literal rng =
+  if Rng.ratio rng 1 8 then L_null
+  else
+    literal rng
+      (Rng.choose rng [ T_int; T_float; T_text; T_bool ])
+
+let scalar_fns = [| "ABS"; "UPPER"; "LOWER"; "LENGTH"; "COALESCE"; "ROUND";
+                    "FLOOR"; "TYPEOF"; "REVERSE"; "TRIM"; "HEX"; "SIGN" |]
+
+let arith_ops = [| Add; Sub; Mul; Div; Mod |]
+
+let cmp_ops = [| Eq; Neq; Lt; Le; Gt; Ge |]
+
+let col_ref rng (cols : Sym_schema.col list) =
+  match cols with
+  | [] -> Lit (any_literal rng)
+  | cols -> Col (None, (Rng.choose rng cols).Sym_schema.sc_name)
+
+let rec expr rng ~cols ~depth =
+  if depth <= 0 then
+    if Rng.bool rng then col_ref rng cols else Lit (any_literal rng)
+  else
+    match Rng.int rng 10 with
+    | 0 | 1 -> col_ref rng cols
+    | 2 -> Lit (any_literal rng)
+    | 3 ->
+      Binop
+        ( Rng.choose_arr rng arith_ops,
+          expr rng ~cols ~depth:(depth - 1),
+          expr rng ~cols ~depth:(depth - 1) )
+    | 4 ->
+      Binop
+        ( Rng.choose_arr rng cmp_ops,
+          expr rng ~cols ~depth:(depth - 1),
+          expr rng ~cols ~depth:(depth - 1) )
+    | 5 ->
+      Fn
+        ( Rng.choose_arr rng scalar_fns,
+          [ expr rng ~cols ~depth:(depth - 1) ] )
+    | 6 ->
+      Case
+        ( [ (expr rng ~cols ~depth:(depth - 1),
+             expr rng ~cols ~depth:(depth - 1)) ],
+          if Rng.bool rng then Some (expr rng ~cols ~depth:(depth - 1))
+          else None )
+    | 7 ->
+      Cast
+        ( expr rng ~cols ~depth:(depth - 1),
+          Rng.choose rng [ T_int; T_float; T_text; T_bool ] )
+    | 8 -> Unop (Rng.choose rng [ Neg; Not; Bit_not ],
+                 expr rng ~cols ~depth:(depth - 1))
+    | _ -> col_ref rng cols
+
+let predicate rng ~cols =
+  match Rng.int rng 6 with
+  | 0 ->
+    Binop
+      (Rng.choose_arr rng cmp_ops, col_ref rng cols, Lit (any_literal rng))
+  | 1 -> Is_null (col_ref rng cols, Rng.bool rng)
+  | 2 ->
+    Between
+      { e = col_ref rng cols;
+        lo = Lit (L_int (Rng.int rng 100 - 50));
+        hi = Lit (L_int (Rng.int rng 100 + 50));
+        negated = Rng.ratio rng 1 4 }
+  | 3 ->
+    In_list
+      { e = col_ref rng cols;
+        items = [ Lit (any_literal rng); Lit (any_literal rng) ];
+        negated = Rng.ratio rng 1 4 }
+  | 4 ->
+    Like
+      { e = col_ref rng cols;
+        pat = Lit (L_string (Rng.choose rng [ "%a%"; "x_"; "%"; "_" ]));
+        negated = false }
+  | _ ->
+    Binop
+      ( Rng.choose rng [ And; Or ],
+        Binop (Eq, col_ref rng cols, Lit (any_literal rng)),
+        Binop (Rng.choose_arr rng cmp_ops, col_ref rng cols,
+               Lit (any_literal rng)) )
+
+let window_fns = [| Row_number; Rank; Dense_rank; Lead; Lag; Ntile |]
+
+let window_expr rng ~cols =
+  let fn = Rng.choose_arr rng window_fns in
+  let args =
+    match fn with
+    | Row_number | Rank | Dense_rank -> []
+    | Lead | Lag ->
+      [ col_ref rng cols ]
+      @ if Rng.bool rng then [ Lit (L_int (1 + Rng.int rng 3)) ] else []
+    | Ntile -> [ Lit (L_int (1 + Rng.int rng 4)) ]
+  in
+  let over =
+    { partition_by = (if Rng.ratio rng 1 3 then [ col_ref rng cols ] else []);
+      w_order_by = [ (col_ref rng cols, if Rng.bool rng then Asc else Desc) ];
+      frame =
+        (if Rng.ratio rng 1 4 then
+           Some
+             { f_kind = (if Rng.bool rng then F_rows else F_range);
+               f_lo = Preceding (Rng.int rng 4);
+               f_hi = Following (Rng.int rng 16) }
+         else None) }
+  in
+  Win { fn; args; over }
+
+let agg_expr rng ~cols =
+  let fn = Rng.choose rng [ Count; Sum; Avg; Min; Max; Group_concat ] in
+  if fn = Count && Rng.bool rng then Agg (Count, false, None)
+  else Agg (fn, Rng.ratio rng 1 5, Some (col_ref rng cols))
+
+let pick_relation rng schema =
+  let rels = Sym_schema.relations schema in
+  match rels with
+  | [] -> None
+  | rels -> Some (Rng.choose rng rels)
+
+let cols_of rng schema relation =
+  match Sym_schema.table_cols schema relation with
+  | Some cols when cols <> [] -> cols
+  | _ ->
+    (* views / unknown: invent plausible column names *)
+    ignore rng;
+    [ { Sym_schema.sc_name = "c1"; sc_type = T_int };
+      { Sym_schema.sc_name = "c2"; sc_type = T_int } ]
+
+let select rng schema ?(allow_window = true) ?(allow_agg = true) () =
+  match pick_relation rng schema with
+  | None ->
+    (* SELECT without FROM *)
+    { distinct = false;
+      projs = [ Proj (expr rng ~cols:[] ~depth:1, None) ];
+      from = None; where = None; group_by = []; having = None;
+      order_by = []; limit = None; offset = None }
+  | Some rel ->
+    let cols = cols_of rng schema rel in
+    let join =
+      if Rng.ratio rng 1 5 then
+        match pick_relation rng schema with
+        | Some rel2 when rel2 <> rel ->
+          let kind = Rng.choose rng [ Inner; Left; Cross ] in
+          let cols2 = cols_of rng schema rel2 in
+          Some (rel2, kind, cols2)
+        | _ -> None
+      else None
+    in
+    let from =
+      match join with
+      | None -> From_table { name = rel; alias = None }
+      | Some (rel2, kind, cols2) ->
+        From_join
+          { left = From_table { name = rel; alias = None };
+            kind;
+            right = From_table { name = rel2; alias = None };
+            on =
+              (if kind = Cross then None
+               else
+                 Some
+                   (Binop
+                      ( Eq,
+                        Col (Some rel, (List.hd cols).Sym_schema.sc_name),
+                        Col (Some rel2, (List.hd cols2).Sym_schema.sc_name) ))) }
+    in
+    let grouped = allow_agg && Rng.ratio rng 1 5 in
+    let windowed = allow_window && (not grouped) && Rng.ratio rng 1 6 in
+    let projs =
+      if grouped then
+        [ Proj (col_ref rng cols, None); Proj (agg_expr rng ~cols, None) ]
+      else if windowed then
+        [ Proj (col_ref rng cols, None);
+          Proj (window_expr rng ~cols, Some "w") ]
+      else if Rng.ratio rng 1 4 then [ Star ]
+      else
+        List.init
+          (1 + Rng.int rng 2)
+          (fun _ -> Proj (expr rng ~cols ~depth:2, None))
+    in
+    { distinct = Rng.ratio rng 1 6;
+      projs;
+      from = Some from;
+      where = (if Rng.ratio rng 1 2 then Some (predicate rng ~cols) else None);
+      group_by = (if grouped then [ col_ref rng cols ] else []);
+      having =
+        (if grouped && Rng.ratio rng 1 3 then
+           Some (Binop (Gt, agg_expr rng ~cols, Lit (L_int 0)))
+         else None);
+      order_by =
+        (if Rng.ratio rng 1 3 then
+           [ (col_ref rng cols, if Rng.bool rng then Asc else Desc) ]
+         else []);
+      limit = (if Rng.ratio rng 1 4 then Some (Rng.int rng 16) else None);
+      offset = None }
+
+let col_defs rng =
+  let n = 1 + Rng.int rng 4 in
+  List.init n (fun i ->
+      { col_name = Printf.sprintf "c%d" (i + 1);
+        col_type =
+          Rng.choose rng [ T_int; T_int; T_float; T_text; T_varchar 16; T_bool ];
+        not_null = Rng.ratio rng 1 6;
+        primary_key = i = 0 && Rng.ratio rng 1 3;
+        unique = i > 0 && Rng.ratio rng 1 8;
+        default = (if Rng.ratio rng 1 6 then Some (L_int 0) else None);
+        zerofill = false })
+
+let values_rows rng (cols : Sym_schema.col list) =
+  let n = 1 + Rng.int rng 3 in
+  List.init n (fun _ ->
+      List.map
+        (fun c ->
+           if Rng.ratio rng 1 10 then Lit L_null
+           else Lit (literal rng c.Sym_schema.sc_type))
+        cols)
+
+let table_or_fresh rng schema =
+  match Sym_schema.pick_table schema rng with
+  | Some (name, cols) -> (name, cols)
+  | None ->
+    ( Sym_schema.fresh schema ~prefix:"v",
+      [ { Sym_schema.sc_name = "c1"; sc_type = T_int } ] )
+
+let insert_stmt rng schema ~use_query =
+  let table, cols = table_or_fresh rng schema in
+  let source =
+    if use_query then
+      Src_query (Q_select (select rng schema ~allow_window:false ()))
+    else Src_values (values_rows rng cols)
+  in
+  { i_table = table; i_cols = []; i_source = source;
+    i_ignore = Rng.ratio rng 1 4 }
+
+let update_stmt rng schema =
+  let table, cols = table_or_fresh rng schema in
+  let n_sets = 1 + Rng.int rng (max 1 (List.length cols)) in
+  let sets =
+    Reprutil.Rng.sample rng n_sets cols
+    |> List.map (fun c ->
+        (c.Sym_schema.sc_name, expr rng ~cols ~depth:2))
+  in
+  let sets = if sets = [] then [ ("c1", Lit (L_int 0)) ] else sets in
+  { u_table = table; u_sets = sets;
+    u_where = (if Rng.ratio rng 2 3 then Some (predicate rng ~cols) else None);
+    u_limit = (if Rng.ratio rng 1 8 then Some (Rng.int rng 8) else None) }
+
+let delete_stmt rng schema =
+  let table, cols = table_or_fresh rng schema in
+  { d_table = table;
+    d_where = (if Rng.ratio rng 2 3 then Some (predicate rng ~cols) else None);
+    d_limit = (if Rng.ratio rng 1 8 then Some (Rng.int rng 8) else None) }
+
+let dml_for_with rng schema =
+  match Rng.int rng 3 with
+  | 0 -> W_insert (insert_stmt rng schema ~use_query:false)
+  | 1 -> W_update (update_stmt rng schema)
+  | _ -> W_delete (delete_stmt rng schema)
+
+let trig_event rng = Rng.choose rng [ Ev_insert; Ev_update; Ev_delete ]
+
+let channel_names = [| "compression"; "alerts"; "chan1"; "events" |]
+
+let var_names = [| "autocommit"; "sql_mode"; "max_heap_size";
+                   "explicit_defaults_for_timestamp"; "optimizer_switch" |]
+
+let rec stmt rng schema (ty : Stmt_type.t) : Ast.stmt =
+  match ty with
+  | Create_table | Create_temp_table ->
+    S_create_table
+      { temp = ty = Create_temp_table;
+        if_not_exists = Rng.ratio rng 1 5;
+        name = Sym_schema.fresh schema ~prefix:"v";
+        cols = col_defs rng }
+  | Create_index | Create_unique_index ->
+    let table, cols = table_or_fresh rng schema in
+    let col =
+      match cols with
+      | [] -> "c1"
+      | cols -> (Rng.choose rng cols).Sym_schema.sc_name
+    in
+    S_create_index
+      { unique = ty = Create_unique_index;
+        name = Sym_schema.fresh schema ~prefix:"i";
+        table; cols = [ col ] }
+  | Create_view | Create_materialized_view ->
+    S_create_view
+      { materialized = ty = Create_materialized_view;
+        name = Sym_schema.fresh schema ~prefix:"w";
+        query = Q_select (select rng schema ~allow_window:false ()) }
+  | Create_trigger ->
+    let table, _ = table_or_fresh rng schema in
+    S_create_trigger
+      { name = Sym_schema.fresh schema ~prefix:"tr";
+        timing = (if Rng.bool rng then Before else After);
+        event = trig_event rng;
+        table;
+        body = [ S_insert (insert_stmt rng schema ~use_query:(Rng.ratio rng 1 3)) ] }
+  | Create_rule ->
+    let table, _ = table_or_fresh rng schema in
+    let action =
+      match Rng.int rng 3 with
+      | 0 -> Ra_nothing
+      | 1 -> Ra_notify (Rng.choose_arr rng channel_names)
+      | _ -> Ra_stmt (S_insert (insert_stmt rng schema ~use_query:false))
+    in
+    S_create_rule
+      { name = Sym_schema.fresh schema ~prefix:"r";
+        table;
+        event = trig_event rng;
+        instead = Rng.ratio rng 2 3;
+        action }
+  | Create_sequence ->
+    S_create_sequence
+      { name = Sym_schema.fresh schema ~prefix:"sq";
+        start = Rng.int rng 100;
+        step = 1 + Rng.int rng 5 }
+  | Create_schema -> S_create_schema (Sym_schema.fresh schema ~prefix:"sch")
+  | Create_database -> S_create_database (Sym_schema.fresh schema ~prefix:"db")
+  | Create_user ->
+    S_create_user
+      { user = Sym_schema.fresh schema ~prefix:"u"; password = "pw" }
+  | Drop_table ->
+    let name =
+      match Sym_schema.pick_table schema rng with
+      | Some (n, _) -> n
+      | None -> "v0"
+    in
+    S_drop { target = D_table name; if_exists = Rng.ratio rng 1 2 }
+  | Drop_index ->
+    let name =
+      match Sym_schema.indexes schema with
+      | [] -> "i0"
+      | idx -> fst (Rng.choose rng idx)
+    in
+    S_drop { target = D_index name; if_exists = Rng.ratio rng 1 2 }
+  | Drop_view ->
+    let name =
+      match Sym_schema.views schema with
+      | [] -> "w0"
+      | vs -> Rng.choose rng vs
+    in
+    S_drop { target = D_view name; if_exists = Rng.ratio rng 1 2 }
+  | Drop_trigger -> S_drop { target = D_trigger "tr1"; if_exists = true }
+  | Drop_rule ->
+    let table, _ = table_or_fresh rng schema in
+    S_drop { target = D_rule ("r1", table); if_exists = true }
+  | Drop_sequence ->
+    let name =
+      match Sym_schema.sequences schema with
+      | [] -> "sq0"
+      | seqs -> Rng.choose rng seqs
+    in
+    S_drop { target = D_sequence name; if_exists = Rng.ratio rng 1 2 }
+  | Drop_schema -> S_drop { target = D_schema "sch1"; if_exists = true }
+  | Drop_database -> S_drop { target = D_database "db1"; if_exists = true }
+  | Drop_user ->
+    let name =
+      match List.filter (( <> ) "root") (Sym_schema.users schema) with
+      | [] -> "u0"
+      | us -> Rng.choose rng us
+    in
+    S_drop { target = D_user name; if_exists = Rng.ratio rng 1 2 }
+  | Alter_table_add_column ->
+    let table, _ = table_or_fresh rng schema in
+    S_alter_table
+      ( table,
+        Add_column
+          { col_name = Sym_schema.fresh schema ~prefix:"c";
+            col_type = Rng.choose rng [ T_int; T_float; T_text ];
+            not_null = false; primary_key = false; unique = false;
+            default = (if Rng.bool rng then Some (L_int 0) else None);
+            zerofill = false } )
+  | Alter_table_drop_column ->
+    let table, cols = table_or_fresh rng schema in
+    let col =
+      match cols with
+      | [] -> "c1"
+      | cols -> (Rng.choose rng cols).Sym_schema.sc_name
+    in
+    S_alter_table (table, Drop_column col)
+  | Alter_table_rename ->
+    let table, _ = table_or_fresh rng schema in
+    S_alter_table (table, Rename_to (Sym_schema.fresh schema ~prefix:"v"))
+  | Alter_table_rename_column ->
+    let table, cols = table_or_fresh rng schema in
+    let col =
+      match cols with
+      | [] -> "c1"
+      | cols -> (Rng.choose rng cols).Sym_schema.sc_name
+    in
+    S_alter_table
+      (table, Rename_column (col, Sym_schema.fresh schema ~prefix:"c"))
+  | Alter_table_alter_type ->
+    let table, cols = table_or_fresh rng schema in
+    let col =
+      match cols with
+      | [] -> "c1"
+      | cols -> (Rng.choose rng cols).Sym_schema.sc_name
+    in
+    S_alter_table
+      ( table,
+        Alter_column_type (col, Rng.choose rng [ T_int; T_float; T_text ]) )
+  | Alter_sequence ->
+    let name =
+      match Sym_schema.sequences schema with
+      | [] -> "sq0"
+      | seqs -> Rng.choose rng seqs
+    in
+    S_alter_sequence { name; step = 1 + Rng.int rng 7 }
+  | Alter_user ->
+    let user =
+      match Sym_schema.users schema with
+      | [] -> "root"
+      | us -> Rng.choose rng us
+    in
+    S_alter_user { user; password = "pw2" }
+  | Rename_table ->
+    let table, _ = table_or_fresh rng schema in
+    S_rename_table [ (table, Sym_schema.fresh schema ~prefix:"v") ]
+  | Truncate ->
+    let table, _ = table_or_fresh rng schema in
+    S_truncate table
+  | Comment_on ->
+    let table, _ = table_or_fresh rng schema in
+    S_comment_on { table; comment = "generated" }
+  | Insert -> S_insert (insert_stmt rng schema ~use_query:false)
+  | Insert_select -> S_insert (insert_stmt rng schema ~use_query:true)
+  | Replace_into -> S_replace (insert_stmt rng schema ~use_query:false)
+  | Update -> S_update (update_stmt rng schema)
+  | Delete -> S_delete (delete_stmt rng schema)
+  | Copy_to ->
+    if Rng.bool rng then
+      let table, _ = table_or_fresh rng schema in
+      S_copy_to { src = Cs_table table; header = Rng.bool rng }
+    else
+      S_copy_to
+        { src = Cs_query (Q_select (select rng schema ~allow_window:false ()));
+          header = Rng.bool rng }
+  | Copy_from ->
+    let table, cols = table_or_fresh rng schema in
+    S_copy_from
+      { table;
+        rows =
+          List.init (1 + Rng.int rng 2) (fun _ ->
+              List.map (fun c -> literal rng c.Sym_schema.sc_type) cols) }
+  | Load_data ->
+    let table, cols = table_or_fresh rng schema in
+    S_load_data
+      { table;
+        rows =
+          List.init (1 + Rng.int rng 2) (fun _ ->
+              List.map (fun c -> literal rng c.Sym_schema.sc_type) cols) }
+  | Select -> S_select (Q_select (select rng schema ()))
+  | Select_union ->
+    S_select
+      (Q_compound
+         ( Q_select (select rng schema ~allow_window:false ()),
+           (if Rng.bool rng then Union else Union_all),
+           Q_select (select rng schema ~allow_window:false ()) ))
+  | Select_intersect ->
+    S_select
+      (Q_compound
+         ( Q_select (select rng schema ~allow_window:false ()),
+           Intersect,
+           Q_select (select rng schema ~allow_window:false ()) ))
+  | Select_except ->
+    S_select
+      (Q_compound
+         ( Q_select (select rng schema ~allow_window:false ()),
+           Except,
+           Q_select (select rng schema ~allow_window:false ()) ))
+  | With_select ->
+    S_with
+      { ctes =
+          [ { cte_name = Sym_schema.fresh schema ~prefix:"cte";
+              cte_body =
+                W_query (Q_select (select rng schema ~allow_window:false ())) } ];
+        body = W_query (Q_select (select rng schema ~allow_window:false ())) }
+  | With_dml ->
+    (* PostgreSQL-style data-modifying WITH: CTE and/or body is DML. *)
+    let cte_is_dml = Rng.bool rng in
+    S_with
+      { ctes =
+          [ { cte_name = Sym_schema.fresh schema ~prefix:"cte";
+              cte_body =
+                (if cte_is_dml then dml_for_with rng schema
+                 else
+                   W_query
+                     (Q_select (select rng schema ~allow_window:false ()))) } ];
+        body =
+          (if cte_is_dml && Rng.bool rng then
+             W_query (Q_select (select rng schema ~allow_window:false ()))
+           else dml_for_with rng schema) }
+  | Values_stmt ->
+    S_select
+      (Q_values
+         (List.init (1 + Rng.int rng 3) (fun _ ->
+              [ Lit (any_literal rng); Lit (any_literal rng) ])))
+  | Table_stmt ->
+    let table, _ = table_or_fresh rng schema in
+    S_table table
+  | Explain ->
+    S_explain
+      (stmt rng schema
+         (Rng.choose rng [ Stmt_type.Select; Stmt_type.Insert; Stmt_type.Update ]))
+  | Describe ->
+    let table, _ = table_or_fresh rng schema in
+    S_describe table
+  | Show_tables -> S_show Sh_tables
+  | Show_columns ->
+    let table, _ = table_or_fresh rng schema in
+    S_show (Sh_columns table)
+  | Show_variables -> S_show Sh_variables
+  | Show_status -> S_show Sh_status
+  | Grant ->
+    let table, _ = table_or_fresh rng schema in
+    let user =
+      match List.filter (( <> ) "root") (Sym_schema.users schema) with
+      | [] -> "root"
+      | us -> Rng.choose rng us
+    in
+    S_grant
+      { privs = Reprutil.Rng.sample rng 2 [ P_select; P_insert; P_update; P_delete; P_all ];
+        table; user }
+  | Revoke ->
+    let table, _ = table_or_fresh rng schema in
+    let user =
+      match List.filter (( <> ) "root") (Sym_schema.users schema) with
+      | [] -> "root"
+      | us -> Rng.choose rng us
+    in
+    S_revoke { privs = [ Rng.choose rng [ P_select; P_all ] ]; table; user }
+  | Set_role ->
+    let user =
+      match Sym_schema.users schema with
+      | [] -> "root"
+      | us -> Rng.choose rng us
+    in
+    S_set_role user
+  | Begin_txn -> S_begin
+  | Commit_txn -> S_commit
+  | Rollback_txn -> S_rollback
+  | Savepoint -> S_savepoint (Sym_schema.fresh schema ~prefix:"sp")
+  | Release_savepoint -> S_release_savepoint "sp1"
+  | Rollback_to_savepoint -> S_rollback_to "sp1"
+  | Set_transaction ->
+    S_set_transaction
+      (Rng.choose rng [ Read_committed; Repeatable_read; Serializable ])
+  | Lock_tables ->
+    let table, _ = table_or_fresh rng schema in
+    S_lock_tables
+      [ (table, if Rng.bool rng then Lk_read else Lk_write) ]
+  | Unlock_tables -> S_unlock_tables
+  | Set_var ->
+    S_set_var
+      { global = false;
+        name = Rng.choose_arr rng var_names;
+        value = any_literal rng }
+  | Set_global_var ->
+    S_set_var
+      { global = true;
+        name = Rng.choose_arr rng var_names;
+        value = any_literal rng }
+  | Reset_var -> S_reset_var (Rng.choose_arr rng var_names)
+  | Set_names -> S_set_names (Rng.choose rng [ "utf8"; "latin1"; "binary" ])
+  | Pragma ->
+    S_pragma
+      { name = Rng.choose rng [ "foreign_keys"; "cache_size"; "page_size" ];
+        value = (if Rng.bool rng then Some (L_int (Rng.int rng 4)) else None) }
+  | Vacuum ->
+    S_vacuum
+      (if Rng.bool rng then Some (fst (table_or_fresh rng schema)) else None)
+  | Analyze ->
+    S_analyze
+      (if Rng.bool rng then Some (fst (table_or_fresh rng schema)) else None)
+  | Reindex ->
+    S_reindex
+      (if Rng.bool rng then Some (fst (table_or_fresh rng schema)) else None)
+  | Checkpoint -> S_checkpoint
+  | Flush -> S_flush (Rng.choose rng [ Fl_tables; Fl_status; Fl_privileges ])
+  | Optimize_table -> S_optimize (fst (table_or_fresh rng schema))
+  | Check_table -> S_check_table (fst (table_or_fresh rng schema))
+  | Repair_table -> S_repair (fst (table_or_fresh rng schema))
+  | Notify ->
+    S_notify
+      { channel = Rng.choose_arr rng channel_names;
+        payload = (if Rng.ratio rng 1 3 then Some "payload" else None) }
+  | Listen -> S_listen (Rng.choose_arr rng channel_names)
+  | Unlisten -> S_unlisten (Rng.choose_arr rng channel_names)
+  | Discard ->
+    S_discard (Rng.choose rng [ Disc_all; Disc_temp; Disc_plans ])
+  | Prepare_stmt ->
+    S_prepare
+      { name = Sym_schema.fresh schema ~prefix:"p";
+        stmt =
+          stmt rng schema
+            (Rng.choose rng
+               [ Stmt_type.Select; Stmt_type.Insert; Stmt_type.Delete ]) }
+  | Execute_stmt ->
+    let name =
+      match Sym_schema.prepared schema with
+      | [] -> "p1"
+      | ps -> Rng.choose rng ps
+    in
+    S_execute name
+  | Deallocate ->
+    let name =
+      match Sym_schema.prepared schema with
+      | [] -> "p1"
+      | ps -> Rng.choose rng ps
+    in
+    S_deallocate name
+  | Use_db -> S_use (Rng.choose rng [ "main"; "db1" ])
+  | Do_expr -> S_do (expr rng ~cols:[] ~depth:2)
+  | Handler_open -> S_handler_open (fst (table_or_fresh rng schema))
+  | Handler_read ->
+    S_handler_read
+      { table = fst (table_or_fresh rng schema);
+        dir = (if Rng.bool rng then H_first else H_next) }
+  | Handler_close -> S_handler_close (fst (table_or_fresh rng schema))
+  | Alter_system ->
+    S_alter_system (Rng.choose rng [ "major_freeze"; "minor_freeze"; "fsync" ])
+  | Refresh_matview ->
+    let name =
+      match Sym_schema.views schema with
+      | [] -> "w0"
+      | vs -> Rng.choose rng vs
+    in
+    S_refresh_matview name
+  | Kill_query -> S_kill (Rng.int rng 8)
+  | Cluster ->
+    S_cluster
+      (if Rng.bool rng then Some (fst (table_or_fresh rng schema)) else None)

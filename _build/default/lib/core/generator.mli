@@ -1,0 +1,35 @@
+(** Fresh statement generation for every statement type.
+
+    Used in three places: sequence-oriented mutation instantiates the
+    randomly chosen replacement/insertion type (Algorithm 1), the
+    instantiator falls back to fresh generation when the skeleton library
+    has no structure for a type, and the generation-based baseline fuzzers
+    are built from the same primitives. Generated statements reference the
+    symbolic schema's objects when they exist, so most are semantically
+    valid; leftover dangling references are repaired by
+    {!Instantiate.repair}. *)
+
+open Sqlcore
+
+val literal : Reprutil.Rng.t -> Ast.data_type -> Ast.literal
+(** Random literal suited to a column type. *)
+
+val expr :
+  Reprutil.Rng.t -> cols:Sym_schema.col list -> depth:int -> Ast.expr
+(** Random scalar expression over the given columns. *)
+
+val predicate : Reprutil.Rng.t -> cols:Sym_schema.col list -> Ast.expr
+(** Random boolean-ish expression for WHERE/HAVING/ON. *)
+
+val select :
+  Reprutil.Rng.t ->
+  Sym_schema.t ->
+  ?allow_window:bool ->
+  ?allow_agg:bool ->
+  unit ->
+  Ast.select
+(** Random single SELECT body against the schema. *)
+
+val stmt : Reprutil.Rng.t -> Sym_schema.t -> Stmt_type.t -> Ast.stmt
+(** A fresh statement of exactly the requested type
+    ([type_of_stmt (stmt rng schema ty) = ty], property-tested). *)

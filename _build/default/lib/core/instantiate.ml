@@ -1,0 +1,190 @@
+open Sqlcore
+open Sqlcore.Ast
+module Rng = Reprutil.Rng
+
+(* --- table-reference repair ---------------------------------------- *)
+
+let fix_tables rng schema stmt =
+  let created = List.map snd (Ast_util.objects_created stmt) in
+  let known = Sym_schema.relations schema in
+  let mapping : (string, string) Hashtbl.t = Hashtbl.create 4 in
+  let remap name =
+    if List.mem name created then begin
+      (* freshen clashing CREATE targets *)
+      if List.mem name known then begin
+        match Hashtbl.find_opt mapping name with
+        | Some n -> n
+        | None ->
+          let fresh = Sym_schema.fresh schema ~prefix:"v" in
+          Hashtbl.replace mapping name fresh;
+          fresh
+      end
+      else name
+    end
+    else if List.mem name known then name
+    else
+      match Hashtbl.find_opt mapping name with
+      | Some n -> n
+      | None -> (
+          match Sym_schema.pick_table schema rng with
+          | Some (existing, _) ->
+            Hashtbl.replace mapping name existing;
+            existing
+          | None -> name)
+  in
+  Ast_util.map_table_refs remap stmt
+
+(* --- column-reference repair ---------------------------------------- *)
+
+let referenced_cols schema stmt =
+  let tables =
+    Ast_util.tables_read stmt @ Ast_util.tables_written stmt
+  in
+  List.concat_map
+    (fun t ->
+       match Sym_schema.table_cols schema t with
+       | Some cols -> cols
+       | None -> [])
+    tables
+
+let fix_columns rng schema stmt =
+  match referenced_cols schema stmt with
+  | [] -> stmt
+  | cols ->
+    let names = List.map (fun c -> c.Sym_schema.sc_name) cols in
+    let pick () = Rng.choose rng names in
+    let fix_name n = if List.mem n names then n else pick () in
+    let stmt =
+      Ast_util.map_exprs
+        (function
+          | Col (q, n) when not (List.mem n names) -> Col (q, pick ())
+          | e -> e)
+        stmt
+    in
+    (match stmt with
+     | S_update u ->
+       S_update
+         { u with u_sets = List.map (fun (c, e) -> (fix_name c, e)) u.u_sets }
+     | S_insert i when i.i_cols <> [] ->
+       S_insert { i with i_cols = List.map fix_name i.i_cols }
+     | S_replace i when i.i_cols <> [] ->
+       S_replace { i with i_cols = List.map fix_name i.i_cols }
+     | S_create_index ci ->
+       (* index columns must belong to the indexed table *)
+       (match Sym_schema.table_cols schema ci.table with
+        | Some tcols when tcols <> [] ->
+          let tnames = List.map (fun c -> c.Sym_schema.sc_name) tcols in
+          S_create_index
+            { ci with
+              cols =
+                List.map
+                  (fun c ->
+                     if List.mem c tnames then c else Rng.choose rng tnames)
+                  ci.cols }
+        | _ -> stmt)
+     | s -> s)
+
+(* --- INSERT arity repair -------------------------------------------- *)
+
+let resize_row rng (cols : Sym_schema.col list) row =
+  let arity = List.length cols in
+  let n = List.length row in
+  if n = arity then row
+  else if n > arity then List.filteri (fun i _ -> i < arity) row
+  else
+    row
+    @ List.filteri
+        (fun i _ -> i >= n)
+        (List.map
+           (fun c -> Lit (Generator.literal rng c.Sym_schema.sc_type))
+           cols)
+
+let fix_arity rng schema stmt =
+  let fix_insert (i : insert) =
+    match (i.i_cols, i.i_source, Sym_schema.table_cols schema i.i_table) with
+    | [], Src_values rows, Some cols when cols <> [] ->
+      { i with i_source = Src_values (List.map (resize_row rng cols) rows) }
+    | _ -> i
+  in
+  let fix_lit_rows table rows =
+    match Sym_schema.table_cols schema table with
+    | Some cols when cols <> [] ->
+      let arity = List.length cols in
+      List.map
+        (fun row ->
+           let n = List.length row in
+           if n = arity then row
+           else if n > arity then List.filteri (fun i _ -> i < arity) row
+           else
+             row
+             @ List.filteri
+                 (fun i _ -> i >= n)
+                 (List.map
+                    (fun c -> Generator.literal rng c.Sym_schema.sc_type)
+                    cols))
+        rows
+    | _ -> rows
+  in
+  match stmt with
+  | S_insert i -> S_insert (fix_insert i)
+  | S_replace i -> S_replace (fix_insert i)
+  | S_copy_from { table; rows } ->
+    S_copy_from { table; rows = fix_lit_rows table rows }
+  | S_load_data { table; rows } ->
+    S_load_data { table; rows = fix_lit_rows table rows }
+  | S_with { ctes; body } ->
+    let fix_body = function
+      | W_insert i -> W_insert (fix_insert i)
+      | b -> b
+    in
+    S_with
+      { ctes =
+          List.map (fun c -> { c with cte_body = fix_body c.cte_body }) ctes;
+        body = fix_body body }
+  | s -> s
+
+(* Unbounded mutation chains would otherwise grow expressions without
+   limit (the paper's C3: seeds that stall the fuzzer). Clamp bottom-up:
+   any node whose subtree exceeds the depth budget collapses to a
+   literal. *)
+let max_expr_depth = 12
+
+let clamp_exprs stmt =
+  Ast_util.map_exprs
+    (fun e ->
+       if Ast_util.expr_depth e > max_expr_depth then Ast.Lit (Ast.L_int 1)
+       else e)
+    stmt
+
+let repair rng tc =
+  let schema = Sym_schema.empty () in
+  List.map
+    (fun stmt ->
+       let stmt = fix_tables rng schema stmt in
+       let stmt = fix_columns rng schema stmt in
+       let stmt = fix_arity rng schema stmt in
+       let stmt = clamp_exprs stmt in
+       Sym_schema.apply schema stmt;
+       stmt)
+    tc
+
+let statement rng ~skeletons ~schema ty =
+  let from_library =
+    if Rng.ratio rng 7 10 then Skeleton_library.pick skeletons rng ty
+    else None
+  in
+  match from_library with
+  | Some s -> s
+  | None -> Generator.stmt rng schema ty
+
+let sequence rng ~skeletons types =
+  let schema = Sym_schema.empty () in
+  let raw =
+    List.map
+      (fun ty ->
+         let s = statement rng ~skeletons ~schema ty in
+         Sym_schema.apply schema s;
+         s)
+      types
+  in
+  repair rng raw

@@ -1,0 +1,34 @@
+(** Instantiation of SQL Type Sequences into executable test cases, with
+    dependency repair — the paper's three-step instantiation (AST
+    synthesis from the library, statement concatenation, validation).
+
+    For each entry of the type sequence a type-matched structure is drawn
+    from the skeleton library (or freshly generated when none exists);
+    the concatenated candidate is then {e validated}: walking front to
+    back with a symbolic schema, dangling table references are remapped to
+    objects that exist at that point, unknown column references are
+    remapped to real columns, clashing CREATE names are freshened, and
+    INSERT arities are corrected — the paper's
+    "INSERT INTO v2" → "INSERT INTO v0" example. *)
+
+open Sqlcore
+
+val repair : Reprutil.Rng.t -> Ast.testcase -> Ast.testcase
+(** The validation pass alone (also used after mutations). *)
+
+val sequence :
+  Reprutil.Rng.t ->
+  skeletons:Skeleton_library.t ->
+  Stmt_type.t list ->
+  Ast.testcase
+(** Instantiate a type sequence; the result's type sequence equals the
+    input (property-tested). *)
+
+val statement :
+  Reprutil.Rng.t ->
+  skeletons:Skeleton_library.t ->
+  schema:Sym_schema.t ->
+  Stmt_type.t ->
+  Ast.stmt
+(** One statement of the given type against an existing schema (used by
+    sequence-oriented mutation). *)

@@ -1,0 +1,180 @@
+open Sqlcore
+module Rng = Reprutil.Rng
+
+type config = {
+  seed : int;
+  sequence_oriented : bool;
+  max_seq_len : int;
+  instantiations_per_seq : int;
+  max_pending : int;
+  conventional_per_step : int;
+  synth_batch : int;
+}
+
+let default_config =
+  { seed = 1; sequence_oriented = true; max_seq_len = 5;
+    instantiations_per_seq = 1; max_pending = 4096;
+    conventional_per_step = 3; synth_batch = 6 }
+
+type t = {
+  cfg : config;
+  rng : Rng.t;
+  harness : Fuzz.Harness.t;
+  pool : Fuzz.Seed_pool.t;
+  affinity : Affinity.t;
+  synthesis : Synthesis.t;
+  skeletons : Skeleton_library.t;
+  pending : Stmt_type.t list Reprutil.Vec.t;
+      (* synthesized type sequences awaiting instantiation+execution;
+         a sampling reservoir: overflow replaces a random slot so the
+         backlog stays diverse rather than first-come-first-served *)
+  types : Stmt_type.t list;
+  mutable initial : Ast.testcase list;
+}
+
+(* Execute a candidate; if it covers new branches, keep it: pool, skeleton
+   harvest, affinity analysis, and synthesis from each new affinity. *)
+let process_candidate t ?(analyze = true) tc =
+  let outcome = Fuzz.Harness.execute t.harness tc in
+  if outcome.Fuzz.Harness.o_new_branches > 0 then begin
+    ignore
+      (Fuzz.Seed_pool.add t.pool ~tc ~cov_hash:outcome.o_cov_hash
+         ~new_branches:outcome.o_new_branches ~cost:outcome.o_cost);
+    ignore (Skeleton_library.harvest t.skeletons tc);
+    if analyze && t.cfg.sequence_oriented then begin
+      let new_affs = Affinity.analyze t.affinity tc in
+      List.iter
+        (fun aff ->
+           let seqs = Synthesis.on_new_affinity t.synthesis t.affinity aff in
+           List.iter
+             (fun seq ->
+                if Reprutil.Vec.length t.pending < t.cfg.max_pending then
+                  Reprutil.Vec.push t.pending seq
+                else
+                  Reprutil.Vec.set t.pending
+                    (Rng.int t.rng t.cfg.max_pending)
+                    seq)
+             seqs)
+        new_affs
+    end
+  end;
+  outcome
+
+let create ?(config = default_config) ?limits profile =
+  let t =
+    { cfg = config;
+      rng = Rng.create config.seed;
+      harness = Fuzz.Harness.create ?limits ~profile ();
+      pool = Fuzz.Seed_pool.create ();
+      affinity = Affinity.create ();
+      synthesis =
+        Synthesis.create ~max_len:config.max_seq_len
+          ~types:(Minidb.Profile.types profile) ();
+      skeletons = Skeleton_library.create ();
+      pending = Reprutil.Vec.create ();
+      types = Minidb.Profile.types profile;
+      initial = [] }
+  in
+  let corpus = Fuzz.Corpus.initial profile in
+  t.initial <- corpus;
+  List.iter (fun tc -> ignore (process_candidate t tc)) corpus;
+  t
+
+let take_pending t =
+  let n = Reprutil.Vec.length t.pending in
+  if n = 0 then None
+  else begin
+    (* swap-remove a random slot: order never mattered, diversity does *)
+    let i = Rng.int t.rng n in
+    let seq = Reprutil.Vec.get t.pending i in
+    (match Reprutil.Vec.pop t.pending with
+     | Some last when i < Reprutil.Vec.length t.pending ->
+       Reprutil.Vec.set t.pending i last
+     | _ -> ());
+    Some seq
+  end
+
+let step t () =
+  (* Step 2: a batch of synthesized sequences becomes test cases. *)
+  if t.cfg.sequence_oriented then begin
+    let batch = min t.cfg.synth_batch (Reprutil.Vec.length t.pending) in
+    for _ = 1 to batch do
+      match take_pending t with
+      | None -> ()
+      | Some seq ->
+        for _ = 1 to t.cfg.instantiations_per_seq do
+          let tc = Instantiate.sequence t.rng ~skeletons:t.skeletons seq in
+          ignore (process_candidate t tc)
+        done
+    done
+  end;
+  (* Step 1 + conventional depth run every iteration, so synthesis never
+     starves the mutation arm. *)
+  begin
+    match Fuzz.Seed_pool.select t.pool t.rng with
+    | None ->
+      (* pool drained (tiny budgets): fall back to a fresh generated case *)
+      let schema = Sym_schema.empty () in
+      let tc =
+        [ Generator.stmt t.rng schema Stmt_type.Create_table;
+          Generator.stmt t.rng schema Stmt_type.Insert ]
+      in
+      ignore (process_candidate t (Instantiate.repair t.rng tc))
+    | Some seed ->
+      let tc = seed.Fuzz.Seed_pool.sd_tc in
+      if t.cfg.sequence_oriented then begin
+        (* Step 1: sequence-oriented mutation at one random position per
+           iteration (Algorithm 1 spreads positions across iterations). *)
+        let pos = Rng.int t.rng (max 1 (List.length tc)) in
+        let mutants =
+          Seq_mutation.mutate_at t.rng ~skeletons:t.skeletons ~types:t.types
+            tc ~pos
+        in
+        List.iter (fun (_, mutant) -> ignore (process_candidate t mutant))
+          mutants
+      end;
+      (* Conventional mutations (both LEGO and LEGO-). *)
+      for _ = 1 to t.cfg.conventional_per_step do
+        let mutant = Conventional.mutate_testcase t.rng tc in
+        ignore (process_candidate t ~analyze:t.cfg.sequence_oriented mutant)
+      done;
+      (* Structure mutation via the AST library: replace one statement
+         with a different structure of the SAME type (the paper's LEGO-
+         keeps this; it is what the extended AST parser buys even with the
+         sequence algorithms disabled). The type sequence is preserved. *)
+      for _ = 1 to 2 do
+      (match tc with
+       | [] -> ()
+       | _ ->
+         let pos = Rng.int t.rng (List.length tc) in
+         let schema = Sym_schema.empty () in
+         List.iteri
+           (fun i s -> if i < pos then Sym_schema.apply schema s)
+           tc;
+         let ty = Ast.type_of_stmt (List.nth tc pos) in
+         let fresh = Instantiate.statement t.rng ~skeletons:t.skeletons ~schema ty in
+         let mutant =
+           Instantiate.repair t.rng
+             (List.mapi (fun i s -> if i = pos then fresh else s) tc)
+         in
+         ignore (process_candidate t ~analyze:t.cfg.sequence_oriented mutant))
+      done
+  end
+
+let fuzzer t =
+  { Fuzz.Driver.f_name =
+      (if t.cfg.sequence_oriented then "LEGO" else "LEGO-");
+    f_step = step t;
+    f_harness = t.harness;
+    f_corpus =
+      (fun () ->
+         List.map (fun s -> s.Fuzz.Seed_pool.sd_tc)
+           (Fuzz.Seed_pool.seeds t.pool)) }
+
+let affinities t = t.affinity
+
+let synthesized_total t = Synthesis.total t.synthesis
+
+let skeletons t = t.skeletons
+
+let pool_size t = Fuzz.Seed_pool.size t.pool

@@ -1,0 +1,49 @@
+open Sqlcore
+module Vec = Reprutil.Vec
+module Rng = Reprutil.Rng
+
+type t = {
+  cap : int;
+  by_type : Ast.stmt Vec.t array;  (* indexed by Stmt_type.to_index *)
+  seen : (string, unit) Hashtbl.t;
+  mutable total : int;
+}
+
+let create ?(cap_per_type = 64) () =
+  { cap = cap_per_type;
+    by_type = Array.init Stmt_type.count (fun _ -> Vec.create ());
+    seen = Hashtbl.create 256;
+    total = 0 }
+
+(* Eviction is deterministic given the store order: replace the slot the
+   size hash points at. *)
+let harvest t tc =
+  let stored = ref 0 in
+  List.iter
+    (fun stmt ->
+       let key = Sql_printer.stmt stmt in
+       if not (Hashtbl.mem t.seen key) then begin
+         Hashtbl.replace t.seen key ();
+         let idx = Stmt_type.to_index (Ast.type_of_stmt stmt) in
+         let vec = t.by_type.(idx) in
+         if Vec.length vec < t.cap then begin
+           Vec.push vec stmt;
+           t.total <- t.total + 1
+         end
+         else Vec.set vec (Hashtbl.hash key mod t.cap) stmt;
+         incr stored
+       end)
+    tc;
+  !stored
+
+let pick t rng ty =
+  let vec = t.by_type.(Stmt_type.to_index ty) in
+  let n = Vec.length vec in
+  if n = 0 then None else Some (Vec.get vec (Rng.int rng n))
+
+let count t = t.total
+
+let types_covered t =
+  Array.fold_left
+    (fun acc vec -> if Vec.length vec > 0 then acc + 1 else acc)
+    0 t.by_type

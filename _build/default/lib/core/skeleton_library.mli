@@ -1,0 +1,28 @@
+(** The global AST structure library.
+
+    The paper harvests the AST structure of every statement of a
+    coverage-increasing seed into a global library keyed by statement
+    type; instantiation then draws a type-matched structure at random.
+    Structures are deduplicated by their printed SQL and capped per type
+    (old entries are evicted at random) so the library stays fresh without
+    growing unboundedly. *)
+
+open Sqlcore
+
+type t
+
+val create : ?cap_per_type:int -> unit -> t
+(** [cap_per_type] defaults to 64. *)
+
+val harvest : t -> Ast.testcase -> int
+(** Store each statement under its type; returns how many were newly
+    stored. *)
+
+val pick : t -> Reprutil.Rng.t -> Stmt_type.t -> Ast.stmt option
+(** Random stored structure of that type, if any. *)
+
+val count : t -> int
+(** Total stored structures. *)
+
+val types_covered : t -> int
+(** Number of types with at least one structure. *)

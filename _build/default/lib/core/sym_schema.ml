@@ -1,0 +1,134 @@
+open Sqlcore
+open Sqlcore.Ast
+
+type col = { sc_name : string; sc_type : Ast.data_type }
+
+type t = {
+  mutable tbl : (string * col list) list;
+  mutable vws : string list;
+  mutable idx : (string * string) list;
+  mutable trg : string list;
+  mutable rls : string list;
+  mutable seqs : string list;
+  mutable usrs : string list;
+  mutable preps : string list;
+  mutable counter : int;
+}
+
+let empty () =
+  { tbl = []; vws = []; idx = []; trg = []; rls = []; seqs = [];
+    usrs = [ "root" ]; preps = []; counter = 0 }
+
+let cols_of_defs defs =
+  List.map (fun (d : col_def) -> { sc_name = d.col_name; sc_type = d.col_type })
+    defs
+
+let remove_assoc_str name l = List.filter (fun (n, _) -> n <> name) l
+
+let apply t stmt =
+  match stmt with
+  | S_create_table { name; cols; _ } ->
+    t.tbl <- (name, cols_of_defs cols) :: remove_assoc_str name t.tbl
+  | S_create_view { name; _ } ->
+    if not (List.mem name t.vws) then t.vws <- name :: t.vws
+  | S_create_index { name; table; _ } ->
+    t.idx <- (name, table) :: remove_assoc_str name t.idx
+  | S_create_trigger { name; _ } ->
+    if not (List.mem name t.trg) then t.trg <- name :: t.trg
+  | S_create_rule { name; _ } ->
+    if not (List.mem name t.rls) then t.rls <- name :: t.rls
+  | S_create_sequence { name; _ } ->
+    if not (List.mem name t.seqs) then t.seqs <- name :: t.seqs
+  | S_create_user { user; _ } ->
+    if not (List.mem user t.usrs) then t.usrs <- user :: t.usrs
+  | S_drop { target; _ } -> (
+      match target with
+      | D_table n -> t.tbl <- remove_assoc_str n t.tbl
+      | D_view n -> t.vws <- List.filter (( <> ) n) t.vws
+      | D_index n -> t.idx <- remove_assoc_str n t.idx
+      | D_trigger n -> t.trg <- List.filter (( <> ) n) t.trg
+      | D_rule (n, _) -> t.rls <- List.filter (( <> ) n) t.rls
+      | D_sequence n -> t.seqs <- List.filter (( <> ) n) t.seqs
+      | D_user n -> t.usrs <- List.filter (( <> ) n) t.usrs
+      | D_schema _ | D_database _ -> ())
+  | S_alter_table (name, action) -> (
+      match List.assoc_opt name t.tbl with
+      | None -> ()
+      | Some cols -> (
+          match action with
+          | Add_column d ->
+            t.tbl <-
+              (name, cols @ [ { sc_name = d.col_name; sc_type = d.col_type } ])
+              :: remove_assoc_str name t.tbl
+          | Drop_column c ->
+            t.tbl <-
+              (name, List.filter (fun col -> col.sc_name <> c) cols)
+              :: remove_assoc_str name t.tbl
+          | Rename_to n2 ->
+            t.tbl <- (n2, cols) :: remove_assoc_str name t.tbl
+          | Rename_column (a, b) ->
+            t.tbl <-
+              ( name,
+                List.map
+                  (fun col ->
+                     if col.sc_name = a then { col with sc_name = b } else col)
+                  cols )
+              :: remove_assoc_str name t.tbl
+          | Alter_column_type (c, dt) ->
+            t.tbl <-
+              ( name,
+                List.map
+                  (fun col ->
+                     if col.sc_name = c then { col with sc_type = dt } else col)
+                  cols )
+              :: remove_assoc_str name t.tbl))
+  | S_rename_table pairs ->
+    List.iter
+      (fun (a, b) ->
+         match List.assoc_opt a t.tbl with
+         | None -> ()
+         | Some cols -> t.tbl <- (b, cols) :: remove_assoc_str a t.tbl)
+      pairs
+  | S_prepare { name; _ } ->
+    if not (List.mem name t.preps) then t.preps <- name :: t.preps
+  | S_deallocate name -> t.preps <- List.filter (( <> ) name) t.preps
+  | _ -> ()
+
+let of_testcase tc =
+  let t = empty () in
+  List.iter (apply t) tc;
+  t
+
+let tables t = List.rev t.tbl
+
+let table_cols t name = List.assoc_opt name t.tbl
+
+let views t = List.rev t.vws
+
+let relations t = List.map fst (tables t) @ views t
+
+let indexes t = List.rev t.idx
+
+let sequences t = List.rev t.seqs
+
+let users t = List.rev t.usrs
+
+let prepared t = List.rev t.preps
+
+let pick_table t rng =
+  match t.tbl with
+  | [] -> None
+  | tbls -> Some (Reprutil.Rng.choose rng tbls)
+
+let all_names t =
+  List.map fst t.tbl @ t.vws @ List.map fst t.idx @ t.trg @ t.rls @ t.seqs
+  @ t.usrs @ t.preps
+
+let fresh t ~prefix =
+  let names = all_names t in
+  let rec loop () =
+    t.counter <- t.counter + 1;
+    let candidate = Printf.sprintf "%s%d" prefix t.counter in
+    if List.mem candidate names then loop () else candidate
+  in
+  loop ()

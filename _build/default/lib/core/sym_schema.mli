@@ -1,0 +1,45 @@
+(** Symbolic schema: the lightweight catalog model used for dependency
+    analysis during generation, mutation, and instantiation repair.
+
+    Walking a test case front-to-back with {!apply} reconstructs which
+    objects exist at each point, so later statements can be repaired to
+    reference them (the paper's "the dependencies between different data
+    are analyzed, and the AST will be filled with concrete values that
+    satisfy all dependencies"). *)
+
+open Sqlcore
+
+type col = { sc_name : string; sc_type : Ast.data_type }
+
+type t
+
+val empty : unit -> t
+
+val of_testcase : Ast.testcase -> t
+(** Schema after executing the whole test case. *)
+
+val apply : t -> Ast.stmt -> unit
+(** Update the schema with one statement's effect. *)
+
+val tables : t -> (string * col list) list
+
+val table_cols : t -> string -> col list option
+
+val views : t -> string list
+
+val relations : t -> string list
+(** Tables then views — anything FROM can name. *)
+
+val indexes : t -> (string * string) list
+(** (index, table) pairs. *)
+
+val sequences : t -> string list
+
+val users : t -> string list
+
+val prepared : t -> string list
+
+val pick_table : t -> Reprutil.Rng.t -> (string * col list) option
+
+val fresh : t -> prefix:string -> string
+(** A name unused so far, e.g. [v7]. *)

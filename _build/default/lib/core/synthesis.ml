@@ -1,0 +1,102 @@
+open Sqlcore
+module Vec = Reprutil.Vec
+
+type t = {
+  len : int;
+  max_total : int;
+  max_per_affinity : int;
+  s : Stmt_type.t list Vec.t;
+  ps : (int * int, int list ref) Hashtbl.t;
+  seen : (string, unit) Hashtbl.t;
+}
+
+let seq_key types =
+  String.concat "," (List.map (fun ty -> string_of_int (Stmt_type.to_index ty)) types)
+
+let ps_bucket t ty len =
+  let key = (Stmt_type.to_index ty, len) in
+  match Hashtbl.find_opt t.ps key with
+  | Some bucket -> bucket
+  | None ->
+    let bucket = ref [] in
+    Hashtbl.replace t.ps key bucket;
+    bucket
+
+(* Record a sequence into S and PS; true when it was new. *)
+let record t seq =
+  let key = seq_key seq in
+  if Hashtbl.mem t.seen key then false
+  else begin
+    Hashtbl.replace t.seen key ();
+    Vec.push t.s seq;
+    let idx = Vec.length t.s - 1 in
+    (match List.rev seq with
+     | last :: _ ->
+       let bucket = ps_bucket t last (List.length seq) in
+       bucket := idx :: !bucket
+     | [] -> ());
+    true
+  end
+
+let create ?(max_len = 5) ?(max_total = 200_000) ?(max_per_affinity = 512)
+    ~types () =
+  let t =
+    { len = max_len; max_total; max_per_affinity; s = Vec.create ();
+      ps = Hashtbl.create 256; seen = Hashtbl.create 1024 }
+  in
+  List.iter (fun ty -> ignore (record t [ ty ])) types;
+  t
+
+let max_len t = t.len
+
+let total t = Vec.length t.s
+
+let sequences t = Vec.to_list t.s
+
+let prefix_count t ~ty ~len =
+  match Hashtbl.find_opt t.ps (Stmt_type.to_index ty, len) with
+  | None -> 0
+  | Some bucket -> List.length !bucket
+
+exception Budget
+
+let on_new_affinity t aff (t1, t2) =
+  let news = ref [] in
+  let produced = ref 0 in
+  let emit seq =
+    if Vec.length t.s >= t.max_total || !produced >= t.max_per_affinity then
+      raise Budget;
+    if record t seq then begin
+      news := seq :: !news;
+      incr produced
+    end
+  in
+  (* Function listSeq of Algorithm 3: extend [seq] (ending in [nodeType],
+     of length [level]) with every affinity successor, recording each
+     extension. *)
+  let rec list_seq level node_type seq =
+    if level < t.len then
+      List.iter
+        (fun next_type ->
+           let seq' = seq @ [ next_type ] in
+           emit seq';
+           list_seq (level + 1) next_type seq')
+        (Affinity.successors aff node_type)
+  in
+  (try
+     for level = 1 to t.len - 1 do
+       (* Snapshot: extensions recorded below must not feed this loop. *)
+       let prefix_indices =
+         match Hashtbl.find_opt t.ps (Stmt_type.to_index t1, level) with
+         | None -> []
+         | Some bucket -> !bucket
+       in
+       List.iter
+         (fun idx ->
+            let seq = Vec.get t.s idx @ [ t2 ] in
+            emit seq;
+            list_seq (level + 1) t2 seq)
+         prefix_indices
+     done
+   with Budget -> ());
+  List.rev !news

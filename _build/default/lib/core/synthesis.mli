@@ -1,0 +1,46 @@
+(** Progressive sequence synthesis — the paper's Algorithm 3.
+
+    Maintains the vector [S] of all synthesized SQL Type Sequences (length
+    <= LEN) and the {e Prefix Sequence} index [PS : (type, len) -> indices
+    of sequences of that length ending in that type]. When a new
+    type-affinity [t1 -> t2] is discovered, exactly the {e new} sequences —
+    those containing the new affinity — are produced: every recorded
+    prefix ending in [t1] is extended with [t2] and then recursively
+    closed under the whole affinity map up to LEN.
+
+    Every type is seeded as a length-1 sequence (the paper synthesizes
+    "beginning from specific starting statement types"; seeding all types
+    is the complete choice). Growth is bounded by [max_total] and
+    [max_per_affinity] so affinity-dense campaigns cannot explode (the
+    paper's challenge C1). *)
+
+open Sqlcore
+
+type t
+
+val create :
+  ?max_len:int ->
+  ?max_total:int ->
+  ?max_per_affinity:int ->
+  types:Stmt_type.t list ->
+  unit ->
+  t
+(** [max_len] defaults to 5 (the paper's best length in the §VI study);
+    [max_total] to 200_000 sequences; [max_per_affinity] to 512. *)
+
+val max_len : t -> int
+
+val on_new_affinity :
+  t -> Affinity.t -> Stmt_type.t * Stmt_type.t -> Stmt_type.t list list
+(** Algorithm 3: synthesize and record all new sequences containing the
+    new affinity; returns them (deduplicated, capped). The affinity map
+    must already contain the new pair. *)
+
+val total : t -> int
+(** Sequences recorded so far (including the length-1 seeds). *)
+
+val sequences : t -> Stmt_type.t list list
+(** Everything in [S], for tests. *)
+
+val prefix_count : t -> ty:Stmt_type.t -> len:int -> int
+(** Size of the PS bucket, for tests of the index invariant. *)

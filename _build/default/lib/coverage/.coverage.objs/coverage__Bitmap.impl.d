@@ -1,0 +1,1 @@
+lib/coverage/bitmap.ml: Bytes Char Int64

@@ -1,0 +1,1 @@
+lib/coverage/sites.ml: Hashtbl List Option

@@ -1,0 +1,68 @@
+type t = Bytes.t
+
+let size = 65536
+
+let mask = size - 1
+
+let create () = Bytes.make size '\000'
+
+let reset t = Bytes.fill t 0 size '\000'
+
+let hit t index =
+  let i = index land mask in
+  let v = Char.code (Bytes.unsafe_get t i) in
+  if v < 255 then Bytes.unsafe_set t i (Char.chr (v + 1))
+
+(* Knuth multiplicative mixing keeps distinct (site, key) pairs well
+   spread over the map, like AFL's random edge ids. *)
+let probe t ~site ~key =
+  let h = (site * 0x9E3779B1) lxor ((key + 1) * 0x85EBCA6B) in
+  hit t (h lxor (h lsr 15))
+
+let count_nonzero t =
+  let n = ref 0 in
+  for i = 0 to size - 1 do
+    if Bytes.unsafe_get t i <> '\000' then incr n
+  done;
+  !n
+
+let bucket = function
+  | 0 -> 0
+  | 1 -> 1
+  | 2 -> 2
+  | 3 -> 4
+  | n when n < 8 -> 8
+  | n when n < 16 -> 16
+  | n when n < 32 -> 32
+  | n when n < 128 -> 64
+  | _ -> 128
+
+let merge_into ~virgin t =
+  let news = ref 0 in
+  for i = 0 to size - 1 do
+    let c = Char.code (Bytes.unsafe_get t i) in
+    if c <> 0 then begin
+      let b = bucket c in
+      let v = Char.code (Bytes.unsafe_get virgin i) in
+      if b land lnot v <> 0 then begin
+        Bytes.unsafe_set virgin i (Char.chr (v lor b));
+        incr news
+      end
+    end
+  done;
+  !news
+
+let hash t =
+  let h = ref 0xcbf29ce484222325L in
+  for i = 0 to size - 1 do
+    let c = Char.code (Bytes.unsafe_get t i) in
+    if c <> 0 then begin
+      let v = Int64.of_int ((i lsl 8) lor bucket c) in
+      h := Int64.mul (Int64.logxor !h v) 0x100000001b3L
+    end
+  done;
+  !h
+
+let is_set t i = Bytes.get t (i land mask) <> '\000'
+
+let copy = Bytes.copy

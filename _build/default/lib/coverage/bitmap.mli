@@ -1,0 +1,47 @@
+(** AFL-style edge-coverage bitmap.
+
+    The paper instruments DBMSs with AFL++'s compile-time branch
+    instrumentation; MiniDB is hand-instrumented instead, with {!probe}
+    calls at semantic branch points. Each probe mixes a registered site id
+    (see {!Sites}) with a small state key, so the same source location
+    reached in different engine states lights up different cells — the
+    property that makes coverage sensitive to SQL Type Sequences
+    (paper Fig. 2).
+
+    Hit counts are classified into AFL's logarithmic buckets before being
+    merged into a persistent {e virgin} map, so "loop ran 3 times" vs
+    "loop ran 100 times" counts as new coverage exactly once, like AFL. *)
+
+type t
+
+val size : int
+(** Number of cells (65536). *)
+
+val create : unit -> t
+
+val reset : t -> unit
+(** Zero all cells (reuse between executions). *)
+
+val hit : t -> int -> unit
+(** Increment the cell at [index mod size]. *)
+
+val probe : t -> site:int -> key:int -> unit
+(** Record that probe [site] fired in state [key]. *)
+
+val count_nonzero : t -> int
+(** Number of cells with a nonzero value — the "branches" metric. *)
+
+val bucket : int -> int
+(** AFL hit-count bucket of a raw count (power-of-two bit). *)
+
+val merge_into : virgin:t -> t -> int
+(** Fold an execution map into the accumulated virgin map; returns the
+    number of cells whose bucket set grew (i.e. new coverage). *)
+
+val hash : t -> int64
+(** Order-insensitive 64-bit digest of the bucketed map, used to
+    deduplicate seeds with identical coverage. *)
+
+val is_set : t -> int -> bool
+
+val copy : t -> t

@@ -1,0 +1,23 @@
+let by_name : (string, int) Hashtbl.t = Hashtbl.create 512
+
+let by_id : (int, string) Hashtbl.t = Hashtbl.create 512
+
+let next = ref 0
+
+let register name =
+  match Hashtbl.find_opt by_name name with
+  | Some id -> id
+  | None ->
+    let id = !next in
+    incr next;
+    Hashtbl.replace by_name name id;
+    Hashtbl.replace by_id id name;
+    id
+
+let count () = !next
+
+let name_of id = Hashtbl.find_opt by_id id
+
+let all () =
+  List.init !next (fun id ->
+      (id, Option.value ~default:"?" (Hashtbl.find_opt by_id id)))

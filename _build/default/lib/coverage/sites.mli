@@ -1,0 +1,17 @@
+(** Global registry of named coverage probe sites.
+
+    Each instrumented branch point in MiniDB registers a stable name once
+    at module initialisation ([let s = Sites.register "exec.select.sort"])
+    and then fires [Bitmap.probe ~site:s ~key] during execution. Names make
+    coverage reports and debugging legible. *)
+
+val register : string -> int
+(** Idempotent: registering the same name twice returns the same id. *)
+
+val count : unit -> int
+(** Number of registered sites. *)
+
+val name_of : int -> string option
+
+val all : unit -> (int * string) list
+(** All registered sites, by id. *)

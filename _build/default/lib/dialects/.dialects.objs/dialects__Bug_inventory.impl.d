@@ -1,0 +1,1 @@
+lib/dialects/bug_inventory.ml: Hashtbl List Minidb Printf Reprutil Sqlcore String Type_sets

@@ -1,0 +1,1 @@
+lib/dialects/bug_inventory.mli: Minidb

@@ -1,0 +1,1 @@
+lib/dialects/registry.ml: Bug_inventory List Minidb Profile String Type_sets

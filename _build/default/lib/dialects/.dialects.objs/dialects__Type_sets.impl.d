@@ -1,0 +1,1 @@
+lib/dialects/type_sets.ml: List Sqlcore

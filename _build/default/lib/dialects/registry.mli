@@ -1,0 +1,20 @@
+(** The four simulated DBMS profiles and lookup by name. *)
+
+val pg_sim : Minidb.Profile.t
+(** PostgreSQL-sim: the widest type inventory; rules, NOTIFY, COPY,
+    DML-in-WITH, materialized views. *)
+
+val mysql_sim : Minidb.Profile.t
+(** MySQL-sim: REPLACE, HANDLER, LOCK TABLES, SHOW family. *)
+
+val mariadb_sim : Minidb.Profile.t
+(** MariaDB-sim: MySQL surface plus sequences and INTERSECT/EXCEPT. *)
+
+val comdb2_sim : Minidb.Profile.t
+(** Comdb2-sim: a 24-type SQL surface, like the paper reports. *)
+
+val all : Minidb.Profile.t list
+(** In the paper's order: PostgreSQL, MySQL, MariaDB, Comdb2. *)
+
+val by_name : string -> Minidb.Profile.t option
+(** Case-insensitive lookup by profile name (e.g. ["postgresql"]). *)

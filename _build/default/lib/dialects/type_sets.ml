@@ -1,0 +1,42 @@
+open Sqlcore.Stmt_type
+
+let universe = all
+
+let without excluded =
+  List.filter (fun ty -> not (List.mem ty excluded)) universe
+
+(* PostgreSQL-sim: everything except the MySQL-family dialect surface. *)
+let pg =
+  without
+    [ Replace_into; Load_data; Describe; Show_tables; Show_columns;
+      Show_status; Lock_tables; Unlock_tables; Set_global_var; Set_names;
+      Flush; Optimize_table; Check_table; Repair_table; Use_db; Do_expr;
+      Handler_open; Handler_read; Handler_close; Kill_query; Rename_table;
+      Pragma; Create_database; Drop_database ]
+
+(* MySQL-sim: no rules, COPY, NOTIFY family, sequences, matviews, ... *)
+let mysql =
+  without
+    [ Create_rule; Drop_rule; Create_materialized_view; Refresh_matview;
+      Create_schema; Drop_schema; Create_sequence; Drop_sequence;
+      Alter_sequence; Copy_to; Copy_from; Notify; Listen; Unlisten; Discard;
+      Vacuum; Checkpoint; Cluster; Comment_on; Reset_var; Table_stmt;
+      Values_stmt; Select_intersect; Select_except; With_dml; Pragma;
+      Reindex; Alter_table_alter_type; Alter_table_rename_column; Set_role;
+      Alter_system ]
+
+(* MariaDB-sim: the MySQL surface plus sequences and INTERSECT/EXCEPT. *)
+let mariadb =
+  let extra =
+    [ Create_sequence; Drop_sequence; Alter_sequence; Select_intersect;
+      Select_except ]
+  in
+  List.filter (fun ty -> List.mem ty mysql || List.mem ty extra) universe
+
+(* Comdb2-sim: exactly the 24 types of the paper's Table IV. *)
+let comdb2 =
+  [ Create_table; Drop_table; Create_index; Create_unique_index; Drop_index;
+    Alter_table_add_column; Alter_table_drop_column; Truncate; Insert;
+    Insert_select; Update; Delete; Select; Select_union; With_select;
+    Values_stmt; Explain; Begin_txn; Commit_txn; Rollback_txn; Set_var;
+    Pragma; Analyze; Grant ]

@@ -1,0 +1,16 @@
+(** Statement-type inventories of the four simulated DBMSs.
+
+    The paper's Table IV reports 188 / 158 / 160 / 24 statement types for
+    PostgreSQL / MySQL / MariaDB / Comdb2. Our universe is smaller
+    (94 types), but the sets below preserve the ordering and the spread
+    that drive the paper's correlation between type count and coverage
+    improvement: PG > MariaDB > MySQL >> Comdb2, with Comdb2 at exactly
+    24. *)
+
+val pg : Sqlcore.Stmt_type.t list
+
+val mysql : Sqlcore.Stmt_type.t list
+
+val mariadb : Sqlcore.Stmt_type.t list
+
+val comdb2 : Sqlcore.Stmt_type.t list

@@ -1,0 +1,1 @@
+lib/fuzz/corpus.ml: Lazy List Minidb Sqlcore Sqlparser

@@ -1,0 +1,1 @@
+lib/fuzz/driver.ml: Harness Sqlcore Triage

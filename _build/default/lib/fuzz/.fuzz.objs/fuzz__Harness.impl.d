@@ -1,0 +1,1 @@
+lib/fuzz/harness.ml: Coverage Minidb Triage

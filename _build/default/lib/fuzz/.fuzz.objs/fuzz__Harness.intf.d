@@ -1,0 +1,1 @@
+lib/fuzz/harness.mli: Coverage Minidb Sqlcore Triage

@@ -1,0 +1,1 @@
+lib/fuzz/reducer.ml: Ast Ast_util Coverage List Minidb Sqlcore

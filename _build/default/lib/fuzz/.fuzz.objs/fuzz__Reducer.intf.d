@@ -1,0 +1,1 @@
+lib/fuzz/reducer.mli: Minidb Sqlcore

@@ -1,0 +1,1 @@
+lib/fuzz/seed_pool.ml: Hashtbl Reprutil Rng Sqlcore Vec

@@ -1,0 +1,1 @@
+lib/fuzz/seed_pool.mli: Reprutil Sqlcore

@@ -1,0 +1,1 @@
+lib/fuzz/triage.ml: Hashtbl List Minidb Sqlcore String

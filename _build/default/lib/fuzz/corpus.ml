@@ -1,0 +1,65 @@
+let raw_sql =
+  [ "CREATE TABLE t1 (c1 INT PRIMARY KEY, c2 INT, c3 VARCHAR(12));\n\
+     INSERT INTO t1 VALUES (1, 10, 'alpha'), (2, 20, 'beta');\n\
+     INSERT INTO t1 VALUES (3, 30, 'gamma');\n\
+     SELECT c1, c2 FROM t1 ORDER BY c1 DESC;";
+    "CREATE TABLE t2 (c1 INT, c2 FLOAT);\n\
+     INSERT INTO t2 VALUES (1, 1.5), (2, 2.5);\n\
+     UPDATE t2 SET c2 = (c2 * 2) WHERE c1 = 1;\n\
+     SELECT * FROM t2 WHERE c2 > 1.0;";
+    "CREATE TABLE t3 (c1 INT, c2 TEXT);\n\
+     INSERT INTO t3 VALUES (1, 'x'), (2, 'y'), (3, 'z');\n\
+     DELETE FROM t3 WHERE c1 = 2;\n\
+     SELECT COUNT(*) FROM t3;";
+    "CREATE TABLE t4 (c1 INT UNIQUE, c2 INT);\n\
+     CREATE INDEX i4 ON t4 (c1);\n\
+     INSERT INTO t4 VALUES (1, 100), (2, 200);\n\
+     SELECT c2 FROM t4 WHERE c1 = 1;";
+    "CREATE TABLE t5 (c1 INT, c2 INT);\n\
+     CREATE TABLE t6 (c1 INT, c2 INT);\n\
+     INSERT INTO t5 VALUES (1, 2), (3, 4);\n\
+     INSERT INTO t6 VALUES (1, 5), (3, 6);\n\
+     SELECT t5.c2, t6.c2 FROM t5 JOIN t6 ON t5.c1 = t6.c1;";
+    "CREATE TABLE t7 (c1 INT, c2 INT);\n\
+     ALTER TABLE t7 ADD COLUMN c3 TEXT DEFAULT 'd';\n\
+     INSERT INTO t7 VALUES (1, 2, 'x');\n\
+     TRUNCATE TABLE t7;\n\
+     INSERT INTO t7 VALUES (2, 3, 'y');\n\
+     SELECT * FROM t7;";
+    "CREATE TABLE t8 (c1 INT, c2 INT);\n\
+     INSERT INTO t8 VALUES (1, 1);\n\
+     CREATE TABLE t9 (c1 INT, c2 INT);\n\
+     INSERT INTO t9 SELECT c1, c2 FROM t8;\n\
+     DROP TABLE t8;\n\
+     SELECT COUNT(*) FROM t9;";
+    "CREATE TABLE t10 (c1 INT PRIMARY KEY, c2 FLOAT);\n\
+     INSERT INTO t10 VALUES (1, 0.5);\n\
+     BEGIN;\n\
+     UPDATE t10 SET c2 = 9.5 WHERE c1 = 1;\n\
+     ROLLBACK;\n\
+     SELECT c2 FROM t10;";
+    "CREATE TABLE t11 (c1 INT, c2 TEXT);\n\
+     INSERT INTO t11 VALUES (1, 'v'), (2, 'w');\n\
+     CREATE VIEW w11 AS SELECT c1 FROM t11 WHERE c1 > 0;\n\
+     SELECT * FROM w11;\n\
+     ANALYZE t11;\n\
+     SELECT c2 FROM t11 WHERE c1 = 2;";
+    "CREATE TABLE t12 (c1 INT, c2 INT);\n\
+     INSERT INTO t12 VALUES (7, 8);\n\
+     EXPLAIN SELECT * FROM t12;\n\
+     SELECT c1 FROM t12 UNION SELECT c2 FROM t12;\n\
+     DELETE FROM t12;" ]
+
+let parsed = lazy (List.map Sqlparser.Parser.parse_testcase_exn raw_sql)
+
+let initial profile =
+  List.filter_map
+    (fun tc ->
+       let supported =
+         List.for_all
+           (fun s ->
+              Minidb.Profile.supports profile (Sqlcore.Ast.type_of_stmt s))
+           tc
+       in
+       if supported && tc <> [] then Some tc else None)
+    (Lazy.force parsed)

@@ -1,0 +1,49 @@
+type snapshot = {
+  st_iteration : int;
+  st_execs : int;
+  st_branches : int;
+  st_total_crashes : int;
+  st_unique_crashes : int;
+  st_bugs : string list;
+}
+
+type fuzzer = {
+  f_name : string;
+  f_step : unit -> unit;
+  f_harness : Harness.t;
+  f_corpus : unit -> Sqlcore.Ast.testcase list;
+}
+
+let snapshot f ~iteration =
+  let tri = Harness.triage f.f_harness in
+  { st_iteration = iteration;
+    st_execs = Harness.execs f.f_harness;
+    st_branches = Harness.branches f.f_harness;
+    st_total_crashes = Triage.total_crashes tri;
+    st_unique_crashes = Triage.unique_count tri;
+    st_bugs = Triage.bug_ids tri }
+
+let run ?(checkpoint_every = 0) ?(on_checkpoint = fun _ -> ()) f ~iterations =
+  for i = 1 to iterations do
+    f.f_step ();
+    if checkpoint_every > 0 && i mod checkpoint_every = 0 then
+      on_checkpoint (snapshot f ~iteration:i)
+  done;
+  snapshot f ~iteration:iterations
+
+let run_until_execs ?(checkpoint_every = 0) ?(on_checkpoint = fun _ -> ()) f
+    ~execs =
+  let i = ref 0 in
+  let last_cp = ref 0 in
+  while Harness.execs f.f_harness < execs do
+    incr i;
+    f.f_step ();
+    if
+      checkpoint_every > 0
+      && Harness.execs f.f_harness - !last_cp >= checkpoint_every
+    then begin
+      last_cp := Harness.execs f.f_harness;
+      on_checkpoint (snapshot f ~iteration:!i)
+    end
+  done;
+  snapshot f ~iteration:!i

@@ -1,0 +1,45 @@
+(** The common campaign loop shared by all fuzzers.
+
+    Budgets are iteration counts, not wall-clock: deterministic and
+    machine-independent (see DESIGN.md's substitution table). *)
+
+type snapshot = {
+  st_iteration : int;
+  st_execs : int;
+  st_branches : int;
+  st_total_crashes : int;
+  st_unique_crashes : int;
+  st_bugs : string list;  (** distinct injected-bug ids found so far *)
+}
+
+(** A running fuzzer: name, one-iteration step, its harness, and access to
+    the corpus of test cases it has generated/kept (used by the Table II
+    affinity census). *)
+type fuzzer = {
+  f_name : string;
+  f_step : unit -> unit;
+  f_harness : Harness.t;
+  f_corpus : unit -> Sqlcore.Ast.testcase list;
+}
+
+val snapshot : fuzzer -> iteration:int -> snapshot
+
+val run :
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(snapshot -> unit) ->
+  fuzzer ->
+  iterations:int ->
+  snapshot
+(** Run [iterations] steps; returns the final snapshot. [on_checkpoint]
+    fires every [checkpoint_every] iterations (default: never). *)
+
+val run_until_execs :
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(snapshot -> unit) ->
+  fuzzer ->
+  execs:int ->
+  snapshot
+(** Like {!run}, but the budget is a number of {e executions} rather than
+    iterations — the fair cross-fuzzer comparison (a 24-hour wall-clock
+    budget in the paper gives every fuzzer a similar execution count).
+    [checkpoint_every] is also in executions. *)

@@ -1,0 +1,57 @@
+type outcome = {
+  o_new_branches : int;
+  o_cov_hash : int64;
+  o_crash : Minidb.Fault.crash option;
+  o_crash_is_new : bool;
+  o_errors : int;
+  o_executed : int;
+  o_cost : int;
+}
+
+type t = {
+  h_profile : Minidb.Profile.t;
+  h_limits : Minidb.Limits.t;
+  h_virgin : Coverage.Bitmap.t;
+  h_exec_map : Coverage.Bitmap.t;
+  h_triage : Triage.t;
+  mutable h_execs : int;
+}
+
+let create ?(limits = Minidb.Limits.default) ~profile () =
+  { h_profile = profile; h_limits = limits;
+    h_virgin = Coverage.Bitmap.create ();
+    h_exec_map = Coverage.Bitmap.create ();
+    h_triage = Triage.create (); h_execs = 0 }
+
+let profile t = t.h_profile
+
+let execute t tc =
+  t.h_execs <- t.h_execs + 1;
+  Coverage.Bitmap.reset t.h_exec_map;
+  let engine =
+    Minidb.Engine.create ~limits:t.h_limits ~profile:t.h_profile
+      ~cov:t.h_exec_map ()
+  in
+  let stats = Minidb.Engine.run_testcase engine tc in
+  let news = Coverage.Bitmap.merge_into ~virgin:t.h_virgin t.h_exec_map in
+  let crash = stats.Minidb.Engine.rs_crash in
+  let crash_is_new =
+    match crash with
+    | None -> false
+    | Some c -> Triage.record t.h_triage ~testcase:tc c
+  in
+  { o_new_branches = news;
+    o_cov_hash = Coverage.Bitmap.hash t.h_exec_map;
+    o_crash = crash;
+    o_crash_is_new = crash_is_new;
+    o_errors = stats.rs_errors;
+    o_executed = stats.rs_executed;
+    o_cost = stats.rs_cost }
+
+let execs t = t.h_execs
+
+let branches t = Coverage.Bitmap.count_nonzero t.h_virgin
+
+let triage t = t.h_triage
+
+let virgin t = t.h_virgin

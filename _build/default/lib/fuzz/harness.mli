@@ -1,0 +1,38 @@
+(** The execution harness: one test case against one fresh engine, with
+    persistent virgin-coverage accumulation and crash triage.
+
+    This plays the role of AFL++'s forkserver in the paper's setup: every
+    execution starts from a pristine DBMS state, coverage is collected in
+    a per-execution map and folded into the campaign-wide virgin map, and
+    crashes are deduplicated by stack. *)
+
+type outcome = {
+  o_new_branches : int;  (** virgin-map cells this execution lit up *)
+  o_cov_hash : int64;    (** digest of the execution's coverage *)
+  o_crash : Minidb.Fault.crash option;
+  o_crash_is_new : bool;
+  o_errors : int;        (** statements that failed with SQL errors *)
+  o_executed : int;
+  o_cost : int;          (** execution cost proxy *)
+}
+
+type t
+
+val create :
+  ?limits:Minidb.Limits.t -> profile:Minidb.Profile.t -> unit -> t
+
+val profile : t -> Minidb.Profile.t
+
+val execute : t -> Sqlcore.Ast.testcase -> outcome
+(** Never raises. *)
+
+val execs : t -> int
+(** Total executions so far. *)
+
+val branches : t -> int
+(** Branches (nonzero virgin cells) covered so far — the Figure 9
+    metric. *)
+
+val triage : t -> Triage.t
+
+val virgin : t -> Coverage.Bitmap.t

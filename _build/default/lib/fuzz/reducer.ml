@@ -1,0 +1,102 @@
+open Sqlcore
+
+type outcome = {
+  r_testcase : Ast.testcase;
+  r_tries : int;
+  r_removed : int;
+}
+
+let crashes_with ~profile ?(limits = Minidb.Limits.default) ~bug_id tc =
+  let cov = Coverage.Bitmap.create () in
+  let engine = Minidb.Engine.create ~limits ~profile ~cov () in
+  match (Minidb.Engine.run_testcase engine tc).Minidb.Engine.rs_crash with
+  | Some crash -> crash.Minidb.Fault.c_bug.Minidb.Fault.bug_id = bug_id
+  | None -> false
+
+(* Replace every literal with a simpler one where the crash survives:
+   readable repro cases use 0/''/NULL, not 22471185.000000. *)
+let simplify_literals ~oracle ~oracle_candidate tries stmt_list =
+  let simpler = function
+    | Ast.L_int n when n <> 0 -> Some (Ast.L_int 0)
+    | Ast.L_float _ -> Some (Ast.L_float 0.0)
+    | Ast.L_string s when s <> "" -> Some (Ast.L_string "")
+    | _ -> None
+  in
+  let current = ref stmt_list in
+  List.iteri
+    (fun i stmt ->
+       let n_lits =
+         Ast_util.fold_exprs
+           (fun acc e -> match e with Ast.Lit _ -> acc + 1 | _ -> acc)
+           0 stmt
+       in
+       for target = 0 to n_lits - 1 do
+         let seen = ref (-1) in
+         let stmt' =
+           Ast_util.map_exprs
+             (function
+               | Ast.Lit l as e ->
+                 incr seen;
+                 if !seen = target then
+                   match simpler l with
+                   | Some l' -> Ast.Lit l'
+                   | None -> e
+                 else e
+               | e -> e)
+             (List.nth !current i)
+         in
+         if stmt' <> List.nth !current i && oracle () then begin
+           let candidate =
+             List.mapi (fun j s -> if j = i then stmt' else s) !current
+           in
+           incr tries;
+           if oracle_candidate candidate then current := candidate
+         end
+       done)
+    stmt_list;
+  !current
+
+let reduce ~profile ?(limits = Minidb.Limits.default) ?(max_tries = 2048)
+    ~bug_id tc =
+  let tries = ref 0 in
+  (* budget check (no execution) and the crash oracle itself *)
+  let within_budget () = !tries < max_tries in
+  let oracle_candidate candidate =
+    crashes_with ~profile ~limits ~bug_id candidate
+  in
+  if not (crashes_with ~profile ~limits ~bug_id tc) then
+    { r_testcase = tc; r_tries = 1; r_removed = 0 }
+  else begin
+    tries := 1;
+    (* Pass 1: drop statements until 1-minimal (greedy, repeated). *)
+    let current = ref tc in
+    let progress = ref true in
+    while !progress && within_budget () do
+      progress := false;
+      let n = List.length !current in
+      (* back-to-front: trailing junk goes first *)
+      let i = ref (n - 1) in
+      while !i >= 0 && within_budget () do
+        if List.length !current > 1 then begin
+          let candidate = List.filteri (fun j _ -> j <> !i) !current in
+          incr tries;
+          if oracle_candidate candidate then begin
+            current := candidate;
+            progress := true
+          end
+        end;
+        decr i
+      done
+    done;
+    (* Pass 2: simplify literals inside the survivors. *)
+    let simplified =
+      simplify_literals ~oracle:within_budget ~oracle_candidate tries !current
+    in
+    let simplified =
+      if crashes_with ~profile ~limits ~bug_id simplified then simplified
+      else !current
+    in
+    { r_testcase = simplified;
+      r_tries = !tries;
+      r_removed = List.length tc - List.length simplified }
+  end

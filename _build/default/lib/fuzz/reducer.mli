@@ -1,0 +1,35 @@
+(** Crash test-case reduction.
+
+    The paper reports bugs as short, readable test cases (Figs. 3 and 7);
+    fuzzers rarely produce those directly. This module shrinks a crashing
+    test case while preserving the {e same} injected bug (same bug id, the
+    analogue of "same ASan stack"): statement-level delta reduction to a
+    1-minimal sequence, then literal simplification inside the surviving
+    statements. *)
+
+type outcome = {
+  r_testcase : Sqlcore.Ast.testcase;  (** the reduced test case *)
+  r_tries : int;                      (** oracle executions spent *)
+  r_removed : int;                    (** statements removed *)
+}
+
+val crashes_with :
+  profile:Minidb.Profile.t ->
+  ?limits:Minidb.Limits.t ->
+  bug_id:string ->
+  Sqlcore.Ast.testcase ->
+  bool
+(** Oracle: does this test case, on a fresh engine, crash with exactly
+    this bug? *)
+
+val reduce :
+  profile:Minidb.Profile.t ->
+  ?limits:Minidb.Limits.t ->
+  ?max_tries:int ->
+  bug_id:string ->
+  Sqlcore.Ast.testcase ->
+  outcome
+(** Shrink while {!crashes_with} stays true. The result is 1-minimal at
+    the statement level: removing any single remaining statement loses the
+    crash (up to [max_tries], default 2048). If the input does not crash
+    with [bug_id], it is returned unchanged. *)

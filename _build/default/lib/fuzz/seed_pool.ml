@@ -1,0 +1,56 @@
+open Reprutil
+
+type seed = {
+  sd_tc : Sqlcore.Ast.testcase;
+  sd_cov_hash : int64;
+  sd_new_branches : int;
+  sd_cost : int;
+  mutable sd_selections : int;
+}
+
+type t = {
+  pool : seed Vec.t;
+  hashes : (int64, unit) Hashtbl.t;
+}
+
+let create () = { pool = Vec.create (); hashes = Hashtbl.create 64 }
+
+let add t ~tc ~cov_hash ~new_branches ~cost =
+  if Hashtbl.mem t.hashes cov_hash then false
+  else begin
+    Hashtbl.replace t.hashes cov_hash ();
+    Vec.push t.pool
+      { sd_tc = tc; sd_cov_hash = cov_hash; sd_new_branches = new_branches;
+        sd_cost = cost; sd_selections = 0 };
+    true
+  end
+
+let size t = Vec.length t.pool
+
+let seeds t = Vec.to_list t.pool
+
+let score s =
+  (* Higher is better: productive, cheap, not yet over-fuzzed. *)
+  float_of_int (1 + s.sd_new_branches)
+  /. (1.0 +. float_of_int s.sd_cost /. 64.0)
+  /. (1.0 +. float_of_int s.sd_selections)
+
+let select t rng =
+  let n = Vec.length t.pool in
+  if n = 0 then None
+  else begin
+    let chosen =
+      if Rng.bool rng then Vec.get t.pool (Rng.int rng n)
+      else begin
+        (* favored: the best-scoring among a small random sample *)
+        let best = ref (Vec.get t.pool (Rng.int rng n)) in
+        for _ = 1 to min 7 n do
+          let cand = Vec.get t.pool (Rng.int rng n) in
+          if score cand > score !best then best := cand
+        done;
+        !best
+      end
+    in
+    chosen.sd_selections <- chosen.sd_selections + 1;
+    Some chosen
+  end

@@ -1,0 +1,35 @@
+(** Corpus of interesting seeds with coverage-aware scheduling.
+
+    Seeds are kept when they light up new virgin coverage; selection
+    favours cheap, recently-productive seeds (the paper's C3: fuzzers
+    prefer seeds with high coverage that run quickly). Seeds whose
+    coverage digest was already seen are rejected as duplicates. *)
+
+type seed = {
+  sd_tc : Sqlcore.Ast.testcase;
+  sd_cov_hash : int64;
+  sd_new_branches : int;   (** new branches when first executed *)
+  sd_cost : int;
+  mutable sd_selections : int;
+}
+
+type t
+
+val create : unit -> t
+
+val add :
+  t ->
+  tc:Sqlcore.Ast.testcase ->
+  cov_hash:int64 ->
+  new_branches:int ->
+  cost:int ->
+  bool
+(** [false] when a seed with the same coverage digest already exists. *)
+
+val select : t -> Reprutil.Rng.t -> seed option
+(** Energy-weighted choice: half the time the least-selected cheap seed,
+    half the time uniform. *)
+
+val seeds : t -> seed list
+
+val size : t -> int

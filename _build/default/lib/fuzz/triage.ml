@@ -1,0 +1,34 @@
+type t = {
+  seen : (string, unit) Hashtbl.t;
+  mutable uniques : (Minidb.Fault.crash * Sqlcore.Ast.testcase option) list;
+      (* reverse first-seen order *)
+  mutable total : int;
+}
+
+let create () = { seen = Hashtbl.create 32; uniques = []; total = 0 }
+
+let stack_key (c : Minidb.Fault.crash) = String.concat "|" c.c_stack
+
+let record t ?testcase crash =
+  t.total <- t.total + 1;
+  let key = stack_key crash in
+  if Hashtbl.mem t.seen key then false
+  else begin
+    Hashtbl.replace t.seen key ();
+    t.uniques <- (crash, testcase) :: t.uniques;
+    true
+  end
+
+let total_crashes t = t.total
+
+let unique_with_cases t = List.rev t.uniques
+
+let unique t = List.map fst (unique_with_cases t)
+
+let unique_count t = List.length t.uniques
+
+let bug_ids t =
+  let ids =
+    List.map (fun (c : Minidb.Fault.crash) -> c.c_bug.bug_id) (unique t)
+  in
+  List.sort_uniq String.compare ids

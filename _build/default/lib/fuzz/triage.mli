@@ -1,0 +1,28 @@
+(** Crash deduplication by synthetic call stack, the analogue of the
+    paper's "we first got [unique bugs] from unique crashes by comparing
+    the call stack". *)
+
+type t
+
+val create : unit -> t
+
+val record :
+  t -> ?testcase:Sqlcore.Ast.testcase -> Minidb.Fault.crash -> bool
+(** [true] when this crash's stack was not seen before. The triggering
+    test case, when provided, is kept with the first crash of each
+    stack so bugs ship with a reproducer. *)
+
+val total_crashes : t -> int
+(** All crashes recorded, including duplicates. *)
+
+val unique : t -> Minidb.Fault.crash list
+(** One representative per distinct stack, in first-seen order. *)
+
+val unique_count : t -> int
+
+val bug_ids : t -> string list
+(** Distinct injected-bug ids among the unique crashes. *)
+
+val unique_with_cases :
+  t -> (Minidb.Fault.crash * Sqlcore.Ast.testcase option) list
+(** Unique crashes paired with the test case that first triggered them. *)

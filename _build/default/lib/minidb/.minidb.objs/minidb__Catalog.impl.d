@@ -1,0 +1,1 @@
+lib/minidb/catalog.ml: Array Ast Errors Hashtbl List Sqlcore Storage

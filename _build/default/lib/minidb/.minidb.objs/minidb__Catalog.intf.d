@@ -1,0 +1,1 @@
+lib/minidb/catalog.mli: Ast Hashtbl Sqlcore Storage

@@ -1,0 +1,1 @@
+lib/minidb/engine.ml: Ast Ast_util Catalog Coverage Errors Executor Fault Hashtbl Limits List Profile Sqlcore Stmt_type

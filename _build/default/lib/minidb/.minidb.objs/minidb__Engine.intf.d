@@ -1,0 +1,1 @@
+lib/minidb/engine.mli: Ast Catalog Coverage Errors Executor Fault Limits Profile Sqlcore Stmt_type Storage

@@ -1,0 +1,1 @@
+lib/minidb/errors.ml: Printf

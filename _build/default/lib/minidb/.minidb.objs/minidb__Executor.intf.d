@@ -1,0 +1,1 @@
+lib/minidb/executor.mli: Ast Catalog Coverage Limits Profile Sqlcore Storage

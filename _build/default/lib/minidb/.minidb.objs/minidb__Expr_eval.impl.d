@@ -1,0 +1,1 @@
+lib/minidb/expr_eval.ml: Array Buffer Char Coverage Errors Float Hashtbl List Printf Sqlcore Storage String Value

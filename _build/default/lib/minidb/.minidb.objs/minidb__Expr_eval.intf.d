@@ -1,0 +1,1 @@
+lib/minidb/expr_eval.mli: Sqlcore Storage Value

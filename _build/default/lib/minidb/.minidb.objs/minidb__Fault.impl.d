@@ -1,0 +1,1 @@
+lib/minidb/fault.ml: Array Ast Ast_util Format Hashtbl List Printf Sqlcore String

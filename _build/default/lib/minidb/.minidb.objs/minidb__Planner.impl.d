@@ -1,0 +1,1 @@
+lib/minidb/planner.ml: Catalog Hashtbl List Printf Sqlcore Storage String

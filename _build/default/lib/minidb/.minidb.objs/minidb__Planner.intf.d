@@ -1,0 +1,1 @@
+lib/minidb/planner.mli: Catalog Sqlcore

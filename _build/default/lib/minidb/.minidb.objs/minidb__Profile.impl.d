@@ -1,0 +1,1 @@
+lib/minidb/profile.ml: Array Fault List Sqlcore

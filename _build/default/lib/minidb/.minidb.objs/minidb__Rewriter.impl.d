@@ -1,0 +1,1 @@
+lib/minidb/rewriter.ml: Catalog List Sqlcore

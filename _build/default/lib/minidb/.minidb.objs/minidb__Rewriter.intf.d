@@ -1,0 +1,1 @@
+lib/minidb/rewriter.mli: Catalog Sqlcore

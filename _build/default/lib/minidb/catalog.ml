@@ -1,0 +1,182 @@
+open Sqlcore
+
+type index_spec = {
+  x_name : string;
+  x_table : string;
+  x_cols : string list;
+  x_unique : bool;
+  x_data : Storage.Index.t;
+}
+
+type trigger = {
+  tr_name : string;
+  tr_table : string;
+  tr_timing : Ast.trig_timing;
+  tr_event : Ast.trig_event;
+  tr_body : Ast.stmt list;
+}
+
+type rule = {
+  r_name : string;
+  r_table : string;
+  r_event : Ast.trig_event;
+  r_instead : bool;
+  r_action : Ast.rule_action;
+}
+
+type view = {
+  v_name : string;
+  v_materialized : bool;
+  v_query : Ast.query;
+  mutable v_cache : Storage.Value.t array list option;
+}
+
+type sequence = {
+  mutable sq_value : int;
+  mutable sq_step : int;
+  sq_start : int;
+}
+
+type user = {
+  mutable us_password : string;
+  mutable us_privs : (string * Ast.priv list) list;
+}
+
+type t = {
+  tables : (string, Storage.Table.t) Hashtbl.t;
+  views : (string, view) Hashtbl.t;
+  indexes : (string, index_spec) Hashtbl.t;
+  triggers : (string, trigger) Hashtbl.t;
+  rules : (string, rule) Hashtbl.t;
+  sequences : (string, sequence) Hashtbl.t;
+  schemas : (string, unit) Hashtbl.t;
+  databases : (string, unit) Hashtbl.t;
+  users : (string, user) Hashtbl.t;
+  session_vars : (string, Storage.Value.t) Hashtbl.t;
+  global_vars : (string, Storage.Value.t) Hashtbl.t;
+  prepared : (string, Ast.stmt) Hashtbl.t;
+  comments : (string, string) Hashtbl.t;
+  locks : (string, Ast.lock_mode) Hashtbl.t;
+  handlers : (string, int) Hashtbl.t;
+  mutable listening : string list;
+  mutable notify_queue : (string * string option) list;
+  mutable current_user : string;
+  mutable current_db : string;
+  mutable in_txn : bool;
+  mutable iso : Ast.iso_level;
+  mutable txn_snapshot : snapshot option;
+  mutable savepoints : (string * snapshot) list;
+}
+
+and snapshot = {
+  sn_tables : (string * Storage.Table.t) list;
+  sn_sequences : (string * int) list;
+}
+
+let create () =
+  let databases = Hashtbl.create 4 in
+  Hashtbl.replace databases "main" ();
+  let users = Hashtbl.create 4 in
+  Hashtbl.replace users "root" { us_password = ""; us_privs = [] };
+  { tables = Hashtbl.create 16;
+    views = Hashtbl.create 8;
+    indexes = Hashtbl.create 8;
+    triggers = Hashtbl.create 8;
+    rules = Hashtbl.create 8;
+    sequences = Hashtbl.create 8;
+    schemas = Hashtbl.create 4;
+    databases;
+    users;
+    session_vars = Hashtbl.create 8;
+    global_vars = Hashtbl.create 8;
+    prepared = Hashtbl.create 8;
+    comments = Hashtbl.create 8;
+    locks = Hashtbl.create 4;
+    handlers = Hashtbl.create 4;
+    listening = [];
+    notify_queue = [];
+    current_user = "root";
+    current_db = "main";
+    in_txn = false;
+    iso = Ast.Read_committed;
+    txn_snapshot = None;
+    savepoints = [] }
+
+let find_table t name =
+  match Hashtbl.find_opt t.tables name with
+  | Some table -> table
+  | None -> Errors.fail (Errors.No_such_table name)
+
+let table_exists t name = Hashtbl.mem t.tables name
+
+let view_exists t name = Hashtbl.mem t.views name
+
+let name_in_use t name = table_exists t name || view_exists t name
+
+let indexes_on t table =
+  Hashtbl.fold
+    (fun _ spec acc -> if spec.x_table = table then spec :: acc else acc)
+    t.indexes []
+
+let triggers_on t table event =
+  Hashtbl.fold
+    (fun _ tr acc ->
+       if tr.tr_table = table && tr.tr_event = event then tr :: acc else acc)
+    t.triggers []
+
+let rules_on t table event =
+  Hashtbl.fold
+    (fun _ r acc ->
+       if r.r_table = table && r.r_event = event then r :: acc else acc)
+    t.rules []
+
+let take_snapshot t =
+  { sn_tables =
+      Hashtbl.fold
+        (fun name table acc -> (name, Storage.Table.copy table) :: acc)
+        t.tables [];
+    sn_sequences =
+      Hashtbl.fold
+        (fun name sq acc -> (name, sq.sq_value) :: acc)
+        t.sequences [] }
+
+let rebuild_indexes t =
+  Hashtbl.iter
+    (fun _ spec ->
+       Storage.Index.clear spec.x_data;
+       match Hashtbl.find_opt t.tables spec.x_table with
+       | None -> ()
+       | Some table ->
+         let positions =
+           List.filter_map (Storage.Table.col_index table) spec.x_cols
+         in
+         if List.length positions = List.length spec.x_cols then
+           Storage.Table.iter
+             (fun rowid row ->
+                let key = List.map (fun p -> row.(p)) positions in
+                ignore (Storage.Index.add spec.x_data key rowid))
+             table)
+    t.indexes
+
+let restore_snapshot t snapshot =
+  (* Tables present at snapshot time get their contents back; tables
+     created afterwards are emptied (DDL itself survives, like MySQL's
+     non-transactional DDL). *)
+  Hashtbl.iter
+    (fun name table ->
+       match List.assoc_opt name snapshot.sn_tables with
+       | Some saved -> Hashtbl.replace t.tables name (Storage.Table.copy saved)
+       | None -> ignore (Storage.Table.truncate table))
+    (Hashtbl.copy t.tables);
+  List.iter
+    (fun (name, v) ->
+       match Hashtbl.find_opt t.sequences name with
+       | Some sq -> sq.sq_value <- v
+       | None -> ())
+    snapshot.sn_sequences;
+  rebuild_indexes t
+
+let object_count t =
+  Hashtbl.length t.tables + Hashtbl.length t.views + Hashtbl.length t.indexes
+  + Hashtbl.length t.triggers + Hashtbl.length t.rules
+  + Hashtbl.length t.sequences

@@ -1,0 +1,110 @@
+(** Session-wide database state: schema objects, variables, transaction
+    snapshots, inter-statement queues.
+
+    One {!t} is the whole "database server" a test case runs against; the
+    fuzzing harness creates a fresh one per execution (the analogue of
+    AFL++'s forkserver resetting the target). *)
+
+open Sqlcore
+
+type index_spec = {
+  x_name : string;
+  x_table : string;
+  x_cols : string list;
+  x_unique : bool;
+  x_data : Storage.Index.t;
+}
+
+type trigger = {
+  tr_name : string;
+  tr_table : string;
+  tr_timing : Ast.trig_timing;
+  tr_event : Ast.trig_event;
+  tr_body : Ast.stmt list;
+}
+
+type rule = {
+  r_name : string;
+  r_table : string;
+  r_event : Ast.trig_event;
+  r_instead : bool;
+  r_action : Ast.rule_action;
+}
+
+type view = {
+  v_name : string;
+  v_materialized : bool;
+  v_query : Ast.query;
+  mutable v_cache : Storage.Value.t array list option;
+      (** materialised rows; [None] until refreshed *)
+}
+
+type sequence = {
+  mutable sq_value : int;
+  mutable sq_step : int;
+  sq_start : int;
+}
+
+type user = {
+  mutable us_password : string;
+  mutable us_privs : (string * Ast.priv list) list;  (** per table *)
+}
+
+type t = {
+  tables : (string, Storage.Table.t) Hashtbl.t;
+  views : (string, view) Hashtbl.t;
+  indexes : (string, index_spec) Hashtbl.t;
+  triggers : (string, trigger) Hashtbl.t;
+  rules : (string, rule) Hashtbl.t;
+  sequences : (string, sequence) Hashtbl.t;
+  schemas : (string, unit) Hashtbl.t;
+  databases : (string, unit) Hashtbl.t;
+  users : (string, user) Hashtbl.t;
+  session_vars : (string, Storage.Value.t) Hashtbl.t;
+  global_vars : (string, Storage.Value.t) Hashtbl.t;
+  prepared : (string, Ast.stmt) Hashtbl.t;
+  comments : (string, string) Hashtbl.t;
+  locks : (string, Ast.lock_mode) Hashtbl.t;
+  handlers : (string, int) Hashtbl.t;  (** open HANDLER cursors: position *)
+  mutable listening : string list;
+  mutable notify_queue : (string * string option) list;
+  mutable current_user : string;
+  mutable current_db : string;
+  mutable in_txn : bool;
+  mutable iso : Ast.iso_level;
+  mutable txn_snapshot : snapshot option;
+  mutable savepoints : (string * snapshot) list;
+}
+
+and snapshot
+
+val create : unit -> t
+(** Fresh catalog with the default database and root user. *)
+
+val find_table : t -> string -> Storage.Table.t
+(** @raise Errors.Sql_error with [No_such_table] when absent. *)
+
+val table_exists : t -> string -> bool
+
+val view_exists : t -> string -> bool
+
+val name_in_use : t -> string -> bool
+(** Tables and views share a namespace. *)
+
+val indexes_on : t -> string -> index_spec list
+
+val triggers_on : t -> string -> Ast.trig_event -> trigger list
+
+val rules_on : t -> string -> Ast.trig_event -> rule list
+
+val take_snapshot : t -> snapshot
+(** Deep copy of table contents and sequence positions. *)
+
+val restore_snapshot : t -> snapshot -> unit
+(** Restore data to the snapshot; schema objects created since the
+    snapshot that hold data are cleared, and index data is rebuilt. *)
+
+val rebuild_indexes : t -> unit
+
+val object_count : t -> int
+(** Total number of schema objects, for coverage state keys. *)

@@ -1,0 +1,114 @@
+open Sqlcore
+
+type t = {
+  ctx : Executor.ctx;
+  profile : Profile.t;
+  limits : Limits.t;
+  cov : Coverage.Bitmap.t;
+  mutable window : Stmt_type.t list;  (* most recent last *)
+  mutable stmt_count : int;
+}
+
+type stmt_status =
+  | Ok_result of Executor.result
+  | Sql_failed of Errors.t
+
+type run_stats = {
+  rs_executed : int;
+  rs_errors : int;
+  rs_crash : Fault.crash option;
+  rs_cost : int;
+}
+
+let window_cap = 8
+
+let s_gate = Coverage.Sites.register "engine.gate"
+let s_seqpair = Coverage.Sites.register "engine.type_transition"
+let s_sqlerr = Coverage.Sites.register "engine.sql_error"
+
+let create ?(limits = Limits.default) ~profile ~cov () =
+  let cat = Catalog.create () in
+  { ctx = Executor.create_ctx ~cat ~profile ~limits ~cov;
+    profile; limits; cov; window = []; stmt_count = 0 }
+
+let profile t = t.profile
+
+let catalog t = Executor.catalog t.ctx
+
+let window t = t.window
+
+let push_window t ty =
+  let w = t.window @ [ ty ] in
+  let drop = max 0 (List.length w - window_cap) in
+  let rec chop n l = if n = 0 then l else chop (n - 1) (List.tl l) in
+  t.window <- chop drop w
+
+let exec_stmt t stmt =
+  let ty = Ast.type_of_stmt stmt in
+  if not (Profile.supports t.profile ty) then begin
+    Coverage.Bitmap.probe t.cov ~site:s_gate ~key:(Stmt_type.to_index ty);
+    Sql_failed (Errors.Not_supported (Stmt_type.name ty))
+  end
+  else begin
+    (* Order-sensitive transition coverage: real DBMS code executed for a
+       statement depends on what ran before it (caches, catalog state,
+       open transactions); this probe is the aggregate of that effect. *)
+    (match t.window with
+     | [] -> ()
+     | w ->
+       (* Hash the pair into a compressed key space: real DBMSs do not
+          have a branch per ordered statement-type pair; order
+          sensitivity shows up through shared state, so distinct pairs
+          partially alias, like AFL edge collisions. *)
+       let prev = List.nth w (List.length w - 1) in
+       let pair =
+         (Stmt_type.to_index prev * Stmt_type.count) + Stmt_type.to_index ty
+       in
+       let mixed = (pair * 0x9E3779B1) lxor (pair lsr 7) in
+       Coverage.Bitmap.probe t.cov ~site:s_seqpair ~key:(mixed land 0x1ff));
+    Executor.reset_transient t.ctx;
+    push_window t ty;
+    let status =
+      match Executor.exec t.ctx stmt with
+      | result -> Ok_result result
+      | exception Errors.Sql_error e ->
+        Coverage.Bitmap.probe t.cov ~site:s_sqlerr
+          ~key:(Hashtbl.hash (Errors.message e) land 0x3f);
+        Sql_failed e
+    in
+    (* Injected-bug check runs over the updated window plus whatever state
+       the statement left behind — crashes surface as exceptions even when
+       the statement itself reported a SQL error first, like a heap
+       corruption detected at the next safepoint. *)
+    Fault.check (Profile.bugs t.profile)
+      { Fault.window = t.window; stmt;
+        state = (fun name -> Executor.state_pred t.ctx name) };
+    status
+  end
+
+let run_testcase t tc =
+  let executed = ref 0 in
+  let errors = ref 0 in
+  let cost = ref 0 in
+  let crash = ref None in
+  (try
+     List.iter
+       (fun stmt ->
+          if t.stmt_count >= t.limits.Limits.max_statements then raise Exit;
+          t.stmt_count <- t.stmt_count + 1;
+          incr executed;
+          cost := !cost + Ast_util.stmt_size stmt;
+          match exec_stmt t stmt with
+          | Ok_result _ -> ()
+          | Sql_failed _ -> incr errors)
+       tc
+   with
+   | Exit -> ()
+   | Fault.Crashed c -> crash := Some c);
+  { rs_executed = !executed; rs_errors = !errors; rs_crash = !crash;
+    rs_cost = !cost }
+
+let query_rows t q =
+  match Executor.run_query t.ctx q with
+  | rows -> Ok rows
+  | exception Errors.Sql_error e -> Error e

@@ -1,0 +1,45 @@
+(** The DBMS session façade the fuzzing harness drives.
+
+    An engine is one fresh "server + connection": it owns a catalog,
+    enforces the dialect profile (unsupported statement types are rejected
+    at the gate, like a parser error), maintains the sliding window of
+    executed statement types, and checks the profile's injected bugs after
+    every statement — raising {!Fault.Crashed} like an ASan abort. *)
+
+open Sqlcore
+
+type t
+
+type stmt_status =
+  | Ok_result of Executor.result
+  | Sql_failed of Errors.t
+      (** statement rejected; execution continues *)
+
+type run_stats = {
+  rs_executed : int;        (** statements attempted *)
+  rs_errors : int;          (** statements that failed with a SQL error *)
+  rs_crash : Fault.crash option;  (** a bug fired; execution stopped *)
+  rs_cost : int;            (** total AST size executed — a time proxy *)
+}
+
+val create :
+  ?limits:Limits.t -> profile:Profile.t -> cov:Coverage.Bitmap.t -> unit -> t
+
+val profile : t -> Profile.t
+
+val catalog : t -> Catalog.t
+
+val window : t -> Stmt_type.t list
+(** Recently executed statement types, oldest first. *)
+
+val exec_stmt : t -> Ast.stmt -> stmt_status
+(** Execute one statement; afterwards evaluate the bug registry.
+    @raise Fault.Crashed when an injected bug's trigger matches. *)
+
+val run_testcase : t -> Ast.testcase -> run_stats
+(** Execute a whole test case, statement by statement, stopping at the
+    first crash. Never raises. *)
+
+val query_rows :
+  t -> Ast.query -> (Storage.Value.t array list, Errors.t) result
+(** Convenience for examples and tests. *)

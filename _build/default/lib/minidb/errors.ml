@@ -1,0 +1,30 @@
+type t =
+  | No_such_table of string
+  | No_such_column of string
+  | No_such_object of string * string
+  | Duplicate_object of string * string
+  | Constraint_violation of string
+  | Type_error of string
+  | Not_supported of string
+  | Permission_denied of string
+  | Semantic of string
+  | Limit_exceeded of string
+
+exception Sql_error of t
+
+let message = function
+  | No_such_table t -> Printf.sprintf "no such table: %s" t
+  | No_such_column c -> Printf.sprintf "no such column: %s" c
+  | No_such_object (kind, n) -> Printf.sprintf "no such %s: %s" kind n
+  | Duplicate_object (kind, n) ->
+    Printf.sprintf "%s already exists: %s" kind n
+  | Constraint_violation msg -> "constraint violation: " ^ msg
+  | Type_error msg -> "type error: " ^ msg
+  | Not_supported what -> "not supported by this DBMS: " ^ what
+  | Permission_denied what -> "permission denied: " ^ what
+  | Semantic msg -> "semantic error: " ^ msg
+  | Limit_exceeded what -> "resource limit exceeded: " ^ what
+
+let fail e = raise (Sql_error e)
+
+let failf fmt = Printf.ksprintf (fun msg -> fail (Semantic msg)) fmt

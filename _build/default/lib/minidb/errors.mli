@@ -1,0 +1,28 @@
+(** Recoverable SQL-level errors.
+
+    These model the DBMS rejecting a statement (semantic error, constraint
+    violation, ...): execution of the test case continues with the next
+    statement, exactly like a real fuzzing harness driving one connection.
+    They are distinct from {!Fault} crashes, which abort the test case. *)
+
+type t =
+  | No_such_table of string
+  | No_such_column of string
+  | No_such_object of string * string  (** kind, name *)
+  | Duplicate_object of string * string
+  | Constraint_violation of string
+  | Type_error of string
+  | Not_supported of string
+  | Permission_denied of string
+  | Semantic of string
+  | Limit_exceeded of string
+
+exception Sql_error of t
+
+val message : t -> string
+
+val fail : t -> 'a
+(** Raise {!Sql_error}. *)
+
+val failf : ('a, unit, string, 'b) format4 -> 'a
+(** [failf fmt ...] raises a {!Semantic} error with a formatted message. *)

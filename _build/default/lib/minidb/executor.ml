@@ -1,0 +1,2400 @@
+open Sqlcore
+open Sqlcore.Ast
+open Storage
+
+type result =
+  | Rows of string list * Value.t array list
+  | Affected of int
+  | Done of string
+
+(* ------------------------------------------------------------------ *)
+(* Probe sites                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let reg = Coverage.Sites.register
+let s_exec = reg "exec.dispatch"
+let s_scan = reg "exec.scan"
+let s_access = reg "exec.access_path"
+let s_join = reg "exec.join"
+let s_where = reg "exec.where"
+let s_group = reg "exec.group"
+let s_having = reg "exec.having"
+let s_window = reg "exec.window"
+let s_sort = reg "exec.sort"
+let s_distinct = reg "exec.distinct"
+let s_limit = reg "exec.limit"
+let s_setop = reg "exec.setop"
+let s_proj = reg "exec.projection"
+let s_insert = reg "exec.insert"
+let s_constraint = reg "exec.constraint"
+let s_update = reg "exec.update"
+let s_delete = reg "exec.delete"
+let s_trigger = reg "exec.trigger"
+let s_rule = reg "exec.rule_rewrite"
+let s_view = reg "exec.view_expand"
+let s_cte = reg "exec.cte"
+let s_ddl = reg "exec.ddl"
+let s_txn = reg "exec.txn"
+let s_dcl = reg "exec.dcl"
+let s_util = reg "exec.util"
+let s_copy = reg "exec.copy"
+let s_notify = reg "exec.notify"
+let s_handler = reg "exec.handler"
+let s_prepare = reg "exec.prepare"
+let s_err = reg "exec.error_path"
+let s_seq = reg "exec.sequence"
+let s_state = reg "exec.state_shape"
+let s_explain = reg "exec.explain"
+let s_show = reg "exec.show"
+let s_values = reg "exec.values"
+
+(* ------------------------------------------------------------------ *)
+(* Context                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type cte_rel = { cr_headers : string list; cr_rows : Value.t array list }
+
+type ctx = {
+  cat : Catalog.t;
+  profile : Profile.t;
+  limits : Limits.t;
+  cov : Coverage.Bitmap.t;
+  flags : (string, unit) Hashtbl.t;  (* per-statement transient flags *)
+  mutable query_depth : int;
+  mutable trigger_depth : int;
+  mutable shape_depth : int;  (* header/shape computation recursion *)
+  mutable ctes : (string * cte_rel) list;
+}
+
+let create_ctx ~cat ~profile ~limits ~cov =
+  { cat; profile; limits; cov; flags = Hashtbl.create 8; query_depth = 0;
+    trigger_depth = 0; shape_depth = 0; ctes = [] }
+
+let catalog ctx = ctx.cat
+
+let probe ctx site key = Coverage.Bitmap.probe ctx.cov ~site ~key
+
+let set_flag ctx name = Hashtbl.replace ctx.flags name ()
+
+let flag ctx name = Hashtbl.mem ctx.flags name
+
+let reset_transient ctx =
+  Hashtbl.reset ctx.flags;
+  ctx.ctes <- []
+
+let vkind_of = function
+  | Value.Null -> 0
+  | Value.Int _ -> 1
+  | Value.Float _ -> 2
+  | Value.Text _ -> 3
+  | Value.Bool _ -> 4
+
+let row_sig row =
+  (* type signature of up to the first three cells *)
+  let n = Array.length row in
+  let k i = if i < n then vkind_of row.(i) else 5 in
+  (k 0 * 36) + (k 1 * 6) + k 2
+
+let bucket n =
+  if n = 0 then 0
+  else if n = 1 then 1
+  else if n <= 4 then 2
+  else if n <= 16 then 3
+  else if n <= 64 then 4
+  else 5
+
+(* A compact fingerprint of catalog shape, mixed into many probe keys so
+   that the same statement in a differently-shaped database covers
+   different cells. *)
+let state_shape ctx =
+  let c = ctx.cat in
+  let bit b i = if b then 1 lsl i else 0 in
+  bit (Hashtbl.length c.Catalog.triggers > 0) 0
+  lor bit (Hashtbl.length c.Catalog.rules > 0) 1
+  lor bit (Hashtbl.length c.Catalog.views > 0) 2
+  lor bit (Hashtbl.length c.Catalog.indexes > 0) 3
+  lor bit c.Catalog.in_txn 4
+  lor bit (Hashtbl.length c.Catalog.locks > 0) 5
+
+let analyzed ctx =
+  match Hashtbl.find_opt ctx.cat.Catalog.global_vars "__analyzed" with
+  | Some (Value.Bool true) -> true
+  | _ -> false
+
+let state_pred ctx name =
+  let c = ctx.cat in
+  match name with
+  | "in_txn" -> c.Catalog.in_txn
+  | "has_trigger" -> Hashtbl.length c.Catalog.triggers > 0
+  | "has_rule" -> Hashtbl.length c.Catalog.rules > 0
+  | "has_view" -> Hashtbl.length c.Catalog.views > 0
+  | "has_matview" ->
+    Hashtbl.fold
+      (fun _ (v : Catalog.view) acc -> acc || v.v_materialized)
+      c.Catalog.views false
+  | "has_index" -> Hashtbl.length c.Catalog.indexes > 0
+  | "has_sequence" -> Hashtbl.length c.Catalog.sequences > 0
+  | "has_temp_table" ->
+    Hashtbl.fold
+      (fun _ t acc -> acc || Table.is_temp t)
+      c.Catalog.tables false
+  | "has_user" -> Hashtbl.length c.Catalog.users > 1
+  | "locked" -> Hashtbl.length c.Catalog.locks > 0
+  | "listening" -> c.Catalog.listening <> []
+  | "notify_pending" -> c.Catalog.notify_queue <> []
+  | "has_savepoint" -> c.Catalog.savepoints <> []
+  | "handler_open" -> Hashtbl.length c.Catalog.handlers > 0
+  | "has_prepared" -> Hashtbl.length c.Catalog.prepared > 0
+  | "multi_db" -> Hashtbl.length c.Catalog.databases > 1
+  | "many_tables" -> Hashtbl.length c.Catalog.tables > 3
+  | "analyzed" -> analyzed ctx
+  | "non_root" -> c.Catalog.current_user <> "root"
+  | "big_table" ->
+    Hashtbl.fold
+      (fun _ t acc -> acc || Table.row_count t > 100)
+      c.Catalog.tables false
+  | "empty_table_exists" ->
+    Hashtbl.fold
+      (fun _ t acc -> acc || Table.row_count t = 0)
+      c.Catalog.tables false
+  | name -> flag ctx name
+
+(* ------------------------------------------------------------------ *)
+(* Row environments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type binding = {
+  b_alias : string;
+  b_cols : string array;
+  b_vals : Value.t array;
+}
+
+type env_row = binding list
+
+let resolve_col (row : env_row) q name =
+  match q with
+  | Some alias -> (
+      match List.find_opt (fun b -> String.equal b.b_alias alias) row with
+      | None -> None
+      | Some b ->
+        let rec loop i =
+          if i >= Array.length b.b_cols then None
+          else if String.equal b.b_cols.(i) name then Some b.b_vals.(i)
+          else loop (i + 1)
+        in
+        loop 0)
+  | None ->
+    let hits =
+      List.filter_map
+        (fun b ->
+           let rec loop i =
+             if i >= Array.length b.b_cols then None
+             else if String.equal b.b_cols.(i) name then Some b.b_vals.(i)
+             else loop (i + 1)
+           in
+           loop 0)
+        row
+    in
+    (match hits with
+     | [ v ] -> Some v
+     | [] -> None
+     | v :: _ -> Some v (* lax ambiguity resolution, MySQL-style *))
+
+let null_binding b =
+  { b with b_vals = Array.map (fun _ -> Value.Null) b.b_vals }
+
+(* ------------------------------------------------------------------ *)
+(* Aggregate machinery                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Does this expression use an aggregate at the current query level
+   (not inside a subquery)? *)
+let rec expr_has_agg = function
+  | Agg _ -> true
+  | Lit _ | Col _ | Exists _ | Subquery _ -> false
+  | Unop (_, a) | Cast (a, _) | Is_null (a, _) -> expr_has_agg a
+  | Binop (_, a, b) -> expr_has_agg a || expr_has_agg b
+  | Fn (_, args) -> List.exists expr_has_agg args
+  | Case (whens, else_) ->
+    List.exists (fun (c, v) -> expr_has_agg c || expr_has_agg v) whens
+    || (match else_ with None -> false | Some e -> expr_has_agg e)
+  | In_list { e; items; _ } -> expr_has_agg e || List.exists expr_has_agg items
+  | Between { e; lo; hi; _ } ->
+    expr_has_agg e || expr_has_agg lo || expr_has_agg hi
+  | Like { e; pat; _ } -> expr_has_agg e || expr_has_agg pat
+  | Win { args; _ } -> List.exists expr_has_agg args
+
+let rec expr_has_win = function
+  | Win _ -> true
+  | Agg (_, _, Some a) -> expr_has_win a
+  | Agg (_, _, None) | Lit _ | Col _ | Exists _ | Subquery _ -> false
+  | Unop (_, a) | Cast (a, _) | Is_null (a, _) -> expr_has_win a
+  | Binop (_, a, b) -> expr_has_win a || expr_has_win b
+  | Fn (_, args) -> List.exists expr_has_win args
+  | Case (whens, else_) ->
+    List.exists (fun (c, v) -> expr_has_win c || expr_has_win v) whens
+    || (match else_ with None -> false | Some e -> expr_has_win e)
+  | In_list { e; items; _ } -> expr_has_win e || List.exists expr_has_win items
+  | Between { e; lo; hi; _ } ->
+    expr_has_win e || expr_has_win lo || expr_has_win hi
+  | Like { e; pat; _ } -> expr_has_win e || expr_has_win pat
+
+let proj_exprs projs =
+  List.filter_map (function Proj (e, _) -> Some e | Star | Star_of _ -> None)
+    projs
+
+(* ------------------------------------------------------------------ *)
+(* Main recursive machinery                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec scalar_env ctx : Expr_eval.env =
+  { cols = (fun _ _ -> None);
+    run_query = (fun q -> run_query ctx q);
+    agg = Expr_eval.no_agg;
+    win = Expr_eval.no_win;
+    probe = (fun ~site ~key -> probe ctx site key) }
+
+and row_env ctx (row : env_row) : Expr_eval.env =
+  { (scalar_env ctx) with
+    cols = (fun q name -> resolve_col row q name) }
+
+and eval_scalar ctx e = Expr_eval.eval (scalar_env ctx) e
+
+(* --- headers ------------------------------------------------------- *)
+
+and headers_of_query ctx (q : query) : string list =
+  (* Self-referencing or cyclic views would make header computation
+     diverge; bound the recursion like the evaluator does. *)
+  if ctx.shape_depth > ctx.limits.Limits.max_view_depth + 8 then [ "c1" ]
+  else begin
+    ctx.shape_depth <- ctx.shape_depth + 1;
+    let result = headers_of_query_unguarded ctx q in
+    ctx.shape_depth <- ctx.shape_depth - 1;
+    result
+  end
+
+and headers_of_query_unguarded ctx (q : query) : string list =
+  match q with
+  | Q_values rows ->
+    let n = match rows with [] -> 0 | r :: _ -> List.length r in
+    List.init n (fun i -> Printf.sprintf "column%d" (i + 1))
+  | Q_compound (a, _, _) -> headers_of_query ctx a
+  | Q_select s ->
+    List.concat_map
+      (fun p ->
+         match p with
+         | Star -> (
+             match s.from with
+             | None -> [ "star" ]
+             | Some f -> List.concat_map
+                 (fun b -> Array.to_list b.b_cols)
+                 (shape_of_from ctx f))
+         | Star_of t -> (
+             match s.from with
+             | None -> [ t ^ ".star" ]
+             | Some f ->
+               (match
+                  List.find_opt
+                    (fun b -> String.equal b.b_alias t)
+                    (shape_of_from ctx f)
+                with
+                | None -> [ t ^ ".star" ]
+                | Some b -> Array.to_list b.b_cols))
+         | Proj (_, Some alias) -> [ alias ]
+         | Proj (Col (_, c), None) -> [ c ]
+         | Proj (_, None) -> [ "expr" ])
+      s.projs
+
+(* The alias/column shape of a FROM clause, without evaluating rows. *)
+and shape_of_from ctx (f : from_item) : binding list =
+  if ctx.shape_depth > ctx.limits.Limits.max_view_depth + 8 then []
+  else begin
+    ctx.shape_depth <- ctx.shape_depth + 1;
+    let result = shape_of_from_unguarded ctx f in
+    ctx.shape_depth <- ctx.shape_depth - 1;
+    result
+  end
+
+and shape_of_from_unguarded ctx (f : from_item) : binding list =
+  match f with
+  | From_table { name; alias } ->
+    let alias = Option.value ~default:name alias in
+    let cols =
+      match List.assoc_opt name ctx.ctes with
+      | Some rel -> Array.of_list rel.cr_headers
+      | None -> (
+          match Hashtbl.find_opt ctx.cat.Catalog.views name with
+          | Some v -> Array.of_list (headers_of_query ctx v.v_query)
+          | None -> (
+              match Hashtbl.find_opt ctx.cat.Catalog.tables name with
+              | Some t ->
+                Array.map (fun c -> c.Table.c_name) (Table.cols t)
+              | None -> [||]))
+    in
+    [ { b_alias = alias; b_cols = cols; b_vals = Array.map (fun _ -> Value.Null) cols } ]
+  | From_join { left; right; _ } ->
+    shape_of_from ctx left @ shape_of_from ctx right
+  | From_subquery { q; alias } ->
+    let cols = Array.of_list (headers_of_query ctx q) in
+    [ { b_alias = alias; b_cols = cols;
+        b_vals = Array.map (fun _ -> Value.Null) cols } ]
+
+(* --- FROM evaluation ------------------------------------------------ *)
+
+and eval_from ctx ~where (f : from_item) : env_row list =
+  match f with
+  | From_table { name; alias } ->
+    let alias_name = Option.value ~default:name alias in
+    (* CTE relations shadow everything, then views, then tables. *)
+    (match List.assoc_opt name ctx.ctes with
+     | Some rel ->
+       probe ctx s_cte (bucket (List.length rel.cr_rows));
+       let cols = Array.of_list rel.cr_headers in
+       List.map
+         (fun vals -> [ { b_alias = alias_name; b_cols = cols; b_vals = vals } ])
+         rel.cr_rows
+     | None -> (
+         match Hashtbl.find_opt ctx.cat.Catalog.views name with
+         | Some v -> eval_view ctx v alias_name
+         | None ->
+           let table = Catalog.find_table ctx.cat name in
+           check_lock ctx name `Read;
+           let cols = Array.map (fun c -> c.Table.c_name) (Table.cols table) in
+           let access =
+             Planner.choose_access ctx.cat ~analyzed:(analyzed ctx)
+               ~table:name ~where
+           in
+           probe ctx s_access
+             ((Planner.access_tag access * 8) lor state_shape ctx);
+           let rows =
+             match access with
+             | Planner.Empty_short ->
+               set_flag ctx "empty_scan";
+               []
+             | Planner.Index_eq (idx_name, key_expr) -> (
+                 set_flag ctx "index_scan";
+                 match Hashtbl.find_opt ctx.cat.Catalog.indexes idx_name with
+                 | None -> Table.to_rows table |> List.map snd
+                 | Some spec ->
+                   let key = eval_scalar ctx key_expr in
+                   let rowids = Index.find spec.x_data [ key ] in
+                   List.filter_map (Table.find_row table) rowids)
+             | Planner.Seq_scan -> Table.to_rows table |> List.map snd
+           in
+           probe ctx s_scan (bucket (List.length rows));
+           List.map
+             (fun vals ->
+                [ { b_alias = alias_name; b_cols = cols; b_vals = vals } ])
+             rows))
+  | From_subquery { q; alias } ->
+    let rows = run_query ctx q in
+    let cols = Array.of_list (headers_of_query ctx q) in
+    probe ctx s_scan (16 + bucket (List.length rows));
+    List.map
+      (fun vals ->
+         let vals =
+           if Array.length vals = Array.length cols then vals
+           else
+             Array.init (Array.length cols) (fun i ->
+                 if i < Array.length vals then vals.(i) else Value.Null)
+         in
+         [ { b_alias = alias; b_cols = cols; b_vals = vals } ])
+      rows
+  | From_join { left; kind; right; on } ->
+    let lrows = eval_from ctx ~where:None left in
+    let rrows = eval_from ctx ~where:None right in
+    let kind_tag =
+      match kind with Inner -> 0 | Left -> 1 | Right -> 2 | Cross -> 3
+    in
+    probe ctx s_join
+      ((kind_tag * 16) lor (bucket (List.length lrows) * 2)
+       lor if rrows = [] then 1 else 0);
+    let total = List.length lrows * List.length rrows in
+    if total > ctx.limits.Limits.max_result_rows * 4 then
+      Errors.fail (Errors.Limit_exceeded "join size");
+    let on_ok combined =
+      match on with
+      | None -> true
+      | Some e -> Expr_eval.eval_bool (row_env ctx combined) e
+    in
+    (match kind with
+     | Inner | Cross ->
+       List.concat_map
+         (fun l ->
+            List.filter_map
+              (fun r ->
+                 let combined = l @ r in
+                 if kind = Cross || on_ok combined then Some combined
+                 else None)
+              rrows)
+         lrows
+     | Left ->
+       let rshape = shape_of_from ctx right in
+       List.concat_map
+         (fun l ->
+            let matches =
+              List.filter_map
+                (fun r ->
+                   let combined = l @ r in
+                   if on_ok combined then Some combined else None)
+                rrows
+            in
+            if matches = [] then begin
+              set_flag ctx "outer_null_row";
+              [ l @ List.map null_binding rshape ]
+            end
+            else matches)
+         lrows
+     | Right ->
+       let lshape = shape_of_from ctx left in
+       List.concat_map
+         (fun r ->
+            let matches =
+              List.filter_map
+                (fun l ->
+                   let combined = l @ r in
+                   if on_ok combined then Some combined else None)
+                lrows
+            in
+            if matches = [] then begin
+              set_flag ctx "outer_null_row";
+              [ List.map null_binding lshape @ r ]
+            end
+            else matches)
+         rrows)
+
+and eval_view ctx (v : Catalog.view) alias_name : env_row list =
+  if ctx.query_depth > ctx.limits.Limits.max_view_depth then
+    Errors.fail (Errors.Limit_exceeded "view nesting depth");
+  probe ctx s_view
+    ((if v.v_materialized then 8 else 0) lor state_shape ctx land 7);
+  set_flag ctx "view_expanded";
+  let cols = Array.of_list (headers_of_query ctx v.v_query) in
+  let rows =
+    if v.v_materialized then begin
+      match v.v_cache with
+      | Some rows ->
+        set_flag ctx "matview_cache_hit";
+        rows
+      | None ->
+        set_flag ctx "matview_stale";
+        []
+    end
+    else run_query ctx v.v_query
+  in
+  List.map
+    (fun vals ->
+       let vals =
+         if Array.length vals = Array.length cols then vals
+         else
+           Array.init (Array.length cols) (fun i ->
+               if i < Array.length vals then vals.(i) else Value.Null)
+       in
+       [ { b_alias = alias_name; b_cols = cols; b_vals = vals } ])
+    rows
+
+and check_lock ctx table intent =
+  match Hashtbl.find_opt ctx.cat.Catalog.locks table with
+  | Some Lk_read when intent = `Write ->
+    probe ctx s_txn 31;
+    Errors.fail
+      (Errors.Semantic (Printf.sprintf "table %s is READ locked" table))
+  | _ ->
+    if Hashtbl.length ctx.cat.Catalog.locks > 0 then probe ctx s_txn 30
+
+(* --- query execution ------------------------------------------------ *)
+
+and run_query ctx (q : query) : Value.t array list =
+  ctx.query_depth <- ctx.query_depth + 1;
+  probe ctx s_scan (48 + min 7 ctx.query_depth);
+  if ctx.query_depth > ctx.limits.Limits.max_view_depth + 8 then begin
+    ctx.query_depth <- ctx.query_depth - 1;
+    Errors.fail (Errors.Limit_exceeded "query nesting depth")
+  end;
+  let finally () = ctx.query_depth <- ctx.query_depth - 1 in
+  match
+    (match q with
+     | Q_values rows ->
+       probe ctx s_values (bucket (List.length rows));
+       List.map
+         (fun row -> Array.of_list (List.map (eval_scalar ctx) row))
+         rows
+     | Q_select s -> run_select ctx s
+     | Q_compound (a, op, b) ->
+       let ra = run_query ctx a in
+       let rb = run_query ctx b in
+       let op_tag =
+         match op with
+         | Union -> 0
+         | Union_all -> 1
+         | Intersect -> 2
+         | Except -> 3
+       in
+       probe ctx s_setop
+         ((op_tag * 8) lor (if ra = [] then 1 else 0)
+          lor if rb = [] then 2 else 0);
+       probe ctx s_setop
+         (64 + (op_tag * 8)
+          + min 7 (bucket (List.length ra + List.length rb)));
+       let module RS = Set.Make (struct
+           type t = Value.t array
+
+           let compare x y =
+             let nx = Array.length x and ny = Array.length y in
+             if nx <> ny then Int.compare nx ny
+             else
+               let rec loop i =
+                 if i >= nx then 0
+                 else
+                   let c = Value.compare_total x.(i) y.(i) in
+                   if c <> 0 then c else loop (i + 1)
+               in
+               loop 0
+         end) in
+       (match op with
+        | Union_all -> ra @ rb
+        | Union -> RS.elements (RS.union (RS.of_list ra) (RS.of_list rb))
+        | Intersect ->
+          RS.elements (RS.inter (RS.of_list ra) (RS.of_list rb))
+        | Except -> RS.elements (RS.diff (RS.of_list ra) (RS.of_list rb))))
+  with
+  | rows ->
+    finally ();
+    if List.length rows > ctx.limits.Limits.max_result_rows then begin
+      probe ctx s_limit 31;
+      Errors.fail (Errors.Limit_exceeded "result rows")
+    end;
+    rows
+  | exception e ->
+    finally ();
+    raise e
+
+and run_select ctx (s : select) : Value.t array list =
+  (* FROM *)
+  let base_rows =
+    match s.from with
+    | None -> [ [] ]
+    | Some f -> eval_from ctx ~where:s.where f
+  in
+  (* WHERE *)
+  let rows =
+    match s.where with
+    | None -> base_rows
+    | Some w ->
+      let kept =
+        List.filter (fun row -> Expr_eval.eval_bool (row_env ctx row) w)
+          base_rows
+      in
+      probe ctx s_where
+        ((bucket (List.length kept) * 4)
+         lor (if kept = [] && base_rows <> [] then 1 else 0)
+         lor if List.length kept = List.length base_rows then 2 else 0);
+      kept
+  in
+  let has_agg =
+    List.exists expr_has_agg (proj_exprs s.projs)
+    || (match s.having with Some h -> expr_has_agg h | None -> false)
+  in
+  let has_win = List.exists expr_has_win (proj_exprs s.projs) in
+  (* A (group-env, sort-env) list: each entry produces one output row. *)
+  let output_units =
+    if s.group_by <> [] || has_agg then begin
+      probe ctx s_group
+        ((bucket (List.length rows) * 4)
+         lor (if s.group_by = [] then 1 else 0)
+         lor if s.having <> None then 2 else 0);
+      let groups = group_rows ctx s.group_by rows in
+      let groups =
+        match s.having with
+        | None -> groups
+        | Some h ->
+          let kept =
+            List.filter
+              (fun (rep, members) ->
+                 Expr_eval.eval_bool (group_env ctx rep members) h)
+              groups
+          in
+          probe ctx s_having (bucket (List.length kept));
+          kept
+      in
+      List.map (fun (rep, members) -> (group_env ctx rep members, rep)) groups
+    end
+    else if has_win then begin
+      probe ctx s_window (bucket (List.length rows));
+      set_flag ctx "window_executed";
+      let arr = Array.of_list rows in
+      Array.to_list
+        (Array.mapi (fun i row -> (window_env ctx arr i row, row)) arr)
+    end
+    else List.map (fun row -> (row_env ctx row, row)) rows
+  in
+  (* projection + order keys *)
+  let projected =
+    List.map
+      (fun (env, row) ->
+         let out = project ctx env row s.projs in
+         let keys = List.map (fun (e, _) -> Expr_eval.eval env e) s.order_by in
+         (keys, out))
+      output_units
+  in
+  probe ctx s_proj (bucket (List.length projected));
+  (match projected with
+   | (_, first) :: _ -> probe ctx s_proj (64 + row_sig first)
+   | [] -> ());
+  (* DISTINCT *)
+  let projected =
+    if s.distinct then begin
+      probe ctx s_distinct (bucket (List.length projected));
+      let seen = Hashtbl.create 16 in
+      List.filter
+        (fun (_, out) ->
+           let key =
+             Array.fold_left
+               (fun acc v -> (acc * 31) + Value.hash_value v)
+               0 out
+           in
+           let candidates = Hashtbl.find_all seen key in
+           let dup =
+             List.exists
+               (fun other ->
+                  Array.length other = Array.length out
+                  && (let ok = ref true in
+                      Array.iteri
+                        (fun i v ->
+                           if Value.compare_total v out.(i) <> 0 then
+                             ok := false)
+                        other;
+                      !ok))
+               candidates
+           in
+           if dup then false
+           else begin
+             Hashtbl.add seen key out;
+             true
+           end)
+        projected
+    end
+    else projected
+  in
+  (* ORDER BY *)
+  let projected =
+    if s.order_by = [] then projected
+    else begin
+      probe ctx s_sort
+        ((bucket (List.length projected) * 2)
+         lor if List.exists (fun (_, d) -> d = Desc) s.order_by then 1 else 0);
+      (match projected with
+       | (k1 :: _, _) :: _ ->
+         probe ctx s_sort
+           (64 + (vkind_of k1 * 8) + min 7 (List.length s.order_by))
+       | _ -> ());
+      let dirs = List.map snd s.order_by in
+      List.stable_sort
+        (fun (ka, _) (kb, _) ->
+           let rec cmp ks1 ks2 ds =
+             match (ks1, ks2, ds) with
+             | [], [], _ -> 0
+             | k1 :: t1, k2 :: t2, d :: td ->
+               let c = Value.compare_total k1 k2 in
+               let c = match d with Asc -> c | Desc -> -c in
+               if c <> 0 then c else cmp t1 t2 td
+             | _ -> 0
+           in
+           cmp ka kb dirs)
+        projected
+    end
+  in
+  let rows = List.map snd projected in
+  (* OFFSET / LIMIT *)
+  let rows =
+    match s.offset with
+    | None -> rows
+    | Some off ->
+      probe ctx s_limit 8;
+      let rec drop n l =
+        if n <= 0 then l else match l with [] -> [] | _ :: t -> drop (n - 1) t
+      in
+      drop off rows
+  in
+  match s.limit with
+  | None -> rows
+  | Some lim ->
+    probe ctx s_limit
+      (if List.length rows > lim then 1 else 2);
+    let rec take n l =
+      if n <= 0 then []
+      else match l with [] -> [] | h :: t -> h :: take (n - 1) t
+    in
+    take (max 0 lim) rows
+
+and group_rows ctx group_by rows : (env_row * env_row list) list =
+  if group_by = [] then
+    (* implicit single group, even over zero rows *)
+    [ ((match rows with r :: _ -> r | [] -> []), rows) ]
+  else begin
+    let tbl : (string, env_row * env_row list ref) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    let order = ref [] in
+    List.iter
+      (fun row ->
+         let env = row_env ctx row in
+         let key =
+           String.concat "\x00"
+             (List.map
+                (fun e -> Value.to_display (Expr_eval.eval env e) ^ "|"
+                          ^ Value.type_name (Expr_eval.eval env e))
+                group_by)
+         in
+         match Hashtbl.find_opt tbl key with
+         | Some (_, members) -> members := row :: !members
+         | None ->
+           let cell = (row, ref [ row ]) in
+           Hashtbl.add tbl key cell;
+           order := key :: !order)
+      rows;
+    List.rev_map
+      (fun key ->
+         let rep, members = Hashtbl.find tbl key in
+         (rep, List.rev !members))
+      !order
+  end
+
+and group_env ctx rep members : Expr_eval.env =
+  let base = row_env ctx rep in
+  { base with
+    agg =
+      (fun fn distinct arg ->
+         compute_agg ctx fn distinct arg members) }
+
+and compute_agg ctx fn distinct arg members =
+  let fn_tag =
+    match fn with
+    | Count -> 0 | Sum -> 1 | Avg -> 2 | Min -> 3 | Max -> 4
+    | Group_concat -> 5
+  in
+  probe ctx s_group
+    (64
+     + (fn_tag * 16)
+     + (if distinct then 8 else 0)
+     + min 7 (bucket (List.length members)));
+  let values =
+    match arg with
+    | None -> List.map (fun _ -> Value.Int 1) members
+    | Some e ->
+      List.map (fun row -> Expr_eval.eval (row_env ctx row) e) members
+  in
+  let values =
+    if distinct then begin
+      let seen = ref [] in
+      List.filter
+        (fun v ->
+           if List.exists (fun o -> Value.compare_total o v = 0) !seen then
+             false
+           else begin
+             seen := v :: !seen;
+             true
+           end)
+        values
+    end
+    else values
+  in
+  let non_null = List.filter (fun v -> v <> Value.Null) values in
+  match fn with
+  | Count ->
+    Value.Int
+      (match arg with
+       | None -> List.length values
+       | Some _ -> List.length non_null)
+  | Sum ->
+    if non_null = [] then Value.Null
+    else
+      List.fold_left
+        (fun acc v ->
+           match (acc, v) with
+           | Value.Int a, Value.Int b -> Value.Int (a + b)
+           | _ ->
+             let f = function
+               | Value.Int n -> float_of_int n
+               | Value.Float f -> f
+               | Value.Bool b -> if b then 1.0 else 0.0
+               | Value.Text s -> (
+                   try float_of_string s with Failure _ -> 0.0)
+               | Value.Null -> 0.0
+             in
+             Value.Float (f acc +. f v))
+        (Value.Int 0) non_null
+  | Avg -> (
+      match compute_agg ctx Sum false arg members with
+      | Value.Null -> Value.Null
+      | sum ->
+        let n = List.length non_null in
+        if n = 0 then Value.Null
+        else
+          let f =
+            match sum with
+            | Value.Int s -> float_of_int s
+            | Value.Float s -> s
+            | _ -> 0.0
+          in
+          Value.Float (f /. float_of_int n))
+  | Min ->
+    (match non_null with
+     | [] -> Value.Null
+     | first :: rest ->
+       List.fold_left
+         (fun acc v -> if Value.compare_total v acc < 0 then v else acc)
+         first rest)
+  | Max ->
+    (match non_null with
+     | [] -> Value.Null
+     | first :: rest ->
+       List.fold_left
+         (fun acc v -> if Value.compare_total v acc > 0 then v else acc)
+         first rest)
+  | Group_concat ->
+    if non_null = [] then Value.Null
+    else
+      Value.Text
+        (String.concat "," (List.map Value.to_display non_null))
+
+and window_env ctx all_rows cur_idx row : Expr_eval.env =
+  let base = row_env ctx row in
+  { base with
+    win =
+      (fun fn args over ->
+         compute_window ctx all_rows cur_idx fn args over) }
+
+and compute_window ctx all_rows cur_idx fn args over =
+  let fn_tag =
+    match fn with
+    | Row_number -> 0 | Rank -> 1 | Dense_rank -> 2 | Lead -> 3 | Lag -> 4
+    | Ntile -> 5
+  in
+  probe ctx s_window
+    (32
+     + (fn_tag * 8)
+     + (if over.partition_by <> [] then 4 else 0)
+     + (match over.frame with
+        | None -> 0
+        | Some { f_kind = F_rows; _ } -> 1
+        | Some { f_kind = F_range; _ } -> 2));
+  let eval_at i e = Expr_eval.eval (row_env ctx all_rows.(i)) e in
+  let n = Array.length all_rows in
+  let part_key i = List.map (eval_at i) over.partition_by in
+  let keys_equal a b =
+    List.length a = List.length b
+    && List.for_all2 (fun x y -> Value.compare_total x y = 0) a b
+  in
+  let mine = part_key cur_idx in
+  let part =
+    List.filter
+      (fun i -> keys_equal (part_key i) mine)
+      (List.init n (fun i -> i))
+  in
+  let order_key i = List.map (fun (e, _) -> eval_at i e) over.w_order_by in
+  let dirs = List.map snd over.w_order_by in
+  let cmp_order a b =
+    let rec loop ka kb ds =
+      match (ka, kb, ds) with
+      | [], [], _ -> 0
+      | x :: xs, y :: ys, d :: dt ->
+        let c = Value.compare_total x y in
+        let c = match d with Asc -> c | Desc -> -c in
+        if c <> 0 then c else loop xs ys dt
+      | _ -> 0
+    in
+    loop (order_key a) (order_key b) dirs
+  in
+  let sorted = List.stable_sort cmp_order part in
+  let pos =
+    let rec find i = function
+      | [] -> 0
+      | x :: _ when x = cur_idx -> i
+      | _ :: t -> find (i + 1) t
+    in
+    find 0 sorted
+  in
+  if over.frame <> None then set_flag ctx "window_frame";
+  match fn with
+  | Row_number -> Value.Int (pos + 1)
+  | Rank ->
+    let before =
+      List.filteri (fun i x -> i < pos && cmp_order x cur_idx < 0) sorted
+    in
+    Value.Int (List.length before + 1)
+  | Dense_rank ->
+    let distinct_before =
+      List.sort_uniq compare
+        (List.filteri (fun i _ -> i < pos) sorted
+         |> List.filter_map (fun x ->
+             if cmp_order x cur_idx < 0 then
+               Some (List.map Value.to_display (order_key x))
+             else None))
+    in
+    Value.Int (List.length distinct_before + 1)
+  | Lead | Lag ->
+    let offset =
+      match args with
+      | _ :: o :: _ -> (
+          match eval_scalar ctx o with
+          | Value.Int n -> n
+          | _ -> 1)
+      | _ -> 1
+    in
+    let target = if fn = Lead then pos + offset else pos - offset in
+    if target < 0 || target >= List.length sorted then
+      (match args with
+       | _ :: _ :: d :: _ -> eval_scalar ctx d
+       | _ -> Value.Null)
+    else
+      let idx = List.nth sorted target in
+      (match args with
+       | e :: _ -> eval_at idx e
+       | [] -> Value.Null)
+  | Ntile ->
+    let buckets =
+      match args with
+      | b :: _ -> (
+          match eval_scalar ctx b with
+          | Value.Int n when n > 0 -> n
+          | _ -> 1)
+      | [] -> 1
+    in
+    let total = List.length sorted in
+    Value.Int ((pos * buckets / max 1 total) + 1)
+
+and project ctx (env : Expr_eval.env) (row : env_row) projs : Value.t array =
+  let out = ref [] in
+  List.iter
+    (fun p ->
+       match p with
+       | Star ->
+         List.iter
+           (fun b -> Array.iter (fun v -> out := v :: !out) b.b_vals)
+           row
+       | Star_of t -> (
+           match List.find_opt (fun b -> String.equal b.b_alias t) row with
+           | Some b -> Array.iter (fun v -> out := v :: !out) b.b_vals
+           | None ->
+             probe ctx s_err 7;
+             Errors.fail (Errors.No_such_table t))
+       | Proj (e, _) -> out := Expr_eval.eval env e :: !out)
+    projs;
+  Array.of_list (List.rev !out)
+
+(* ------------------------------------------------------------------ *)
+(* Statement execution                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rebuild_table_indexes ctx table_name =
+  Hashtbl.iter
+    (fun _ (spec : Catalog.index_spec) ->
+       if String.equal spec.x_table table_name then begin
+         Index.clear spec.x_data;
+         match Hashtbl.find_opt ctx.cat.Catalog.tables table_name with
+         | None -> ()
+         | Some table ->
+           let positions =
+             List.filter_map (Table.col_index table) spec.x_cols
+           in
+           if List.length positions = List.length spec.x_cols then
+             Table.iter
+               (fun rowid row ->
+                  let key = List.map (fun p -> row.(p)) positions in
+                  ignore (Index.add spec.x_data key rowid))
+               table
+       end)
+    ctx.cat.Catalog.indexes
+
+let priv_covers granted needed =
+  List.exists (fun p -> p = P_all || p = needed) granted
+
+let check_privs ctx stmt =
+  let c = ctx.cat in
+  if not (String.equal c.Catalog.current_user "root") then begin
+    let user =
+      match Hashtbl.find_opt c.Catalog.users c.Catalog.current_user with
+      | Some u -> u
+      | None ->
+        probe ctx s_dcl 15;
+        Errors.fail (Errors.Permission_denied "unknown current user")
+    in
+    let require table needed =
+      if Hashtbl.mem c.Catalog.tables table then begin
+        let granted =
+          match List.assoc_opt table user.Catalog.us_privs with
+          | Some ps -> ps
+          | None -> []
+        in
+        if not (priv_covers granted needed) then begin
+          probe ctx s_dcl 14;
+          Errors.fail
+            (Errors.Permission_denied
+               (Printf.sprintf "table %s for user %s" table
+                  c.Catalog.current_user))
+        end
+      end
+    in
+    List.iter (fun t -> require t P_select) (Ast_util.tables_read stmt);
+    List.iter
+      (fun t ->
+         let needed =
+           match Ast.type_of_stmt stmt with
+           | Stmt_type.Insert | Stmt_type.Insert_select
+           | Stmt_type.Replace_into | Stmt_type.Copy_from
+           | Stmt_type.Load_data -> P_insert
+           | Stmt_type.Update -> P_update
+           | Stmt_type.Delete | Stmt_type.Truncate -> P_delete
+           | _ -> P_all
+         in
+         require t needed)
+      (Ast_util.tables_written stmt)
+  end
+
+let unique_key_sets ctx table_name table =
+  (* Column positions whose value sets must be unique: each UNIQUE/PK
+     column by itself, plus every unique index's column list. *)
+  let singles =
+    Array.to_list (Table.cols table)
+    |> List.mapi (fun i c -> (i, c))
+    |> List.filter_map (fun (i, c) ->
+        if c.Table.c_unique then Some [ i ] else None)
+  in
+  let from_indexes =
+    Catalog.indexes_on ctx.cat table_name
+    |> List.filter_map (fun (spec : Catalog.index_spec) ->
+        if not spec.x_unique then None
+        else
+          let ps = List.filter_map (Table.col_index table) spec.x_cols in
+          if List.length ps = List.length spec.x_cols then Some ps else None)
+  in
+  singles @ from_indexes
+
+let find_conflicts ctx table_name table row ~exclude =
+  let key_sets = unique_key_sets ctx table_name table in
+  if key_sets <> [] && Hashtbl.length ctx.cat.Catalog.indexes > 0 then
+    probe ctx s_constraint 9;
+  let conflicts = ref [] in
+  List.iter
+    (fun positions ->
+       let mine = List.map (fun p -> row.(p)) positions in
+       if not (List.exists (fun v -> v = Value.Null) mine) then
+         Table.iter
+           (fun rowid other ->
+              if (not (List.mem rowid exclude))
+                 && List.for_all
+                      (fun p -> Value.compare_total row.(p) other.(p) = 0)
+                      positions
+                 && not (List.mem rowid !conflicts)
+              then conflicts := rowid :: !conflicts)
+           table)
+    key_sets;
+  !conflicts
+
+let rec exec ctx stmt : result =
+  let ty = Ast.type_of_stmt stmt in
+  (* Real DBMSs share most code between statement types (parser, catalog,
+     storage), so executing a new type buys a few branches, not a whole
+     compartment: the dispatch key keeps only 3 state bits per type. *)
+  probe ctx s_exec
+    ((Stmt_type.to_index ty * 8) lor (state_shape ctx land 7));
+  probe ctx s_state (state_shape ctx);
+  check_privs ctx stmt;
+  match stmt with
+  (* ---------------- DDL ---------------- *)
+  | S_create_table { temp; if_not_exists; name; cols } ->
+    if Catalog.name_in_use ctx.cat name then begin
+      probe ctx s_ddl 1;
+      if if_not_exists then Done "table exists, skipped"
+      else Errors.fail (Errors.Duplicate_object ("table", name))
+    end
+    else begin
+      if cols = [] then Errors.fail (Errors.Semantic "table with no columns");
+      let names = List.map (fun c -> c.col_name) cols in
+      if List.length (List.sort_uniq String.compare names)
+         <> List.length names
+      then Errors.fail (Errors.Semantic "duplicate column name");
+      let table =
+        Table.create ~name ~temp (List.map Table.col_of_def cols)
+      in
+      Hashtbl.replace ctx.cat.Catalog.tables name table;
+      probe ctx s_ddl (if temp then 2 else 0);
+      if temp then set_flag ctx "temp_created";
+      Done "table created"
+    end
+  | S_create_index { unique; name; table; cols } ->
+    if Hashtbl.mem ctx.cat.Catalog.indexes name then begin
+      probe ctx s_ddl 3;
+      Errors.fail (Errors.Duplicate_object ("index", name))
+    end;
+    let tbl = Catalog.find_table ctx.cat table in
+    let positions =
+      List.map
+        (fun c ->
+           match Table.col_index tbl c with
+           | Some p -> p
+           | None -> Errors.fail (Errors.No_such_column c))
+        cols
+    in
+    let data = Index.create ~unique in
+    let ok = ref true in
+    Table.iter
+      (fun rowid row ->
+         let key = List.map (fun p -> row.(p)) positions in
+         match Index.add data key rowid with
+         | `Ok -> ()
+         | `Dup _ -> ok := false)
+      tbl;
+    if not !ok then begin
+      probe ctx s_constraint 8;
+      set_flag ctx "unique_violated";
+      Errors.fail
+        (Errors.Constraint_violation "duplicate key while building index")
+    end;
+    Hashtbl.replace ctx.cat.Catalog.indexes name
+      { Catalog.x_name = name; x_table = table; x_cols = cols;
+        x_unique = unique; x_data = data };
+    probe ctx s_ddl (if unique then 5 else 4);
+    Done "index created"
+  | S_create_view { materialized; name; query } ->
+    if Catalog.name_in_use ctx.cat name
+       || Hashtbl.mem ctx.cat.Catalog.views name
+    then begin
+      probe ctx s_ddl 6;
+      Errors.fail (Errors.Duplicate_object ("view", name))
+    end;
+    let cache =
+      if materialized then begin
+        set_flag ctx "matview_refreshed";
+        Some (run_query ctx query)
+      end
+      else None
+    in
+    Hashtbl.replace ctx.cat.Catalog.views name
+      { Catalog.v_name = name; v_materialized = materialized;
+        v_query = query; v_cache = cache };
+    probe ctx s_ddl (if materialized then 8 else 7);
+    Done "view created"
+  | S_create_trigger { name; timing; event; table; body } ->
+    ignore (Catalog.find_table ctx.cat table);
+    if Hashtbl.mem ctx.cat.Catalog.triggers name then begin
+      probe ctx s_ddl 9;
+      Errors.fail (Errors.Duplicate_object ("trigger", name))
+    end;
+    List.iter
+      (fun s ->
+         match s with
+         | S_insert _ | S_replace _ | S_update _ | S_delete _ -> ()
+         | _ ->
+           probe ctx s_err 3;
+           Errors.fail (Errors.Semantic "trigger body must be DML"))
+      body;
+    Hashtbl.replace ctx.cat.Catalog.triggers name
+      { Catalog.tr_name = name; tr_table = table; tr_timing = timing;
+        tr_event = event; tr_body = body };
+    probe ctx s_ddl 10;
+    set_flag ctx "trigger_created";
+    Done "trigger created"
+  | S_create_rule { name; table; event; instead; action } ->
+    ignore (Catalog.find_table ctx.cat table);
+    if Hashtbl.mem ctx.cat.Catalog.rules name then begin
+      probe ctx s_ddl 11;
+      Errors.fail (Errors.Duplicate_object ("rule", name))
+    end;
+    Hashtbl.replace ctx.cat.Catalog.rules name
+      { Catalog.r_name = name; r_table = table; r_event = event;
+        r_instead = instead; r_action = action };
+    probe ctx s_ddl (if instead then 13 else 12);
+    set_flag ctx "rule_created";
+    Done "rule created"
+  | S_create_sequence { name; start; step } ->
+    if Hashtbl.mem ctx.cat.Catalog.sequences name then begin
+      probe ctx s_ddl 16;
+      Errors.fail (Errors.Duplicate_object ("sequence", name))
+    end;
+    if step = 0 then Errors.fail (Errors.Semantic "zero sequence step");
+    Hashtbl.replace ctx.cat.Catalog.sequences name
+      { Catalog.sq_value = start; sq_step = step; sq_start = start };
+    probe ctx s_seq 0;
+    Done "sequence created"
+  | S_create_schema name ->
+    if Hashtbl.mem ctx.cat.Catalog.schemas name then begin
+      probe ctx s_ddl 17;
+      Errors.fail (Errors.Duplicate_object ("schema", name))
+    end;
+    Hashtbl.replace ctx.cat.Catalog.schemas name ();
+    Done "schema created"
+  | S_create_database name ->
+    if Hashtbl.mem ctx.cat.Catalog.databases name then begin
+      probe ctx s_ddl 18;
+      Errors.fail (Errors.Duplicate_object ("database", name))
+    end;
+    Hashtbl.replace ctx.cat.Catalog.databases name ();
+    Done "database created"
+  | S_create_user { user; password } ->
+    if Hashtbl.mem ctx.cat.Catalog.users user then begin
+      probe ctx s_dcl 1;
+      Errors.fail (Errors.Duplicate_object ("user", user))
+    end;
+    Hashtbl.replace ctx.cat.Catalog.users user
+      { Catalog.us_password = password; us_privs = [] };
+    probe ctx s_dcl 0;
+    Done "user created"
+  | S_drop { target; if_exists } -> exec_drop ctx target if_exists
+  | S_alter_table (table, action) -> exec_alter_table ctx table action
+  | S_alter_sequence { name; step } -> (
+      match Hashtbl.find_opt ctx.cat.Catalog.sequences name with
+      | None ->
+        probe ctx s_seq 5;
+        Errors.fail (Errors.No_such_object ("sequence", name))
+      | Some sq ->
+        if step = 0 then Errors.fail (Errors.Semantic "zero sequence step");
+        sq.Catalog.sq_step <- step;
+        probe ctx s_seq 1;
+        Done "sequence altered")
+  | S_alter_user { user; password } -> (
+      match Hashtbl.find_opt ctx.cat.Catalog.users user with
+      | None ->
+        probe ctx s_dcl 2;
+        Errors.fail (Errors.No_such_object ("user", user))
+      | Some u ->
+        u.Catalog.us_password <- password;
+        Done "user altered")
+  | S_rename_table pairs ->
+    List.iter
+      (fun (a, b) ->
+         let table = Catalog.find_table ctx.cat a in
+         if Catalog.name_in_use ctx.cat b then begin
+           probe ctx s_ddl 20;
+           Errors.fail (Errors.Duplicate_object ("table", b))
+         end;
+         Hashtbl.remove ctx.cat.Catalog.tables a;
+         Table.set_name table b;
+         Hashtbl.replace ctx.cat.Catalog.tables b table;
+         rename_refs ctx a b)
+      pairs;
+    probe ctx s_ddl 19;
+    Done "renamed"
+  | S_truncate name ->
+    let table = Catalog.find_table ctx.cat name in
+    check_lock ctx name `Write;
+    let n = Table.truncate table in
+    rebuild_table_indexes ctx name;
+    probe ctx s_ddl (21 + min 2 (bucket n));
+    if ctx.cat.Catalog.in_txn then set_flag ctx "truncate_in_txn";
+    Done (Printf.sprintf "truncated %d rows" n)
+  | S_comment_on { table; comment } ->
+    ignore (Catalog.find_table ctx.cat table);
+    Hashtbl.replace ctx.cat.Catalog.comments table comment;
+    probe ctx s_ddl 25;
+    Done "comment set"
+  (* ---------------- DML ---------------- *)
+  | S_insert i -> exec_insert ctx ~replace:false ~in_with:false i
+  | S_replace i -> exec_insert ctx ~replace:true ~in_with:false i
+  | S_update u -> exec_update ctx ~in_with:false u
+  | S_delete d -> exec_delete ctx ~in_with:false d
+  | S_copy_to { src; header } ->
+    let headers, rows =
+      match src with
+      | Cs_table t ->
+        let table = Catalog.find_table ctx.cat t in
+        ( Array.to_list
+            (Array.map (fun c -> c.Table.c_name) (Table.cols table)),
+          List.map snd (Table.to_rows table) )
+      | Cs_query q -> (headers_of_query ctx q, run_query ctx q)
+    in
+    probe ctx s_copy
+      ((bucket (List.length rows) * 2) lor if header then 1 else 0);
+    Rows (headers, rows)
+  | S_copy_from { table; rows } ->
+    let lit_rows = List.map (List.map (fun l -> Lit l)) rows in
+    exec_insert ctx ~replace:false ~in_with:false
+      { i_table = table; i_cols = []; i_source = Src_values lit_rows;
+        i_ignore = false }
+  | S_load_data { table; rows } ->
+    let lit_rows = List.map (List.map (fun l -> Lit l)) rows in
+    probe ctx s_copy 8;
+    exec_insert ctx ~replace:false ~in_with:false
+      { i_table = table; i_cols = []; i_source = Src_values lit_rows;
+        i_ignore = true }
+  (* ---------------- DQL ---------------- *)
+  | S_select q -> Rows (headers_of_query ctx q, run_query ctx q)
+  | S_with { ctes; body } -> exec_with ctx ctes body
+  | S_table t ->
+    let table = Catalog.find_table ctx.cat t in
+    probe ctx s_scan (32 + bucket (Table.row_count table));
+    Rows
+      ( Array.to_list (Array.map (fun c -> c.Table.c_name) (Table.cols table)),
+        List.map snd (Table.to_rows table) )
+  | S_explain inner ->
+    let lines =
+      Planner.explain_lines ctx.cat ~analyzed:(analyzed ctx) inner
+    in
+    probe ctx s_explain (bucket (List.length lines));
+    Rows ([ "QUERY PLAN" ], List.map (fun l -> [| Value.Text l |]) lines)
+  | S_describe t | S_show (Sh_columns t) ->
+    let table = Catalog.find_table ctx.cat t in
+    probe ctx s_show 1;
+    Rows
+      ( [ "Field"; "Type"; "Null"; "Key" ],
+        Array.to_list
+          (Array.map
+             (fun c ->
+                [| Value.Text c.Table.c_name;
+                   Value.Text (Sql_printer.data_type c.Table.c_type);
+                   Value.Text (if c.Table.c_not_null then "NO" else "YES");
+                   Value.Text
+                     (if c.Table.c_primary then "PRI"
+                      else if c.Table.c_unique then "UNI"
+                      else "") |])
+             (Table.cols table)) )
+  | S_show Sh_tables ->
+    probe ctx s_show 0;
+    let names =
+      Hashtbl.fold (fun n _ acc -> n :: acc) ctx.cat.Catalog.tables []
+      @ Hashtbl.fold (fun n _ acc -> n :: acc) ctx.cat.Catalog.views []
+    in
+    Rows
+      ( [ "Tables" ],
+        List.map (fun n -> [| Value.Text n |]) (List.sort String.compare names) )
+  | S_show Sh_variables ->
+    probe ctx s_show 2;
+    let vars =
+      Hashtbl.fold
+        (fun n v acc -> (n, v) :: acc)
+        ctx.cat.Catalog.session_vars []
+    in
+    Rows
+      ( [ "Variable_name"; "Value" ],
+        List.map
+          (fun (n, v) -> [| Value.Text n; Value.Text (Value.to_display v) |])
+          (List.sort compare vars) )
+  | S_show Sh_status ->
+    probe ctx s_show 3;
+    Rows
+      ( [ "Variable_name"; "Value" ],
+        [ [| Value.Text "tables"; Value.Int (Hashtbl.length ctx.cat.Catalog.tables) |];
+          [| Value.Text "objects"; Value.Int (Catalog.object_count ctx.cat) |];
+          [| Value.Text "in_txn"; Value.Bool ctx.cat.Catalog.in_txn |] ] )
+  (* ---------------- DCL ---------------- *)
+  | S_grant { privs; table; user } -> (
+      ignore (Catalog.find_table ctx.cat table);
+      match Hashtbl.find_opt ctx.cat.Catalog.users user with
+      | None ->
+        probe ctx s_dcl 4;
+        Errors.fail (Errors.No_such_object ("user", user))
+      | Some u ->
+        let existing =
+          Option.value ~default:[] (List.assoc_opt table u.Catalog.us_privs)
+        in
+        let merged =
+          List.fold_left
+            (fun acc p -> if List.mem p acc then acc else p :: acc)
+            existing privs
+        in
+        u.Catalog.us_privs <-
+          (table, merged) :: List.remove_assoc table u.Catalog.us_privs;
+        probe ctx s_dcl 3;
+        set_flag ctx "granted";
+        Done "granted")
+  | S_revoke { privs; table; user } -> (
+      match Hashtbl.find_opt ctx.cat.Catalog.users user with
+      | None ->
+        probe ctx s_dcl 6;
+        Errors.fail (Errors.No_such_object ("user", user))
+      | Some u ->
+        let existing =
+          Option.value ~default:[] (List.assoc_opt table u.Catalog.us_privs)
+        in
+        let remaining =
+          List.filter
+            (fun p -> not (List.mem p privs || List.mem P_all privs))
+            existing
+        in
+        u.Catalog.us_privs <-
+          (table, remaining) :: List.remove_assoc table u.Catalog.us_privs;
+        probe ctx s_dcl 5;
+        Done "revoked")
+  | S_set_role user ->
+    if not (Hashtbl.mem ctx.cat.Catalog.users user) then begin
+      probe ctx s_dcl 8;
+      Errors.fail (Errors.No_such_object ("user", user))
+    end;
+    ctx.cat.Catalog.current_user <- user;
+    probe ctx s_dcl 7;
+    set_flag ctx "role_changed";
+    Done "role set"
+  (* ---------------- TCL ---------------- *)
+  | S_begin ->
+    if ctx.cat.Catalog.in_txn then begin
+      probe ctx s_txn 1;
+      Errors.fail (Errors.Semantic "transaction already in progress")
+    end;
+    ctx.cat.Catalog.txn_snapshot <- Some (Catalog.take_snapshot ctx.cat);
+    ctx.cat.Catalog.in_txn <- true;
+    probe ctx s_txn 0;
+    Done "begin"
+  | S_commit ->
+    if ctx.cat.Catalog.in_txn then begin
+      ctx.cat.Catalog.in_txn <- false;
+      ctx.cat.Catalog.txn_snapshot <- None;
+      ctx.cat.Catalog.savepoints <- [];
+      probe ctx s_txn 2;
+      Done "commit"
+    end
+    else begin
+      probe ctx s_txn 3;
+      Done "commit (no transaction)"
+    end
+  | S_rollback ->
+    (match ctx.cat.Catalog.txn_snapshot with
+     | Some snap when ctx.cat.Catalog.in_txn ->
+       Catalog.restore_snapshot ctx.cat snap;
+       ctx.cat.Catalog.in_txn <- false;
+       ctx.cat.Catalog.txn_snapshot <- None;
+       ctx.cat.Catalog.savepoints <- [];
+       probe ctx s_txn 4;
+       set_flag ctx "rolled_back";
+       Done "rollback"
+     | _ ->
+       probe ctx s_txn 5;
+       Done "rollback (no transaction)")
+  | S_savepoint name ->
+    if not ctx.cat.Catalog.in_txn then begin
+      probe ctx s_txn 7;
+      Errors.fail (Errors.Semantic "SAVEPOINT outside transaction")
+    end;
+    ctx.cat.Catalog.savepoints <-
+      (name, Catalog.take_snapshot ctx.cat) :: ctx.cat.Catalog.savepoints;
+    probe ctx s_txn 6;
+    Done "savepoint"
+  | S_release_savepoint name -> (
+      match List.assoc_opt name ctx.cat.Catalog.savepoints with
+      | None ->
+        probe ctx s_txn 9;
+        Errors.fail (Errors.No_such_object ("savepoint", name))
+      | Some _ ->
+        let rec drop = function
+          | [] -> []
+          | (n, _) :: rest when String.equal n name -> rest
+          | _ :: rest -> drop rest
+        in
+        ctx.cat.Catalog.savepoints <- drop ctx.cat.Catalog.savepoints;
+        probe ctx s_txn 8;
+        Done "savepoint released")
+  | S_rollback_to name -> (
+      match List.assoc_opt name ctx.cat.Catalog.savepoints with
+      | None ->
+        probe ctx s_txn 11;
+        Errors.fail (Errors.No_such_object ("savepoint", name))
+      | Some snap ->
+        Catalog.restore_snapshot ctx.cat snap;
+        probe ctx s_txn 10;
+        set_flag ctx "rolled_back_to_savepoint";
+        Done "rolled back to savepoint")
+  | S_set_transaction iso ->
+    ctx.cat.Catalog.iso <- iso;
+    probe ctx s_txn
+      (12
+       + match iso with
+       | Read_committed -> 0
+       | Repeatable_read -> 1
+       | Serializable -> 2);
+    Done "isolation set"
+  | S_lock_tables locks ->
+    List.iter (fun (t, _) -> ignore (Catalog.find_table ctx.cat t)) locks;
+    Hashtbl.reset ctx.cat.Catalog.locks;
+    List.iter
+      (fun (t, m) -> Hashtbl.replace ctx.cat.Catalog.locks t m)
+      locks;
+    probe ctx s_txn (16 + min 3 (List.length locks));
+    set_flag ctx "locked_now";
+    Done "locked"
+  | S_unlock_tables ->
+    probe ctx s_txn
+      (if Hashtbl.length ctx.cat.Catalog.locks = 0 then 21 else 20);
+    Hashtbl.reset ctx.cat.Catalog.locks;
+    Done "unlocked"
+  (* ---------------- session / utility ---------------- *)
+  | S_set_var { global; name; value } ->
+    let tbl =
+      if global then ctx.cat.Catalog.global_vars
+      else ctx.cat.Catalog.session_vars
+    in
+    Hashtbl.replace tbl name (Value.of_literal value);
+    probe ctx s_util ((Hashtbl.hash name land 15) lor if global then 16 else 0);
+    Done "variable set"
+  | S_reset_var name ->
+    probe ctx s_util
+      (32 lor if Hashtbl.mem ctx.cat.Catalog.session_vars name then 1 else 0);
+    Hashtbl.remove ctx.cat.Catalog.session_vars name;
+    Done "variable reset"
+  | S_set_names charset ->
+    Hashtbl.replace ctx.cat.Catalog.session_vars "names"
+      (Value.Text charset);
+    probe ctx s_util 34;
+    Done "names set"
+  | S_pragma { name; value } ->
+    (match value with
+     | Some l ->
+       Hashtbl.replace ctx.cat.Catalog.session_vars ("pragma_" ^ name)
+         (Value.of_literal l)
+     | None -> ());
+    probe ctx s_util (40 lor (Hashtbl.hash name land 7));
+    Done "pragma"
+  | S_vacuum target ->
+    (match target with
+     | Some t -> ignore (Catalog.find_table ctx.cat t)
+     | None -> ());
+    set_flag ctx "vacuumed";
+    probe ctx s_util (48 lor if target = None then 1 else 0);
+    Done "vacuumed"
+  | S_analyze target ->
+    (match target with
+     | Some t -> ignore (Catalog.find_table ctx.cat t)
+     | None -> ());
+    Hashtbl.replace ctx.cat.Catalog.global_vars "__analyzed"
+      (Value.Bool true);
+    set_flag ctx "analyzed_now";
+    probe ctx s_util (50 lor if target = None then 1 else 0);
+    Done "analyzed"
+  | S_reindex target ->
+    (match target with
+     | Some t ->
+       ignore (Catalog.find_table ctx.cat t);
+       rebuild_table_indexes ctx t
+     | None -> Catalog.rebuild_indexes ctx.cat);
+    probe ctx s_util (52 lor if target = None then 1 else 0);
+    Done "reindexed"
+  | S_checkpoint ->
+    probe ctx s_util (54 lor if ctx.cat.Catalog.in_txn then 1 else 0);
+    Done "checkpoint"
+  | S_flush what ->
+    probe ctx s_util
+      (56
+       + match what with Fl_tables -> 0 | Fl_status -> 1 | Fl_privileges -> 2);
+    Done "flushed"
+  | S_optimize t ->
+    ignore (Catalog.find_table ctx.cat t);
+    probe ctx s_util 60;
+    Rows ([ "Table"; "Msg_text" ], [ [| Value.Text t; Value.Text "OK" |] ])
+  | S_check_table t ->
+    let table = Catalog.find_table ctx.cat t in
+    probe ctx s_util (62 lor if Table.row_count table = 0 then 1 else 0);
+    Rows ([ "Table"; "Msg_text" ], [ [| Value.Text t; Value.Text "OK" |] ])
+  | S_repair t ->
+    ignore (Catalog.find_table ctx.cat t);
+    set_flag ctx "repaired";
+    probe ctx s_util 64;
+    Rows ([ "Table"; "Msg_text" ], [ [| Value.Text t; Value.Text "OK" |] ])
+  | S_notify { channel; payload } -> do_notify ctx channel payload
+  | S_listen channel ->
+    if not (List.mem channel ctx.cat.Catalog.listening) then
+      ctx.cat.Catalog.listening <- channel :: ctx.cat.Catalog.listening;
+    probe ctx s_notify 4;
+    Done "listening"
+  | S_unlisten channel ->
+    probe ctx s_notify
+      (if List.mem channel ctx.cat.Catalog.listening then 5 else 6);
+    ctx.cat.Catalog.listening <-
+      List.filter
+        (fun c -> not (String.equal c channel))
+        ctx.cat.Catalog.listening;
+    Done "unlistened"
+  | S_discard what ->
+    (match what with
+     | Disc_all ->
+       let temps =
+         Hashtbl.fold
+           (fun n t acc -> if Table.is_temp t then n :: acc else acc)
+           ctx.cat.Catalog.tables []
+       in
+       List.iter (Hashtbl.remove ctx.cat.Catalog.tables) temps;
+       Hashtbl.reset ctx.cat.Catalog.prepared;
+       ctx.cat.Catalog.listening <- [];
+       probe ctx s_util (70 lor if temps <> [] then 1 else 0);
+       set_flag ctx "discarded_all"
+     | Disc_temp ->
+       let temps =
+         Hashtbl.fold
+           (fun n t acc -> if Table.is_temp t then n :: acc else acc)
+           ctx.cat.Catalog.tables []
+       in
+       List.iter (Hashtbl.remove ctx.cat.Catalog.tables) temps;
+       probe ctx s_util (72 lor if temps <> [] then 1 else 0)
+     | Disc_plans -> probe ctx s_util 74);
+    Done "discarded"
+  | S_prepare { name; stmt = inner } ->
+    (match inner with
+     | S_prepare _ | S_execute _ ->
+       probe ctx s_prepare 3;
+       Errors.fail (Errors.Semantic "nested PREPARE")
+     | _ -> ());
+    Hashtbl.replace ctx.cat.Catalog.prepared name inner;
+    probe ctx s_prepare 0;
+    Done "prepared"
+  | S_execute name -> (
+      match Hashtbl.find_opt ctx.cat.Catalog.prepared name with
+      | None ->
+        probe ctx s_prepare 2;
+        Errors.fail (Errors.No_such_object ("prepared statement", name))
+      | Some inner ->
+        probe ctx s_prepare 1;
+        if ctx.trigger_depth > ctx.limits.Limits.max_trigger_depth then
+          Errors.fail (Errors.Limit_exceeded "execute recursion")
+        else begin
+          ctx.trigger_depth <- ctx.trigger_depth + 1;
+          let finally () = ctx.trigger_depth <- ctx.trigger_depth - 1 in
+          match exec ctx inner with
+          | r ->
+            finally ();
+            r
+          | exception e ->
+            finally ();
+            raise e
+        end)
+  | S_deallocate name ->
+    if not (Hashtbl.mem ctx.cat.Catalog.prepared name) then begin
+      probe ctx s_prepare 5;
+      Errors.fail (Errors.No_such_object ("prepared statement", name))
+    end;
+    Hashtbl.remove ctx.cat.Catalog.prepared name;
+    probe ctx s_prepare 4;
+    Done "deallocated"
+  | S_use db ->
+    if not (Hashtbl.mem ctx.cat.Catalog.databases db) then begin
+      probe ctx s_util 81;
+      Errors.fail (Errors.No_such_object ("database", db))
+    end;
+    ctx.cat.Catalog.current_db <- db;
+    probe ctx s_util 80;
+    Done "database changed"
+  | S_do e ->
+    let v = eval_scalar ctx e in
+    probe ctx s_util (84 lor Hashtbl.hash (Value.type_name v) land 3);
+    Done "do"
+  | S_handler_open t ->
+    ignore (Catalog.find_table ctx.cat t);
+    if Hashtbl.mem ctx.cat.Catalog.handlers t then begin
+      probe ctx s_handler 1;
+      Errors.fail (Errors.Semantic "handler already open")
+    end;
+    Hashtbl.replace ctx.cat.Catalog.handlers t (-1);
+    probe ctx s_handler 0;
+    Done "handler open"
+  | S_handler_read { table; dir } -> (
+      match Hashtbl.find_opt ctx.cat.Catalog.handlers table with
+      | None ->
+        probe ctx s_handler 3;
+        Errors.fail (Errors.Semantic "handler not open")
+      | Some pos ->
+        let tbl = Catalog.find_table ctx.cat table in
+        let next = match dir with H_first -> 0 | H_next -> pos + 1 in
+        Hashtbl.replace ctx.cat.Catalog.handlers table next;
+        let rows = Table.to_rows tbl in
+        probe ctx s_handler
+          (if next < List.length rows then 4 else 5);
+        (match List.nth_opt rows next with
+         | Some (_, row) ->
+           Rows
+             ( Array.to_list
+                 (Array.map (fun c -> c.Table.c_name) (Table.cols tbl)),
+               [ row ] )
+         | None ->
+           Rows
+             ( Array.to_list
+                 (Array.map (fun c -> c.Table.c_name) (Table.cols tbl)),
+               [] )))
+  | S_handler_close t ->
+    if not (Hashtbl.mem ctx.cat.Catalog.handlers t) then begin
+      probe ctx s_handler 7;
+      Errors.fail (Errors.Semantic "handler not open")
+    end;
+    Hashtbl.remove ctx.cat.Catalog.handlers t;
+    probe ctx s_handler 6;
+    Done "handler closed"
+  | S_alter_system param ->
+    Hashtbl.replace ctx.cat.Catalog.global_vars ("__system_" ^ param)
+      (Value.Bool true);
+    set_flag ctx "system_altered";
+    probe ctx s_util (90 lor (Hashtbl.hash param land 7));
+    Done "system altered"
+  | S_refresh_matview name -> (
+      match Hashtbl.find_opt ctx.cat.Catalog.views name with
+      | Some v when v.Catalog.v_materialized ->
+        v.Catalog.v_cache <- Some (run_query ctx v.Catalog.v_query);
+        set_flag ctx "matview_refreshed";
+        probe ctx s_view 16;
+        Done "materialized view refreshed"
+      | Some _ ->
+        probe ctx s_view 17;
+        Errors.fail (Errors.Semantic "not a materialized view")
+      | None ->
+        probe ctx s_view 18;
+        Errors.fail (Errors.No_such_object ("materialized view", name)))
+  | S_kill n ->
+    probe ctx s_util (96 lor if n = 0 then 1 else 0);
+    if n = 0 then Errors.fail (Errors.Semantic "unknown thread id 0");
+    Done "killed"
+  | S_cluster target ->
+    let do_one name =
+      let table = Catalog.find_table ctx.cat name in
+      let pk_pos =
+        let cols = Table.cols table in
+        let rec find i =
+          if i >= Array.length cols then None
+          else if cols.(i).Table.c_primary then Some i
+          else find (i + 1)
+        in
+        find 0
+      in
+      match pk_pos with
+      | None -> probe ctx s_util 100
+      | Some p ->
+        let rows = List.map snd (Table.to_rows table) in
+        let sorted =
+          List.stable_sort
+            (fun a b -> Value.compare_total a.(p) b.(p))
+            rows
+        in
+        ignore (Table.truncate table);
+        List.iter (fun r -> ignore (Table.insert table r)) sorted;
+        rebuild_table_indexes ctx name;
+        probe ctx s_util 101;
+        set_flag ctx "clustered"
+    in
+    (match target with
+     | Some t -> do_one t
+     | None ->
+       Hashtbl.iter (fun n _ -> do_one n) (Hashtbl.copy ctx.cat.Catalog.tables));
+    Done "clustered"
+
+and do_notify ctx channel payload =
+  let delivered = List.mem channel ctx.cat.Catalog.listening in
+  ctx.cat.Catalog.notify_queue <-
+    (channel, payload) :: ctx.cat.Catalog.notify_queue;
+  probe ctx s_notify (if delivered then 1 else 0);
+  if delivered then set_flag ctx "notify_delivered";
+  set_flag ctx "notified";
+  Done "notified"
+
+and rename_refs ctx old_name new_name =
+  let remap t = if String.equal t old_name then new_name else t in
+  let specs =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) ctx.cat.Catalog.indexes []
+  in
+  List.iter
+    (fun (k, (spec : Catalog.index_spec)) ->
+       if String.equal spec.x_table old_name then
+         Hashtbl.replace ctx.cat.Catalog.indexes k
+           { spec with x_table = new_name })
+    specs;
+  let trs =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) ctx.cat.Catalog.triggers []
+  in
+  List.iter
+    (fun (k, (tr : Catalog.trigger)) ->
+       if String.equal tr.tr_table old_name then
+         Hashtbl.replace ctx.cat.Catalog.triggers k
+           { tr with tr_table = new_name })
+    trs;
+  let rls =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) ctx.cat.Catalog.rules []
+  in
+  List.iter
+    (fun (k, (r : Catalog.rule)) ->
+       if String.equal r.r_table old_name then
+         Hashtbl.replace ctx.cat.Catalog.rules k
+           { r with r_table = remap r.r_table })
+    rls
+
+and exec_drop ctx target if_exists =
+  let missing kind name =
+    probe ctx s_ddl 30;
+    if if_exists then Done (kind ^ " does not exist, skipped")
+    else Errors.fail (Errors.No_such_object (kind, name))
+  in
+  match target with
+  | D_table name ->
+    if not (Hashtbl.mem ctx.cat.Catalog.tables name) then
+      missing "table" name
+    else begin
+      Hashtbl.remove ctx.cat.Catalog.tables name;
+      (* cascade: indexes, triggers, rules on the table *)
+      let cascade = ref 0 in
+      let idx =
+        Hashtbl.fold
+          (fun k (s : Catalog.index_spec) acc ->
+             if String.equal s.x_table name then k :: acc else acc)
+          ctx.cat.Catalog.indexes []
+      in
+      List.iter
+        (fun k ->
+           incr cascade;
+           Hashtbl.remove ctx.cat.Catalog.indexes k)
+        idx;
+      let trs =
+        Hashtbl.fold
+          (fun k (t : Catalog.trigger) acc ->
+             if String.equal t.tr_table name then k :: acc else acc)
+          ctx.cat.Catalog.triggers []
+      in
+      List.iter
+        (fun k ->
+           incr cascade;
+           Hashtbl.remove ctx.cat.Catalog.triggers k)
+        trs;
+      let rls =
+        Hashtbl.fold
+          (fun k (r : Catalog.rule) acc ->
+             if String.equal r.r_table name then k :: acc else acc)
+          ctx.cat.Catalog.rules []
+      in
+      List.iter
+        (fun k ->
+           incr cascade;
+           Hashtbl.remove ctx.cat.Catalog.rules k)
+        rls;
+      Hashtbl.remove ctx.cat.Catalog.handlers name;
+      Hashtbl.remove ctx.cat.Catalog.locks name;
+      probe ctx s_ddl (31 + min 2 !cascade);
+      if !cascade > 0 then set_flag ctx "drop_cascaded";
+      Done "table dropped"
+    end
+  | D_index name ->
+    if not (Hashtbl.mem ctx.cat.Catalog.indexes name) then
+      missing "index" name
+    else begin
+      Hashtbl.remove ctx.cat.Catalog.indexes name;
+      probe ctx s_ddl 34;
+      Done "index dropped"
+    end
+  | D_view name ->
+    if not (Hashtbl.mem ctx.cat.Catalog.views name) then missing "view" name
+    else begin
+      Hashtbl.remove ctx.cat.Catalog.views name;
+      probe ctx s_ddl 35;
+      Done "view dropped"
+    end
+  | D_trigger name ->
+    if not (Hashtbl.mem ctx.cat.Catalog.triggers name) then
+      missing "trigger" name
+    else begin
+      Hashtbl.remove ctx.cat.Catalog.triggers name;
+      probe ctx s_ddl 36;
+      Done "trigger dropped"
+    end
+  | D_rule (name, _table) ->
+    if not (Hashtbl.mem ctx.cat.Catalog.rules name) then missing "rule" name
+    else begin
+      Hashtbl.remove ctx.cat.Catalog.rules name;
+      probe ctx s_ddl 37;
+      Done "rule dropped"
+    end
+  | D_sequence name ->
+    if not (Hashtbl.mem ctx.cat.Catalog.sequences name) then
+      missing "sequence" name
+    else begin
+      Hashtbl.remove ctx.cat.Catalog.sequences name;
+      probe ctx s_ddl 38;
+      Done "sequence dropped"
+    end
+  | D_schema name ->
+    if not (Hashtbl.mem ctx.cat.Catalog.schemas name) then
+      missing "schema" name
+    else begin
+      Hashtbl.remove ctx.cat.Catalog.schemas name;
+      probe ctx s_ddl 39;
+      Done "schema dropped"
+    end
+  | D_database name ->
+    if not (Hashtbl.mem ctx.cat.Catalog.databases name) then
+      missing "database" name
+    else if String.equal name ctx.cat.Catalog.current_db then begin
+      probe ctx s_ddl 41;
+      Errors.fail (Errors.Semantic "cannot drop the current database")
+    end
+    else begin
+      Hashtbl.remove ctx.cat.Catalog.databases name;
+      probe ctx s_ddl 40;
+      Done "database dropped"
+    end
+  | D_user name ->
+    if not (Hashtbl.mem ctx.cat.Catalog.users name) then missing "user" name
+    else if String.equal name "root" then begin
+      probe ctx s_dcl 10;
+      Errors.fail (Errors.Semantic "cannot drop root")
+    end
+    else begin
+      Hashtbl.remove ctx.cat.Catalog.users name;
+      if String.equal ctx.cat.Catalog.current_user name then
+        ctx.cat.Catalog.current_user <- "root";
+      probe ctx s_dcl 9;
+      Done "user dropped"
+    end
+
+and exec_alter_table ctx table_name action =
+  let table = Catalog.find_table ctx.cat table_name in
+  check_lock ctx table_name `Write;
+  (match action with
+   | Add_column def ->
+     let col = Table.col_of_def def in
+     if Table.col_index table col.Table.c_name <> None then begin
+       probe ctx s_ddl 45;
+       Errors.fail (Errors.Duplicate_object ("column", col.Table.c_name))
+     end;
+     if
+       col.Table.c_not_null && col.Table.c_default = None
+       && Table.row_count table > 0
+     then begin
+       probe ctx s_ddl 46;
+       Errors.fail
+         (Errors.Constraint_violation
+            "cannot add NOT NULL column without default to non-empty table")
+     end;
+     Table.add_column table col;
+     probe ctx s_ddl 44
+   | Drop_column name -> (
+       match Table.col_index table name with
+       | None ->
+         probe ctx s_ddl 48;
+         Errors.fail (Errors.No_such_column name)
+       | Some pos ->
+         if Table.arity table = 1 then begin
+           probe ctx s_ddl 49;
+           Errors.fail (Errors.Semantic "cannot drop the only column")
+         end;
+         (* drop indexes that use the column *)
+         let doomed =
+           Hashtbl.fold
+             (fun k (s : Catalog.index_spec) acc ->
+                if
+                  String.equal s.x_table table_name
+                  && List.mem name s.x_cols
+                then k :: acc
+                else acc)
+             ctx.cat.Catalog.indexes []
+         in
+         List.iter (Hashtbl.remove ctx.cat.Catalog.indexes) doomed;
+         if doomed <> [] then set_flag ctx "index_dropped_with_column";
+         Table.drop_column table pos;
+         probe ctx s_ddl 47)
+   | Rename_to new_name ->
+     if Catalog.name_in_use ctx.cat new_name then begin
+       probe ctx s_ddl 51;
+       Errors.fail (Errors.Duplicate_object ("table", new_name))
+     end;
+     Hashtbl.remove ctx.cat.Catalog.tables table_name;
+     Table.set_name table new_name;
+     Hashtbl.replace ctx.cat.Catalog.tables new_name table;
+     rename_refs ctx table_name new_name;
+     probe ctx s_ddl 50
+   | Rename_column (old_c, new_c) -> (
+       match Table.col_index table old_c with
+       | None ->
+         probe ctx s_ddl 53;
+         Errors.fail (Errors.No_such_column old_c)
+       | Some pos ->
+         if Table.col_index table new_c <> None then begin
+           probe ctx s_ddl 54;
+           Errors.fail (Errors.Duplicate_object ("column", new_c))
+         end;
+         Table.rename_column table pos new_c;
+         probe ctx s_ddl 52)
+   | Alter_column_type (col, dt) -> (
+       match Table.col_index table col with
+       | None ->
+         probe ctx s_ddl 56;
+         Errors.fail (Errors.No_such_column col)
+       | Some pos ->
+         Table.change_column_type table pos dt;
+         probe ctx s_ddl 55;
+         set_flag ctx "column_retyped"));
+  rebuild_table_indexes ctx table_name;
+  Done "table altered"
+
+and fire_triggers ctx table_name event ~timing =
+  let trs = Catalog.triggers_on ctx.cat table_name event in
+  let trs =
+    List.filter (fun (t : Catalog.trigger) -> t.tr_timing = timing) trs
+  in
+  if trs <> [] then begin
+    if ctx.trigger_depth >= ctx.limits.Limits.max_trigger_depth then begin
+      probe ctx s_trigger 15;
+      set_flag ctx "trigger_depth_limit"
+    end
+    else begin
+      ctx.trigger_depth <- ctx.trigger_depth + 1;
+      let finally () = ctx.trigger_depth <- ctx.trigger_depth - 1 in
+      (try
+         List.iter
+           (fun (t : Catalog.trigger) ->
+              probe ctx s_trigger
+                ((match timing with Before -> 0 | After -> 8)
+                 lor (ctx.trigger_depth land 7));
+              set_flag ctx "trigger_fired";
+              List.iter (fun s -> ignore (exec ctx s)) t.tr_body)
+           trs
+       with e ->
+         finally ();
+         raise e);
+      finally ()
+    end
+  end
+
+and exec_insert ctx ~replace ~in_with (i : insert) =
+  let table_name = i.i_table in
+  match
+    if Hashtbl.mem ctx.cat.Catalog.tables table_name then
+      Rewriter.rewrite_dml ctx.cat ~table:table_name ~event:Ev_insert
+    else Rewriter.No_rule
+  with
+  | Rewriter.No_rule -> exec_plain_insert ctx ~replace ~in_with i
+  | decision -> apply_rule ctx ~in_with decision
+
+and apply_rule ctx ~in_with decision =
+  probe ctx s_rule
+    ((Rewriter.decision_tag decision * 4) lor if in_with then 1 else 0);
+  set_flag ctx "rule_rewrote";
+  if in_with then set_flag ctx "dml_in_with_rewritten";
+  match decision with
+  | Rewriter.No_rule -> Affected 0
+  | Rewriter.Instead_nothing _ -> Affected 0
+  | Rewriter.Instead_notify (_, chan) ->
+    if in_with then set_flag ctx "notify_rewrite_in_with";
+    ignore (do_notify ctx chan None);
+    Affected 0
+  | Rewriter.Instead_stmt (_, s) ->
+    if ctx.trigger_depth >= ctx.limits.Limits.max_trigger_depth then begin
+      probe ctx s_rule 15;
+      Affected 0
+    end
+    else begin
+      ctx.trigger_depth <- ctx.trigger_depth + 1;
+      let finally () = ctx.trigger_depth <- ctx.trigger_depth - 1 in
+      match exec ctx s with
+      | r ->
+        finally ();
+        (match r with Affected n -> Affected n | _ -> Affected 0)
+      | exception e ->
+        finally ();
+        raise e
+    end
+
+and exec_plain_insert ctx ~replace ~in_with (i : insert) =
+  let table = Catalog.find_table ctx.cat i.i_table in
+  check_lock ctx i.i_table `Write;
+  let cols = Table.cols table in
+  let arity = Array.length cols in
+  let positions =
+    if i.i_cols = [] then List.init arity (fun x -> x)
+    else
+      List.map
+        (fun c ->
+           match Table.col_index table c with
+           | Some p -> p
+           | None ->
+             probe ctx s_insert 14;
+             Errors.fail (Errors.No_such_column c))
+        i.i_cols
+  in
+  let src_rows =
+    match i.i_source with
+    | Src_values rows ->
+      List.map
+        (fun row -> List.map (fun e -> eval_scalar ctx e) row)
+        rows
+    | Src_query q ->
+      probe ctx s_insert 12;
+      set_flag ctx "insert_select";
+      List.map Array.to_list (run_query ctx q)
+  in
+  let inserted = ref 0 in
+  let skip_row reason_key =
+    probe ctx s_constraint reason_key;
+    set_flag ctx "row_skipped"
+  in
+  List.iter
+    (fun src ->
+       if List.length src <> List.length positions then begin
+         if i.i_ignore then skip_row 15
+         else begin
+           probe ctx s_insert 13;
+           Errors.fail
+             (Errors.Semantic "INSERT value count does not match columns")
+         end
+       end
+       else begin
+         (* assemble the full row with defaults *)
+         let row =
+           Array.init arity (fun p ->
+               match cols.(p).Table.c_default with
+               | Some d -> d
+               | None -> Value.Null)
+         in
+         let coerce_err = ref None in
+         List.iteri
+           (fun k v ->
+              let p = List.nth positions k in
+              match Value.coerce v cols.(p).Table.c_type with
+              | Ok v ->
+                if cols.(p).Table.c_zerofill then
+                  probe ctx s_insert 20;
+                row.(p) <- v
+              | Error msg -> coerce_err := Some msg)
+           src;
+         match !coerce_err with
+         | Some msg ->
+           if i.i_ignore then skip_row 16
+           else begin
+             probe ctx s_insert 17;
+             Errors.fail (Errors.Type_error msg)
+           end
+         | None ->
+           (* NOT NULL *)
+           let nn_violation =
+             Array.exists
+               (fun p ->
+                  cols.(p).Table.c_not_null && row.(p) = Value.Null)
+               (Array.init arity (fun x -> x))
+           in
+           if nn_violation then begin
+             if i.i_ignore then skip_row 1
+             else begin
+               probe ctx s_constraint 0;
+               set_flag ctx "not_null_violated";
+               Errors.fail
+                 (Errors.Constraint_violation "NOT NULL constraint")
+             end
+           end
+           else begin
+             let conflicts =
+               find_conflicts ctx i.i_table table row ~exclude:[]
+             in
+             if conflicts <> [] then begin
+               if replace then begin
+                 probe ctx s_constraint 4;
+                 set_flag ctx "replace_displaced";
+                 ignore
+                   (Table.delete_rows table (fun id -> List.mem id conflicts));
+                 fire_triggers ctx i.i_table Ev_delete ~timing:After;
+                 do_store ctx table i.i_table row inserted ~in_with
+               end
+               else if i.i_ignore then skip_row 2
+               else begin
+                 probe ctx s_constraint 3;
+                 set_flag ctx "unique_violated";
+                 Errors.fail
+                   (Errors.Constraint_violation "UNIQUE constraint")
+               end
+             end
+             else do_store ctx table i.i_table row inserted ~in_with
+           end
+       end)
+    src_rows;
+  rebuild_table_indexes ctx i.i_table;
+  (* non-INSTEAD rules run after the original statement *)
+  List.iter
+    (fun (r : Catalog.rule) ->
+       probe ctx s_rule 14;
+       match r.r_action with
+       | Ra_nothing -> ()
+       | Ra_notify chan -> ignore (do_notify ctx chan None)
+       | Ra_stmt s ->
+         if ctx.trigger_depth < ctx.limits.Limits.max_trigger_depth then begin
+           ctx.trigger_depth <- ctx.trigger_depth + 1;
+           (try ignore (exec ctx s)
+            with e ->
+              ctx.trigger_depth <- ctx.trigger_depth - 1;
+              raise e);
+           ctx.trigger_depth <- ctx.trigger_depth - 1
+         end)
+    (Rewriter.also_rules ctx.cat ~table:i.i_table ~event:Ev_insert);
+  probe ctx s_insert (min 7 !inserted);
+  Affected !inserted
+
+and do_store ctx table table_name row inserted ~in_with =
+  if Table.row_count table >= ctx.limits.Limits.max_rows_per_table then begin
+    probe ctx s_insert 21;
+    Errors.fail (Errors.Limit_exceeded "table rows")
+  end;
+  fire_triggers ctx table_name Ev_insert ~timing:Before;
+  ignore (Table.insert table row);
+  incr inserted;
+  if in_with then set_flag ctx "dml_in_with_executed";
+  fire_triggers ctx table_name Ev_insert ~timing:After
+
+and exec_update ctx ~in_with (u : update) =
+  match
+    if Hashtbl.mem ctx.cat.Catalog.tables u.u_table then
+      Rewriter.rewrite_dml ctx.cat ~table:u.u_table ~event:Ev_update
+    else Rewriter.No_rule
+  with
+  | Rewriter.No_rule ->
+    let table = Catalog.find_table ctx.cat u.u_table in
+    check_lock ctx u.u_table `Write;
+    let cols = Table.cols table in
+    let set_positions =
+      List.map
+        (fun (c, e) ->
+           match Table.col_index table c with
+           | Some p -> (p, e)
+           | None ->
+             probe ctx s_update 14;
+             Errors.fail (Errors.No_such_column c))
+        u.u_sets
+    in
+    let col_names = Array.map (fun c -> c.Table.c_name) cols in
+    let matching =
+      List.filter
+        (fun (_, row) ->
+           match u.u_where with
+           | None -> true
+           | Some w ->
+             let env =
+               row_env ctx
+                 [ { b_alias = u.u_table; b_cols = col_names; b_vals = row } ]
+             in
+             Expr_eval.eval_bool env w)
+        (Table.to_rows table)
+    in
+    let matching =
+      match u.u_limit with
+      | None -> matching
+      | Some n ->
+        probe ctx s_update 12;
+        List.filteri (fun i _ -> i < n) matching
+    in
+    probe ctx s_update (bucket (List.length matching));
+    let updated = ref 0 in
+    List.iter
+      (fun (rowid, row) ->
+         let env =
+           row_env ctx
+             [ { b_alias = u.u_table; b_cols = col_names; b_vals = row } ]
+         in
+         let row' = Array.copy row in
+         List.iter
+           (fun (p, e) ->
+              let v = Expr_eval.eval env e in
+              match Value.coerce v cols.(p).Table.c_type with
+              | Ok v -> row'.(p) <- v
+              | Error msg ->
+                probe ctx s_update 13;
+                Errors.fail (Errors.Type_error msg))
+           set_positions;
+         let nn =
+           Array.exists
+             (fun p -> cols.(p).Table.c_not_null && row'.(p) = Value.Null)
+             (Array.init (Array.length cols) (fun x -> x))
+         in
+         if nn then begin
+           probe ctx s_constraint 5;
+           set_flag ctx "not_null_violated";
+           Errors.fail (Errors.Constraint_violation "NOT NULL constraint")
+         end;
+         let conflicts =
+           find_conflicts ctx u.u_table table row' ~exclude:[ rowid ]
+         in
+         if conflicts <> [] then begin
+           probe ctx s_constraint 6;
+           set_flag ctx "unique_violated";
+           Errors.fail (Errors.Constraint_violation "UNIQUE constraint")
+         end;
+         fire_triggers ctx u.u_table Ev_update ~timing:Before;
+         Table.update_row table rowid row';
+         incr updated;
+         if in_with then set_flag ctx "dml_in_with_executed";
+         fire_triggers ctx u.u_table Ev_update ~timing:After)
+      matching;
+    rebuild_table_indexes ctx u.u_table;
+    Affected !updated
+  | decision -> apply_rule ctx ~in_with decision
+
+and exec_delete ctx ~in_with (d : delete) =
+  match
+    if Hashtbl.mem ctx.cat.Catalog.tables d.d_table then
+      Rewriter.rewrite_dml ctx.cat ~table:d.d_table ~event:Ev_delete
+    else Rewriter.No_rule
+  with
+  | Rewriter.No_rule ->
+    let table = Catalog.find_table ctx.cat d.d_table in
+    check_lock ctx d.d_table `Write;
+    let col_names = Array.map (fun c -> c.Table.c_name) (Table.cols table) in
+    let matching =
+      List.filter
+        (fun (_, row) ->
+           match d.d_where with
+           | None -> true
+           | Some w ->
+             let env =
+               row_env ctx
+                 [ { b_alias = d.d_table; b_cols = col_names; b_vals = row } ]
+             in
+             Expr_eval.eval_bool env w)
+        (Table.to_rows table)
+    in
+    let matching =
+      match d.d_limit with
+      | None -> matching
+      | Some n ->
+        probe ctx s_delete 12;
+        List.filteri (fun i _ -> i < n) matching
+    in
+    probe ctx s_delete (bucket (List.length matching));
+    let ids = List.map fst matching in
+    if ids <> [] then fire_triggers ctx d.d_table Ev_delete ~timing:Before;
+    let n = Table.delete_rows table (fun id -> List.mem id ids) in
+    if n > 0 then begin
+      if in_with then set_flag ctx "dml_in_with_executed";
+      fire_triggers ctx d.d_table Ev_delete ~timing:After
+    end;
+    rebuild_table_indexes ctx d.d_table;
+    Affected n
+  | decision -> apply_rule ctx ~in_with decision
+
+and exec_with ctx ctes body =
+  let saved = ctx.ctes in
+  let restore () = ctx.ctes <- saved in
+  probe ctx s_cte (16 + min 3 (List.length ctes));
+  try
+    List.iter
+      (fun { cte_name; cte_body } ->
+         let rel =
+           match cte_body with
+           | W_query q ->
+             { cr_headers = headers_of_query ctx q; cr_rows = run_query ctx q }
+           | W_insert i ->
+             set_flag ctx "dml_in_with";
+             ignore (exec_insert ctx ~replace:false ~in_with:true i);
+             { cr_headers = []; cr_rows = [] }
+           | W_update u ->
+             set_flag ctx "dml_in_with";
+             ignore (exec_update ctx ~in_with:true u);
+             { cr_headers = []; cr_rows = [] }
+           | W_delete d ->
+             set_flag ctx "dml_in_with";
+             ignore (exec_delete ctx ~in_with:true d);
+             { cr_headers = []; cr_rows = [] }
+         in
+         ctx.ctes <- (cte_name, rel) :: ctx.ctes)
+      ctes;
+    let result =
+      match body with
+      | W_query q -> Rows (headers_of_query ctx q, run_query ctx q)
+      | W_insert i ->
+        set_flag ctx "dml_in_with";
+        exec_insert ctx ~replace:false ~in_with:true i
+      | W_update u ->
+        set_flag ctx "dml_in_with";
+        exec_update ctx ~in_with:true u
+      | W_delete d ->
+        set_flag ctx "dml_in_with";
+        exec_delete ctx ~in_with:true d
+    in
+    restore ();
+    result
+  with e ->
+    restore ();
+    raise e

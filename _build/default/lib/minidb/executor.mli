@@ -1,0 +1,51 @@
+(** Statement execution — the interpreter for every statement type MiniDB
+    understands.
+
+    The executor is instrumented with {!Coverage.Bitmap.probe} calls at
+    every semantic branch point (access-path choice, constraint outcomes,
+    trigger/rule firing, value-type combinations, empty-vs-nonempty scans,
+    ...). Probe keys mix in engine state, so identical statements executed
+    after different SQL Type Sequences cover different cells — the
+    behaviour the paper's fuzzing exploits.
+
+    Recoverable problems raise {!Errors.Sql_error}; the engine catches
+    them per-statement. Injected bugs are checked by {!Engine}, not
+    here. *)
+
+open Sqlcore
+
+type result =
+  | Rows of string list * Storage.Value.t array list
+      (** header names and data rows *)
+  | Affected of int
+  | Done of string
+
+type ctx
+
+val create_ctx :
+  cat:Catalog.t ->
+  profile:Profile.t ->
+  limits:Limits.t ->
+  cov:Coverage.Bitmap.t ->
+  ctx
+
+val catalog : ctx -> Catalog.t
+
+val exec : ctx -> Ast.stmt -> result
+(** Execute one statement. @raise Errors.Sql_error on recoverable
+    errors. *)
+
+val run_query : ctx -> Ast.query -> Storage.Value.t array list
+(** Evaluate a query to its rows (exposed for the evaluator and tests). *)
+
+val reset_transient : ctx -> unit
+(** Clear per-statement flags; the engine calls this before each
+    statement. *)
+
+val set_flag : ctx -> string -> unit
+(** Record a named per-statement event (consulted by fault triggers). *)
+
+val state_pred : ctx -> string -> bool
+(** Evaluate a named state predicate over catalog state and per-statement
+    flags; this is what {!Fault.ctx.state} is wired to. Unknown names are
+    [false]. *)

@@ -1,0 +1,419 @@
+open Sqlcore.Ast
+open Storage
+
+type env = {
+  cols : string option -> string -> Value.t option;
+  run_query : Sqlcore.Ast.query -> Value.t array list;
+  agg : Sqlcore.Ast.agg_fn -> bool -> Sqlcore.Ast.expr option -> Value.t;
+  win : Sqlcore.Ast.win_fn -> Sqlcore.Ast.expr list ->
+    Sqlcore.Ast.over_clause -> Value.t;
+  probe : site:int -> key:int -> unit;
+}
+
+let no_agg _ _ _ =
+  Errors.fail (Errors.Semantic "aggregate function outside GROUP context")
+
+let no_win _ _ _ =
+  Errors.fail (Errors.Semantic "window function in invalid context")
+
+let s_arith = Coverage.Sites.register "eval.arith"
+let s_cmp = Coverage.Sites.register "eval.cmp"
+let s_logic = Coverage.Sites.register "eval.logic"
+let s_like = Coverage.Sites.register "eval.like"
+let s_case = Coverage.Sites.register "eval.case"
+let s_cast = Coverage.Sites.register "eval.cast"
+let s_fn = Coverage.Sites.register "eval.fn"
+let s_subq = Coverage.Sites.register "eval.subquery"
+let s_null = Coverage.Sites.register "eval.null_path"
+let s_divzero = Coverage.Sites.register "eval.div_zero"
+
+let vkind = function
+  | Value.Null -> 0
+  | Value.Int _ -> 1
+  | Value.Float _ -> 2
+  | Value.Text _ -> 3
+  | Value.Bool _ -> 4
+
+let num_of v =
+  match v with
+  | Value.Int n -> `I n
+  | Value.Float f -> `F f
+  | Value.Bool b -> `I (if b then 1 else 0)
+  | Value.Text s -> (
+      match float_of_string_opt s with
+      | Some f -> `F f
+      | None ->
+        (* MySQL-style lax prefix parse. *)
+        `F
+          (let n = String.length s in
+           let rec scan i =
+             if
+               i < n
+               && ((s.[i] >= '0' && s.[i] <= '9')
+                   || s.[i] = '.'
+                   || (i = 0 && (s.[i] = '-' || s.[i] = '+')))
+             then scan (i + 1)
+             else i
+           in
+           let stop = scan 0 in
+           if stop = 0 then 0.0
+           else
+             try float_of_string (String.sub s 0 stop) with Failure _ -> 0.0))
+  | Value.Null -> assert false
+
+let like_match ~pattern text =
+  let np = String.length pattern and nt = String.length text in
+  (* Classic backtracking wildcard match; patterns are tiny. *)
+  let rec go p t =
+    if p >= np then t >= nt
+    else
+      match pattern.[p] with
+      | '%' ->
+        let rec try_t t = t <= nt && (go (p + 1) t || try_t (t + 1)) in
+        try_t t
+      | '_' -> t < nt && go (p + 1) (t + 1)
+      | c -> t < nt && text.[t] = c && go (p + 1) (t + 1)
+  in
+  go 0 0
+
+let rec eval env expr =
+  match expr with
+  | Lit l -> Value.of_literal l
+  | Col (q, name) -> (
+      match env.cols q name with
+      | Some v -> v
+      | None -> Errors.fail (Errors.No_such_column name))
+  | Unop (op, a) -> eval_unop env op a
+  | Binop (op, a, b) -> eval_binop env op a b
+  | Fn (name, args) -> eval_fn env name (List.map (eval env) args)
+  | Agg (fn, distinct, arg) -> env.agg fn distinct arg
+  | Win { fn; args; over } -> env.win fn args over
+  | Case (whens, else_) ->
+    let rec try_whens i = function
+      | [] ->
+        env.probe ~site:s_case ~key:(i * 2);
+        (match else_ with None -> Value.Null | Some e -> eval env e)
+      | (c, v) :: rest ->
+        if Value.is_truthy (eval env c) then begin
+          env.probe ~site:s_case ~key:((i * 2) + 1);
+          eval env v
+        end
+        else try_whens (i + 1) rest
+    in
+    try_whens 0 whens
+  | Cast (a, dt) -> (
+      let v = eval env a in
+      env.probe ~site:s_cast ~key:(vkind v);
+      match Value.coerce v dt with
+      | Ok v -> v
+      | Error msg -> Errors.fail (Errors.Type_error msg))
+  | Is_null (a, negated) ->
+    let v = eval env a in
+    Value.Bool (if negated then v <> Value.Null else v = Value.Null)
+  | In_list { e; items; negated } -> (
+      let v = eval env e in
+      if v = Value.Null then begin
+        env.probe ~site:s_null ~key:1;
+        Value.Null
+      end
+      else
+        let matches_value item_value =
+          match Value.compare_sql v item_value with
+          | Some 0 -> true
+          | _ -> false
+        in
+        let found =
+          List.exists
+            (fun item ->
+               match item with
+               | Subquery q ->
+                 (* IN (SELECT ...): membership over every result row *)
+                 List.exists
+                   (fun row ->
+                      Array.length row > 0 && matches_value row.(0))
+                   (env.run_query q)
+               | item -> matches_value (eval env item))
+            items
+        in
+        Value.Bool (if negated then not found else found))
+  | Between { e; lo; hi; negated } -> (
+      let v = eval env e in
+      let vlo = eval env lo in
+      let vhi = eval env hi in
+      match (Value.compare_sql vlo v, Value.compare_sql v vhi) with
+      | Some a, Some b ->
+        let inside = a <= 0 && b <= 0 in
+        Value.Bool (if negated then not inside else inside)
+      | _ ->
+        env.probe ~site:s_null ~key:2;
+        Value.Null)
+  | Like { e; pat; negated } -> (
+      let v = eval env e in
+      let p = eval env pat in
+      match (v, p) with
+      | Value.Null, _ | _, Value.Null ->
+        env.probe ~site:s_like ~key:0;
+        Value.Null
+      | _ ->
+        let text =
+          match v with Value.Text s -> s | _ -> Value.to_display v
+        in
+        let pattern =
+          match p with Value.Text s -> s | _ -> Value.to_display p
+        in
+        let m = like_match ~pattern text in
+        env.probe ~site:s_like ~key:(if m then 1 else 2);
+        Value.Bool (if negated then not m else m))
+  | Exists (q, negated) ->
+    env.probe ~site:s_subq ~key:0;
+    let rows = env.run_query q in
+    Value.Bool (if negated then rows = [] else rows <> [])
+  | Subquery q -> (
+      env.probe ~site:s_subq ~key:1;
+      match env.run_query q with
+      | [] -> Value.Null
+      | [| v |] :: _ -> v
+      | row :: _ ->
+        if Array.length row = 0 then Value.Null
+        else if Array.length row > 1 then
+          Errors.fail (Errors.Semantic "scalar subquery returns >1 column")
+        else row.(0))
+
+and eval_unop env op a =
+  let v = eval env a in
+  match (op, v) with
+  | _, Value.Null -> Value.Null
+  | Neg, Value.Int n -> Value.Int (-n)
+  | Neg, Value.Float f -> Value.Float (-.f)
+  | Neg, v -> (
+      match num_of v with
+      | `I n -> Value.Int (-n)
+      | `F f -> Value.Float (-.f))
+  | Not, v -> Value.Bool (not (Value.is_truthy v))
+  | Bit_not, v -> (
+      match num_of v with
+      | `I n -> Value.Int (lnot n)
+      | `F f -> Value.Int (lnot (int_of_float f)))
+
+and eval_binop env op a b =
+  match op with
+  | And -> (
+      (* three-valued logic with short-circuit *)
+      let va = eval env a in
+      env.probe ~site:s_logic ~key:(vkind va);
+      match va with
+      | Value.Bool false -> Value.Bool false
+      | v when v <> Value.Null && not (Value.is_truthy v) -> Value.Bool false
+      | va -> (
+          let vb = eval env b in
+          match (va, vb) with
+          | Value.Null, _ | _, Value.Null -> Value.Null
+          | _ -> Value.Bool (Value.is_truthy vb)))
+  | Or -> (
+      let va = eval env a in
+      env.probe ~site:s_logic ~key:(8 + vkind va);
+      match va with
+      | v when v <> Value.Null && Value.is_truthy v -> Value.Bool true
+      | va -> (
+          let vb = eval env b in
+          match (va, vb) with
+          | _ when vb <> Value.Null && Value.is_truthy vb -> Value.Bool true
+          | Value.Null, _ | _, Value.Null -> Value.Null
+          | _ -> Value.Bool false))
+  | Eq | Neq | Lt | Le | Gt | Ge -> (
+      let va = eval env a in
+      let vb = eval env b in
+      let op_tag =
+        match op with
+        | Eq -> 0 | Neq -> 1 | Lt -> 2 | Le -> 3 | Gt -> 4 | Ge -> 5
+        | _ -> 6
+      in
+      env.probe ~site:s_cmp ~key:((op_tag * 32) + (vkind va * 5) + vkind vb);
+      match Value.compare_sql va vb with
+      | None -> Value.Null
+      | Some c ->
+        let r =
+          match op with
+          | Eq -> c = 0
+          | Neq -> c <> 0
+          | Lt -> c < 0
+          | Le -> c <= 0
+          | Gt -> c > 0
+          | Ge -> c >= 0
+          | _ -> assert false
+        in
+        Value.Bool r)
+  | Concat -> (
+      let va = eval env a in
+      let vb = eval env b in
+      match (va, vb) with
+      | Value.Null, _ | _, Value.Null -> Value.Null
+      | _ -> Value.Text (Value.to_display va ^ Value.to_display vb))
+  | Add | Sub | Mul | Div | Mod -> (
+      let va = eval env a in
+      let vb = eval env b in
+      let op_tag =
+        match op with
+        | Add -> 0 | Sub -> 1 | Mul -> 2 | Div -> 3 | Mod -> 4 | _ -> 5
+      in
+      env.probe ~site:s_arith
+        ~key:((op_tag * 32) + (vkind va * 5) + vkind vb);
+      match (va, vb) with
+      | Value.Null, _ | _, Value.Null -> Value.Null
+      | _ -> (
+          match (num_of va, num_of vb) with
+          | `I x, `I y -> (
+              match op with
+              | Add -> Value.Int (x + y)
+              | Sub -> Value.Int (x - y)
+              | Mul -> Value.Int (x * y)
+              | Div ->
+                if y = 0 then begin
+                  env.probe ~site:s_divzero ~key:0;
+                  Value.Null
+                end
+                else Value.Int (x / y)
+              | Mod ->
+                if y = 0 then begin
+                  env.probe ~site:s_divzero ~key:1;
+                  Value.Null
+                end
+                else Value.Int (x mod y)
+              | _ -> assert false)
+          | nx, ny ->
+            let fx = match nx with `I n -> float_of_int n | `F f -> f in
+            let fy = match ny with `I n -> float_of_int n | `F f -> f in
+            (match op with
+             | Add -> Value.Float (fx +. fy)
+             | Sub -> Value.Float (fx -. fy)
+             | Mul -> Value.Float (fx *. fy)
+             | Div ->
+               if fy = 0.0 then begin
+                 env.probe ~site:s_divzero ~key:2;
+                 Value.Null
+               end
+               else Value.Float (fx /. fy)
+             | Mod ->
+               if fy = 0.0 then begin
+                 env.probe ~site:s_divzero ~key:3;
+                 Value.Null
+               end
+               else Value.Float (Float.rem fx fy)
+             | _ -> assert false)))
+
+and eval_fn env name args =
+  let arity_error () =
+    Errors.fail (Errors.Semantic (Printf.sprintf "bad arity for %s" name))
+  in
+  let arg_sig =
+    List.fold_left (fun acc v -> (acc * 5) + vkind v) 0 args land 0x1f
+  in
+  env.probe ~site:s_fn ~key:(((Hashtbl.hash name land 0xff) * 32) + arg_sig);
+  let num1 f =
+    match args with
+    | [ Value.Null ] -> Value.Null
+    | [ v ] -> (
+        match num_of v with
+        | `I n -> f (float_of_int n)
+        | `F x -> f x)
+    | _ -> arity_error ()
+  in
+  let text1 f =
+    match args with
+    | [ Value.Null ] -> Value.Null
+    | [ v ] -> f (Value.to_display v)
+    | _ -> arity_error ()
+  in
+  match name with
+  | "ABS" -> (
+      match args with
+      | [ Value.Null ] -> Value.Null
+      | [ Value.Int n ] -> Value.Int (abs n)
+      | [ v ] -> (
+          match num_of v with
+          | `I n -> Value.Int (abs n)
+          | `F f -> Value.Float (Float.abs f))
+      | _ -> arity_error ())
+  | "ROUND" -> num1 (fun x -> Value.Float (Float.round x))
+  | "FLOOR" -> num1 (fun x -> Value.Int (int_of_float (Float.floor x)))
+  | "CEIL" | "CEILING" -> num1 (fun x -> Value.Int (int_of_float (Float.ceil x)))
+  | "SQRT" ->
+    num1 (fun x -> if x < 0.0 then Value.Null else Value.Float (sqrt x))
+  | "SIGN" -> num1 (fun x -> Value.Int (compare x 0.0))
+  | "UPPER" -> text1 (fun s -> Value.Text (String.uppercase_ascii s))
+  | "LOWER" -> text1 (fun s -> Value.Text (String.lowercase_ascii s))
+  | "LENGTH" -> text1 (fun s -> Value.Int (String.length s))
+  | "REVERSE" ->
+    text1 (fun s ->
+        let n = String.length s in
+        Value.Text (String.init n (fun i -> s.[n - 1 - i])))
+  | "TRIM" -> text1 (fun s -> Value.Text (String.trim s))
+  | "HEX" ->
+    text1 (fun s ->
+        let buf = Buffer.create (String.length s * 2) in
+        String.iter
+          (fun c -> Buffer.add_string buf (Printf.sprintf "%02X" (Char.code c)))
+          s;
+        Value.Text (Buffer.contents buf))
+  | "TYPEOF" -> (
+      match args with
+      | [ v ] -> Value.Text (Value.type_name v)
+      | _ -> arity_error ())
+  | "COALESCE" -> (
+      match List.find_opt (fun v -> v <> Value.Null) args with
+      | Some v -> v
+      | None -> Value.Null)
+  | "IFNULL" -> (
+      match args with
+      | [ a; b ] -> if a = Value.Null then b else a
+      | _ -> arity_error ())
+  | "NULLIF" -> (
+      match args with
+      | [ a; b ] -> (
+          match Value.compare_sql a b with Some 0 -> Value.Null | _ -> a)
+      | _ -> arity_error ())
+  | "GREATEST" -> (
+      match args with
+      | [] -> arity_error ()
+      | _ when List.mem Value.Null args -> Value.Null
+      | first :: rest ->
+        List.fold_left
+          (fun acc v -> if Value.compare_total v acc > 0 then v else acc)
+          first rest)
+  | "LEAST" -> (
+      match args with
+      | [] -> arity_error ()
+      | _ when List.mem Value.Null args -> Value.Null
+      | first :: rest ->
+        List.fold_left
+          (fun acc v -> if Value.compare_total v acc < 0 then v else acc)
+          first rest)
+  | "CONCAT" ->
+    if List.mem Value.Null args then Value.Null
+    else Value.Text (String.concat "" (List.map Value.to_display args))
+  | "SUBSTR" | "SUBSTRING" -> (
+      match args with
+      | [ Value.Null; _ ] | [ Value.Null; _; _ ] -> Value.Null
+      | [ v; start ] | [ v; start; _ ] ->
+        let s = Value.to_display v in
+        let n = String.length s in
+        let st =
+          match num_of start with
+          | `I i -> i
+          | `F f -> int_of_float f
+        in
+        let len =
+          match args with
+          | [ _; _; l ] -> (
+              match num_of l with `I i -> i | `F f -> int_of_float f)
+          | _ -> n
+        in
+        let st0 = if st > 0 then st - 1 else if st < 0 then max 0 (n + st) else 0 in
+        let len = max 0 (min len (n - st0)) in
+        if st0 >= n then Value.Text ""
+        else Value.Text (String.sub s st0 len)
+      | _ -> arity_error ())
+  | _ ->
+    Errors.fail (Errors.Semantic (Printf.sprintf "unknown function %s" name))
+
+let eval_bool env e = Value.is_truthy (eval env e)

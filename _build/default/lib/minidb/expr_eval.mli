@@ -1,0 +1,40 @@
+(** Scalar expression evaluation.
+
+    The evaluator is parameterised by an {!env} so that the executor can
+    plug in column resolution, subquery execution, and — inside grouped or
+    windowed projections — aggregate/window results. Every value-type
+    combination that changes behaviour fires a coverage probe, giving the
+    fuzzers intra-statement coverage to find (the part SQUIRREL-style
+    mutation is good at). *)
+
+open Storage
+
+type env = {
+  cols : string option -> string -> Value.t option;
+      (** resolve a possibly-qualified column; [None] = unknown column *)
+  run_query : Sqlcore.Ast.query -> Value.t array list;
+      (** execute a subquery and return its rows *)
+  agg : Sqlcore.Ast.agg_fn -> bool -> Sqlcore.Ast.expr option -> Value.t;
+      (** aggregate value in the current group context *)
+  win : Sqlcore.Ast.win_fn -> Sqlcore.Ast.expr list ->
+    Sqlcore.Ast.over_clause -> Value.t;
+      (** window-function value for the current row *)
+  probe : site:int -> key:int -> unit;
+}
+
+val no_agg : Sqlcore.Ast.agg_fn -> bool -> Sqlcore.Ast.expr option -> Value.t
+(** Raises a semantic error: aggregate outside grouped context. *)
+
+val no_win :
+  Sqlcore.Ast.win_fn -> Sqlcore.Ast.expr list -> Sqlcore.Ast.over_clause ->
+  Value.t
+(** Raises a semantic error: window function in invalid context. *)
+
+val eval : env -> Sqlcore.Ast.expr -> Value.t
+(** @raise Errors.Sql_error on type errors, unknown columns/functions. *)
+
+val eval_bool : env -> Sqlcore.Ast.expr -> bool
+(** WHERE-truth of an expression (NULL is false). *)
+
+val like_match : pattern:string -> string -> bool
+(** SQL LIKE with [%] and [_] wildcards. *)

@@ -1,0 +1,186 @@
+type kind = Uaf | Bof | Sbof | Hbof | Af | Segv | Uap | Npd | Ub
+
+let kind_name = function
+  | Uaf -> "UAF"
+  | Bof -> "BOF"
+  | Sbof -> "SBOF"
+  | Hbof -> "HBOF"
+  | Af -> "AF"
+  | Segv -> "SEGV"
+  | Uap -> "UAP"
+  | Npd -> "NPD"
+  | Ub -> "UB"
+
+let kind_of_name = function
+  | "UAF" -> Some Uaf
+  | "BOF" -> Some Bof
+  | "SBOF" -> Some Sbof
+  | "HBOF" -> Some Hbof
+  | "AF" -> Some Af
+  | "SEGV" -> Some Segv
+  | "UAP" -> Some Uap
+  | "NPD" -> Some Npd
+  | "UB" -> Some Ub
+  | _ -> None
+
+type stmt_feature =
+  | F_window
+  | F_subquery
+  | F_aggregate
+  | F_group_by
+  | F_order_by
+  | F_join
+  | F_distinct
+  | F_having
+  | F_ignore
+  | F_compound
+  | F_where
+  | F_offset
+  | F_limit
+
+type cond =
+  | Subseq of Sqlcore.Stmt_type.t list
+  | Ends_with of Sqlcore.Stmt_type.t list
+  | State of string
+  | Stmt_has of stmt_feature
+  | All of cond list
+  | Any of cond list
+  | Not of cond
+
+type bug = {
+  bug_id : string;
+  identifier : string;
+  component : string;
+  kind : kind;
+  cond : cond;
+}
+
+type crash = { c_bug : bug; c_stack : string list }
+
+exception Crashed of crash
+
+type ctx = {
+  window : Sqlcore.Stmt_type.t list;
+  stmt : Sqlcore.Ast.stmt;
+  state : string -> bool;
+}
+
+let features_of_stmt stmt =
+  let open Sqlcore in
+  let feats = ref [] in
+  let add f = if not (List.mem f !feats) then feats := f :: !feats in
+  if Ast_util.has_window_fn stmt then add F_window;
+  if Ast_util.has_subquery stmt then add F_subquery;
+  if Ast_util.has_aggregate stmt then add F_aggregate;
+  (* Clause-level features require looking at select bodies. *)
+  let rec check_query (q : Ast.query) =
+    match q with
+    | Ast.Q_select s ->
+      if s.group_by <> [] then add F_group_by;
+      if s.order_by <> [] then add F_order_by;
+      if s.having <> None then add F_having;
+      if s.distinct then add F_distinct;
+      if s.where <> None then add F_where;
+      if s.offset <> None then add F_offset;
+      if s.limit <> None then add F_limit;
+      (match s.from with
+       | Some (Ast.From_join _) -> add F_join
+       | Some (Ast.From_subquery { q; _ }) -> check_query q
+       | Some (Ast.From_table _) | None -> ())
+    | Ast.Q_values _ -> ()
+    | Ast.Q_compound (a, _, b) ->
+      add F_compound;
+      check_query a;
+      check_query b
+  in
+  let check_with_body = function
+    | Ast.W_query q -> check_query q
+    | Ast.W_insert { i_source = Src_query q; _ } -> check_query q
+    | Ast.W_insert _ -> ()
+    | Ast.W_update { u_where = Some _; _ } -> add F_where
+    | Ast.W_update _ -> ()
+    | Ast.W_delete { d_where = Some _; _ } -> add F_where
+    | Ast.W_delete _ -> ()
+  in
+  (match stmt with
+   | Ast.S_select q -> check_query q
+   | Ast.S_create_view { query; _ } -> check_query query
+   | Ast.S_copy_to { src = Cs_query q; _ } -> check_query q
+   | Ast.S_insert { i_ignore; i_source; _ }
+   | Ast.S_replace { i_ignore; i_source; _ } ->
+     if i_ignore then add F_ignore;
+     (match i_source with Src_query q -> check_query q | Src_values _ -> ())
+   | Ast.S_update { u_where = Some _; _ } -> add F_where
+   | Ast.S_delete { d_where = Some _; _ } -> add F_where
+   | Ast.S_with { ctes; body } ->
+     List.iter (fun (c : Ast.cte) -> check_with_body c.cte_body) ctes;
+     check_with_body body
+   | _ -> ());
+  !feats
+
+let rec is_prefix eq xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: xs, y :: ys -> eq x y && is_prefix eq xs ys
+
+let rec contains_contiguous eq xs ys =
+  match ys with
+  | [] -> xs = []
+  | _ :: rest -> is_prefix eq xs ys || contains_contiguous eq xs rest
+
+let ends_with eq xs ys =
+  let lx = List.length xs and ly = List.length ys in
+  if lx > ly then false
+  else
+    let rec drop n l = if n = 0 then l else drop (n - 1) (List.tl l) in
+    let tail = drop (ly - lx) ys in
+    List.for_all2 eq xs tail
+
+let rec matches cond ctx =
+  match cond with
+  | Subseq types ->
+    types <> [] && contains_contiguous Sqlcore.Stmt_type.equal types ctx.window
+  | Ends_with types ->
+    types <> [] && ends_with Sqlcore.Stmt_type.equal types ctx.window
+  | State name -> ctx.state name
+  | Stmt_has feat -> List.mem feat (features_of_stmt ctx.stmt)
+  | All conds -> List.for_all (fun c -> matches c ctx) conds
+  | Any conds -> List.exists (fun c -> matches c ctx) conds
+  | Not c -> not (matches c ctx)
+
+let frame_pool =
+  [| "plan_query"; "rewrite_target_list"; "eval_expr"; "exec_scan";
+     "build_join_rel"; "check_stack_depth"; "heap_insert"; "btree_search";
+     "fill_record"; "optimize_group_by"; "make_sort_plan"; "open_table";
+     "lock_rows"; "free_item_tree"; "parse_and_resolve"; "fix_fields";
+     "copy_row_buffer"; "store_field"; "mem_alloc"; "page_split" |]
+
+let stack_of_bug bug =
+  (* Deterministic pseudo-stack: distinct bugs get distinct stacks so that
+     stack-hash deduplication separates them, like distinct ASan reports. *)
+  let h = ref (Hashtbl.hash (bug.bug_id, bug.identifier)) in
+  let frames = ref [] in
+  for i = 0 to 3 do
+    h := (!h * 0x9E3779B1) + i;
+    let idx = abs !h mod Array.length frame_pool in
+    frames :=
+      Printf.sprintf "%s+0x%x" frame_pool.(idx) (abs !h land 0xfff)
+      :: !frames
+  done;
+  Printf.sprintf "%s_%s" (String.lowercase_ascii bug.component)
+    (String.lowercase_ascii (kind_name bug.kind))
+  :: !frames
+
+let check bugs ctx =
+  match List.find_opt (fun b -> matches b.cond ctx) bugs with
+  | None -> ()
+  | Some bug -> raise (Crashed { c_bug = bug; c_stack = stack_of_bug bug })
+
+let pp_crash fmt { c_bug; c_stack } =
+  Format.fprintf fmt "%s (%s) in %s [%s]@\n  %a" c_bug.bug_id
+    (kind_name c_bug.kind) c_bug.component c_bug.identifier
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.fprintf fmt "@\n  ")
+       Format.pp_print_string)
+    c_stack

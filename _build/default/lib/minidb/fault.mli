@@ -1,0 +1,93 @@
+(** Fault injection: seeded memory-safety bugs and their triggers.
+
+    The paper finds real ASan-detected bugs; a simulated DBMS has none, so
+    we seed a registry of bugs whose triggers are predicates over the
+    executed {e SQL Type Sequence window} plus engine state — mirroring the
+    paper's finding that the bugs hide behind unexpected type sequences
+    (e.g. Fig. 7's [CREATE RULE -> NOTIFY -> COPY -> WITH] SEGV). The
+    engine evaluates every registered bug after each statement; a match
+    raises {!Crashed} with a synthetic call stack used for
+    deduplication, the analogue of an ASan report. *)
+
+(** Bug kinds of Table I. *)
+type kind =
+  | Uaf   (** use-after-free *)
+  | Bof   (** buffer overflow *)
+  | Sbof  (** stack buffer overflow *)
+  | Hbof  (** heap buffer overflow *)
+  | Af    (** assertion failure *)
+  | Segv  (** segmentation violation *)
+  | Uap   (** use-after-poison *)
+  | Npd   (** null pointer dereference *)
+  | Ub    (** undefined behaviour *)
+
+val kind_name : kind -> string
+(** Short display name, e.g. ["SEGV"]. *)
+
+val kind_of_name : string -> kind option
+
+(** Features of the currently executing statement that triggers may
+    require, computed from its AST. *)
+type stmt_feature =
+  | F_window      (** contains a window function *)
+  | F_subquery
+  | F_aggregate
+  | F_group_by
+  | F_order_by
+  | F_join
+  | F_distinct
+  | F_having
+  | F_ignore      (** INSERT IGNORE flag *)
+  | F_compound    (** UNION / INTERSECT / EXCEPT *)
+  | F_where
+  | F_offset      (** has an OFFSET clause *)
+  | F_limit
+
+(** Trigger condition DSL. *)
+type cond =
+  | Subseq of Sqlcore.Stmt_type.t list
+      (** the listed types occur contiguously, in order, somewhere in the
+          recent type window (which ends at the current statement) *)
+  | Ends_with of Sqlcore.Stmt_type.t list
+      (** the window ends with exactly these types *)
+  | State of string
+      (** a named engine predicate holds (see {!Engine} docs) *)
+  | Stmt_has of stmt_feature
+  | All of cond list
+  | Any of cond list
+  | Not of cond
+
+type bug = {
+  bug_id : string;        (** stable internal id, unique per dialect *)
+  identifier : string;    (** public identifier: CVE / MDEV / BUG number *)
+  component : string;     (** DBMS component of Table I *)
+  kind : kind;
+  cond : cond;
+}
+
+type crash = {
+  c_bug : bug;
+  c_stack : string list;  (** synthetic call stack for deduplication *)
+}
+
+exception Crashed of crash
+
+(** Context a trigger is evaluated against. *)
+type ctx = {
+  window : Sqlcore.Stmt_type.t list;
+      (** recent statement types, oldest first, current last *)
+  stmt : Sqlcore.Ast.stmt;
+  state : string -> bool;
+}
+
+val features_of_stmt : Sqlcore.Ast.stmt -> stmt_feature list
+
+val matches : cond -> ctx -> bool
+
+val check : bug list -> ctx -> unit
+(** Raise {!Crashed} for the first matching bug, if any. *)
+
+val stack_of_bug : bug -> string list
+(** Deterministic synthetic stack derived from the bug identity. *)
+
+val pp_crash : Format.formatter -> crash -> unit

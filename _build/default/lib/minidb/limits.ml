@@ -1,0 +1,24 @@
+type t = {
+  max_rows_per_table : int;
+  max_statements : int;
+  max_result_rows : int;
+  max_view_depth : int;
+  max_trigger_depth : int;
+  max_join_tables : int;
+}
+
+let default =
+  { max_rows_per_table = 2048;
+    max_statements = 256;
+    max_result_rows = 8192;
+    max_view_depth = 8;
+    max_trigger_depth = 4;
+    max_join_tables = 6 }
+
+let tiny =
+  { max_rows_per_table = 8;
+    max_statements = 8;
+    max_result_rows = 16;
+    max_view_depth = 2;
+    max_trigger_depth = 1;
+    max_join_tables = 2 }

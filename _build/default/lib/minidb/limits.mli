@@ -1,0 +1,19 @@
+(** Resource limits enforced by the engine.
+
+    The paper's challenge C3 is seeds that stall the fuzzer (SQUIRREL hung
+    23 minutes on a 945-statement seed). MiniDB bounds every dimension a
+    test case could blow up, so a fuzzing campaign can never wedge. *)
+
+type t = {
+  max_rows_per_table : int;   (** inserts beyond this raise Limit_exceeded *)
+  max_statements : int;       (** statements per test case *)
+  max_result_rows : int;      (** rows a query may produce *)
+  max_view_depth : int;       (** view/rule/trigger rewrite recursion *)
+  max_trigger_depth : int;
+  max_join_tables : int;
+}
+
+val default : t
+
+val tiny : t
+(** Small limits for tests exercising the limit paths. *)

@@ -1,0 +1,118 @@
+open Sqlcore.Ast
+
+type access =
+  | Seq_scan
+  | Index_eq of string * Sqlcore.Ast.expr
+  | Empty_short
+
+let access_tag = function
+  | Seq_scan -> 0
+  | Index_eq _ -> 1
+  | Empty_short -> 2
+
+let rec conjuncts = function
+  | Binop (And, a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+(* An equality conjunct [col = const] (either side) usable by an index
+   whose first column is [col]. *)
+let index_key_of cat table conj =
+  let col_and_const a b =
+    match (a, b) with
+    | Col (_, c), (Lit _ as k) -> Some (c, k)
+    | (Lit _ as k), Col (_, c) -> Some (c, k)
+    | _ -> None
+  in
+  match conj with
+  | Binop (Eq, a, b) -> (
+      match col_and_const a b with
+      | None -> None
+      | Some (col, key) ->
+        let specs = Catalog.indexes_on cat table in
+        List.find_map
+          (fun (spec : Catalog.index_spec) ->
+             match spec.x_cols with
+             | first :: _ when String.equal first col ->
+               Some (spec.x_name, key)
+             | _ -> None)
+          specs)
+  | _ -> None
+
+let choose_access cat ~analyzed ~table ~where =
+  match Hashtbl.find_opt cat.Catalog.tables table with
+  | None -> Seq_scan
+  | Some tbl ->
+    if Storage.Table.row_count tbl = 0 then Empty_short
+    else if not analyzed then Seq_scan
+    else
+      let conjs = match where with None -> [] | Some w -> conjuncts w in
+      (match List.find_map (index_key_of cat table) conjs with
+       | Some (idx, key) -> Index_eq (idx, key)
+       | None -> Seq_scan)
+
+let rec explain_query cat ~analyzed indent (q : query) acc =
+  let pad = String.make indent ' ' in
+  match q with
+  | Q_values rows ->
+    (Printf.sprintf "%sValues Scan (rows=%d)" pad (List.length rows)) :: acc
+  | Q_compound (a, op, b) ->
+    let opname =
+      match op with
+      | Union -> "Union"
+      | Union_all -> "Append"
+      | Intersect -> "Intersect"
+      | Except -> "Except"
+    in
+    let acc = (pad ^ opname) :: acc in
+    let acc = explain_query cat ~analyzed (indent + 2) a acc in
+    explain_query cat ~analyzed (indent + 2) b acc
+  | Q_select s ->
+    let acc =
+      if s.order_by <> [] then (pad ^ "Sort") :: acc else acc
+    in
+    let acc =
+      if s.group_by <> [] then (pad ^ "HashAggregate") :: acc else acc
+    in
+    let rec from_lines indent f acc =
+      let pad = String.make indent ' ' in
+      match f with
+      | From_table { name; _ } ->
+        let line =
+          match choose_access cat ~analyzed ~table:name ~where:s.where with
+          | Seq_scan -> Printf.sprintf "%sSeq Scan on %s" pad name
+          | Index_eq (idx, _) ->
+            Printf.sprintf "%sIndex Scan using %s on %s" pad idx name
+          | Empty_short ->
+            Printf.sprintf "%sResult (empty relation %s)" pad name
+        in
+        line :: acc
+      | From_join { left; kind; right; _ } ->
+        let kname =
+          match kind with
+          | Inner -> "Nested Loop"
+          | Left -> "Nested Loop Left Join"
+          | Right -> "Nested Loop Right Join"
+          | Cross -> "Nested Loop Cross Join"
+        in
+        let acc = (pad ^ kname) :: acc in
+        let acc = from_lines (indent + 2) left acc in
+        from_lines (indent + 2) right acc
+      | From_subquery { q; _ } ->
+        let acc = (pad ^ "Subquery Scan") :: acc in
+        explain_query cat ~analyzed (indent + 2) q acc
+    in
+    (match s.from with
+     | None -> (pad ^ "Result") :: acc
+     | Some f -> from_lines indent f acc)
+
+let explain_lines cat ~analyzed stmt =
+  let lines =
+    match stmt with
+    | S_select q -> explain_query cat ~analyzed 0 q []
+    | S_insert { i_table; _ } | S_replace { i_table; _ } ->
+      [ Printf.sprintf "Insert on %s" i_table ]
+    | S_update { u_table; _ } -> [ Printf.sprintf "Update on %s" u_table ]
+    | S_delete { d_table; _ } -> [ Printf.sprintf "Delete on %s" d_table ]
+    | _ -> [ "Utility Statement" ]
+  in
+  List.rev lines

@@ -1,0 +1,35 @@
+(** Access-path selection — the "optimizer" slice of MiniDB.
+
+    Mirrors the order-sensitive optimizer behaviour the paper exploits:
+    the chosen path depends on catalog state built up by {e earlier}
+    statements (is the table empty? has ANALYZE run? does an index
+    exist?), so the same SELECT covers different code depending on the SQL
+    Type Sequence before it — the paper's Figure 2 in miniature. *)
+
+type access =
+  | Seq_scan
+      (** full scan of the heap *)
+  | Index_eq of string * Sqlcore.Ast.expr
+      (** index name and the equality key expression it serves *)
+  | Empty_short
+      (** empty-table shortcut: no scan at all *)
+
+val access_tag : access -> int
+(** Small int for coverage keys. *)
+
+val conjuncts : Sqlcore.Ast.expr -> Sqlcore.Ast.expr list
+(** Split a WHERE clause on top-level ANDs. *)
+
+val choose_access :
+  Catalog.t ->
+  analyzed:bool ->
+  table:string ->
+  where:Sqlcore.Ast.expr option ->
+  access
+(** Pick the access path for a base-table scan. Index equality paths are
+    only chosen after ANALYZE has run (statistics exist), like a cautious
+    cost-based optimizer. *)
+
+val explain_lines :
+  Catalog.t -> analyzed:bool -> Sqlcore.Ast.stmt -> string list
+(** Human-readable plan rows for EXPLAIN. *)

@@ -1,0 +1,31 @@
+(** A DBMS profile: which statement types a simulated DBMS supports, its
+    behavioural flavour, and its seeded bug registry.
+
+    Concrete profiles (PostgreSQL-sim, MySQL-sim, MariaDB-sim, Comdb2-sim)
+    are defined in the [dialects] library; the engine only needs this
+    record. *)
+
+type flavor = Pg | Mysql | Mariadb | Comdb2
+
+type t
+
+val make :
+  name:string ->
+  flavor:flavor ->
+  types:Sqlcore.Stmt_type.t list ->
+  bugs:Fault.bug list ->
+  t
+
+val name : t -> string
+
+val flavor : t -> flavor
+
+val types : t -> Sqlcore.Stmt_type.t list
+
+val type_count : t -> int
+
+val bugs : t -> Fault.bug list
+
+val supports : t -> Sqlcore.Stmt_type.t -> bool
+(** O(1); unsupported statement types are rejected by the engine with a
+    [Not_supported] error, like a real parser rejecting foreign syntax. *)

@@ -1,0 +1,26 @@
+type decision =
+  | No_rule
+  | Instead_nothing of Catalog.rule
+  | Instead_notify of Catalog.rule * string
+  | Instead_stmt of Catalog.rule * Sqlcore.Ast.stmt
+
+let decision_tag = function
+  | No_rule -> 0
+  | Instead_nothing _ -> 1
+  | Instead_notify _ -> 2
+  | Instead_stmt _ -> 3
+
+let rewrite_dml cat ~table ~event =
+  let rules = Catalog.rules_on cat table event in
+  match List.find_opt (fun (r : Catalog.rule) -> r.r_instead) rules with
+  | None -> No_rule
+  | Some r -> (
+      match r.r_action with
+      | Sqlcore.Ast.Ra_nothing -> Instead_nothing r
+      | Sqlcore.Ast.Ra_notify chan -> Instead_notify (r, chan)
+      | Sqlcore.Ast.Ra_stmt s -> Instead_stmt (r, s))
+
+let also_rules cat ~table ~event =
+  List.filter
+    (fun (r : Catalog.rule) -> not r.r_instead)
+    (Catalog.rules_on cat table event)

@@ -1,0 +1,28 @@
+(** Query-rewrite phase: INSTEAD-rule application for DML.
+
+    This is the component at the heart of the paper's PostgreSQL case
+    study (Fig. 7/8): when a DML statement targets a table that has an
+    [ON <event> DO INSTEAD ...] rule, the statement is replaced by the
+    rule's action. The executor consults {!rewrite_dml} before running any
+    INSERT / UPDATE / DELETE — including ones nested in a [WITH] clause,
+    which is exactly where real PostgreSQL missed the NOTIFY case. *)
+
+type decision =
+  | No_rule                               (** execute the DML as written *)
+  | Instead_nothing of Catalog.rule       (** DO INSTEAD NOTHING *)
+  | Instead_notify of Catalog.rule * string  (** DO INSTEAD NOTIFY chan *)
+  | Instead_stmt of Catalog.rule * Sqlcore.Ast.stmt
+      (** DO INSTEAD <statement> *)
+
+val decision_tag : decision -> int
+(** Small int for coverage keys. *)
+
+val rewrite_dml :
+  Catalog.t -> table:string -> event:Sqlcore.Ast.trig_event -> decision
+(** First matching INSTEAD rule wins; non-INSTEAD rules are returned by
+    {!also_rules} and executed after the original DML. *)
+
+val also_rules :
+  Catalog.t -> table:string -> event:Sqlcore.Ast.trig_event ->
+  Catalog.rule list
+(** Non-INSTEAD rules ([DO ALSO] semantics). *)

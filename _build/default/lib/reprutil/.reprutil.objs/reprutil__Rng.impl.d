@@ -1,0 +1,1 @@
+lib/reprutil/rng.ml: Array Int64 List

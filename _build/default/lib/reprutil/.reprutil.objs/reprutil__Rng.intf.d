@@ -1,0 +1,1 @@
+lib/reprutil/rng.mli:

@@ -1,0 +1,1 @@
+lib/reprutil/vec.ml: Array List Printf

@@ -1,0 +1,51 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64: fast, well distributed, and trivially reproducible. *)
+let int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let split t = { state = int64 t }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let r = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  r mod n
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let float t x =
+  let r = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  x *. (r /. 9007199254740992.0)
+
+let ratio t num den = int t den < num
+
+let choose t = function
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | xs -> List.nth xs (int t (List.length xs))
+
+let choose_arr t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose_arr: empty array";
+  a.(int t (Array.length a))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample t k xs =
+  let a = Array.of_list xs in
+  shuffle t a;
+  let n = min k (Array.length a) in
+  Array.to_list (Array.sub a 0 n)

@@ -1,0 +1,44 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    All randomness in the repository flows through values of this type so
+    that every experiment is reproducible from a single integer seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** Independent copy sharing no state with the original. *)
+
+val split : t -> t
+(** [split t] draws from [t] and returns a new generator whose stream is
+    statistically independent of subsequent draws from [t]. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)]. Requires [n > 0]. *)
+
+val bool : t -> bool
+
+val float : t -> float -> float
+(** [float t x] is uniform in [\[0, x)]. *)
+
+val ratio : t -> int -> int -> bool
+(** [ratio t num den] is [true] with probability [num/den]. *)
+
+val choose : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. Raises [Invalid_argument] on []. *)
+
+val choose_arr : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val sample : t -> int -> 'a list -> 'a list
+(** [sample t k xs] draws [min k (length xs)] distinct elements, preserving
+    no particular order. *)

@@ -1,0 +1,71 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let length t = t.len
+
+let check t i name =
+  if i < 0 || i >= t.len then invalid_arg (Printf.sprintf "Vec.%s: index %d out of bounds (len %d)" name i t.len)
+
+let get t i =
+  check t i "get";
+  t.data.(i)
+
+let set t i v =
+  check t i "set";
+  t.data.(i) <- v
+
+let grow t v =
+  let cap = Array.length t.data in
+  let ncap = if cap = 0 then 8 else cap * 2 in
+  let nd = Array.make ncap v in
+  Array.blit t.data 0 nd 0 t.len;
+  t.data <- nd
+
+let push t v =
+  if t.len = Array.length t.data then grow t v;
+  t.data.(t.len) <- v;
+  t.len <- t.len + 1
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    t.len <- t.len - 1;
+    Some t.data.(t.len)
+  end
+
+let last t = if t.len = 0 then None else Some t.data.(t.len - 1)
+
+let clear t = t.len <- 0
+
+let to_list t =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (t.data.(i) :: acc) in
+  loop (t.len - 1) []
+
+let of_list xs =
+  let t = create () in
+  List.iter (push t) xs;
+  t
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done
+
+let fold f acc t =
+  let acc = ref acc in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let exists p t =
+  let rec loop i = i < t.len && (p t.data.(i) || loop (i + 1)) in
+  loop 0
+
+let copy t = { data = Array.copy t.data; len = t.len }

@@ -1,0 +1,1 @@
+lib/sqlcore/ast.ml: List Stmt_type

@@ -1,0 +1,1 @@
+lib/sqlcore/ast_util.mli: Ast

@@ -1,0 +1,1 @@
+lib/sqlcore/sql_printer.ml: Ast Buffer Format List Printf String

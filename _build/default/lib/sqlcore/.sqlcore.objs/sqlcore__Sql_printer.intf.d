@@ -1,0 +1,1 @@
+lib/sqlcore/sql_printer.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/sqlcore/stmt_type.ml: Array Format Hashtbl Int List

@@ -1,0 +1,1 @@
+lib/sqlcore/stmt_type.mli: Format

@@ -1,0 +1,393 @@
+(** Abstract syntax of the SQL subset understood by MiniDB.
+
+    The AST is the intermediate representation the whole system works on:
+    the parser produces it, {!Sql_printer} renders it back to SQL text, the
+    MiniDB engine executes it directly, and the LEGO core mutates,
+    harvests, and instantiates it (paper §III-B: AST as the intermediate
+    representation between test cases and types).
+
+    This module contains only types plus {!type_of_stmt}, the mapping from
+    a concrete statement to its {!Stmt_type.t} (the paper's notion of SQL
+    statement type). Structural helpers live in {!Ast_util}. *)
+
+(** Column data types. [T_year] and [T_varchar] carry the MySQL-flavoured
+    dialect surface used by the paper's Figure 3 test case. *)
+type data_type =
+  | T_int
+  | T_float
+  | T_text
+  | T_bool
+  | T_varchar of int
+  | T_year
+
+(** Literal constants as written in SQL text. *)
+type literal =
+  | L_null
+  | L_int of int
+  | L_float of float
+  | L_string of string
+  | L_bool of bool
+
+type order_dir = Asc | Desc
+
+type unop = Neg | Not | Bit_not
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | And | Or
+  | Concat
+
+(** Aggregate functions (evaluated per group). *)
+type agg_fn = Count | Sum | Avg | Min | Max | Group_concat
+
+(** Window functions (evaluated over an [OVER] clause). *)
+type win_fn = Row_number | Rank | Dense_rank | Lead | Lag | Ntile
+
+type frame_bound =
+  | Unbounded_preceding
+  | Preceding of int
+  | Current_row
+  | Following of int
+  | Unbounded_following
+
+type frame_kind = F_rows | F_range
+
+type frame = { f_kind : frame_kind; f_lo : frame_bound; f_hi : frame_bound }
+
+type expr =
+  | Lit of literal
+  | Col of string option * string  (** optional table qualifier, column *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Fn of string * expr list       (** scalar function call, e.g. ABS, UPPER *)
+  | Agg of agg_fn * bool * expr option
+      (** aggregate; bool = DISTINCT; [None] argument means COUNT-star *)
+  | Case of (expr * expr) list * expr option
+  | Cast of expr * data_type
+  | In_list of { e : expr; items : expr list; negated : bool }
+  | Between of { e : expr; lo : expr; hi : expr; negated : bool }
+  | Is_null of expr * bool         (** bool = negated, i.e. [IS NOT NULL] *)
+  | Like of { e : expr; pat : expr; negated : bool }
+  | Exists of query * bool         (** bool = negated, i.e. [NOT EXISTS] *)
+  | Subquery of query              (** scalar subquery *)
+  | Win of { fn : win_fn; args : expr list; over : over_clause }
+
+and over_clause = {
+  partition_by : expr list;
+  w_order_by : (expr * order_dir) list;
+  frame : frame option;
+}
+
+and proj =
+  | Star
+  | Star_of of string              (** [t.*] *)
+  | Proj of expr * string option   (** expression with optional alias *)
+
+and join_kind = Inner | Left | Right | Cross
+
+and from_item =
+  | From_table of { name : string; alias : string option }
+  | From_join of
+      { left : from_item; kind : join_kind; right : from_item;
+        on : expr option }
+  | From_subquery of { q : query; alias : string }
+
+and select = {
+  distinct : bool;
+  projs : proj list;
+  from : from_item option;
+  where : expr option;
+  group_by : expr list;
+  having : expr option;
+  order_by : (expr * order_dir) list;
+  limit : int option;
+  offset : int option;
+}
+
+and set_op = Union | Union_all | Intersect | Except
+
+and query =
+  | Q_select of select
+  | Q_values of expr list list
+  | Q_compound of query * set_op * query
+
+type col_def = {
+  col_name : string;
+  col_type : data_type;
+  not_null : bool;
+  primary_key : bool;
+  unique : bool;
+  default : literal option;
+  zerofill : bool;
+}
+
+type trig_event = Ev_insert | Ev_update | Ev_delete
+
+type trig_timing = Before | After
+
+type show_what = Sh_tables | Sh_columns of string | Sh_variables | Sh_status
+
+type discard_what = Disc_all | Disc_temp | Disc_plans
+
+type flush_what = Fl_tables | Fl_status | Fl_privileges
+
+type handler_dir = H_first | H_next
+
+type iso_level = Read_committed | Repeatable_read | Serializable
+
+type lock_mode = Lk_read | Lk_write
+
+type priv = P_select | P_insert | P_update | P_delete | P_all
+
+type alter_action =
+  | Add_column of col_def
+  | Drop_column of string
+  | Rename_to of string
+  | Rename_column of string * string
+  | Alter_column_type of string * data_type
+
+type drop_target =
+  | D_table of string
+  | D_index of string
+  | D_view of string
+  | D_trigger of string
+  | D_rule of string * string      (** rule name, table *)
+  | D_sequence of string
+  | D_schema of string
+  | D_database of string
+  | D_user of string
+
+type insert = {
+  i_table : string;
+  i_cols : string list;            (** empty list means "all columns" *)
+  i_source : insert_source;
+  i_ignore : bool;                 (** INSERT IGNORE: skip constraint errors *)
+}
+
+and insert_source = Src_values of expr list list | Src_query of query
+
+and update = {
+  u_table : string;
+  u_sets : (string * expr) list;
+  u_where : expr option;
+  u_limit : int option;
+}
+
+and delete = { d_table : string; d_where : expr option; d_limit : int option }
+
+(** Body of a CTE or of a WITH statement. PostgreSQL allows data-modifying
+    statements inside [WITH] — the path of the paper's Figure 7 case
+    study. *)
+and with_body =
+  | W_query of query
+  | W_insert of insert
+  | W_update of update
+  | W_delete of delete
+
+and cte = { cte_name : string; cte_body : with_body }
+
+(** Action of a rewrite rule ([CREATE RULE ... DO INSTEAD ...]). *)
+and rule_action = Ra_nothing | Ra_notify of string | Ra_stmt of stmt
+
+and copy_src = Cs_table of string | Cs_query of query
+
+and stmt =
+  | S_create_table of
+      { temp : bool; if_not_exists : bool; name : string;
+        cols : col_def list }
+  | S_create_index of
+      { unique : bool; name : string; table : string; cols : string list }
+  | S_create_view of { materialized : bool; name : string; query : query }
+  | S_create_trigger of
+      { name : string; timing : trig_timing; event : trig_event;
+        table : string; body : stmt list }
+  | S_create_rule of
+      { name : string; table : string; event : trig_event; instead : bool;
+        action : rule_action }
+  | S_create_sequence of { name : string; start : int; step : int }
+  | S_create_schema of string
+  | S_create_database of string
+  | S_create_user of { user : string; password : string }
+  | S_drop of { target : drop_target; if_exists : bool }
+  | S_alter_table of string * alter_action
+  | S_alter_sequence of { name : string; step : int }
+  | S_alter_user of { user : string; password : string }
+  | S_rename_table of (string * string) list
+  | S_truncate of string
+  | S_comment_on of { table : string; comment : string }
+  | S_insert of insert
+  | S_replace of insert
+  | S_update of update
+  | S_delete of delete
+  | S_copy_to of { src : copy_src; header : bool }
+  | S_copy_from of { table : string; rows : literal list list }
+  | S_load_data of { table : string; rows : literal list list }
+  | S_select of query
+  | S_with of { ctes : cte list; body : with_body }
+  | S_table of string
+  | S_explain of stmt
+  | S_describe of string
+  | S_show of show_what
+  | S_grant of { privs : priv list; table : string; user : string }
+  | S_revoke of { privs : priv list; table : string; user : string }
+  | S_set_role of string
+  | S_begin
+  | S_commit
+  | S_rollback
+  | S_savepoint of string
+  | S_release_savepoint of string
+  | S_rollback_to of string
+  | S_set_transaction of iso_level
+  | S_lock_tables of (string * lock_mode) list
+  | S_unlock_tables
+  | S_set_var of { global : bool; name : string; value : literal }
+  | S_reset_var of string
+  | S_set_names of string
+  | S_pragma of { name : string; value : literal option }
+  | S_vacuum of string option
+  | S_analyze of string option
+  | S_reindex of string option
+  | S_checkpoint
+  | S_flush of flush_what
+  | S_optimize of string
+  | S_check_table of string
+  | S_repair of string
+  | S_notify of { channel : string; payload : string option }
+  | S_listen of string
+  | S_unlisten of string
+  | S_discard of discard_what
+  | S_prepare of { name : string; stmt : stmt }
+  | S_execute of string
+  | S_deallocate of string
+  | S_use of string
+  | S_do of expr
+  | S_handler_open of string
+  | S_handler_read of { table : string; dir : handler_dir }
+  | S_handler_close of string
+  | S_alter_system of string
+  | S_refresh_matview of string
+  | S_kill of int
+  | S_cluster of string option
+
+(** A test case is a sequence of statements (paper §II). *)
+type testcase = stmt list
+
+(* The top-most set operation classifies a compound query, matching how the
+   paper's AST model assigns one type per statement. *)
+let type_of_query = function
+  | Q_select _ -> Stmt_type.Select
+  | Q_values _ -> Stmt_type.Values_stmt
+  | Q_compound (_, op, _) ->
+    (match op with
+     | Union | Union_all -> Stmt_type.Select_union
+     | Intersect -> Stmt_type.Select_intersect
+     | Except -> Stmt_type.Select_except)
+
+(** [type_of_stmt s] is the SQL statement type of [s] — the abstraction at
+    the heart of SQL Type Sequences. *)
+let type_of_stmt : stmt -> Stmt_type.t = function
+  | S_create_table { temp = false; _ } -> Create_table
+  | S_create_table { temp = true; _ } -> Create_temp_table
+  | S_create_index { unique = false; _ } -> Create_index
+  | S_create_index { unique = true; _ } -> Create_unique_index
+  | S_create_view { materialized = false; _ } -> Create_view
+  | S_create_view { materialized = true; _ } -> Create_materialized_view
+  | S_create_trigger _ -> Create_trigger
+  | S_create_rule _ -> Create_rule
+  | S_create_sequence _ -> Create_sequence
+  | S_create_schema _ -> Create_schema
+  | S_create_database _ -> Create_database
+  | S_create_user _ -> Create_user
+  | S_drop { target; _ } ->
+    (match target with
+     | D_table _ -> Drop_table
+     | D_index _ -> Drop_index
+     | D_view _ -> Drop_view
+     | D_trigger _ -> Drop_trigger
+     | D_rule _ -> Drop_rule
+     | D_sequence _ -> Drop_sequence
+     | D_schema _ -> Drop_schema
+     | D_database _ -> Drop_database
+     | D_user _ -> Drop_user)
+  | S_alter_table (_, action) ->
+    (match action with
+     | Add_column _ -> Alter_table_add_column
+     | Drop_column _ -> Alter_table_drop_column
+     | Rename_to _ -> Alter_table_rename
+     | Rename_column _ -> Alter_table_rename_column
+     | Alter_column_type _ -> Alter_table_alter_type)
+  | S_alter_sequence _ -> Alter_sequence
+  | S_alter_user _ -> Alter_user
+  | S_rename_table _ -> Rename_table
+  | S_truncate _ -> Truncate
+  | S_comment_on _ -> Comment_on
+  | S_insert { i_source = Src_values _; _ } -> Insert
+  | S_insert { i_source = Src_query _; _ } -> Insert_select
+  | S_replace _ -> Replace_into
+  | S_update _ -> Update
+  | S_delete _ -> Delete
+  | S_copy_to _ -> Copy_to
+  | S_copy_from _ -> Copy_from
+  | S_load_data _ -> Load_data
+  | S_select q -> type_of_query q
+  | S_with { ctes; body } ->
+    let is_dml = function
+      | W_query _ -> false
+      | W_insert _ | W_update _ | W_delete _ -> true
+    in
+    if is_dml body || List.exists (fun c -> is_dml c.cte_body) ctes then
+      With_dml
+    else With_select
+  | S_table _ -> Table_stmt
+  | S_explain _ -> Explain
+  | S_describe _ -> Describe
+  | S_show Sh_tables -> Show_tables
+  | S_show (Sh_columns _) -> Show_columns
+  | S_show Sh_variables -> Show_variables
+  | S_show Sh_status -> Show_status
+  | S_grant _ -> Grant
+  | S_revoke _ -> Revoke
+  | S_set_role _ -> Set_role
+  | S_begin -> Begin_txn
+  | S_commit -> Commit_txn
+  | S_rollback -> Rollback_txn
+  | S_savepoint _ -> Savepoint
+  | S_release_savepoint _ -> Release_savepoint
+  | S_rollback_to _ -> Rollback_to_savepoint
+  | S_set_transaction _ -> Set_transaction
+  | S_lock_tables _ -> Lock_tables
+  | S_unlock_tables -> Unlock_tables
+  | S_set_var { global = false; _ } -> Set_var
+  | S_set_var { global = true; _ } -> Set_global_var
+  | S_reset_var _ -> Reset_var
+  | S_set_names _ -> Set_names
+  | S_pragma _ -> Pragma
+  | S_vacuum _ -> Vacuum
+  | S_analyze _ -> Analyze
+  | S_reindex _ -> Reindex
+  | S_checkpoint -> Checkpoint
+  | S_flush _ -> Flush
+  | S_optimize _ -> Optimize_table
+  | S_check_table _ -> Check_table
+  | S_repair _ -> Repair_table
+  | S_notify _ -> Notify
+  | S_listen _ -> Listen
+  | S_unlisten _ -> Unlisten
+  | S_discard _ -> Discard
+  | S_prepare _ -> Prepare_stmt
+  | S_execute _ -> Execute_stmt
+  | S_deallocate _ -> Deallocate
+  | S_use _ -> Use_db
+  | S_do _ -> Do_expr
+  | S_handler_open _ -> Handler_open
+  | S_handler_read _ -> Handler_read
+  | S_handler_close _ -> Handler_close
+  | S_alter_system _ -> Alter_system
+  | S_refresh_matview _ -> Refresh_matview
+  | S_kill _ -> Kill_query
+  | S_cluster _ -> Cluster
+
+(** SQL Type Sequence of a test case (paper §II, Definition). *)
+let type_sequence (tc : testcase) : Stmt_type.t list =
+  List.map type_of_stmt tc

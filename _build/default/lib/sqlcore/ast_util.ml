@@ -1,0 +1,512 @@
+open Ast
+
+(* ------------------------------------------------------------------ *)
+(* Expression map (bottom-up), recursing into nested queries.          *)
+(* ------------------------------------------------------------------ *)
+
+let rec map_expr f e =
+  let e' =
+    match e with
+    | Lit _ | Col _ -> e
+    | Unop (op, a) -> Unop (op, map_expr f a)
+    | Binop (op, a, b) -> Binop (op, map_expr f a, map_expr f b)
+    | Fn (n, args) -> Fn (n, List.map (map_expr f) args)
+    | Agg (fn, d, arg) -> Agg (fn, d, Option.map (map_expr f) arg)
+    | Case (whens, else_) ->
+      Case
+        ( List.map (fun (c, v) -> (map_expr f c, map_expr f v)) whens,
+          Option.map (map_expr f) else_ )
+    | Cast (a, dt) -> Cast (map_expr f a, dt)
+    | In_list { e; items; negated } ->
+      In_list
+        { e = map_expr f e; items = List.map (map_expr f) items; negated }
+    | Between { e; lo; hi; negated } ->
+      Between
+        { e = map_expr f e; lo = map_expr f lo; hi = map_expr f hi; negated }
+    | Is_null (a, n) -> Is_null (map_expr f a, n)
+    | Like { e; pat; negated } ->
+      Like { e = map_expr f e; pat = map_expr f pat; negated }
+    | Exists (q, n) -> Exists (map_query_exprs f q, n)
+    | Subquery q -> Subquery (map_query_exprs f q)
+    | Win { fn; args; over } ->
+      Win
+        { fn;
+          args = List.map (map_expr f) args;
+          over =
+            { partition_by = List.map (map_expr f) over.partition_by;
+              w_order_by =
+                List.map (fun (e, d) -> (map_expr f e, d)) over.w_order_by;
+              frame = over.frame } }
+  in
+  f e'
+
+and map_query_exprs f = function
+  | Q_select s -> Q_select (map_select_exprs f s)
+  | Q_values rows -> Q_values (List.map (List.map (map_expr f)) rows)
+  | Q_compound (a, op, b) ->
+    Q_compound (map_query_exprs f a, op, map_query_exprs f b)
+
+and map_select_exprs f s =
+  { s with
+    projs =
+      List.map
+        (function
+          | Star -> Star
+          | Star_of t -> Star_of t
+          | Proj (e, a) -> Proj (map_expr f e, a))
+        s.projs;
+    from = Option.map (map_from_exprs f) s.from;
+    where = Option.map (map_expr f) s.where;
+    group_by = List.map (map_expr f) s.group_by;
+    having = Option.map (map_expr f) s.having;
+    order_by = List.map (fun (e, d) -> (map_expr f e, d)) s.order_by }
+
+and map_from_exprs f = function
+  | From_table _ as t -> t
+  | From_join { left; kind; right; on } ->
+    From_join
+      { left = map_from_exprs f left;
+        kind;
+        right = map_from_exprs f right;
+        on = Option.map (map_expr f) on }
+  | From_subquery { q; alias } ->
+    From_subquery { q = map_query_exprs f q; alias }
+
+let map_insert_exprs f (i : insert) =
+  { i with
+    i_source =
+      (match i.i_source with
+       | Src_values rows -> Src_values (List.map (List.map (map_expr f)) rows)
+       | Src_query q -> Src_query (map_query_exprs f q)) }
+
+let map_update_exprs f (u : update) =
+  { u with
+    u_sets = List.map (fun (c, e) -> (c, map_expr f e)) u.u_sets;
+    u_where = Option.map (map_expr f) u.u_where }
+
+let map_delete_exprs f (d : delete) =
+  { d with d_where = Option.map (map_expr f) d.d_where }
+
+let map_with_body_exprs f = function
+  | W_query q -> W_query (map_query_exprs f q)
+  | W_insert i -> W_insert (map_insert_exprs f i)
+  | W_update u -> W_update (map_update_exprs f u)
+  | W_delete d -> W_delete (map_delete_exprs f d)
+
+let rec map_exprs f = function
+  | S_create_view v -> S_create_view { v with query = map_query_exprs f v.query }
+  | S_create_trigger t ->
+    S_create_trigger { t with body = List.map (map_exprs f) t.body }
+  | S_create_rule r ->
+    S_create_rule
+      { r with
+        action =
+          (match r.action with
+           | Ra_nothing | Ra_notify _ -> r.action
+           | Ra_stmt s -> Ra_stmt (map_exprs f s)) }
+  | S_insert i -> S_insert (map_insert_exprs f i)
+  | S_replace i -> S_replace (map_insert_exprs f i)
+  | S_update u -> S_update (map_update_exprs f u)
+  | S_delete d -> S_delete (map_delete_exprs f d)
+  | S_copy_to { src = Cs_query q; header } ->
+    S_copy_to { src = Cs_query (map_query_exprs f q); header }
+  | S_select q -> S_select (map_query_exprs f q)
+  | S_with { ctes; body } ->
+    S_with
+      { ctes =
+          List.map
+            (fun c -> { c with cte_body = map_with_body_exprs f c.cte_body })
+            ctes;
+        body = map_with_body_exprs f body }
+  | S_explain s -> S_explain (map_exprs f s)
+  | S_prepare { name; stmt } -> S_prepare { name; stmt = map_exprs f stmt }
+  | S_do e -> S_do (map_expr f e)
+  | ( S_create_table _ | S_create_index _ | S_create_sequence _
+    | S_create_schema _ | S_create_database _ | S_create_user _ | S_drop _
+    | S_alter_table _ | S_alter_sequence _ | S_alter_user _ | S_rename_table _
+    | S_truncate _ | S_comment_on _ | S_copy_to { src = Cs_table _; _ }
+    | S_copy_from _ | S_load_data _ | S_table _ | S_describe _ | S_show _
+    | S_grant _ | S_revoke _ | S_set_role _ | S_begin | S_commit | S_rollback
+    | S_savepoint _ | S_release_savepoint _ | S_rollback_to _
+    | S_set_transaction _ | S_lock_tables _ | S_unlock_tables | S_set_var _
+    | S_reset_var _ | S_set_names _ | S_pragma _ | S_vacuum _ | S_analyze _
+    | S_reindex _ | S_checkpoint | S_flush _ | S_optimize _ | S_check_table _
+    | S_repair _ | S_notify _ | S_listen _ | S_unlisten _ | S_discard _
+    | S_execute _ | S_deallocate _ | S_use _ | S_handler_open _
+    | S_handler_read _ | S_handler_close _ | S_alter_system _
+    | S_refresh_matview _ | S_kill _ | S_cluster _ ) as s -> s
+
+let iter_exprs f stmt =
+  ignore
+    (map_exprs
+       (fun e ->
+          f e;
+          e)
+       stmt)
+
+let fold_exprs f acc stmt =
+  let acc = ref acc in
+  iter_exprs (fun e -> acc := f !acc e) stmt;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Table-reference renaming.                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec rn_query g = function
+  | Q_select s -> Q_select (rn_select g s)
+  | Q_values rows -> Q_values rows
+  | Q_compound (a, op, b) -> Q_compound (rn_query g a, op, rn_query g b)
+
+and rn_select g s =
+  let s = { s with from = Option.map (rn_from g) s.from } in
+  (* Qualified column references follow the table rename too. *)
+  map_select_exprs
+    (function Col (Some t, c) -> Col (Some (g t), c) | e -> e)
+    { s with
+      projs =
+        List.map
+          (function Star_of t -> Star_of (g t) | p -> p)
+          s.projs }
+
+and rn_from g = function
+  | From_table { name; alias } -> From_table { name = g name; alias }
+  | From_join { left; kind; right; on } ->
+    From_join { left = rn_from g left; kind; right = rn_from g right; on }
+  | From_subquery { q; alias } -> From_subquery { q = rn_query g q; alias }
+
+let rn_insert g (i : insert) =
+  { i with
+    i_table = g i.i_table;
+    i_source =
+      (match i.i_source with
+       | Src_values _ as v -> v
+       | Src_query q -> Src_query (rn_query g q)) }
+
+let rn_update g (u : update) = { u with u_table = g u.u_table }
+
+let rn_delete g (d : delete) = { d with d_table = g d.d_table }
+
+let rn_with_body g = function
+  | W_query q -> W_query (rn_query g q)
+  | W_insert i -> W_insert (rn_insert g i)
+  | W_update u -> W_update (rn_update g u)
+  | W_delete d -> W_delete (rn_delete g d)
+
+let rec map_table_refs g stmt =
+  (* First rename table-position names, then rename column qualifiers and
+     subquery FROMs via the expression rewriter. *)
+  let stmt =
+    match stmt with
+    | S_create_table c -> S_create_table { c with name = g c.name }
+    | S_create_index i -> S_create_index { i with table = g i.table }
+    | S_create_view v ->
+      S_create_view { v with name = g v.name; query = rn_query g v.query }
+    | S_create_trigger t ->
+      S_create_trigger
+        { t with table = g t.table; body = List.map (map_table_refs g) t.body }
+    | S_create_rule r ->
+      S_create_rule
+        { r with
+          table = g r.table;
+          action =
+            (match r.action with
+             | Ra_nothing | Ra_notify _ -> r.action
+             | Ra_stmt s -> Ra_stmt (map_table_refs g s)) }
+    | S_drop { target; if_exists } ->
+      let target =
+        match target with
+        | D_table n -> D_table (g n)
+        | D_view n -> D_view (g n)
+        | D_rule (n, t) -> D_rule (n, g t)
+        | (D_index _ | D_trigger _ | D_sequence _ | D_schema _ | D_database _
+          | D_user _) as t -> t
+      in
+      S_drop { target; if_exists }
+    | S_alter_table (t, a) -> S_alter_table (g t, a)
+    | S_rename_table pairs ->
+      S_rename_table (List.map (fun (a, b) -> (g a, g b)) pairs)
+    | S_truncate t -> S_truncate (g t)
+    | S_comment_on c -> S_comment_on { c with table = g c.table }
+    | S_insert i -> S_insert (rn_insert g i)
+    | S_replace i -> S_replace (rn_insert g i)
+    | S_update u -> S_update (rn_update g u)
+    | S_delete d -> S_delete (rn_delete g d)
+    | S_copy_to { src; header } ->
+      let src =
+        match src with
+        | Cs_table t -> Cs_table (g t)
+        | Cs_query q -> Cs_query (rn_query g q)
+      in
+      S_copy_to { src; header }
+    | S_copy_from c -> S_copy_from { c with table = g c.table }
+    | S_load_data l -> S_load_data { l with table = g l.table }
+    | S_select q -> S_select (rn_query g q)
+    | S_with { ctes; body } ->
+      S_with
+        { ctes =
+            List.map
+              (fun c -> { c with cte_body = rn_with_body g c.cte_body })
+              ctes;
+          body = rn_with_body g body }
+    | S_table t -> S_table (g t)
+    | S_explain s -> S_explain (map_table_refs g s)
+    | S_describe t -> S_describe (g t)
+    | S_show (Sh_columns t) -> S_show (Sh_columns (g t))
+    | S_grant gr -> S_grant { gr with table = g gr.table }
+    | S_revoke r -> S_revoke { r with table = g r.table }
+    | S_lock_tables locks ->
+      S_lock_tables (List.map (fun (t, m) -> (g t, m)) locks)
+    | S_vacuum t -> S_vacuum (Option.map g t)
+    | S_analyze t -> S_analyze (Option.map g t)
+    | S_reindex t -> S_reindex (Option.map g t)
+    | S_optimize t -> S_optimize (g t)
+    | S_check_table t -> S_check_table (g t)
+    | S_repair t -> S_repair (g t)
+    | S_prepare { name; stmt } ->
+      S_prepare { name; stmt = map_table_refs g stmt }
+    | S_handler_open t -> S_handler_open (g t)
+    | S_handler_read { table; dir } -> S_handler_read { table = g table; dir }
+    | S_handler_close t -> S_handler_close (g t)
+    | S_refresh_matview v -> S_refresh_matview (g v)
+    | S_cluster t -> S_cluster (Option.map g t)
+    | ( S_create_sequence _ | S_create_schema _ | S_create_database _
+      | S_create_user _ | S_alter_sequence _ | S_alter_user _
+      | S_show (Sh_tables | Sh_variables | Sh_status) | S_set_role _ | S_begin
+      | S_commit | S_rollback | S_savepoint _ | S_release_savepoint _
+      | S_rollback_to _ | S_set_transaction _ | S_unlock_tables | S_set_var _
+      | S_reset_var _ | S_set_names _ | S_pragma _ | S_checkpoint | S_flush _
+      | S_notify _ | S_listen _ | S_unlisten _ | S_discard _ | S_execute _
+      | S_deallocate _ | S_use _ | S_do _ | S_alter_system _ | S_kill _ ) as s
+      -> s
+  in
+  map_exprs
+    (function Col (Some t, c) -> Col (Some (g t), c) | e -> e)
+    stmt
+
+(* ------------------------------------------------------------------ *)
+(* Read / write table collection.                                      *)
+(* ------------------------------------------------------------------ *)
+
+let dedup xs =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun x ->
+       if Hashtbl.mem seen x then false
+       else begin
+         Hashtbl.add seen x ();
+         true
+       end)
+    xs
+
+type collect = { mutable reads : string list; mutable writes : string list }
+
+let rec c_query acc = function
+  | Q_select s -> c_select acc s
+  | Q_values rows -> List.iter (List.iter (c_expr acc)) rows
+  | Q_compound (a, _, b) ->
+    c_query acc a;
+    c_query acc b
+
+and c_select acc s =
+  Option.iter (c_from acc) s.from;
+  List.iter
+    (function Proj (e, _) -> c_expr acc e | Star | Star_of _ -> ())
+    s.projs;
+  Option.iter (c_expr acc) s.where;
+  List.iter (c_expr acc) s.group_by;
+  Option.iter (c_expr acc) s.having;
+  List.iter (fun (e, _) -> c_expr acc e) s.order_by
+
+and c_from acc = function
+  | From_table { name; _ } -> acc.reads <- name :: acc.reads
+  | From_join { left; right; on; _ } ->
+    c_from acc left;
+    c_from acc right;
+    Option.iter (c_expr acc) on
+  | From_subquery { q; _ } -> c_query acc q
+
+and c_expr acc = function
+  | Lit _ | Col _ -> ()
+  | Unop (_, a) -> c_expr acc a
+  | Binop (_, a, b) ->
+    c_expr acc a;
+    c_expr acc b
+  | Fn (_, args) -> List.iter (c_expr acc) args
+  | Agg (_, _, arg) -> Option.iter (c_expr acc) arg
+  | Case (whens, else_) ->
+    List.iter
+      (fun (c, v) ->
+         c_expr acc c;
+         c_expr acc v)
+      whens;
+    Option.iter (c_expr acc) else_
+  | Cast (a, _) -> c_expr acc a
+  | In_list { e; items; _ } ->
+    c_expr acc e;
+    List.iter (c_expr acc) items
+  | Between { e; lo; hi; _ } ->
+    c_expr acc e;
+    c_expr acc lo;
+    c_expr acc hi
+  | Is_null (a, _) -> c_expr acc a
+  | Like { e; pat; _ } ->
+    c_expr acc e;
+    c_expr acc pat
+  | Exists (q, _) | Subquery q -> c_query acc q
+  | Win { args; over; _ } ->
+    List.iter (c_expr acc) args;
+    List.iter (c_expr acc) over.partition_by;
+    List.iter (fun (e, _) -> c_expr acc e) over.w_order_by
+
+let c_insert acc (i : insert) =
+  acc.writes <- i.i_table :: acc.writes;
+  match i.i_source with
+  | Src_values rows -> List.iter (List.iter (c_expr acc)) rows
+  | Src_query q -> c_query acc q
+
+let c_update acc (u : update) =
+  acc.writes <- u.u_table :: acc.writes;
+  List.iter (fun (_, e) -> c_expr acc e) u.u_sets;
+  Option.iter (c_expr acc) u.u_where
+
+let c_delete acc (d : delete) =
+  acc.writes <- d.d_table :: acc.writes;
+  Option.iter (c_expr acc) d.d_where
+
+let c_with_body acc = function
+  | W_query q -> c_query acc q
+  | W_insert i -> c_insert acc i
+  | W_update u -> c_update acc u
+  | W_delete d -> c_delete acc d
+
+let rec c_stmt acc = function
+  | S_create_view { query; _ } -> c_query acc query
+  | S_create_trigger { table; body; _ } ->
+    acc.reads <- table :: acc.reads;
+    List.iter (c_stmt acc) body
+  | S_create_rule { table; action; _ } ->
+    acc.reads <- table :: acc.reads;
+    (match action with
+     | Ra_nothing | Ra_notify _ -> ()
+     | Ra_stmt s -> c_stmt acc s)
+  | S_insert i -> c_insert acc i
+  | S_replace i -> c_insert acc i
+  | S_update u -> c_update acc u
+  | S_delete d -> c_delete acc d
+  | S_truncate t -> acc.writes <- t :: acc.writes
+  | S_copy_to { src = Cs_table t; _ } -> acc.reads <- t :: acc.reads
+  | S_copy_to { src = Cs_query q; _ } -> c_query acc q
+  | S_copy_from { table; _ } -> acc.writes <- table :: acc.writes
+  | S_load_data { table; _ } -> acc.writes <- table :: acc.writes
+  | S_select q -> c_query acc q
+  | S_with { ctes; body } ->
+    List.iter (fun c -> c_with_body acc c.cte_body) ctes;
+    c_with_body acc body
+  | S_table t -> acc.reads <- t :: acc.reads
+  | S_explain s -> c_stmt acc s
+  | S_describe t | S_show (Sh_columns t) -> acc.reads <- t :: acc.reads
+  | S_prepare { stmt; _ } -> c_stmt acc stmt
+  | S_do e -> c_expr acc e
+  | S_handler_open t | S_handler_read { table = t; _ } ->
+    acc.reads <- t :: acc.reads
+  | S_alter_table (t, _) -> acc.writes <- t :: acc.writes
+  | S_optimize t | S_check_table t | S_repair t ->
+    acc.reads <- t :: acc.reads
+  | S_vacuum (Some t) | S_analyze (Some t) | S_reindex (Some t)
+  | S_cluster (Some t) -> acc.reads <- t :: acc.reads
+  | S_create_table _ | S_create_index _ | S_create_sequence _
+  | S_create_schema _ | S_create_database _ | S_create_user _ | S_drop _
+  | S_alter_sequence _ | S_alter_user _ | S_rename_table _ | S_comment_on _
+  | S_show (Sh_tables | Sh_variables | Sh_status) | S_grant _ | S_revoke _
+  | S_set_role _ | S_begin | S_commit | S_rollback | S_savepoint _
+  | S_release_savepoint _ | S_rollback_to _ | S_set_transaction _
+  | S_lock_tables _ | S_unlock_tables | S_set_var _ | S_reset_var _
+  | S_set_names _ | S_pragma _ | S_vacuum None | S_analyze None
+  | S_reindex None | S_checkpoint | S_flush _ | S_notify _ | S_listen _
+  | S_unlisten _ | S_discard _ | S_execute _ | S_deallocate _ | S_use _
+  | S_handler_close _ | S_alter_system _ | S_refresh_matview _ | S_kill _
+  | S_cluster None -> ()
+
+let collect stmt =
+  let acc = { reads = []; writes = [] } in
+  c_stmt acc stmt;
+  (dedup (List.rev acc.reads), dedup (List.rev acc.writes))
+
+let tables_read stmt = fst (collect stmt)
+
+let tables_written stmt = snd (collect stmt)
+
+let table_created = function
+  | S_create_table { name; cols; _ } -> Some (name, cols)
+  | _ -> None
+
+let objects_created = function
+  | S_create_table { name; temp; _ } ->
+    [ ((if temp then "temp_table" else "table"), name) ]
+  | S_create_index { name; _ } -> [ ("index", name) ]
+  | S_create_view { name; _ } -> [ ("view", name) ]
+  | S_create_trigger { name; _ } -> [ ("trigger", name) ]
+  | S_create_rule { name; _ } -> [ ("rule", name) ]
+  | S_create_sequence { name; _ } -> [ ("sequence", name) ]
+  | S_create_schema n -> [ ("schema", n) ]
+  | S_create_database n -> [ ("database", n) ]
+  | S_create_user { user; _ } -> [ ("user", user) ]
+  | _ -> []
+
+let has_window_fn stmt =
+  fold_exprs (fun acc e -> acc || match e with Win _ -> true | _ -> false)
+    false stmt
+
+let has_subquery stmt =
+  fold_exprs
+    (fun acc e ->
+       acc || match e with Subquery _ | Exists _ -> true | _ -> false)
+    false stmt
+
+let has_aggregate stmt =
+  fold_exprs (fun acc e -> acc || match e with Agg _ -> true | _ -> false)
+    false stmt
+
+let column_refs stmt =
+  List.rev
+    (fold_exprs
+       (fun acc e -> match e with Col (q, c) -> (q, c) :: acc | _ -> acc)
+       [] stmt)
+
+let rec expr_depth = function
+  | Lit _ | Col _ -> 1
+  | Unop (_, a) | Cast (a, _) | Is_null (a, _) -> 1 + expr_depth a
+  | Binop (_, a, b) -> 1 + max (expr_depth a) (expr_depth b)
+  | Fn (_, args) -> 1 + depth_of_list args
+  | Agg (_, _, arg) ->
+    1 + (match arg with None -> 0 | Some a -> expr_depth a)
+  | Case (whens, else_) ->
+    let d =
+      List.fold_left
+        (fun acc (c, v) -> max acc (max (expr_depth c) (expr_depth v)))
+        0 whens
+    in
+    1 + max d (match else_ with None -> 0 | Some e -> expr_depth e)
+  | In_list { e; items; _ } ->
+    1 + max (expr_depth e) (depth_of_list items)
+  | Between { e; lo; hi; _ } ->
+    1 + max (expr_depth e) (max (expr_depth lo) (expr_depth hi))
+  | Like { e; pat; _ } -> 1 + max (expr_depth e) (expr_depth pat)
+  | Exists _ | Subquery _ -> 2
+  | Win { args; over; _ } ->
+    1
+    + max (depth_of_list args)
+        (max
+           (depth_of_list over.partition_by)
+           (depth_of_list (List.map fst over.w_order_by)))
+
+and depth_of_list = function
+  | [] -> 0
+  | xs -> List.fold_left (fun acc e -> max acc (expr_depth e)) 0 xs
+
+let stmt_size stmt =
+  let exprs = fold_exprs (fun acc e -> acc + expr_depth e) 1 stmt in
+  let reads = List.length (tables_read stmt) in
+  let writes = List.length (tables_written stmt) in
+  exprs + reads + writes

@@ -1,0 +1,1 @@
+lib/sqlparser/lexer.ml: Array Buffer Format Hashtbl List Printf String

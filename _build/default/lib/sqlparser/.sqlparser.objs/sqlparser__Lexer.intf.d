@@ -1,0 +1,1 @@
+lib/sqlparser/lexer.mli: Format

@@ -1,0 +1,1 @@
+lib/sqlparser/parser.ml: Array Format Lexer List Printf Sqlcore String

@@ -1,0 +1,24 @@
+(** Recursive-descent SQL parser covering the whole {!Sqlcore.Ast}.
+
+    The grammar is the language produced by {!Sqlcore.Sql_printer}, plus the
+    usual conveniences (operator precedence without mandatory parentheses,
+    optional [ASC], [TRUNCATE] without [TABLE], line comments, ...). The
+    paper uses its AST parser both to harvest statement structures from
+    seeds and to re-validate instantiated test cases; this module plays the
+    same role. *)
+
+exception Parse_error of string
+
+val parse_testcase : string -> (Sqlcore.Ast.testcase, string) result
+(** Parse a [';']-separated sequence of statements. *)
+
+val parse_stmt : string -> (Sqlcore.Ast.stmt, string) result
+(** Parse a single statement (an optional trailing [';'] is accepted). *)
+
+val parse_expr : string -> (Sqlcore.Ast.expr, string) result
+(** Parse a stand-alone expression (for tests and tools). *)
+
+val parse_testcase_exn : string -> Sqlcore.Ast.testcase
+(** @raise Parse_error on malformed input. *)
+
+val parse_stmt_exn : string -> Sqlcore.Ast.stmt

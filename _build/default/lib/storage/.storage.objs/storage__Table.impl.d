@@ -1,0 +1,1 @@
+lib/storage/table.ml: Array List Option Reprutil Sqlcore String Value Vec

@@ -1,0 +1,1 @@
+lib/storage/value.ml: Bool Float Hashtbl Int Int64 Printf Sqlcore String

@@ -1,0 +1,151 @@
+open Reprutil
+
+type col = {
+  c_name : string;
+  c_type : Sqlcore.Ast.data_type;
+  c_not_null : bool;
+  c_primary : bool;
+  c_unique : bool;
+  c_default : Value.t option;
+  c_zerofill : bool;
+}
+
+type t = {
+  mutable t_name : string;
+  t_temp : bool;
+  mutable t_cols : col array;
+  t_rows : (int * Value.t array) Vec.t;
+  mutable next_rowid : int;
+}
+
+let create ~name ~temp cols =
+  { t_name = name; t_temp = temp; t_cols = Array.of_list cols;
+    t_rows = Vec.create (); next_rowid = 0 }
+
+let col_of_def (d : Sqlcore.Ast.col_def) =
+  { c_name = d.col_name;
+    c_type = d.col_type;
+    c_not_null = d.not_null || d.primary_key;
+    c_primary = d.primary_key;
+    c_unique = d.unique || d.primary_key;
+    c_default = Option.map Value.of_literal d.default;
+    c_zerofill = d.zerofill }
+
+let name t = t.t_name
+
+let set_name t n = t.t_name <- n
+
+let is_temp t = t.t_temp
+
+let cols t = t.t_cols
+
+let col_index t name =
+  let n = Array.length t.t_cols in
+  let rec loop i =
+    if i >= n then None
+    else if String.equal t.t_cols.(i).c_name name then Some i
+    else loop (i + 1)
+  in
+  loop 0
+
+let arity t = Array.length t.t_cols
+
+let row_count t = Vec.length t.t_rows
+
+let insert t row =
+  let id = t.next_rowid in
+  t.next_rowid <- id + 1;
+  Vec.push t.t_rows (id, row);
+  id
+
+let find_row t rowid =
+  let n = Vec.length t.t_rows in
+  let rec loop i =
+    if i >= n then None
+    else
+      let id, row = Vec.get t.t_rows i in
+      if id = rowid then Some row else loop (i + 1)
+  in
+  loop 0
+
+let update_row t rowid row =
+  let n = Vec.length t.t_rows in
+  let rec loop i =
+    if i < n then begin
+      let id, _ = Vec.get t.t_rows i in
+      if id = rowid then Vec.set t.t_rows i (id, row) else loop (i + 1)
+    end
+  in
+  loop 0
+
+let delete_rows t pred =
+  let kept = Vec.create () in
+  let deleted = ref 0 in
+  Vec.iter
+    (fun (id, row) ->
+       if pred id then incr deleted else Vec.push kept (id, row))
+    t.t_rows;
+  if !deleted > 0 then begin
+    Vec.clear t.t_rows;
+    Vec.iter (Vec.push t.t_rows) kept
+  end;
+  !deleted
+
+let truncate t =
+  let n = Vec.length t.t_rows in
+  Vec.clear t.t_rows;
+  n
+
+let iter f t = Vec.iter (fun (id, row) -> f id row) t.t_rows
+
+let to_rows t = Vec.to_list t.t_rows
+
+let add_column t col =
+  t.t_cols <- Array.append t.t_cols [| col |];
+  let filler = Option.value ~default:Value.Null col.c_default in
+  let n = Vec.length t.t_rows in
+  for i = 0 to n - 1 do
+    let id, row = Vec.get t.t_rows i in
+    Vec.set t.t_rows i (id, Array.append row [| filler |])
+  done
+
+let drop_column t pos =
+  let keep_cols =
+    Array.of_list
+      (List.filteri (fun i _ -> i <> pos) (Array.to_list t.t_cols))
+  in
+  t.t_cols <- keep_cols;
+  let n = Vec.length t.t_rows in
+  for i = 0 to n - 1 do
+    let id, row = Vec.get t.t_rows i in
+    let row' =
+      Array.of_list (List.filteri (fun j _ -> j <> pos) (Array.to_list row))
+    in
+    Vec.set t.t_rows i (id, row')
+  done
+
+let rename_column t pos name =
+  let cols = Array.copy t.t_cols in
+  cols.(pos) <- { cols.(pos) with c_name = name };
+  t.t_cols <- cols
+
+let copy t =
+  let rows = Vec.create () in
+  Vec.iter (fun (id, row) -> Vec.push rows (id, Array.copy row)) t.t_rows;
+  { t_name = t.t_name; t_temp = t.t_temp; t_cols = Array.copy t.t_cols;
+    t_rows = rows; next_rowid = t.next_rowid }
+
+let change_column_type t pos dt =
+  let cols = Array.copy t.t_cols in
+  cols.(pos) <- { cols.(pos) with c_type = dt };
+  t.t_cols <- cols;
+  let n = Vec.length t.t_rows in
+  for i = 0 to n - 1 do
+    let id, row = Vec.get t.t_rows i in
+    let row = Array.copy row in
+    (row.(pos) <-
+       (match Value.coerce row.(pos) dt with
+        | Ok v -> v
+        | Error _ -> Value.Null));
+    Vec.set t.t_rows i (id, row)
+  done

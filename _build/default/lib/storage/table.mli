@@ -1,0 +1,70 @@
+(** In-memory heap table: schema plus rows with stable row ids.
+
+    Constraint checking (NOT NULL, PRIMARY KEY, UNIQUE) is performed by the
+    engine's executor so that it can fire coverage probes and honour
+    [INSERT IGNORE]; this module is plain storage with schema-change
+    primitives. *)
+
+type col = {
+  c_name : string;
+  c_type : Sqlcore.Ast.data_type;
+  c_not_null : bool;
+  c_primary : bool;
+  c_unique : bool;
+  c_default : Value.t option;
+  c_zerofill : bool;
+}
+
+type t
+
+val create : name:string -> temp:bool -> col list -> t
+
+val col_of_def : Sqlcore.Ast.col_def -> col
+
+val name : t -> string
+
+val set_name : t -> string -> unit
+
+val is_temp : t -> bool
+
+val cols : t -> col array
+
+val col_index : t -> string -> int option
+(** Position of a column by name. *)
+
+val arity : t -> int
+
+val row_count : t -> int
+
+val insert : t -> Value.t array -> int
+(** Append a row (already coerced); returns its fresh rowid. *)
+
+val find_row : t -> int -> Value.t array option
+
+val update_row : t -> int -> Value.t array -> unit
+
+val delete_rows : t -> (int -> bool) -> int
+(** Delete rows whose rowid satisfies the predicate; returns the count. *)
+
+val truncate : t -> int
+(** Remove all rows; returns how many were removed. *)
+
+val iter : (int -> Value.t array -> unit) -> t -> unit
+(** Iterate (rowid, row) in insertion order. *)
+
+val to_rows : t -> (int * Value.t array) list
+
+val add_column : t -> col -> unit
+(** Existing rows get the column's default (or NULL). *)
+
+val drop_column : t -> int -> unit
+(** Drop by position, rewriting all rows. *)
+
+val rename_column : t -> int -> string -> unit
+
+val change_column_type : t -> int -> Sqlcore.Ast.data_type -> unit
+(** Re-coerces the column in every row; values that fail coercion become
+    NULL. *)
+
+val copy : t -> t
+(** Deep copy (schema and rows), used for transaction snapshots. *)

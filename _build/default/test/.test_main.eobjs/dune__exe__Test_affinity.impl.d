@@ -1,0 +1,1 @@
+test/test_affinity.ml: Alcotest Lego List QCheck QCheck_alcotest Sqlcore Sqlparser Stmt_type

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Ast Baselines Dialects Fuzz List Sqlcore Stmt_type

@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Coverage List QCheck QCheck_alcotest

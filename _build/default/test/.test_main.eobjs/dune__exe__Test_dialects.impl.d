@@ -1,0 +1,1 @@
+test/test_dialects.ml: Alcotest Dialects List Minidb Sqlcore Stmt_type String

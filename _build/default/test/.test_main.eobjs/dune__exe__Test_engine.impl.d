@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Ast Coverage List Minidb Sqlcore Sqlparser Stmt_type String

@@ -1,0 +1,1 @@
+test/test_executor.ml: Alcotest Array Coverage Dialects List Minidb Sqlcore Sqlparser Stmt_type Storage String

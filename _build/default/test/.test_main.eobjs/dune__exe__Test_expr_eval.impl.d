@@ -1,0 +1,1 @@
+test/test_expr_eval.ml: Alcotest Format Minidb Sqlparser Storage Value

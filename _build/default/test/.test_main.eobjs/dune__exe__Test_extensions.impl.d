@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Ast Baselines Coverage Dialects Fuzz Lego List Minidb Printexc Printf Reprutil Sql_printer Sqlcore Sqlparser Stmt_type

@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest List Minidb Sqlcore Sqlparser Stmt_type

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Ast Baselines Dialects Fuzz Lego List Minidb Reprutil Sqlcore Sqlparser Stmt_type

@@ -1,0 +1,1 @@
+test/test_lego_core.ml: Alcotest Ast Ast_util Gen Lego List QCheck QCheck_alcotest Reprutil Sqlcore Sqlparser Stmt_type

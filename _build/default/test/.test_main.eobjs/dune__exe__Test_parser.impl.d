@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Array Ast Ast_util Lego List QCheck QCheck_alcotest Reprutil Sql_printer Sqlcore Sqlparser Stmt_type

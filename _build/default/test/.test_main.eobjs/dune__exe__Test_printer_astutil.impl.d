@@ -1,0 +1,1 @@
+test/test_printer_astutil.ml: Alcotest Ast Ast_util Lego List QCheck QCheck_alcotest Reprutil Sql_printer Sqlcore Sqlparser Stmt_type

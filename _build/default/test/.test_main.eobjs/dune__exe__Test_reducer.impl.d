@@ -1,0 +1,1 @@
+test/test_reducer.ml: Alcotest Ast Fuzz List Minidb Printf Sql_printer Sqlcore Sqlparser Stmt_type String

@@ -1,0 +1,1 @@
+test/test_reprutil.ml: Alcotest List QCheck QCheck_alcotest Reprutil

@@ -1,0 +1,1 @@
+test/test_stmt_type.ml: Alcotest Array List Sqlcore Stmt_type String

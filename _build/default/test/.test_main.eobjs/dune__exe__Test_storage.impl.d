@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Hashtbl Index List Option QCheck QCheck_alcotest Sqlcore Storage Table Value

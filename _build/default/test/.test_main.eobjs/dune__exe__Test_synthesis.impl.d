@@ -1,0 +1,1 @@
+test/test_synthesis.ml: Alcotest Lego List QCheck QCheck_alcotest Sqlcore Stmt_type String

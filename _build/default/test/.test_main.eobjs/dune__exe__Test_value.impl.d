@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Format List QCheck QCheck_alcotest Sqlcore Storage Value

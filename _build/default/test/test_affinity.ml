@@ -1,0 +1,121 @@
+(* Tests for type-affinity analysis — the paper's Algorithm 2. *)
+
+open Sqlcore
+module A = Lego.Affinity
+
+let parse = Sqlparser.Parser.parse_testcase_exn
+
+let test_basic_analysis () =
+  let t = A.create () in
+  let news =
+    A.analyze t
+      (parse
+         "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;")
+  in
+  Alcotest.(check int) "two new affinities" 2 (List.length news);
+  Alcotest.(check bool) "create->insert" true
+    (A.mem t Stmt_type.Create_table Stmt_type.Insert);
+  Alcotest.(check bool) "insert->select" true
+    (A.mem t Stmt_type.Insert Stmt_type.Select);
+  Alcotest.(check bool) "not create->select" false
+    (A.mem t Stmt_type.Create_table Stmt_type.Select);
+  Alcotest.(check int) "count" 2 (A.count t)
+
+let test_same_type_skipped () =
+  (* Algorithm 2 lines 5-7: adjacent same types contribute nothing. *)
+  let t = A.create () in
+  let news =
+    A.analyze_sequence t
+      [ Stmt_type.Insert; Stmt_type.Insert; Stmt_type.Insert ]
+  in
+  Alcotest.(check int) "no affinities" 0 (List.length news);
+  Alcotest.(check bool) "insert->insert absent" false
+    (A.mem t Stmt_type.Insert Stmt_type.Insert)
+
+let test_same_type_does_not_break_chain () =
+  (* CREATE, INSERT, INSERT, SELECT: the paper's Fig. 1 seed yields
+     (CREATE,INSERT) and (INSERT,SELECT). *)
+  let t = A.create () in
+  let news =
+    A.analyze_sequence t
+      [ Stmt_type.Create_table; Stmt_type.Insert; Stmt_type.Insert;
+        Stmt_type.Select ]
+  in
+  Alcotest.(check int) "two affinities" 2 (List.length news)
+
+let test_direction_matters () =
+  let t = A.create () in
+  ignore (A.analyze_sequence t [ Stmt_type.Insert; Stmt_type.Select ]);
+  Alcotest.(check bool) "forward" true
+    (A.mem t Stmt_type.Insert Stmt_type.Select);
+  Alcotest.(check bool) "reverse absent" false
+    (A.mem t Stmt_type.Select Stmt_type.Insert)
+
+let test_no_duplicate_counting () =
+  let t = A.create () in
+  ignore (A.analyze_sequence t [ Stmt_type.Insert; Stmt_type.Select ]);
+  let news =
+    A.analyze_sequence t [ Stmt_type.Insert; Stmt_type.Select ]
+  in
+  Alcotest.(check int) "no news second time" 0 (List.length news);
+  Alcotest.(check int) "count stays 1" 1 (A.count t)
+
+let test_successors_sorted () =
+  let t = A.create () in
+  ignore (A.add t Stmt_type.Create_table Stmt_type.Select);
+  ignore (A.add t Stmt_type.Create_table Stmt_type.Insert);
+  let succ = A.successors t Stmt_type.Create_table in
+  Alcotest.(check int) "two successors" 2 (List.length succ);
+  Alcotest.(check bool) "sorted by type index" true
+    (succ = List.sort Stmt_type.compare succ)
+
+let test_of_corpus () =
+  let corpus =
+    [ parse "CREATE TABLE t (a INT); INSERT INTO t VALUES (1);";
+      parse "CREATE TABLE u (a INT); SELECT 1;" ]
+  in
+  let t = A.of_corpus corpus in
+  Alcotest.(check int) "two distinct affinities" 2 (A.count t)
+
+let test_fig3_affinity_extraction () =
+  (* Fig. 3: from INSERT -> CREATE TRIGGER the new affinity (3 -> 5). *)
+  let t = A.create () in
+  ignore
+    (A.analyze_sequence t
+       [ Stmt_type.Select; Stmt_type.Insert; Stmt_type.Create_trigger;
+         Stmt_type.Select ]);
+  Alcotest.(check bool) "insert->create trigger" true
+    (A.mem t Stmt_type.Insert Stmt_type.Create_trigger);
+  Alcotest.(check bool) "create trigger->select" true
+    (A.mem t Stmt_type.Create_trigger Stmt_type.Select)
+
+(* Property: count equals the number of distinct adjacent unequal pairs. *)
+let prop_count_matches_pairs =
+  let gen_seq =
+    QCheck.Gen.(
+      list_size (int_range 0 12)
+        (map Stmt_type.of_index (int_bound (Stmt_type.count - 1))))
+    |> QCheck.make
+  in
+  QCheck.Test.make ~name:"affinity count = distinct adjacent pairs"
+    ~count:300 gen_seq (fun seq ->
+      let t = A.create () in
+      ignore (A.analyze_sequence t seq);
+      let rec pairs = function
+        | a :: (b :: _ as rest) ->
+          (if Stmt_type.equal a b then [] else [ (a, b) ]) @ pairs rest
+        | _ -> []
+      in
+      A.count t = List.length (List.sort_uniq compare (pairs seq)))
+
+let suite =
+  [ ("basic analysis", `Quick, test_basic_analysis);
+    ("same type skipped", `Quick, test_same_type_skipped);
+    ("same type does not break chain", `Quick,
+     test_same_type_does_not_break_chain);
+    ("direction matters", `Quick, test_direction_matters);
+    ("no duplicate counting", `Quick, test_no_duplicate_counting);
+    ("successors sorted", `Quick, test_successors_sorted);
+    ("of_corpus", `Quick, test_of_corpus);
+    ("fig3 affinity extraction", `Quick, test_fig3_affinity_extraction);
+    QCheck_alcotest.to_alcotest prop_count_matches_pairs ]

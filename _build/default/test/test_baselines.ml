@@ -1,0 +1,125 @@
+(* Tests pinning each baseline to the mechanism class the paper assigns
+   it. *)
+
+open Sqlcore
+
+let type_seq tc = Ast.type_sequence tc
+
+let test_squirrel_never_changes_sequences () =
+  (* The paper's core observation (Fig. 1): SQUIRREL's mutation keeps the
+     SQL Type Sequence of the seed. After a whole campaign, every kept
+     seed's type sequence must be one of the initial corpus's type
+     sequences. *)
+  let profile = Dialects.Registry.mariadb_sim in
+  let initial_seqs =
+    List.map type_seq (Fuzz.Corpus.initial profile)
+  in
+  let t = Baselines.Squirrel_sim.create profile in
+  let fz = Baselines.Squirrel_sim.fuzzer t in
+  let _ = Fuzz.Driver.run_until_execs fz ~execs:3000 in
+  List.iter
+    (fun tc ->
+       Alcotest.(check bool) "sequence from the initial corpus" true
+         (List.mem (type_seq tc) initial_seqs))
+    (fz.Fuzz.Driver.f_corpus ())
+
+let test_sqlancer_fixed_pattern_order () =
+  (* rule-based generation: tables are created before rows are inserted,
+     and inserts precede the SELECT oracle queries *)
+  let profile = Dialects.Registry.pg_sim in
+  let t = Baselines.Sqlancer_sim.create profile in
+  let fz = Baselines.Sqlancer_sim.fuzzer t in
+  let _ = Fuzz.Driver.run_until_execs fz ~execs:100 in
+  List.iter
+    (fun tc ->
+       let seq = type_seq tc in
+       let idx ty =
+         let rec find i = function
+           | [] -> None
+           | t :: _ when Stmt_type.equal t ty -> Some i
+           | _ :: rest -> find (i + 1) rest
+         in
+         find 0 seq
+       in
+       (match (idx Stmt_type.Create_table, idx Stmt_type.Insert) with
+        | Some c, Some i ->
+          Alcotest.(check bool) "create before insert" true (c < i)
+        | _ -> ());
+       match (idx Stmt_type.Insert, idx Stmt_type.Select) with
+       | Some i, Some s ->
+         Alcotest.(check bool) "insert before first select" true (i < s)
+       | _ -> ())
+    (fz.Fuzz.Driver.f_corpus ())
+
+let test_sqlancer_no_exotic_types () =
+  let profile = Dialects.Registry.pg_sim in
+  let t = Baselines.Sqlancer_sim.create profile in
+  let fz = Baselines.Sqlancer_sim.fuzzer t in
+  let _ = Fuzz.Driver.run_until_execs fz ~execs:200 in
+  let allowed =
+    [ Stmt_type.Create_table; Stmt_type.Create_index; Stmt_type.Insert;
+      Stmt_type.Update; Stmt_type.Delete; Stmt_type.Select;
+      Stmt_type.Set_var; Stmt_type.Begin_txn; Stmt_type.Commit_txn;
+      Stmt_type.Analyze; Stmt_type.Truncate; Stmt_type.Drop_table ]
+  in
+  List.iter
+    (fun tc ->
+       List.iter
+         (fun ty ->
+            Alcotest.(check bool)
+              ("rule vocabulary only: " ^ Stmt_type.name ty)
+              true (List.mem ty allowed))
+         (type_seq tc))
+    (fz.Fuzz.Driver.f_corpus ())
+
+let test_sqlsmith_readonly () =
+  (* SQLsmith leaves the database unchanged: beyond the fixed preamble,
+     its statements are queries *)
+  let profile = Dialects.Registry.pg_sim in
+  let t = Baselines.Sqlsmith_sim.create profile in
+  let fz = Baselines.Sqlsmith_sim.fuzzer t in
+  let _ = Fuzz.Driver.run_until_execs fz ~execs:100 in
+  List.iter
+    (fun tc ->
+       match List.rev (type_seq tc) with
+       | last :: _ ->
+         Alcotest.(check string) "query category" "DQL"
+           (Stmt_type.category_name (Stmt_type.category last))
+       | [] -> Alcotest.fail "empty test case")
+    (fz.Fuzz.Driver.f_corpus ())
+
+let test_baselines_deterministic () =
+  let run mk =
+    let fz = mk () in
+    let snap = Fuzz.Driver.run_until_execs fz ~execs:1000 in
+    snap.Fuzz.Driver.st_branches
+  in
+  let profile = Dialects.Registry.mysql_sim in
+  List.iter
+    (fun mk ->
+       Alcotest.(check int) "same branches twice" (run mk) (run mk))
+    [ (fun () -> Baselines.Squirrel_sim.fuzzer (Baselines.Squirrel_sim.create profile));
+      (fun () -> Baselines.Sqlancer_sim.fuzzer (Baselines.Sqlancer_sim.create profile));
+      (fun () -> Baselines.Sqlsmith_sim.fuzzer (Baselines.Sqlsmith_sim.create profile)) ]
+
+let test_seeds_differentiate_campaigns () =
+  let profile = Dialects.Registry.mysql_sim in
+  let run seed =
+    let fz =
+      Baselines.Sqlancer_sim.fuzzer (Baselines.Sqlancer_sim.create ~seed profile)
+    in
+    (Fuzz.Driver.run_until_execs fz ~execs:500).Fuzz.Driver.st_branches
+  in
+  Alcotest.(check bool) "different seeds usually differ" true
+    (run 1 <> run 2 || run 1 <> run 3)
+
+let suite =
+  [ ("squirrel never changes sequences", `Slow,
+     test_squirrel_never_changes_sequences);
+    ("sqlancer fixed pattern order", `Quick,
+     test_sqlancer_fixed_pattern_order);
+    ("sqlancer rule vocabulary", `Quick, test_sqlancer_no_exotic_types);
+    ("sqlsmith read-only tail", `Quick, test_sqlsmith_readonly);
+    ("baselines deterministic", `Slow, test_baselines_deterministic);
+    ("seeds differentiate campaigns", `Quick,
+     test_seeds_differentiate_campaigns) ]

@@ -1,0 +1,112 @@
+(* Tests for the AFL-style coverage bitmap and the site registry. *)
+
+module B = Coverage.Bitmap
+
+let test_hit_and_count () =
+  let m = B.create () in
+  Alcotest.(check int) "empty" 0 (B.count_nonzero m);
+  B.hit m 5;
+  B.hit m 5;
+  B.hit m 77;
+  Alcotest.(check int) "two cells" 2 (B.count_nonzero m);
+  Alcotest.(check bool) "is_set" true (B.is_set m 5);
+  Alcotest.(check bool) "not set" false (B.is_set m 6)
+
+let test_reset () =
+  let m = B.create () in
+  B.hit m 1;
+  B.reset m;
+  Alcotest.(check int) "cleared" 0 (B.count_nonzero m)
+
+let test_hit_wraps () =
+  let m = B.create () in
+  B.hit m (B.size + 3);
+  Alcotest.(check bool) "wrapped" true (B.is_set m 3)
+
+let test_buckets () =
+  Alcotest.(check int) "0" 0 (B.bucket 0);
+  Alcotest.(check int) "1" 1 (B.bucket 1);
+  Alcotest.(check int) "2" 2 (B.bucket 2);
+  Alcotest.(check int) "3" 4 (B.bucket 3);
+  Alcotest.(check int) "5" 8 (B.bucket 5);
+  Alcotest.(check int) "10" 16 (B.bucket 10);
+  Alcotest.(check int) "20" 32 (B.bucket 20);
+  Alcotest.(check int) "100" 64 (B.bucket 100);
+  Alcotest.(check int) "200" 128 (B.bucket 200)
+
+let test_merge_new_coverage () =
+  let virgin = B.create () in
+  let run = B.create () in
+  B.hit run 10;
+  Alcotest.(check int) "first merge news" 1 (B.merge_into ~virgin run);
+  Alcotest.(check int) "re-merge no news" 0 (B.merge_into ~virgin run);
+  (* A different hit count bucket of the same cell is new coverage. *)
+  B.hit run 10;
+  B.hit run 10;
+  Alcotest.(check int) "bucket change is news" 1 (B.merge_into ~virgin run)
+
+let test_merge_counts_cells () =
+  let virgin = B.create () in
+  let run = B.create () in
+  B.hit run 1;
+  B.hit run 2;
+  B.hit run 3;
+  Alcotest.(check int) "three new" 3 (B.merge_into ~virgin run);
+  Alcotest.(check int) "virgin count" 3 (B.count_nonzero virgin)
+
+let test_hash_sensitivity () =
+  let a = B.create () in
+  let b = B.create () in
+  Alcotest.(check bool) "empty maps equal hash" true (B.hash a = B.hash b);
+  B.hit a 9;
+  Alcotest.(check bool) "diverges" false (B.hash a = B.hash b);
+  B.hit b 9;
+  Alcotest.(check bool) "same again" true (B.hash a = B.hash b)
+
+let test_probe_spreads () =
+  let m = B.create () in
+  for site = 0 to 9 do
+    for key = 0 to 9 do
+      B.probe m ~site ~key
+    done
+  done;
+  (* 100 probes should land on (nearly) 100 distinct cells *)
+  Alcotest.(check bool) "good spread" true (B.count_nonzero m > 90)
+
+let test_sites_registry () =
+  let a = Coverage.Sites.register "test.site.alpha" in
+  let b = Coverage.Sites.register "test.site.beta" in
+  Alcotest.(check bool) "distinct ids" true (a <> b);
+  Alcotest.(check int) "idempotent" a
+    (Coverage.Sites.register "test.site.alpha");
+  Alcotest.(check (option string)) "name_of" (Some "test.site.beta")
+    (Coverage.Sites.name_of b)
+
+let prop_merge_monotone =
+  QCheck.Test.make ~name:"virgin count monotone under merges" ~count:100
+    QCheck.(list (int_range 0 1000))
+    (fun hits ->
+       let virgin = B.create () in
+       let run = B.create () in
+       let last = ref 0 in
+       List.for_all
+         (fun h ->
+            B.hit run h;
+            ignore (B.merge_into ~virgin run);
+            let now = B.count_nonzero virgin in
+            let ok = now >= !last in
+            last := now;
+            ok)
+         hits)
+
+let suite =
+  [ ("hit and count", `Quick, test_hit_and_count);
+    ("reset", `Quick, test_reset);
+    ("hit wraps", `Quick, test_hit_wraps);
+    ("buckets", `Quick, test_buckets);
+    ("merge new coverage", `Quick, test_merge_new_coverage);
+    ("merge counts cells", `Quick, test_merge_counts_cells);
+    ("hash sensitivity", `Quick, test_hash_sensitivity);
+    ("probe spreads", `Quick, test_probe_spreads);
+    ("sites registry", `Quick, test_sites_registry);
+    QCheck_alcotest.to_alcotest prop_merge_monotone ]

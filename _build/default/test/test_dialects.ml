@@ -1,0 +1,152 @@
+(* Tests for the dialect profiles and the Table I bug inventory. *)
+
+open Sqlcore
+module F = Minidb.Fault
+module P = Minidb.Profile
+
+let test_type_counts_ordering () =
+  (* The paper's Table IV ordering: PG > MariaDB > MySQL >> Comdb2. *)
+  let n p = P.type_count p in
+  let pg = n Dialects.Registry.pg_sim in
+  let my = n Dialects.Registry.mysql_sim in
+  let maria = n Dialects.Registry.mariadb_sim in
+  let cdb = n Dialects.Registry.comdb2_sim in
+  Alcotest.(check bool) "pg largest" true (pg > maria);
+  Alcotest.(check bool) "maria > mysql" true (maria > my);
+  Alcotest.(check bool) "mysql >> comdb2" true (my > cdb + 20);
+  Alcotest.(check int) "comdb2 is 24, as in the paper" 24 cdb
+
+let test_dialect_specific_types () =
+  let supports p ty = P.supports p ty in
+  Alcotest.(check bool) "pg has rules" true
+    (supports Dialects.Registry.pg_sim Stmt_type.Create_rule);
+  Alcotest.(check bool) "mysql has no rules" false
+    (supports Dialects.Registry.mysql_sim Stmt_type.Create_rule);
+  Alcotest.(check bool) "mysql has handler" true
+    (supports Dialects.Registry.mysql_sim Stmt_type.Handler_open);
+  Alcotest.(check bool) "pg has no handler" false
+    (supports Dialects.Registry.pg_sim Stmt_type.Handler_open);
+  Alcotest.(check bool) "mariadb has sequences" true
+    (supports Dialects.Registry.mariadb_sim Stmt_type.Create_sequence);
+  Alcotest.(check bool) "mysql lacks sequences" false
+    (supports Dialects.Registry.mysql_sim Stmt_type.Create_sequence);
+  Alcotest.(check bool) "comdb2 has insert" true
+    (supports Dialects.Registry.comdb2_sim Stmt_type.Insert);
+  Alcotest.(check bool) "comdb2 lacks triggers" false
+    (supports Dialects.Registry.comdb2_sim Stmt_type.Create_trigger)
+
+let test_bug_totals_match_table1 () =
+  Alcotest.(check int) "PostgreSQL 6" 6 (List.length Dialects.Bug_inventory.pg);
+  Alcotest.(check int) "MySQL 21" 21 (List.length Dialects.Bug_inventory.mysql);
+  Alcotest.(check int) "MariaDB 42" 42
+    (List.length Dialects.Bug_inventory.mariadb);
+  Alcotest.(check int) "Comdb2 33" 33
+    (List.length Dialects.Bug_inventory.comdb2);
+  Alcotest.(check int) "total 102" 102 Dialects.Bug_inventory.total
+
+let count_by bugs component kind =
+  List.length
+    (List.filter
+       (fun (b : F.bug) -> b.component = component && b.kind = kind)
+       bugs)
+
+let test_table1_component_breakdown () =
+  let maria = Dialects.Bug_inventory.mariadb in
+  (* MariaDB rows of Table I *)
+  Alcotest.(check int) "Optimizer NPD" 2 (count_by maria "Optimizer" F.Npd);
+  Alcotest.(check int) "Optimizer UAP" 3 (count_by maria "Optimizer" F.Uap);
+  Alcotest.(check int) "Storage SEGV" 7 (count_by maria "Storage" F.Segv);
+  Alcotest.(check int) "Item AF" 4 (count_by maria "Item" F.Af);
+  Alcotest.(check int) "Lock SEGV" 2 (count_by maria "Lock" F.Segv);
+  let cdb = Dialects.Bug_inventory.comdb2 in
+  Alcotest.(check int) "Bdb UB" 6 (count_by cdb "Bdb" F.Ub);
+  Alcotest.(check int) "Berkdb UB" 7 (count_by cdb "Berkdb" F.Ub);
+  Alcotest.(check int) "Csc2 BOF" 1 (count_by cdb "Csc2" F.Bof);
+  let my = Dialects.Bug_inventory.mysql in
+  Alcotest.(check int) "MySQL Optimizer BOF" 3 (count_by my "Optimizer" F.Bof);
+  Alcotest.(check int) "MySQL Optimizer NPD" 4 (count_by my "Optimizer" F.Npd);
+  let pg = Dialects.Bug_inventory.pg in
+  Alcotest.(check int) "PG Optimizer SEGV" 2 (count_by pg "Optimizer" F.Segv)
+
+let test_paper_identifiers_present () =
+  let ids =
+    List.map (fun (b : F.bug) -> b.identifier)
+      (Dialects.Bug_inventory.pg @ Dialects.Bug_inventory.mysql
+       @ Dialects.Bug_inventory.mariadb @ Dialects.Bug_inventory.comdb2)
+  in
+  List.iter
+    (fun cve ->
+       Alcotest.(check bool) (cve ^ " present") true (List.mem cve ids))
+    [ "CVE-2021-35643"; "CVE-2021-2444"; "CVE-2022-27376"; "CVE-2020-26746";
+      "CVE-2020-26744"; "BUG #17097"; "MDEV-26403" ]
+
+let test_bug_ids_unique () =
+  List.iter
+    (fun bugs ->
+       let ids = List.map (fun (b : F.bug) -> b.F.bug_id) bugs in
+       Alcotest.(check int) "unique" (List.length ids)
+         (List.length (List.sort_uniq compare ids)))
+    [ Dialects.Bug_inventory.pg; Dialects.Bug_inventory.mysql;
+      Dialects.Bug_inventory.mariadb; Dialects.Bug_inventory.comdb2 ]
+
+let rec cond_types = function
+  | F.Subseq ts | F.Ends_with ts -> ts
+  | F.State _ | F.Stmt_has _ -> []
+  | F.All cs | F.Any cs -> List.concat_map cond_types cs
+  | F.Not c -> cond_types c
+
+let test_conditions_use_dialect_types () =
+  (* a bug whose trigger mentions a type the dialect cannot execute would
+     be unreachable *)
+  List.iter
+    (fun (profile, bugs) ->
+       List.iter
+         (fun (b : F.bug) ->
+            List.iter
+              (fun ty ->
+                 Alcotest.(check bool)
+                   (b.F.bug_id ^ " uses supported type " ^ Stmt_type.name ty)
+                   true (P.supports profile ty))
+              (cond_types b.F.cond))
+         bugs)
+    [ (Dialects.Registry.pg_sim, Dialects.Bug_inventory.pg);
+      (Dialects.Registry.mysql_sim, Dialects.Bug_inventory.mysql);
+      (Dialects.Registry.mariadb_sim, Dialects.Bug_inventory.mariadb);
+      (Dialects.Registry.comdb2_sim, Dialects.Bug_inventory.comdb2) ]
+
+let test_registry_lookup () =
+  (match Dialects.Registry.by_name "PostgreSQL" with
+   | Some p -> Alcotest.(check string) "name" "PostgreSQL" (P.name p)
+   | None -> Alcotest.fail "lookup failed");
+  (match Dialects.Registry.by_name "comdb2" with
+   | Some _ -> ()
+   | None -> Alcotest.fail "case-insensitive lookup failed");
+  Alcotest.(check bool) "unknown" true
+    (Dialects.Registry.by_name "oracle" = None);
+  Alcotest.(check int) "four dialects" 4 (List.length Dialects.Registry.all)
+
+let test_easy_bugs_known () =
+  (* the SQUIRREL-reachable subset: 3 in MySQL, 8 in MariaDB, as the
+     paper's Table III reports for SQUIRREL *)
+  let easy = Dialects.Bug_inventory.easy_bug_ids in
+  let count prefix =
+    List.length
+      (List.filter
+         (fun id -> String.length id > 5 && String.sub id 0 5 = prefix)
+         easy)
+  in
+  Alcotest.(check int) "mysql easy" 3 (count "MYSQL");
+  Alcotest.(check int) "maria easy" 8 (count "MARIA")
+
+let suite =
+  [ ("type counts ordering", `Quick, test_type_counts_ordering);
+    ("dialect specific types", `Quick, test_dialect_specific_types);
+    ("bug totals (Table I)", `Quick, test_bug_totals_match_table1);
+    ("component breakdown (Table I)", `Quick,
+     test_table1_component_breakdown);
+    ("paper identifiers present", `Quick, test_paper_identifiers_present);
+    ("bug ids unique", `Quick, test_bug_ids_unique);
+    ("conditions use dialect types", `Quick,
+     test_conditions_use_dialect_types);
+    ("registry lookup", `Quick, test_registry_lookup);
+    ("easy bugs calibrated", `Quick, test_easy_bugs_known) ]

@@ -1,0 +1,169 @@
+(* Engine-level tests: run_testcase accounting, fault-window behaviour,
+   crash semantics, coverage determinism. *)
+
+open Sqlcore
+module E = Minidb.Engine
+module F = Minidb.Fault
+
+let parse = Sqlparser.Parser.parse_testcase_exn
+
+let profile_with_bugs bugs =
+  Minidb.Profile.make ~name:"test" ~flavor:Minidb.Profile.Pg
+    ~types:Stmt_type.all ~bugs
+
+let engine ?(bugs = []) () =
+  E.create ~profile:(profile_with_bugs bugs) ~cov:(Coverage.Bitmap.create ())
+    ()
+
+let test_run_testcase_counts () =
+  let eng = engine () in
+  let stats =
+    E.run_testcase eng
+      (parse
+         "CREATE TABLE t (a INT);\n\
+          INSERT INTO t VALUES (1);\n\
+          SELECT * FROM missing;\n\
+          SELECT * FROM t;")
+  in
+  Alcotest.(check int) "executed" 4 stats.E.rs_executed;
+  Alcotest.(check int) "one error" 1 stats.E.rs_errors;
+  Alcotest.(check bool) "no crash" true (stats.E.rs_crash = None);
+  Alcotest.(check bool) "cost accumulated" true (stats.E.rs_cost > 0)
+
+let test_window_updates_on_errors () =
+  (* a statement that fails with a SQL error still advances the type
+     window: the server parsed and partially executed it *)
+  let eng = engine () in
+  ignore (E.run_testcase eng (parse "INSERT INTO missing VALUES (1); COMMIT;"));
+  Alcotest.(check (list string)) "window includes failed stmt"
+    [ "INSERT"; "COMMIT" ]
+    (List.map Stmt_type.name (E.window eng))
+
+let test_crash_stops_testcase () =
+  let bug =
+    { F.bug_id = "T1"; identifier = "TEST-1"; component = "DML";
+      kind = F.Segv; cond = F.Subseq [ Stmt_type.Insert ] }
+  in
+  let eng = engine ~bugs:[ bug ] () in
+  let stats =
+    E.run_testcase eng
+      (parse
+         "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT 1; \
+          SELECT 2;")
+  in
+  (match stats.E.rs_crash with
+   | Some c -> Alcotest.(check string) "bug id" "T1" c.F.c_bug.F.bug_id
+   | None -> Alcotest.fail "expected crash");
+  Alcotest.(check int) "stopped at the crash" 2 stats.E.rs_executed
+
+let test_crash_even_when_stmt_errors () =
+  (* the type window drives triggers even for semantically-failing
+     statements, like memory corruption detected regardless of the SQL
+     error *)
+  let bug =
+    { F.bug_id = "T2"; identifier = "TEST-2"; component = "DML";
+      kind = F.Uaf; cond = F.Subseq [ Stmt_type.Vacuum; Stmt_type.Insert ] }
+  in
+  let eng = engine ~bugs:[ bug ] () in
+  let stats =
+    E.run_testcase eng (parse "VACUUM; INSERT INTO missing VALUES (1);")
+  in
+  Alcotest.(check bool) "crashed despite SQL error" true
+    (stats.E.rs_crash <> None)
+
+let test_window_capped () =
+  let eng = engine () in
+  let many =
+    parse (String.concat ";" (List.init 20 (fun _ -> "SELECT 1")))
+  in
+  ignore (E.run_testcase eng many);
+  Alcotest.(check bool) "window capped at 8" true
+    (List.length (E.window eng) <= 8)
+
+let test_query_rows_helper () =
+  let eng = engine () in
+  ignore (E.run_testcase eng (parse "CREATE TABLE t (a INT);"));
+  (match
+     E.query_rows eng
+       (Ast.Q_values [ [ Ast.Lit (Ast.L_int 1) ]; [ Ast.Lit (Ast.L_int 2) ] ])
+   with
+   | Ok rows -> Alcotest.(check int) "two rows" 2 (List.length rows)
+   | Error e -> Alcotest.fail (Minidb.Errors.message e));
+  match
+    E.query_rows eng
+      (Ast.Q_select
+         { distinct = false; projs = [ Ast.Star ];
+           from = Some (Ast.From_table { name = "nope"; alias = None });
+           where = None; group_by = []; having = None; order_by = [];
+           limit = None; offset = None })
+  with
+  | Error (Minidb.Errors.No_such_table _) -> ()
+  | _ -> Alcotest.fail "expected no-such-table"
+
+let test_coverage_deterministic () =
+  let run () =
+    let cov = Coverage.Bitmap.create () in
+    let eng = E.create ~profile:(profile_with_bugs []) ~cov () in
+    ignore
+      (E.run_testcase eng
+         (parse
+            "CREATE TABLE t (a INT, b TEXT);\n\
+             INSERT INTO t VALUES (1, 'x'), (2, 'y');\n\
+             SELECT COUNT(*), MAX(a) FROM t;\n\
+             UPDATE t SET b = 'z' WHERE a = 1;"));
+    Coverage.Bitmap.hash cov
+  in
+  Alcotest.(check int64) "identical coverage" (run ()) (run ())
+
+let test_year_and_zerofill_dialect_surface () =
+  let eng = engine () in
+  let stats =
+    E.run_testcase eng
+      (parse
+         "CREATE TABLE v0 (v1 YEAR ZEROFILL);\n\
+          INSERT IGNORE INTO v0 VALUES (NULL), (22471185.000000), ('x' \
+          LIKE NULL);\n\
+          SELECT * FROM v0;")
+  in
+  (* the paper's Fig. 3 synthesized values: out-of-range years are
+     skipped under IGNORE, NULL and NULL-typed values survive *)
+  Alcotest.(check int) "no statement-level errors" 0 stats.E.rs_errors
+
+let test_notify_queue_payload () =
+  let eng = engine () in
+  ignore
+    (E.run_testcase eng (parse "LISTEN a; NOTIFY a, 'p1'; NOTIFY b;"));
+  let cat = E.catalog eng in
+  Alcotest.(check int) "both notifications queued" 2
+    (List.length cat.Minidb.Catalog.notify_queue);
+  Alcotest.(check bool) "payload preserved" true
+    (List.mem ("a", Some "p1") cat.Minidb.Catalog.notify_queue)
+
+let test_fault_window_spans_statements () =
+  (* a 3-type contiguous pattern split by an unrelated statement must NOT
+     fire *)
+  let bug =
+    { F.bug_id = "T3"; identifier = "TEST-3"; component = "Storage";
+      kind = F.Bof;
+      cond = F.Subseq [ Stmt_type.Vacuum; Stmt_type.Checkpoint ] }
+  in
+  let eng = engine ~bugs:[ bug ] () in
+  let stats = E.run_testcase eng (parse "VACUUM; SELECT 1; CHECKPOINT;") in
+  Alcotest.(check bool) "interrupted pattern does not fire" true
+    (stats.E.rs_crash = None);
+  let eng2 = engine ~bugs:[ bug ] () in
+  let stats2 = E.run_testcase eng2 (parse "VACUUM; CHECKPOINT;") in
+  Alcotest.(check bool) "contiguous pattern fires" true
+    (stats2.E.rs_crash <> None)
+
+let suite =
+  [ ("run_testcase counts", `Quick, test_run_testcase_counts);
+    ("window updates on errors", `Quick, test_window_updates_on_errors);
+    ("crash stops testcase", `Quick, test_crash_stops_testcase);
+    ("crash even when stmt errors", `Quick, test_crash_even_when_stmt_errors);
+    ("window capped", `Quick, test_window_capped);
+    ("query_rows helper", `Quick, test_query_rows_helper);
+    ("coverage deterministic", `Quick, test_coverage_deterministic);
+    ("year/zerofill surface", `Quick, test_year_and_zerofill_dialect_surface);
+    ("notify queue payload", `Quick, test_notify_queue_payload);
+    ("fault window contiguity", `Quick, test_fault_window_spans_statements) ]

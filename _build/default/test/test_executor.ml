@@ -1,0 +1,702 @@
+(* Semantics tests for the MiniDB engine: every statement family, plus the
+   paper's Figure 2 order-sensitivity example. Uses a bug-free profile so
+   injected faults cannot interfere. *)
+
+open Sqlcore
+module E = Minidb.Engine
+
+let clean_profile =
+  Minidb.Profile.make ~name:"clean" ~flavor:Minidb.Profile.Pg
+    ~types:Stmt_type.all ~bugs:[]
+
+let fresh () =
+  E.create ~profile:clean_profile ~cov:(Coverage.Bitmap.create ()) ()
+
+let run_sql eng sql =
+  let tc = Sqlparser.Parser.parse_testcase_exn sql in
+  List.map (fun s -> E.exec_stmt eng s) tc
+
+let last_result eng sql =
+  match List.rev (run_sql eng sql) with
+  | E.Ok_result r :: _ -> r
+  | E.Sql_failed e :: _ ->
+    Alcotest.fail ("sql failed: " ^ Minidb.Errors.message e)
+  | [] -> Alcotest.fail "no statements"
+
+let last_error eng sql =
+  match List.rev (run_sql eng sql) with
+  | E.Sql_failed e :: _ -> e
+  | E.Ok_result _ :: _ -> Alcotest.fail "expected an error"
+  | [] -> Alcotest.fail "no statements"
+
+let rows_of = function
+  | Minidb.Executor.Rows (_, rows) -> rows
+  | _ -> Alcotest.fail "expected rows"
+
+let affected = function
+  | Minidb.Executor.Affected n -> n
+  | _ -> Alcotest.fail "expected affected-count"
+
+let int_cell rows i j =
+  match List.nth_opt rows i with
+  | Some row when j < Array.length row -> (
+      match row.(j) with
+      | Storage.Value.Int n -> n
+      | v -> Alcotest.fail ("not an int: " ^ Storage.Value.to_display v))
+  | _ -> Alcotest.fail "row out of range"
+
+(* ---------------- DDL ---------------- *)
+
+let test_create_insert_select () =
+  let eng = fresh () in
+  let r =
+    last_result eng
+      "CREATE TABLE t (a INT, b INT);\n\
+       INSERT INTO t VALUES (1, 10), (2, 20);\n\
+       SELECT b FROM t ORDER BY a DESC;"
+  in
+  let rows = rows_of r in
+  Alcotest.(check int) "two rows" 2 (List.length rows);
+  Alcotest.(check int) "desc order" 20 (int_cell rows 0 0)
+
+let test_duplicate_table () =
+  let eng = fresh () in
+  (match last_error eng "CREATE TABLE t (a INT); CREATE TABLE t (a INT);" with
+   | Minidb.Errors.Duplicate_object _ -> ()
+   | e -> Alcotest.fail (Minidb.Errors.message e));
+  (* IF NOT EXISTS is a no-op, not an error *)
+  match last_result eng "CREATE TABLE IF NOT EXISTS t (a INT);" with
+  | Minidb.Executor.Done _ -> ()
+  | _ -> Alcotest.fail "expected Done"
+
+let test_fig2_order_sensitivity () =
+  (* Paper Fig. 2: same statements, different orders, different results. *)
+  let q1 = fresh () in
+  let r1 =
+    last_result q1
+      "CREATE TABLE t1 (a INT, b VARCHAR(100));\n\
+       INSERT INTO t1 VALUES (1, 'name1');\n\
+       INSERT INTO t1 VALUES (3, 'name1');\n\
+       SELECT * FROM t1 ORDER BY a DESC;"
+  in
+  Alcotest.(check int) "Q1 sees sorted data" 2 (List.length (rows_of r1));
+  Alcotest.(check int) "Q1 first is 3" 3 (int_cell (rows_of r1) 0 0);
+  let q2 = fresh () in
+  let results =
+    run_sql q2
+      "CREATE TABLE t1 (a INT, b VARCHAR(100));\n\
+       SELECT * FROM t1 ORDER BY a DESC;\n\
+       INSERT INTO t1 VALUES (1, 'name1');\n\
+       INSERT INTO t1 VALUES (3, 'name1');"
+  in
+  (match List.nth results 1 with
+   | E.Ok_result r -> Alcotest.(check int) "Q2 empty" 0 (List.length (rows_of r))
+   | E.Sql_failed e -> Alcotest.fail (Minidb.Errors.message e))
+
+let test_alter_table_variants () =
+  let eng = fresh () in
+  ignore (run_sql eng "CREATE TABLE t (a INT); INSERT INTO t VALUES (1);");
+  ignore (run_sql eng "ALTER TABLE t ADD COLUMN b TEXT DEFAULT 'x';");
+  let r = last_result eng "SELECT b FROM t;" in
+  Alcotest.(check bool) "default backfilled" true
+    ((List.hd (rows_of r)).(0) = Storage.Value.Text "x");
+  ignore (run_sql eng "ALTER TABLE t RENAME COLUMN b TO c;");
+  (match last_error eng "SELECT b FROM t;" with
+   | Minidb.Errors.No_such_column _ -> ()
+   | e -> Alcotest.fail (Minidb.Errors.message e));
+  ignore (run_sql eng "ALTER TABLE t RENAME TO u;");
+  let r = last_result eng "SELECT c FROM u;" in
+  Alcotest.(check int) "renamed table readable" 1 (List.length (rows_of r));
+  (match last_error eng "ALTER TABLE u DROP COLUMN zzz;" with
+   | Minidb.Errors.No_such_column _ -> ()
+   | e -> Alcotest.fail (Minidb.Errors.message e))
+
+let test_drop_cascades () =
+  let eng = fresh () in
+  ignore
+    (run_sql eng
+       "CREATE TABLE t (a INT);\n\
+        CREATE INDEX i ON t (a);\n\
+        CREATE TRIGGER tr AFTER INSERT ON t FOR EACH ROW INSERT INTO t \
+        VALUES (1);\n\
+        DROP TABLE t;");
+  (* the index died with the table: recreating it must fail on the table *)
+  match last_error eng "CREATE INDEX i ON t (a);" with
+  | Minidb.Errors.No_such_table _ -> ()
+  | e -> Alcotest.fail (Minidb.Errors.message e)
+
+let test_views () =
+  let eng = fresh () in
+  ignore
+    (run_sql eng
+       "CREATE TABLE t (a INT);\n\
+        INSERT INTO t VALUES (1), (5), (9);\n\
+        CREATE VIEW v AS SELECT a FROM t WHERE a > 2;");
+  let r = last_result eng "SELECT * FROM v ORDER BY a ASC;" in
+  Alcotest.(check int) "view filters" 2 (List.length (rows_of r));
+  (* views are live: new data shows up *)
+  ignore (run_sql eng "INSERT INTO t VALUES (7);");
+  let r = last_result eng "SELECT * FROM v;" in
+  Alcotest.(check int) "view live" 3 (List.length (rows_of r))
+
+let test_materialized_view_staleness () =
+  let eng = fresh () in
+  ignore
+    (run_sql eng
+       "CREATE TABLE t (a INT);\n\
+        INSERT INTO t VALUES (1);\n\
+        CREATE MATERIALIZED VIEW mv AS SELECT a FROM t;");
+  ignore (run_sql eng "INSERT INTO t VALUES (2);");
+  let r = last_result eng "SELECT * FROM mv;" in
+  Alcotest.(check int) "stale cache" 1 (List.length (rows_of r));
+  ignore (run_sql eng "REFRESH MATERIALIZED VIEW mv;");
+  let r = last_result eng "SELECT * FROM mv;" in
+  Alcotest.(check int) "refreshed" 2 (List.length (rows_of r))
+
+let test_sequences_ddl () =
+  let eng = fresh () in
+  ignore (run_sql eng "CREATE SEQUENCE sq START WITH 3 INCREMENT BY 2;");
+  (match last_error eng "CREATE SEQUENCE sq START WITH 0 INCREMENT BY 1;" with
+   | Minidb.Errors.Duplicate_object _ -> ()
+   | e -> Alcotest.fail (Minidb.Errors.message e));
+  ignore (run_sql eng "ALTER SEQUENCE sq INCREMENT BY 5; DROP SEQUENCE sq;");
+  match last_error eng "ALTER SEQUENCE sq INCREMENT BY 5;" with
+  | Minidb.Errors.No_such_object _ -> ()
+  | e -> Alcotest.fail (Minidb.Errors.message e)
+
+(* ---------------- DML ---------------- *)
+
+let test_insert_not_null () =
+  let eng = fresh () in
+  ignore (run_sql eng "CREATE TABLE t (a INT NOT NULL, b INT);");
+  (match last_error eng "INSERT INTO t VALUES (NULL, 1);" with
+   | Minidb.Errors.Constraint_violation _ -> ()
+   | e -> Alcotest.fail (Minidb.Errors.message e));
+  (* IGNORE skips the bad row but keeps the good one *)
+  let r =
+    last_result eng "INSERT IGNORE INTO t VALUES (NULL, 1), (2, 2);"
+  in
+  Alcotest.(check int) "one inserted" 1 (affected r)
+
+let test_insert_unique_and_replace () =
+  let eng = fresh () in
+  ignore
+    (run_sql eng
+       "CREATE TABLE t (a INT PRIMARY KEY, b INT);\n\
+        INSERT INTO t VALUES (1, 10);");
+  (match last_error eng "INSERT INTO t VALUES (1, 20);" with
+   | Minidb.Errors.Constraint_violation _ -> ()
+   | e -> Alcotest.fail (Minidb.Errors.message e));
+  (* REPLACE displaces the conflicting row *)
+  ignore (run_sql eng "REPLACE INTO t VALUES (1, 30);");
+  let r = last_result eng "SELECT b FROM t;" in
+  Alcotest.(check int) "one row" 1 (List.length (rows_of r));
+  Alcotest.(check int) "replaced value" 30 (int_cell (rows_of r) 0 0)
+
+let test_insert_defaults_and_columns () =
+  let eng = fresh () in
+  ignore
+    (run_sql eng
+       "CREATE TABLE t (a INT, b INT DEFAULT 42, c TEXT);\n\
+        INSERT INTO t (a) VALUES (1);");
+  let r = last_result eng "SELECT b, c FROM t;" in
+  Alcotest.(check int) "default applied" 42 (int_cell (rows_of r) 0 0);
+  Alcotest.(check bool) "missing col null" true
+    ((List.hd (rows_of r)).(1) = Storage.Value.Null)
+
+let test_insert_select () =
+  let eng = fresh () in
+  let r =
+    last_result eng
+      "CREATE TABLE a (x INT);\n\
+       CREATE TABLE b (x INT);\n\
+       INSERT INTO a VALUES (1), (2), (3);\n\
+       INSERT INTO b SELECT x FROM a WHERE x > 1;"
+  in
+  Alcotest.(check int) "two copied" 2 (affected r)
+
+let test_update_where_limit () =
+  let eng = fresh () in
+  ignore
+    (run_sql eng
+       "CREATE TABLE t (a INT, b INT);\n\
+        INSERT INTO t VALUES (1, 0), (2, 0), (3, 0);");
+  let r = last_result eng "UPDATE t SET b = 1 WHERE a > 1;" in
+  Alcotest.(check int) "two updated" 2 (affected r);
+  let r = last_result eng "UPDATE t SET b = 9 LIMIT 1;" in
+  Alcotest.(check int) "limit respected" 1 (affected r)
+
+let test_delete () =
+  let eng = fresh () in
+  ignore
+    (run_sql eng
+       "CREATE TABLE t (a INT); INSERT INTO t VALUES (1), (2), (3);");
+  let r = last_result eng "DELETE FROM t WHERE a = 2;" in
+  Alcotest.(check int) "one gone" 1 (affected r);
+  let r = last_result eng "DELETE FROM t;" in
+  Alcotest.(check int) "rest gone" 2 (affected r)
+
+let test_copy_and_load () =
+  let eng = fresh () in
+  ignore (run_sql eng "CREATE TABLE t (a INT, b TEXT);");
+  let r = last_result eng "COPY t FROM STDIN (1, 'x'), (2, 'y');" in
+  Alcotest.(check int) "copied in" 2 (affected r);
+  let r = last_result eng "COPY t TO STDOUT;" in
+  Alcotest.(check int) "copied out" 2 (List.length (rows_of r));
+  (* LOAD DATA is lenient: bad rows are skipped *)
+  let r = last_result eng "LOAD DATA INTO t VALUES (3, 'z'), (4, 'w', 99);" in
+  Alcotest.(check int) "lenient load" 1 (affected r)
+
+(* ---------------- queries ---------------- *)
+
+let test_aggregates () =
+  let eng = fresh () in
+  ignore
+    (run_sql eng
+       "CREATE TABLE t (g INT, v INT);\n\
+        INSERT INTO t VALUES (1, 10), (1, 20), (2, 30), (2, NULL);");
+  let r =
+    last_result eng
+      "SELECT g, COUNT(*), SUM(v), MIN(v), MAX(v) FROM t GROUP BY g ORDER \
+       BY g ASC;"
+  in
+  let rows = rows_of r in
+  Alcotest.(check int) "two groups" 2 (List.length rows);
+  Alcotest.(check int) "count g1" 2 (int_cell rows 0 1);
+  Alcotest.(check int) "sum g1" 30 (int_cell rows 0 2);
+  Alcotest.(check int) "count g2 includes null row" 2 (int_cell rows 1 1);
+  Alcotest.(check int) "sum g2 skips null" 30 (int_cell rows 1 2)
+
+let test_count_on_empty () =
+  let eng = fresh () in
+  ignore (run_sql eng "CREATE TABLE t (a INT);");
+  let r = last_result eng "SELECT COUNT(*) FROM t;" in
+  Alcotest.(check int) "zero not empty-set" 0 (int_cell (rows_of r) 0 0)
+
+let test_having () =
+  let eng = fresh () in
+  ignore
+    (run_sql eng
+       "CREATE TABLE t (g INT);\n\
+        INSERT INTO t VALUES (1), (1), (1), (2);");
+  let r =
+    last_result eng "SELECT g FROM t GROUP BY g HAVING (COUNT(*) > 2);"
+  in
+  Alcotest.(check int) "one surviving group" 1 (List.length (rows_of r));
+  Alcotest.(check int) "the right one" 1 (int_cell (rows_of r) 0 0)
+
+let test_distinct_agg () =
+  let eng = fresh () in
+  ignore
+    (run_sql eng "CREATE TABLE t (a INT); INSERT INTO t VALUES (1),(1),(2);");
+  let r = last_result eng "SELECT COUNT(DISTINCT a) FROM t;" in
+  Alcotest.(check int) "distinct count" 2 (int_cell (rows_of r) 0 0)
+
+let test_window_row_number () =
+  let eng = fresh () in
+  ignore
+    (run_sql eng
+       "CREATE TABLE t (a INT); INSERT INTO t VALUES (30), (10), (20);");
+  let r =
+    last_result eng
+      "SELECT a, ROW_NUMBER() OVER (ORDER BY a ASC) FROM t ORDER BY a ASC;"
+  in
+  let rows = rows_of r in
+  Alcotest.(check int) "rn of smallest" 1 (int_cell rows 0 1);
+  Alcotest.(check int) "rn of largest" 3 (int_cell rows 2 1)
+
+let test_window_lead_lag () =
+  let eng = fresh () in
+  ignore
+    (run_sql eng "CREATE TABLE t (a INT); INSERT INTO t VALUES (1),(2),(3);");
+  let r =
+    last_result eng
+      "SELECT a, LEAD(a) OVER (ORDER BY a ASC) FROM t ORDER BY a ASC;"
+  in
+  let rows = rows_of r in
+  Alcotest.(check int) "lead of 1 is 2" 2 (int_cell rows 0 1);
+  Alcotest.(check bool) "lead of last is null" true
+    ((List.nth rows 2).(1) = Storage.Value.Null)
+
+let test_joins () =
+  let eng = fresh () in
+  ignore
+    (run_sql eng
+       "CREATE TABLE a (x INT); CREATE TABLE b (y INT);\n\
+        INSERT INTO a VALUES (1), (2);\n\
+        INSERT INTO b VALUES (2), (3);");
+  let r = last_result eng "SELECT * FROM a JOIN b ON (a.x = b.y);" in
+  Alcotest.(check int) "inner one match" 1 (List.length (rows_of r));
+  let r = last_result eng "SELECT * FROM a CROSS JOIN b;" in
+  Alcotest.(check int) "cross product" 4 (List.length (rows_of r));
+  let r =
+    last_result eng
+      "SELECT x, y FROM a LEFT JOIN b ON (a.x = b.y) ORDER BY x ASC;"
+  in
+  let rows = rows_of r in
+  Alcotest.(check int) "left keeps all" 2 (List.length rows);
+  Alcotest.(check bool) "unmatched padded with null" true
+    ((List.hd rows).(1) = Storage.Value.Null)
+
+let test_subqueries () =
+  let eng = fresh () in
+  ignore
+    (run_sql eng
+       "CREATE TABLE t (a INT); INSERT INTO t VALUES (1), (2), (3);");
+  let r =
+    last_result eng "SELECT a FROM t WHERE (a > (SELECT MIN(a) FROM t));"
+  in
+  Alcotest.(check int) "scalar subquery" 2 (List.length (rows_of r));
+  let r =
+    last_result eng "SELECT 1 WHERE (EXISTS (SELECT * FROM t WHERE a = 2));"
+  in
+  Alcotest.(check int) "exists true" 1 (List.length (rows_of r));
+  let r =
+    last_result eng
+      "SELECT 1 WHERE (NOT EXISTS (SELECT * FROM t WHERE a = 99));"
+  in
+  Alcotest.(check int) "not exists true" 1 (List.length (rows_of r))
+
+let test_set_operations () =
+  let eng = fresh () in
+  let r = last_result eng "SELECT 1 UNION SELECT 1 UNION SELECT 2;" in
+  Alcotest.(check int) "union dedupes" 2 (List.length (rows_of r));
+  let r = last_result eng "SELECT 1 UNION ALL SELECT 1;" in
+  Alcotest.(check int) "union all keeps" 2 (List.length (rows_of r));
+  let r = last_result eng "SELECT 1 INTERSECT SELECT 2;" in
+  Alcotest.(check int) "intersect empty" 0 (List.length (rows_of r));
+  let r =
+    last_result eng "VALUES (1), (2), (3) EXCEPT VALUES (2);"
+  in
+  Alcotest.(check int) "except" 2 (List.length (rows_of r))
+
+let test_with_cte () =
+  let eng = fresh () in
+  ignore
+    (run_sql eng "CREATE TABLE t (a INT); INSERT INTO t VALUES (5), (6);");
+  let r =
+    last_result eng
+      "WITH big AS (SELECT a FROM t WHERE a > 5) SELECT * FROM big;"
+  in
+  Alcotest.(check int) "cte rows" 1 (List.length (rows_of r))
+
+let test_with_dml_executes () =
+  let eng = fresh () in
+  ignore (run_sql eng "CREATE TABLE t (a INT);");
+  ignore
+    (run_sql eng "WITH w AS (INSERT INTO t VALUES (1)) SELECT 1;");
+  let r = last_result eng "SELECT COUNT(*) FROM t;" in
+  Alcotest.(check int) "dml in with ran" 1 (int_cell (rows_of r) 0 0)
+
+let test_order_by_desc_nulls () =
+  let eng = fresh () in
+  ignore
+    (run_sql eng
+       "CREATE TABLE t (a INT); INSERT INTO t VALUES (2), (NULL), (1);");
+  let r = last_result eng "SELECT a FROM t ORDER BY a ASC;" in
+  Alcotest.(check bool) "nulls first in total order" true
+    ((List.hd (rows_of r)).(0) = Storage.Value.Null)
+
+let test_limit_offset () =
+  let eng = fresh () in
+  ignore
+    (run_sql eng
+       "CREATE TABLE t (a INT); INSERT INTO t VALUES (1),(2),(3),(4);");
+  let r =
+    last_result eng "SELECT a FROM t ORDER BY a ASC LIMIT 2 OFFSET 1;"
+  in
+  let rows = rows_of r in
+  Alcotest.(check int) "two rows" 2 (List.length rows);
+  Alcotest.(check int) "offset applied" 2 (int_cell rows 0 0)
+
+(* ---------------- rules and triggers ---------------- *)
+
+let test_instead_rule_rewrites_insert () =
+  let eng = fresh () in
+  ignore
+    (run_sql eng
+       "CREATE TABLE t (a INT);\n\
+        CREATE RULE r AS ON INSERT TO t DO INSTEAD NOTHING;\n\
+        INSERT INTO t VALUES (1);");
+  let r = last_result eng "SELECT COUNT(*) FROM t;" in
+  Alcotest.(check int) "insert swallowed" 0 (int_cell (rows_of r) 0 0)
+
+let test_trigger_fires () =
+  let eng = fresh () in
+  ignore
+    (run_sql eng
+       "CREATE TABLE t (a INT);\n\
+        CREATE TABLE log (x INT);\n\
+        CREATE TRIGGER tr AFTER INSERT ON t FOR EACH ROW INSERT INTO log \
+        VALUES (1);\n\
+        INSERT INTO t VALUES (10), (20);");
+  let r = last_result eng "SELECT COUNT(*) FROM log;" in
+  Alcotest.(check int) "fired per row" 2 (int_cell (rows_of r) 0 0)
+
+let test_trigger_recursion_bounded () =
+  let eng = fresh () in
+  (* self-inserting trigger must be stopped by the depth limit *)
+  ignore
+    (run_sql eng
+       "CREATE TABLE t (a INT);\n\
+        CREATE TRIGGER tr AFTER INSERT ON t FOR EACH ROW INSERT INTO t \
+        VALUES (1);\n\
+        INSERT INTO t VALUES (0);");
+  let r = last_result eng "SELECT COUNT(*) FROM t;" in
+  Alcotest.(check bool) "bounded" true (int_cell (rows_of r) 0 0 < 64)
+
+(* ---------------- transactions ---------------- *)
+
+let test_rollback_restores () =
+  let eng = fresh () in
+  ignore
+    (run_sql eng
+       "CREATE TABLE t (a INT); INSERT INTO t VALUES (1);\n\
+        BEGIN; INSERT INTO t VALUES (2); ROLLBACK;");
+  let r = last_result eng "SELECT COUNT(*) FROM t;" in
+  Alcotest.(check int) "rolled back" 1 (int_cell (rows_of r) 0 0)
+
+let test_commit_keeps () =
+  let eng = fresh () in
+  ignore
+    (run_sql eng
+       "CREATE TABLE t (a INT);\n\
+        BEGIN; INSERT INTO t VALUES (1); COMMIT;");
+  let r = last_result eng "SELECT COUNT(*) FROM t;" in
+  Alcotest.(check int) "committed" 1 (int_cell (rows_of r) 0 0)
+
+let test_savepoints () =
+  let eng = fresh () in
+  ignore
+    (run_sql eng
+       "CREATE TABLE t (a INT);\n\
+        BEGIN;\n\
+        INSERT INTO t VALUES (1);\n\
+        SAVEPOINT sp;\n\
+        INSERT INTO t VALUES (2);\n\
+        ROLLBACK TO SAVEPOINT sp;");
+  let r = last_result eng "SELECT COUNT(*) FROM t;" in
+  Alcotest.(check int) "partial rollback" 1 (int_cell (rows_of r) 0 0)
+
+let test_nested_begin_errors () =
+  let eng = fresh () in
+  match last_error eng "BEGIN; BEGIN;" with
+  | Minidb.Errors.Semantic _ -> ()
+  | e -> Alcotest.fail (Minidb.Errors.message e)
+
+let test_savepoint_outside_txn () =
+  let eng = fresh () in
+  match last_error eng "SAVEPOINT sp;" with
+  | Minidb.Errors.Semantic _ -> ()
+  | e -> Alcotest.fail (Minidb.Errors.message e)
+
+(* ---------------- locks, DCL, session ---------------- *)
+
+let test_read_lock_blocks_write () =
+  let eng = fresh () in
+  ignore (run_sql eng "CREATE TABLE t (a INT); LOCK TABLES t READ;");
+  (match last_error eng "INSERT INTO t VALUES (1);" with
+   | Minidb.Errors.Semantic _ -> ()
+   | e -> Alcotest.fail (Minidb.Errors.message e));
+  ignore (run_sql eng "UNLOCK TABLES;");
+  let r = last_result eng "INSERT INTO t VALUES (1);" in
+  Alcotest.(check int) "unblocked" 1 (affected r)
+
+let test_privileges () =
+  let eng = fresh () in
+  ignore
+    (run_sql eng
+       "CREATE TABLE t (a INT); INSERT INTO t VALUES (1);\n\
+        CREATE USER u IDENTIFIED BY 'pw';\n\
+        SET ROLE u;");
+  (match last_error eng "SELECT * FROM t;" with
+   | Minidb.Errors.Permission_denied _ -> ()
+   | e -> Alcotest.fail (Minidb.Errors.message e));
+  ignore (run_sql eng "SET ROLE root; GRANT SELECT ON t TO u; SET ROLE u;");
+  let r = last_result eng "SELECT * FROM t;" in
+  Alcotest.(check int) "granted" 1 (List.length (rows_of r));
+  (* write still denied *)
+  match last_error eng "INSERT INTO t VALUES (2);" with
+  | Minidb.Errors.Permission_denied _ -> ()
+  | e -> Alcotest.fail (Minidb.Errors.message e)
+
+let test_prepared_statements () =
+  let eng = fresh () in
+  ignore
+    (run_sql eng
+       "CREATE TABLE t (a INT); INSERT INTO t VALUES (9);\n\
+        PREPARE p AS SELECT a FROM t;");
+  let r = last_result eng "EXECUTE p;" in
+  Alcotest.(check int) "prepared ran" 1 (List.length (rows_of r));
+  ignore (run_sql eng "DEALLOCATE p;");
+  match last_error eng "EXECUTE p;" with
+  | Minidb.Errors.No_such_object _ -> ()
+  | e -> Alcotest.fail (Minidb.Errors.message e)
+
+let test_notify_listen () =
+  let eng = fresh () in
+  ignore (run_sql eng "LISTEN chan; NOTIFY chan, 'hello';");
+  let cat = E.catalog eng in
+  Alcotest.(check int) "queued" 1 (List.length cat.Minidb.Catalog.notify_queue)
+
+let test_handler_cursor () =
+  let eng = fresh () in
+  ignore
+    (run_sql eng
+       "CREATE TABLE t (a INT); INSERT INTO t VALUES (1), (2);\n\
+        HANDLER t OPEN;");
+  let r = last_result eng "HANDLER t READ FIRST;" in
+  Alcotest.(check int) "first row" 1 (int_cell (rows_of r) 0 0);
+  let r = last_result eng "HANDLER t READ NEXT;" in
+  Alcotest.(check int) "next row" 2 (int_cell (rows_of r) 0 0);
+  let r = last_result eng "HANDLER t READ NEXT;" in
+  Alcotest.(check int) "exhausted" 0 (List.length (rows_of r));
+  ignore (run_sql eng "HANDLER t CLOSE;");
+  match last_error eng "HANDLER t READ NEXT;" with
+  | Minidb.Errors.Semantic _ -> ()
+  | e -> Alcotest.fail (Minidb.Errors.message e)
+
+let test_discard_temp () =
+  let eng = fresh () in
+  ignore
+    (run_sql eng
+       "CREATE TEMPORARY TABLE tmp (a INT);\n\
+        CREATE TABLE keep (a INT);\n\
+        DISCARD TEMP;");
+  (match last_error eng "SELECT * FROM tmp;" with
+   | Minidb.Errors.No_such_table _ -> ()
+   | e -> Alcotest.fail (Minidb.Errors.message e));
+  let r = last_result eng "SELECT COUNT(*) FROM keep;" in
+  Alcotest.(check int) "non-temp kept" 0 (int_cell (rows_of r) 0 0)
+
+let test_analyze_enables_index_scan () =
+  let eng = fresh () in
+  ignore
+    (run_sql eng
+       "CREATE TABLE t (a INT);\n\
+        CREATE INDEX i ON t (a);\n\
+        INSERT INTO t VALUES (1), (2), (3);");
+  let plan_before = last_result eng "EXPLAIN SELECT * FROM t WHERE a = 2;" in
+  ignore (run_sql eng "ANALYZE t;");
+  let plan_after = last_result eng "EXPLAIN SELECT * FROM t WHERE a = 2;" in
+  let text r =
+    String.concat "\n"
+      (List.map (fun row -> Storage.Value.to_display row.(0)) (rows_of r))
+  in
+  Alcotest.(check bool) "seq scan before analyze" true
+    (String.length (text plan_before) > 0
+     && not
+          (String.length (text plan_before) >= 10
+           && String.sub (text plan_before) 0 10 = "Index Scan"));
+  Alcotest.(check bool) "index scan after analyze" true
+    (String.length (text plan_after) >= 10
+     && String.sub (text plan_after) 0 10 = "Index Scan");
+  (* and the query still works *)
+  let r = last_result eng "SELECT * FROM t WHERE a = 2;" in
+  Alcotest.(check int) "index scan result" 1 (List.length (rows_of r))
+
+(* ---------------- limits & engine gate ---------------- *)
+
+let test_row_limit () =
+  let eng =
+    E.create ~limits:Minidb.Limits.tiny ~profile:clean_profile
+      ~cov:(Coverage.Bitmap.create ()) ()
+  in
+  ignore (run_sql eng "CREATE TABLE t (a INT);");
+  match
+    last_error eng
+      "INSERT INTO t VALUES (1),(2),(3),(4),(5),(6),(7),(8),(9);"
+  with
+  | Minidb.Errors.Limit_exceeded _ -> ()
+  | e -> Alcotest.fail (Minidb.Errors.message e)
+
+let test_statement_budget () =
+  let eng =
+    E.create ~limits:Minidb.Limits.tiny ~profile:clean_profile
+      ~cov:(Coverage.Bitmap.create ()) ()
+  in
+  let tc =
+    Sqlparser.Parser.parse_testcase_exn
+      (String.concat ";" (List.init 20 (fun _ -> "SELECT 1")))
+  in
+  let stats = E.run_testcase eng tc in
+  Alcotest.(check int) "capped at limit" 8 stats.E.rs_executed
+
+let test_profile_gate () =
+  (* MySQL-sim rejects NOTIFY: not in its statement-type inventory *)
+  let eng =
+    E.create ~profile:Dialects.Registry.mysql_sim
+      ~cov:(Coverage.Bitmap.create ()) ()
+  in
+  match run_sql eng "NOTIFY chan;" with
+  | [ E.Sql_failed (Minidb.Errors.Not_supported _) ] -> ()
+  | _ -> Alcotest.fail "expected Not_supported"
+
+let test_window_tracking () =
+  let eng = fresh () in
+  ignore (run_sql eng "CREATE TABLE t (a INT); INSERT INTO t VALUES (1);");
+  Alcotest.(check (list string)) "window"
+    [ "CREATE TABLE"; "INSERT" ]
+    (List.map Stmt_type.name (E.window eng))
+
+let test_self_referencing_view_safe () =
+  let eng = fresh () in
+  ignore
+    (run_sql eng
+       "CREATE TABLE t (a INT);\n\
+        CREATE VIEW v AS SELECT * FROM v2;\n\
+        CREATE VIEW v2 AS SELECT * FROM v;");
+  (* cyclic views must error out, not loop forever *)
+  match last_error eng "SELECT * FROM v;" with
+  | Minidb.Errors.Limit_exceeded _ | Minidb.Errors.No_such_table _ -> ()
+  | e -> Alcotest.fail (Minidb.Errors.message e)
+
+let suite =
+  [ ("create/insert/select", `Quick, test_create_insert_select);
+    ("duplicate table", `Quick, test_duplicate_table);
+    ("fig2 order sensitivity", `Quick, test_fig2_order_sensitivity);
+    ("alter table variants", `Quick, test_alter_table_variants);
+    ("drop cascades", `Quick, test_drop_cascades);
+    ("views", `Quick, test_views);
+    ("materialized view staleness", `Quick, test_materialized_view_staleness);
+    ("sequence ddl", `Quick, test_sequences_ddl);
+    ("insert not null", `Quick, test_insert_not_null);
+    ("insert unique / replace", `Quick, test_insert_unique_and_replace);
+    ("insert defaults", `Quick, test_insert_defaults_and_columns);
+    ("insert select", `Quick, test_insert_select);
+    ("update where/limit", `Quick, test_update_where_limit);
+    ("delete", `Quick, test_delete);
+    ("copy and load", `Quick, test_copy_and_load);
+    ("aggregates", `Quick, test_aggregates);
+    ("count on empty", `Quick, test_count_on_empty);
+    ("having", `Quick, test_having);
+    ("distinct aggregate", `Quick, test_distinct_agg);
+    ("window row_number", `Quick, test_window_row_number);
+    ("window lead/lag", `Quick, test_window_lead_lag);
+    ("joins", `Quick, test_joins);
+    ("subqueries", `Quick, test_subqueries);
+    ("set operations", `Quick, test_set_operations);
+    ("with cte", `Quick, test_with_cte);
+    ("with dml executes", `Quick, test_with_dml_executes);
+    ("order by null placement", `Quick, test_order_by_desc_nulls);
+    ("limit offset", `Quick, test_limit_offset);
+    ("instead rule", `Quick, test_instead_rule_rewrites_insert);
+    ("trigger fires", `Quick, test_trigger_fires);
+    ("trigger recursion bounded", `Quick, test_trigger_recursion_bounded);
+    ("rollback restores", `Quick, test_rollback_restores);
+    ("commit keeps", `Quick, test_commit_keeps);
+    ("savepoints", `Quick, test_savepoints);
+    ("nested begin errors", `Quick, test_nested_begin_errors);
+    ("savepoint outside txn", `Quick, test_savepoint_outside_txn);
+    ("read lock blocks write", `Quick, test_read_lock_blocks_write);
+    ("privileges", `Quick, test_privileges);
+    ("prepared statements", `Quick, test_prepared_statements);
+    ("notify/listen", `Quick, test_notify_listen);
+    ("handler cursor", `Quick, test_handler_cursor);
+    ("discard temp", `Quick, test_discard_temp);
+    ("analyze enables index scan", `Quick, test_analyze_enables_index_scan);
+    ("row limit", `Quick, test_row_limit);
+    ("statement budget", `Quick, test_statement_budget);
+    ("profile gate", `Quick, test_profile_gate);
+    ("window tracking", `Quick, test_window_tracking);
+    ("self-referencing view safe", `Quick, test_self_referencing_view_safe) ]

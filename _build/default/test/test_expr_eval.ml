@@ -1,0 +1,154 @@
+(* Unit tests for scalar expression evaluation. *)
+
+open Storage
+module EE = Minidb.Expr_eval
+
+let parse_expr s =
+  match Sqlparser.Parser.parse_expr s with
+  | Ok e -> e
+  | Error msg -> Alcotest.fail msg
+
+let env ?(cols = fun _ _ -> None) () : EE.env =
+  { cols;
+    run_query = (fun _ -> []);
+    agg = EE.no_agg;
+    win = EE.no_win;
+    probe = (fun ~site:_ ~key:_ -> ()) }
+
+let eval ?cols s = EE.eval (env ?cols ()) (parse_expr s)
+
+let v = Alcotest.testable (fun fmt x ->
+    Format.pp_print_string fmt
+      (Value.type_name x ^ ":" ^ Value.to_display x)) Value.equal
+
+let check name expected got = Alcotest.(check v) name expected got
+
+let test_arithmetic () =
+  check "int add" (Value.Int 3) (eval "1 + 2");
+  check "int/float promote" (Value.Float 3.5) (eval "1 + 2.5");
+  check "mul precedence" (Value.Int 7) (eval "1 + 2 * 3");
+  check "int division truncates" (Value.Int 2) (eval "5 / 2");
+  check "division by zero is NULL" Value.Null (eval "5 / 0");
+  check "mod" (Value.Int 1) (eval "7 % 3");
+  check "mod zero is NULL" Value.Null (eval "7 % 0");
+  check "neg" (Value.Int (-4)) (eval "-(2 + 2)")
+
+let test_null_propagation () =
+  check "add null" Value.Null (eval "1 + NULL");
+  check "concat null" Value.Null (eval "'a' || NULL");
+  check "cmp null" Value.Null (eval "1 = NULL");
+  check "not null" Value.Null (eval "NOT NULL");
+  check "null is null" (Value.Bool true) (eval "NULL IS NULL");
+  check "null is not null" (Value.Bool false) (eval "NULL IS NOT NULL")
+
+let test_three_valued_logic () =
+  check "true or null" (Value.Bool true) (eval "TRUE OR NULL");
+  check "null or true" (Value.Bool true) (eval "NULL OR TRUE");
+  check "false or null" Value.Null (eval "FALSE OR NULL");
+  check "false and null" (Value.Bool false) (eval "FALSE AND NULL");
+  check "true and null" Value.Null (eval "TRUE AND NULL");
+  check "short circuit avoids rhs error" (Value.Bool false)
+    (eval "FALSE AND (missing_col = 1)")
+
+let test_comparisons () =
+  check "lt" (Value.Bool true) (eval "1 < 2");
+  check "cross-type" (Value.Bool true) (eval "2 = 2.0");
+  check "text" (Value.Bool true) (eval "'abc' < 'abd'");
+  check "neq" (Value.Bool true) (eval "1 <> 2")
+
+let test_predicates () =
+  check "between" (Value.Bool true) (eval "5 BETWEEN 1 AND 10");
+  check "not between" (Value.Bool false) (eval "5 NOT BETWEEN 1 AND 10");
+  check "in list" (Value.Bool true) (eval "2 IN (1, 2, 3)");
+  check "not in" (Value.Bool false) (eval "2 NOT IN (1, 2, 3)");
+  check "in with null subject" Value.Null (eval "NULL IN (1, 2)");
+  check "like percent" (Value.Bool true) (eval "'hello' LIKE 'he%'");
+  check "like underscore" (Value.Bool true) (eval "'hat' LIKE 'h_t'");
+  check "not like" (Value.Bool true) (eval "'x' NOT LIKE 'y%'")
+
+let test_case_expr () =
+  check "first match" (Value.Text "one")
+    (eval "CASE WHEN 1 = 1 THEN 'one' WHEN TRUE THEN 'two' END");
+  check "else branch" (Value.Text "other")
+    (eval "CASE WHEN FALSE THEN 'x' ELSE 'other' END");
+  check "no match no else" Value.Null (eval "CASE WHEN FALSE THEN 1 END")
+
+let test_cast () =
+  check "text to int" (Value.Int 42) (eval "CAST('42' AS INT)");
+  check "int to text" (Value.Text "7") (eval "CAST(7 AS TEXT)");
+  check "float to int" (Value.Int 3) (eval "CAST(3.9 AS INT)");
+  check "to bool" (Value.Bool true) (eval "CAST(5 AS BOOL)")
+
+let test_functions () =
+  check "abs" (Value.Int 5) (eval "ABS(-5)");
+  check "upper" (Value.Text "HI") (eval "UPPER('hi')");
+  check "length" (Value.Int 3) (eval "LENGTH('abc')");
+  check "coalesce" (Value.Int 2) (eval "COALESCE(NULL, 2, 3)");
+  check "coalesce all null" Value.Null (eval "COALESCE(NULL, NULL)");
+  check "nullif equal" Value.Null (eval "NULLIF(3, 3)");
+  check "nullif different" (Value.Int 3) (eval "NULLIF(3, 4)");
+  check "ifnull" (Value.Int 9) (eval "IFNULL(NULL, 9)");
+  check "greatest" (Value.Int 8) (eval "GREATEST(3, 8, 1)");
+  check "least" (Value.Int 1) (eval "LEAST(3, 8, 1)");
+  check "substr" (Value.Text "ell") (eval "SUBSTR('hello', 2, 3)");
+  check "reverse" (Value.Text "cba") (eval "REVERSE('abc')");
+  check "sqrt of negative" Value.Null (eval "SQRT(-1)");
+  check "concat fn" (Value.Text "ab1") (eval "CONCAT('a', 'b', 1)");
+  check "typeof" (Value.Text "INT") (eval "TYPEOF(3)")
+
+let test_unknown_function () =
+  match eval "FROBNICATE(1)" with
+  | exception Minidb.Errors.Sql_error (Minidb.Errors.Semantic _) -> ()
+  | _ -> Alcotest.fail "expected semantic error"
+
+let test_unknown_column () =
+  match eval "nosuchcol + 1" with
+  | exception Minidb.Errors.Sql_error (Minidb.Errors.No_such_column _) -> ()
+  | _ -> Alcotest.fail "expected no-such-column"
+
+let test_column_resolution () =
+  let cols q name =
+    match (q, name) with
+    | None, "a" -> Some (Value.Int 10)
+    | Some "t", "b" -> Some (Value.Int 20)
+    | _ -> None
+  in
+  check "unqualified" (Value.Int 11) (eval ~cols "a + 1");
+  check "qualified" (Value.Int 30) (eval ~cols "t.b + a")
+
+let test_agg_outside_group () =
+  match eval "COUNT(*)" with
+  | exception Minidb.Errors.Sql_error (Minidb.Errors.Semantic _) -> ()
+  | _ -> Alcotest.fail "aggregate should fail outside GROUP context"
+
+let test_like_match_direct () =
+  Alcotest.(check bool) "anchored" true
+    (EE.like_match ~pattern:"abc" "abc");
+  Alcotest.(check bool) "not substring" false
+    (EE.like_match ~pattern:"b" "abc");
+  Alcotest.(check bool) "leading %" true (EE.like_match ~pattern:"%c" "abc");
+  Alcotest.(check bool) "both %" true (EE.like_match ~pattern:"%b%" "abc");
+  Alcotest.(check bool) "empty pattern empty text" true
+    (EE.like_match ~pattern:"" "");
+  Alcotest.(check bool) "percent matches empty" true
+    (EE.like_match ~pattern:"%" "")
+
+let test_text_arithmetic_mysql_style () =
+  check "numeric text" (Value.Float 3.0) (eval "'1' + '2'");
+  check "prefix parse" (Value.Float 13.0) (eval "'12abc' + 1")
+
+let suite =
+  [ ("arithmetic", `Quick, test_arithmetic);
+    ("null propagation", `Quick, test_null_propagation);
+    ("three-valued logic", `Quick, test_three_valued_logic);
+    ("comparisons", `Quick, test_comparisons);
+    ("predicates", `Quick, test_predicates);
+    ("case expr", `Quick, test_case_expr);
+    ("cast", `Quick, test_cast);
+    ("functions", `Quick, test_functions);
+    ("unknown function", `Quick, test_unknown_function);
+    ("unknown column", `Quick, test_unknown_column);
+    ("column resolution", `Quick, test_column_resolution);
+    ("aggregate outside group", `Quick, test_agg_outside_group);
+    ("like_match direct", `Quick, test_like_match_direct);
+    ("text arithmetic", `Quick, test_text_arithmetic_mysql_style) ]

@@ -1,0 +1,152 @@
+(* Tests for the SVI extensions: affinity serialization, non-adjacent
+   affinity analysis, SQUIRREL+ with imported affinities, and a sweep of
+   every statement type through the executor. *)
+
+open Sqlcore
+module A = Lego.Affinity
+
+let parse = Sqlparser.Parser.parse_testcase_exn
+
+(* --- serialization --------------------------------------------------- *)
+
+let test_affinity_roundtrip () =
+  let t = A.create () in
+  ignore (A.add t Stmt_type.Create_table Stmt_type.Insert);
+  ignore (A.add t Stmt_type.Insert Stmt_type.Create_trigger);
+  ignore (A.add t Stmt_type.Notify Stmt_type.With_dml);
+  let text = A.to_string t in
+  match A.of_string text with
+  | Ok t2 ->
+    Alcotest.(check int) "same count" (A.count t) (A.count t2);
+    Alcotest.(check bool) "same pairs" true (A.pairs t = A.pairs t2)
+  | Error msg -> Alcotest.fail msg
+
+let test_affinity_parse_errors () =
+  (match A.of_string "CREATE TABLE -> NO SUCH TYPE" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "unknown type accepted");
+  (match A.of_string "just some words" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "malformed line accepted");
+  match A.of_string "" with
+  | Ok t -> Alcotest.(check int) "empty ok" 0 (A.count t)
+  | Error msg -> Alcotest.fail msg
+
+let test_affinity_format_shape () =
+  let t = A.create () in
+  ignore (A.add t Stmt_type.Insert Stmt_type.Select);
+  Alcotest.(check string) "line format" "INSERT -> SELECT" (A.to_string t)
+
+(* --- non-adjacent analysis ------------------------------------------- *)
+
+let test_analyze_within_distance () =
+  let tc =
+    parse
+      "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;"
+  in
+  let adj = A.create () in
+  ignore (A.analyze_within adj ~distance:1 tc);
+  Alcotest.(check int) "distance 1 = Algorithm 2" 2 (A.count adj);
+  let wide = A.create () in
+  ignore (A.analyze_within wide ~distance:2 tc);
+  Alcotest.(check int) "distance 2 adds the skip pair" 3 (A.count wide);
+  Alcotest.(check bool) "create->select captured" true
+    (A.mem wide Stmt_type.Create_table Stmt_type.Select);
+  Alcotest.(check bool) "but not at distance 1" false
+    (A.mem adj Stmt_type.Create_table Stmt_type.Select)
+
+(* --- SQUIRREL+ -------------------------------------------------------- *)
+
+let learned_affinities profile =
+  (* a quick LEGO campaign, exported and re-imported, like the paper's
+     workflow of shipping LEGO's affinities to another fuzzer *)
+  let lego = Lego.Lego_fuzzer.create profile in
+  let _ =
+    Fuzz.Driver.run_until_execs (Lego.Lego_fuzzer.fuzzer lego) ~execs:3000
+  in
+  match A.of_string (A.to_string (Lego.Lego_fuzzer.affinities lego)) with
+  | Ok t -> t
+  | Error msg -> Alcotest.fail msg
+
+let test_squirrel_plus_changes_sequences () =
+  let profile = Dialects.Registry.mariadb_sim in
+  let affinities = learned_affinities profile in
+  Alcotest.(check bool) "something was learned" true (A.count affinities > 5);
+  let t = Baselines.Squirrel_plus.create ~affinities profile in
+  let fz = Baselines.Squirrel_plus.fuzzer t in
+  let _ = Fuzz.Driver.run_until_execs fz ~execs:4000 in
+  let initial_seqs =
+    List.map Ast.type_sequence (Fuzz.Corpus.initial profile)
+  in
+  let novel =
+    List.exists
+      (fun tc -> not (List.mem (Ast.type_sequence tc) initial_seqs))
+      (fz.Fuzz.Driver.f_corpus ())
+  in
+  Alcotest.(check bool)
+    "imported affinities let it escape the corpus sequences" true novel
+
+let test_squirrel_plus_beats_squirrel () =
+  let profile = Dialects.Registry.mariadb_sim in
+  let affinities = learned_affinities profile in
+  let budget = 4000 in
+  let plus =
+    Fuzz.Driver.run_until_execs
+      (Baselines.Squirrel_plus.fuzzer
+         (Baselines.Squirrel_plus.create ~affinities profile))
+      ~execs:budget
+  in
+  let plain =
+    Fuzz.Driver.run_until_execs
+      (Baselines.Squirrel_sim.fuzzer (Baselines.Squirrel_sim.create profile))
+      ~execs:budget
+  in
+  Alcotest.(check bool) "affinity guidance helps coverage" true
+    (plus.Fuzz.Driver.st_branches > plain.Fuzz.Driver.st_branches)
+
+(* --- all-94-types executor sweep -------------------------------------- *)
+
+let test_every_type_executes_or_errors_cleanly () =
+  (* every statement type, generated fresh, must either execute or raise a
+     recoverable SQL error on a clean engine: no other exceptions *)
+  let profile =
+    Minidb.Profile.make ~name:"sweep" ~flavor:Minidb.Profile.Pg
+      ~types:Stmt_type.all ~bugs:[]
+  in
+  let rng = Reprutil.Rng.create 31 in
+  for round = 1 to 20 do
+    let cov = Coverage.Bitmap.create () in
+    let eng = Minidb.Engine.create ~profile ~cov () in
+    (* give every round a little schema to land on *)
+    ignore
+      (Minidb.Engine.run_testcase eng
+         (parse
+            "CREATE TABLE base (c1 INT, c2 TEXT);\n\
+             INSERT INTO base VALUES (1, 'x');"));
+    let schema =
+      Lego.Sym_schema.of_testcase
+        (parse "CREATE TABLE base (c1 INT, c2 TEXT);")
+    in
+    List.iter
+      (fun ty ->
+         let stmt = Lego.Generator.stmt rng schema ty in
+         match Minidb.Engine.exec_stmt eng stmt with
+         | Minidb.Engine.Ok_result _ | Minidb.Engine.Sql_failed _ -> ()
+         | exception e ->
+           Alcotest.fail
+             (Printf.sprintf "round %d, %s raised %s:\n%s" round
+                (Stmt_type.name ty) (Printexc.to_string e)
+                (Sql_printer.stmt stmt)))
+      Stmt_type.all
+  done
+
+let suite =
+  [ ("affinity roundtrip", `Quick, test_affinity_roundtrip);
+    ("affinity parse errors", `Quick, test_affinity_parse_errors);
+    ("affinity format", `Quick, test_affinity_format_shape);
+    ("analyze_within distance", `Quick, test_analyze_within_distance);
+    ("squirrel+ changes sequences", `Slow,
+     test_squirrel_plus_changes_sequences);
+    ("squirrel+ beats squirrel", `Slow, test_squirrel_plus_beats_squirrel);
+    ("every type executes cleanly", `Quick,
+     test_every_type_executes_or_errors_cleanly) ]

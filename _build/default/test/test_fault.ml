@@ -1,0 +1,108 @@
+(* Tests for the fault-injection trigger DSL and crash machinery. *)
+
+open Sqlcore
+module F = Minidb.Fault
+
+let sel_stmt = Sqlparser.Parser.parse_stmt_exn "SELECT 1"
+
+let ctx ?(window = []) ?(stmt = sel_stmt) ?(state = fun _ -> false) () =
+  { F.window; stmt; state }
+
+let test_subseq_matching () =
+  let w = [ Stmt_type.Create_table; Stmt_type.Insert; Stmt_type.Select ] in
+  let m cond = F.matches cond (ctx ~window:w ()) in
+  Alcotest.(check bool) "whole window" true
+    (m (F.Subseq [ Stmt_type.Create_table; Stmt_type.Insert; Stmt_type.Select ]));
+  Alcotest.(check bool) "middle pair" true
+    (m (F.Subseq [ Stmt_type.Insert; Stmt_type.Select ]));
+  Alcotest.(check bool) "non-contiguous rejected" false
+    (m (F.Subseq [ Stmt_type.Create_table; Stmt_type.Select ]));
+  Alcotest.(check bool) "wrong order rejected" false
+    (m (F.Subseq [ Stmt_type.Select; Stmt_type.Insert ]));
+  Alcotest.(check bool) "empty subseq never fires" false (m (F.Subseq []))
+
+let test_ends_with () =
+  let w = [ Stmt_type.Insert; Stmt_type.Select ] in
+  let m cond = F.matches cond (ctx ~window:w ()) in
+  Alcotest.(check bool) "suffix" true (m (F.Ends_with [ Stmt_type.Select ]));
+  Alcotest.(check bool) "full" true
+    (m (F.Ends_with [ Stmt_type.Insert; Stmt_type.Select ]));
+  Alcotest.(check bool) "not a suffix" false
+    (m (F.Ends_with [ Stmt_type.Insert ]))
+
+let test_combinators () =
+  let w = [ Stmt_type.Insert ] in
+  let state name = name = "flag" in
+  let m cond = F.matches cond (ctx ~window:w ~state ()) in
+  Alcotest.(check bool) "all true" true
+    (m (F.All [ F.Subseq [ Stmt_type.Insert ]; F.State "flag" ]));
+  Alcotest.(check bool) "all short-circuits" false
+    (m (F.All [ F.Subseq [ Stmt_type.Insert ]; F.State "other" ]));
+  Alcotest.(check bool) "any" true
+    (m (F.Any [ F.State "other"; F.State "flag" ]));
+  Alcotest.(check bool) "not" true (m (F.Not (F.State "other")))
+
+let test_stmt_features () =
+  let s =
+    Sqlparser.Parser.parse_stmt_exn
+      "SELECT DISTINCT a, COUNT(*) FROM t JOIN u ON TRUE WHERE a > 0 GROUP \
+       BY a HAVING (COUNT(*) > 1) ORDER BY a ASC LIMIT 3 OFFSET 1"
+  in
+  let feats = F.features_of_stmt s in
+  List.iter
+    (fun f ->
+       Alcotest.(check bool) "feature present" true (List.mem f feats))
+    [ F.F_group_by; F.F_order_by; F.F_join; F.F_distinct; F.F_having;
+      F.F_where; F.F_aggregate; F.F_offset; F.F_limit ];
+  Alcotest.(check bool) "no window fn" false (List.mem F.F_window feats);
+  let w =
+    Sqlparser.Parser.parse_stmt_exn
+      "SELECT RANK() OVER (ORDER BY a ASC) FROM t"
+  in
+  Alcotest.(check bool) "window detected" true
+    (List.mem F.F_window (F.features_of_stmt w))
+
+let test_check_raises_first_match () =
+  let bug1 =
+    { F.bug_id = "B1"; identifier = "CVE-TEST-1"; component = "Optimizer";
+      kind = F.Segv; cond = F.Subseq [ Stmt_type.Insert ] }
+  in
+  let bug2 =
+    { bug1 with F.bug_id = "B2"; cond = F.Subseq [ Stmt_type.Insert ] }
+  in
+  (try
+     F.check [ bug1; bug2 ] (ctx ~window:[ Stmt_type.Insert ] ());
+     Alcotest.fail "expected crash"
+   with F.Crashed c ->
+     Alcotest.(check string) "first bug wins" "B1" c.F.c_bug.F.bug_id);
+  (* no match: no crash *)
+  F.check [ bug1 ] (ctx ~window:[ Stmt_type.Select ] ())
+
+let test_stacks_distinct_and_stable () =
+  let mk id =
+    { F.bug_id = id; identifier = id; component = "DML"; kind = F.Uaf;
+      cond = F.Subseq [ Stmt_type.Insert ] }
+  in
+  let s1 = F.stack_of_bug (mk "X1") in
+  let s1' = F.stack_of_bug (mk "X1") in
+  let s2 = F.stack_of_bug (mk "X2") in
+  Alcotest.(check bool) "stable" true (s1 = s1');
+  Alcotest.(check bool) "distinct bugs distinct stacks" true (s1 <> s2);
+  Alcotest.(check bool) "stack has frames" true (List.length s1 >= 4)
+
+let test_kind_names () =
+  List.iter
+    (fun k ->
+       match F.kind_of_name (F.kind_name k) with
+       | Some k' -> Alcotest.(check bool) "roundtrip" true (k = k')
+       | None -> Alcotest.fail "kind name roundtrip")
+    [ F.Uaf; F.Bof; F.Sbof; F.Hbof; F.Af; F.Segv; F.Uap; F.Npd; F.Ub ]
+
+let suite =
+  [ ("subseq matching", `Quick, test_subseq_matching);
+    ("ends_with", `Quick, test_ends_with);
+    ("combinators", `Quick, test_combinators);
+    ("stmt features", `Quick, test_stmt_features);
+    ("check first match", `Quick, test_check_raises_first_match);
+    ("stacks distinct and stable", `Quick, test_stacks_distinct_and_stable);
+    ("kind names", `Quick, test_kind_names) ]

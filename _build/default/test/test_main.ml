@@ -1,0 +1,24 @@
+(* Aggregated test runner for the whole repository. *)
+
+let () =
+  Alcotest.run "lego_repro"
+    [ ("reprutil", Test_reprutil.suite);
+      ("stmt_type", Test_stmt_type.suite);
+      ("value", Test_value.suite);
+      ("storage", Test_storage.suite);
+      ("coverage", Test_coverage.suite);
+      ("parser", Test_parser.suite);
+      ("executor", Test_executor.suite);
+      ("fault", Test_fault.suite);
+      ("affinity", Test_affinity.suite);
+      ("synthesis", Test_synthesis.suite);
+      ("lego_core", Test_lego_core.suite);
+      ("dialects", Test_dialects.suite);
+      ("expr_eval", Test_expr_eval.suite);
+      ("printer_astutil", Test_printer_astutil.suite);
+      ("planner_rewriter", Test_planner_rewriter.suite);
+      ("engine", Test_engine.suite);
+      ("reducer", Test_reducer.suite);
+      ("baselines", Test_baselines.suite);
+      ("extensions", Test_extensions.suite);
+      ("integration", Test_integration.suite) ]

@@ -1,0 +1,142 @@
+(* Tests for the planner's access-path choice and the rule rewriter. *)
+
+open Sqlcore
+module Pl = Minidb.Planner
+module Rw = Minidb.Rewriter
+
+let setup sql =
+  let cov = Coverage.Bitmap.create () in
+  let profile =
+    Minidb.Profile.make ~name:"clean" ~flavor:Minidb.Profile.Pg
+      ~types:Stmt_type.all ~bugs:[]
+  in
+  let eng = Minidb.Engine.create ~profile ~cov () in
+  List.iter
+    (fun s -> ignore (Minidb.Engine.exec_stmt eng s))
+    (Sqlparser.Parser.parse_testcase_exn sql);
+  Minidb.Engine.catalog eng
+
+let where_of sql =
+  match Sqlparser.Parser.parse_stmt_exn sql with
+  | Ast.S_select (Ast.Q_select s) -> s.Ast.where
+  | _ -> Alcotest.fail "expected select"
+
+let test_empty_table_shortcut () =
+  let cat = setup "CREATE TABLE t (a INT);" in
+  match Pl.choose_access cat ~analyzed:true ~table:"t" ~where:None with
+  | Pl.Empty_short -> ()
+  | _ -> Alcotest.fail "expected empty-table shortcut"
+
+let test_seq_scan_without_stats () =
+  let cat =
+    setup
+      "CREATE TABLE t (a INT); CREATE INDEX i ON t (a);\n\
+       INSERT INTO t VALUES (1);"
+  in
+  let where = where_of "SELECT * FROM t WHERE a = 1" in
+  (match Pl.choose_access cat ~analyzed:false ~table:"t" ~where with
+   | Pl.Seq_scan -> ()
+   | _ -> Alcotest.fail "no stats -> seq scan");
+  match Pl.choose_access cat ~analyzed:true ~table:"t" ~where with
+  | Pl.Index_eq (name, _) -> Alcotest.(check string) "index" "i" name
+  | _ -> Alcotest.fail "stats + index + eq -> index scan"
+
+let test_index_needs_equality () =
+  let cat =
+    setup
+      "CREATE TABLE t (a INT); CREATE INDEX i ON t (a);\n\
+       INSERT INTO t VALUES (1);"
+  in
+  let where = where_of "SELECT * FROM t WHERE a > 1" in
+  match Pl.choose_access cat ~analyzed:true ~table:"t" ~where with
+  | Pl.Seq_scan -> ()
+  | _ -> Alcotest.fail "range predicate must not use the eq-index path"
+
+let test_index_on_conjunct () =
+  let cat =
+    setup
+      "CREATE TABLE t (a INT, b INT); CREATE INDEX i ON t (a);\n\
+       INSERT INTO t VALUES (1, 2);"
+  in
+  let where = where_of "SELECT * FROM t WHERE b > 0 AND a = 1" in
+  match Pl.choose_access cat ~analyzed:true ~table:"t" ~where with
+  | Pl.Index_eq _ -> ()
+  | _ -> Alcotest.fail "equality conjunct should be found under AND"
+
+let test_conjuncts_split () =
+  match where_of "SELECT 1 WHERE a = 1 AND b = 2 AND c = 3" with
+  | Some w -> Alcotest.(check int) "three conjuncts" 3
+                (List.length (Pl.conjuncts w))
+  | None -> Alcotest.fail "expected where"
+
+let test_explain_lines_shapes () =
+  let cat =
+    setup
+      "CREATE TABLE t (a INT); INSERT INTO t VALUES (1);\n\
+       CREATE TABLE u (b INT); INSERT INTO u VALUES (2);"
+  in
+  let lines stmt_sql =
+    Pl.explain_lines cat ~analyzed:false
+      (Sqlparser.Parser.parse_stmt_exn stmt_sql)
+  in
+  Alcotest.(check bool) "seq scan mentioned" true
+    (List.exists
+       (fun l -> String.length l >= 8 && String.sub l 0 8 = "Seq Scan")
+       (lines "SELECT * FROM t"));
+  Alcotest.(check bool) "join plan has nested loop" true
+    (List.exists
+       (fun l ->
+          String.length (String.trim l) >= 11
+          && String.sub (String.trim l) 0 11 = "Nested Loop")
+       (lines "SELECT * FROM t JOIN u ON TRUE"));
+  Alcotest.(check (list string)) "utility" [ "Utility Statement" ]
+    (lines "VACUUM")
+
+(* --- rewriter -------------------------------------------------------- *)
+
+let test_rewrite_decisions () =
+  let cat =
+    setup
+      "CREATE TABLE t (a INT);\n\
+       CREATE RULE r1 AS ON INSERT TO t DO INSTEAD NOTIFY chan;\n\
+       CREATE RULE r2 AS ON DELETE TO t DO INSTEAD NOTHING;\n\
+       CREATE RULE r3 AS ON UPDATE TO t DO NOTIFY side;"
+  in
+  (match Rw.rewrite_dml cat ~table:"t" ~event:Ast.Ev_insert with
+   | Rw.Instead_notify (_, chan) ->
+     Alcotest.(check string) "notify channel" "chan" chan
+   | _ -> Alcotest.fail "expected instead-notify");
+  (match Rw.rewrite_dml cat ~table:"t" ~event:Ast.Ev_delete with
+   | Rw.Instead_nothing _ -> ()
+   | _ -> Alcotest.fail "expected instead-nothing");
+  (* r3 is not INSTEAD: update is not rewritten, but r3 is an also-rule *)
+  (match Rw.rewrite_dml cat ~table:"t" ~event:Ast.Ev_update with
+   | Rw.No_rule -> ()
+   | _ -> Alcotest.fail "non-INSTEAD rule must not rewrite");
+  Alcotest.(check int) "also rules" 1
+    (List.length (Rw.also_rules cat ~table:"t" ~event:Ast.Ev_update));
+  match Rw.rewrite_dml cat ~table:"other" ~event:Ast.Ev_insert with
+  | Rw.No_rule -> ()
+  | _ -> Alcotest.fail "no rules on other tables"
+
+let test_rewrite_instead_stmt () =
+  let cat =
+    setup
+      "CREATE TABLE t (a INT);\n\
+       CREATE TABLE log (x INT);\n\
+       CREATE RULE r AS ON INSERT TO t DO INSTEAD INSERT INTO log VALUES (1);"
+  in
+  match Rw.rewrite_dml cat ~table:"t" ~event:Ast.Ev_insert with
+  | Rw.Instead_stmt (_, Ast.S_insert { i_table; _ }) ->
+    Alcotest.(check string) "redirected" "log" i_table
+  | _ -> Alcotest.fail "expected instead-stmt"
+
+let suite =
+  [ ("empty table shortcut", `Quick, test_empty_table_shortcut);
+    ("seq scan without stats", `Quick, test_seq_scan_without_stats);
+    ("index needs equality", `Quick, test_index_needs_equality);
+    ("index on conjunct", `Quick, test_index_on_conjunct);
+    ("conjuncts split", `Quick, test_conjuncts_split);
+    ("explain line shapes", `Quick, test_explain_lines_shapes);
+    ("rewrite decisions", `Quick, test_rewrite_decisions);
+    ("rewrite instead stmt", `Quick, test_rewrite_instead_stmt) ]

@@ -1,0 +1,78 @@
+(* Tests for the statement-type universe. *)
+
+open Sqlcore
+
+let test_count_consistent () =
+  Alcotest.(check int) "all length" Stmt_type.count
+    (List.length Stmt_type.all)
+
+let test_universe_size () =
+  (* The AST covers 94 statement types; dialects subset this. *)
+  Alcotest.(check int) "universe" 94 Stmt_type.count
+
+let test_index_roundtrip () =
+  List.iter
+    (fun ty ->
+       Alcotest.(check bool) "roundtrip" true
+         (Stmt_type.equal ty (Stmt_type.of_index (Stmt_type.to_index ty))))
+    Stmt_type.all
+
+let test_indices_dense () =
+  let seen = Array.make Stmt_type.count false in
+  List.iter (fun ty -> seen.(Stmt_type.to_index ty) <- true) Stmt_type.all;
+  Alcotest.(check bool) "dense" true (Array.for_all (fun b -> b) seen)
+
+let test_names_unique () =
+  let names = List.map Stmt_type.name Stmt_type.all in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq String.compare names))
+
+let test_of_name () =
+  List.iter
+    (fun ty ->
+       match Stmt_type.of_name (Stmt_type.name ty) with
+       | Some ty' ->
+         Alcotest.(check bool) "of_name inverse" true (Stmt_type.equal ty ty')
+       | None -> Alcotest.fail ("of_name failed for " ^ Stmt_type.name ty))
+    Stmt_type.all;
+  Alcotest.(check bool) "unknown name" true
+    (Stmt_type.of_name "NOT A STATEMENT" = None)
+
+let test_categories () =
+  Alcotest.(check string) "create table is DDL" "DDL"
+    (Stmt_type.category_name (Stmt_type.category Stmt_type.Create_table));
+  Alcotest.(check string) "insert is DML" "DML"
+    (Stmt_type.category_name (Stmt_type.category Stmt_type.Insert));
+  Alcotest.(check string) "select is DQL" "DQL"
+    (Stmt_type.category_name (Stmt_type.category Stmt_type.Select));
+  Alcotest.(check string) "grant is DCL" "DCL"
+    (Stmt_type.category_name (Stmt_type.category Stmt_type.Grant));
+  Alcotest.(check string) "commit is TCL" "TCL"
+    (Stmt_type.category_name (Stmt_type.category Stmt_type.Commit_txn));
+  Alcotest.(check string) "vacuum is UTIL" "UTIL"
+    (Stmt_type.category_name (Stmt_type.category Stmt_type.Vacuum))
+
+let test_out_of_range_index () =
+  Alcotest.check_raises "negative" (Invalid_argument "Stmt_type.of_index")
+    (fun () -> ignore (Stmt_type.of_index (-1)));
+  Alcotest.check_raises "too large" (Invalid_argument "Stmt_type.of_index")
+    (fun () -> ignore (Stmt_type.of_index Stmt_type.count))
+
+let test_compare_total_order () =
+  let sorted = List.sort Stmt_type.compare Stmt_type.all in
+  Alcotest.(check int) "sort keeps all" Stmt_type.count (List.length sorted);
+  Alcotest.(check bool) "sorted by index" true
+    (List.for_all2
+       (fun a b -> Stmt_type.to_index a <= Stmt_type.to_index b)
+       sorted (List.tl sorted @ [ List.nth sorted (Stmt_type.count - 1) ]))
+
+let suite =
+  [ ("count consistent", `Quick, test_count_consistent);
+    ("universe size", `Quick, test_universe_size);
+    ("index roundtrip", `Quick, test_index_roundtrip);
+    ("indices dense", `Quick, test_indices_dense);
+    ("names unique", `Quick, test_names_unique);
+    ("of_name", `Quick, test_of_name);
+    ("categories", `Quick, test_categories);
+    ("out of range index", `Quick, test_out_of_range_index);
+    ("compare total order", `Quick, test_compare_total_order) ]

@@ -1,0 +1,173 @@
+(* Tests for the storage engine: tables and indexes. *)
+
+open Storage
+open Sqlcore.Ast
+
+let mk_table () =
+  Table.create ~name:"t" ~temp:false
+    [ { Table.c_name = "a"; c_type = T_int; c_not_null = true;
+        c_primary = true; c_unique = true; c_default = None;
+        c_zerofill = false };
+      { Table.c_name = "b"; c_type = T_text; c_not_null = false;
+        c_primary = false; c_unique = false;
+        c_default = Some (Value.Text "d"); c_zerofill = false } ]
+
+let test_insert_and_count () =
+  let t = mk_table () in
+  let id1 = Table.insert t [| Value.Int 1; Value.Text "x" |] in
+  let id2 = Table.insert t [| Value.Int 2; Value.Text "y" |] in
+  Alcotest.(check bool) "distinct rowids" true (id1 <> id2);
+  Alcotest.(check int) "count" 2 (Table.row_count t)
+
+let test_find_update_row () =
+  let t = mk_table () in
+  let id = Table.insert t [| Value.Int 1; Value.Text "x" |] in
+  (match Table.find_row t id with
+   | Some row -> Alcotest.(check bool) "found" true (row.(0) = Value.Int 1)
+   | None -> Alcotest.fail "row not found");
+  Table.update_row t id [| Value.Int 9; Value.Text "z" |];
+  (match Table.find_row t id with
+   | Some row -> Alcotest.(check bool) "updated" true (row.(0) = Value.Int 9)
+   | None -> Alcotest.fail "row lost after update")
+
+let test_delete_rows () =
+  let t = mk_table () in
+  let id1 = Table.insert t [| Value.Int 1; Value.Null |] in
+  let _ = Table.insert t [| Value.Int 2; Value.Null |] in
+  let n = Table.delete_rows t (fun id -> id = id1) in
+  Alcotest.(check int) "one deleted" 1 n;
+  Alcotest.(check int) "one left" 1 (Table.row_count t);
+  Alcotest.(check bool) "right one left" true (Table.find_row t id1 = None)
+
+let test_truncate () =
+  let t = mk_table () in
+  ignore (Table.insert t [| Value.Int 1; Value.Null |]);
+  ignore (Table.insert t [| Value.Int 2; Value.Null |]);
+  Alcotest.(check int) "returns removed" 2 (Table.truncate t);
+  Alcotest.(check int) "empty" 0 (Table.row_count t)
+
+let test_rowids_stable_after_delete () =
+  let t = mk_table () in
+  let _ = Table.insert t [| Value.Int 1; Value.Null |] in
+  let id2 = Table.insert t [| Value.Int 2; Value.Null |] in
+  ignore (Table.delete_rows t (fun id -> id <> id2));
+  let id3 = Table.insert t [| Value.Int 3; Value.Null |] in
+  Alcotest.(check bool) "fresh rowid" true (id3 > id2);
+  (match Table.find_row t id2 with
+   | Some row -> Alcotest.(check bool) "id2 intact" true (row.(0) = Value.Int 2)
+   | None -> Alcotest.fail "id2 lost")
+
+let test_add_drop_column () =
+  let t = mk_table () in
+  ignore (Table.insert t [| Value.Int 1; Value.Text "x" |]);
+  Table.add_column t
+    { Table.c_name = "c"; c_type = T_int; c_not_null = false;
+      c_primary = false; c_unique = false; c_default = Some (Value.Int 7);
+      c_zerofill = false };
+  Alcotest.(check int) "arity" 3 (Table.arity t);
+  (match Table.to_rows t with
+   | [ (_, row) ] ->
+     Alcotest.(check bool) "default filled" true (row.(2) = Value.Int 7)
+   | _ -> Alcotest.fail "unexpected rows");
+  Table.drop_column t 1;
+  Alcotest.(check int) "arity after drop" 2 (Table.arity t);
+  Alcotest.(check (option int)) "col gone" None
+    (Option.map (fun _ -> 0) (Table.col_index t "b"));
+  (match Table.to_rows t with
+   | [ (_, row) ] ->
+     Alcotest.(check int) "row narrowed" 2 (Array.length row)
+   | _ -> Alcotest.fail "unexpected rows")
+
+let test_change_column_type () =
+  let t = mk_table () in
+  ignore (Table.insert t [| Value.Int 1; Value.Text "42" |]);
+  Table.change_column_type t 1 T_int;
+  (match Table.to_rows t with
+   | [ (_, row) ] ->
+     Alcotest.(check bool) "coerced" true (row.(1) = Value.Int 42)
+   | _ -> Alcotest.fail "unexpected rows")
+
+let test_copy_independent () =
+  let t = mk_table () in
+  ignore (Table.insert t [| Value.Int 1; Value.Null |]);
+  let t2 = Table.copy t in
+  ignore (Table.insert t2 [| Value.Int 2; Value.Null |]);
+  Alcotest.(check int) "copy grew" 2 (Table.row_count t2);
+  Alcotest.(check int) "original untouched" 1 (Table.row_count t)
+
+(* --- indexes ------------------------------------------------------- *)
+
+let test_index_unique_dup () =
+  let idx = Index.create ~unique:true in
+  Alcotest.(check bool) "first add" true
+    (Index.add idx [ Value.Int 1 ] 10 = `Ok);
+  (match Index.add idx [ Value.Int 1 ] 20 with
+   | `Dup existing -> Alcotest.(check int) "dup reports holder" 10 existing
+   | `Ok -> Alcotest.fail "expected duplicate")
+
+let test_index_null_never_collides () =
+  let idx = Index.create ~unique:true in
+  Alcotest.(check bool) "null 1" true (Index.add idx [ Value.Null ] 1 = `Ok);
+  Alcotest.(check bool) "null 2" true (Index.add idx [ Value.Null ] 2 = `Ok)
+
+let test_index_find_remove () =
+  let idx = Index.create ~unique:false in
+  ignore (Index.add idx [ Value.Int 5 ] 1);
+  ignore (Index.add idx [ Value.Int 5 ] 2);
+  Alcotest.(check int) "two hits" 2 (List.length (Index.find idx [ Value.Int 5 ]));
+  Index.remove idx [ Value.Int 5 ] 1;
+  Alcotest.(check (list int)) "one left" [ 2 ] (Index.find idx [ Value.Int 5 ]);
+  Index.remove idx [ Value.Int 5 ] 2;
+  Alcotest.(check (list int)) "empty" [] (Index.find idx [ Value.Int 5 ])
+
+let test_index_range () =
+  let idx = Index.create ~unique:false in
+  for i = 1 to 10 do
+    ignore (Index.add idx [ Value.Int i ] i)
+  done;
+  let hits =
+    Index.find_range idx ~lo:(Some [ Value.Int 3 ]) ~hi:(Some [ Value.Int 5 ])
+  in
+  Alcotest.(check (list int)) "range" [ 3; 4; 5 ] (List.sort compare hits);
+  Alcotest.(check int) "open range" 10
+    (List.length (Index.find_range idx ~lo:None ~hi:None))
+
+let prop_index_multimap_model =
+  QCheck.Test.make ~name:"index matches assoc-list model" ~count:200
+    QCheck.(list (pair (int_range 0 5) (int_range 0 20)))
+    (fun pairs ->
+       let idx = Index.create ~unique:false in
+       let model = Hashtbl.create 8 in
+       List.iter
+         (fun (k, rowid) ->
+            ignore (Index.add idx [ Value.Int k ] rowid);
+            Hashtbl.replace model (k, rowid) ())
+         pairs;
+       List.for_all
+         (fun k ->
+            let got = List.sort_uniq compare (Index.find idx [ Value.Int k ]) in
+            let expected =
+              Hashtbl.fold
+                (fun (k', rowid) () acc ->
+                   if k' = k && not (List.mem rowid acc) then rowid :: acc
+                   else acc)
+                model []
+              |> List.sort_uniq compare
+            in
+            got = expected)
+         [ 0; 1; 2; 3; 4; 5 ])
+
+let suite =
+  [ ("insert and count", `Quick, test_insert_and_count);
+    ("find and update row", `Quick, test_find_update_row);
+    ("delete rows", `Quick, test_delete_rows);
+    ("truncate", `Quick, test_truncate);
+    ("rowids stable", `Quick, test_rowids_stable_after_delete);
+    ("add/drop column", `Quick, test_add_drop_column);
+    ("change column type", `Quick, test_change_column_type);
+    ("copy independent", `Quick, test_copy_independent);
+    ("index unique dup", `Quick, test_index_unique_dup);
+    ("index null never collides", `Quick, test_index_null_never_collides);
+    ("index find/remove", `Quick, test_index_find_remove);
+    ("index range", `Quick, test_index_range);
+    QCheck_alcotest.to_alcotest prop_index_multimap_model ]

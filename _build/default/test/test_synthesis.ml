@@ -1,0 +1,168 @@
+(* Tests for progressive sequence synthesis — the paper's Algorithm 3 and
+   its Prefix Sequence index. *)
+
+open Sqlcore
+module A = Lego.Affinity
+module S = Lego.Synthesis
+
+let ct = Stmt_type.Create_table
+let ins = Stmt_type.Insert
+let sel = Stmt_type.Select
+let upd = Stmt_type.Update
+
+let mk ?(max_len = 3) ?(types = [ ct; ins; sel; upd ]) () =
+  (A.create (), S.create ~max_len ~types ())
+
+let names seqs =
+  List.sort compare
+    (List.map (fun s -> String.concat ">" (List.map Stmt_type.name s)) seqs)
+
+let test_singletons_seeded () =
+  let _, s = mk () in
+  Alcotest.(check int) "one per type" 4 (S.total s);
+  Alcotest.(check int) "ps bucket" 1 (S.prefix_count s ~ty:ct ~len:1)
+
+let test_first_affinity () =
+  let aff, s = mk () in
+  ignore (A.add aff ct ins);
+  let news = S.on_new_affinity s aff (ct, ins) in
+  (* the only prefix ending in CREATE TABLE is [CREATE TABLE] itself *)
+  Alcotest.(check (list string)) "one new sequence"
+    [ "CREATE TABLE>INSERT" ] (names news)
+
+let test_paper_example () =
+  (* Paper: LEN 2, current "CREATE TABLE", affinity
+     CREATE TABLE -> [INSERT, SELECT] gives both length-2 sequences. *)
+  let aff, s = mk ~max_len:2 () in
+  ignore (A.add aff ct ins);
+  let n1 = S.on_new_affinity s aff (ct, ins) in
+  ignore (A.add aff ct sel);
+  let n2 = S.on_new_affinity s aff (ct, sel) in
+  Alcotest.(check (list string)) "both sequences"
+    [ "CREATE TABLE>INSERT"; "CREATE TABLE>SELECT" ]
+    (names (n1 @ n2))
+
+let test_closure_under_existing_affinities () =
+  (* With CREATE->INSERT known, discovering INSERT->SELECT must produce
+     both [INSERT;SELECT] and [CREATE;INSERT;SELECT] (and their
+     extensions), because synthesis closes over the whole affinity map. *)
+  let aff, s = mk ~max_len:3 () in
+  ignore (A.add aff ct ins);
+  ignore (S.on_new_affinity s aff (ct, ins));
+  ignore (A.add aff ins sel);
+  let news = S.on_new_affinity s aff (ins, sel) in
+  let got = names news in
+  Alcotest.(check bool) "short form" true
+    (List.mem "INSERT>SELECT" got);
+  Alcotest.(check bool) "extended form" true
+    (List.mem "CREATE TABLE>INSERT>SELECT" got)
+
+let test_only_new_sequences () =
+  (* Re-announcing the same affinity must produce nothing new. *)
+  let aff, s = mk () in
+  ignore (A.add aff ct ins);
+  ignore (S.on_new_affinity s aff (ct, ins));
+  let again = S.on_new_affinity s aff (ct, ins) in
+  Alcotest.(check int) "idempotent" 0 (List.length again)
+
+let test_all_results_contain_affinity () =
+  let aff, s = mk ~max_len:4 () in
+  ignore (A.add aff ct ins);
+  ignore (S.on_new_affinity s aff (ct, ins));
+  ignore (A.add aff ins upd);
+  ignore (S.on_new_affinity s aff (ins, upd));
+  ignore (A.add aff upd sel);
+  let news = S.on_new_affinity s aff (upd, sel) in
+  let contains_pair seq =
+    let rec loop = function
+      | a :: (b :: _ as rest) ->
+        (Stmt_type.equal a upd && Stmt_type.equal b sel) || loop rest
+      | _ -> false
+    in
+    loop seq
+  in
+  Alcotest.(check bool) "nonempty" true (news <> []);
+  Alcotest.(check bool) "every sequence contains the new affinity" true
+    (List.for_all contains_pair news)
+
+let test_length_bound () =
+  let aff, s = mk ~max_len:3 () in
+  ignore (A.add aff ct ct);  (* self loop to provoke depth *)
+  ignore (A.add aff ct ins);
+  let news = S.on_new_affinity s aff (ct, ins) in
+  Alcotest.(check bool) "all within LEN" true
+    (List.for_all (fun seq -> List.length seq <= 3) news)
+
+let test_prefix_index_invariant () =
+  let aff, s = mk ~max_len:3 () in
+  ignore (A.add aff ct ins);
+  ignore (S.on_new_affinity s aff (ct, ins));
+  ignore (A.add aff ins sel);
+  ignore (S.on_new_affinity s aff (ins, sel));
+  (* every recorded sequence must be indexed under (last type, length) *)
+  let ok =
+    List.for_all
+      (fun seq ->
+         match List.rev seq with
+         | last :: _ ->
+           S.prefix_count s ~ty:last ~len:(List.length seq) > 0
+         | [] -> false)
+      (S.sequences s)
+  in
+  Alcotest.(check bool) "PS invariant" true ok
+
+let test_budget_cap () =
+  (* a dense affinity graph stays within the per-affinity budget *)
+  let types =
+    List.filteri (fun i _ -> i < 10) Stmt_type.all
+  in
+  let aff = A.create () in
+  let s = S.create ~max_len:5 ~max_per_affinity:100 ~types () in
+  List.iter
+    (fun a -> List.iter (fun b -> ignore (A.add aff a b)) types)
+    types;
+  let news = S.on_new_affinity s aff (List.hd types, List.nth types 1) in
+  Alcotest.(check bool) "capped" true (List.length news <= 100)
+
+(* Property: synthesized sequences are unique and walk the affinity map. *)
+let prop_sequences_walk_affinities =
+  QCheck.Test.make ~name:"synthesized sequences respect affinities"
+    ~count:100
+    QCheck.(small_list (pair (int_bound 7) (int_bound 7)))
+    (fun pairs ->
+       let types = List.filteri (fun i _ -> i < 8) Stmt_type.all in
+       let aff = A.create () in
+       let s = S.create ~max_len:4 ~types () in
+       let ok = ref true in
+       List.iter
+         (fun (i, j) ->
+            if i <> j then begin
+              let a = List.nth types i and b = List.nth types j in
+              if A.add aff a b then
+                List.iter
+                  (fun seq ->
+                     let rec walk = function
+                       | x :: (y :: _ as rest) ->
+                         if A.mem aff x y then walk rest else ok := false
+                       | _ -> ()
+                     in
+                     walk seq)
+                  (S.on_new_affinity s aff (a, b))
+            end)
+         pairs;
+       (* uniqueness of everything recorded *)
+       let all = names (S.sequences s) in
+       !ok && List.length all = List.length (List.sort_uniq compare all))
+
+let suite =
+  [ ("singletons seeded", `Quick, test_singletons_seeded);
+    ("first affinity", `Quick, test_first_affinity);
+    ("paper example", `Quick, test_paper_example);
+    ("closure under existing affinities", `Quick,
+     test_closure_under_existing_affinities);
+    ("only new sequences", `Quick, test_only_new_sequences);
+    ("results contain affinity", `Quick, test_all_results_contain_affinity);
+    ("length bound", `Quick, test_length_bound);
+    ("prefix index invariant", `Quick, test_prefix_index_invariant);
+    ("budget cap", `Quick, test_budget_cap);
+    QCheck_alcotest.to_alcotest prop_sequences_walk_affinities ]
