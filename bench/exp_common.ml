@@ -12,13 +12,31 @@ type campaign = {
   c_series : (int * int) list;  (* (execs, branches) checkpoints *)
   c_final : Fuzz.Driver.snapshot;
   c_fz : Fuzz.Driver.fuzzer;
-  c_lego : Lego.Lego_fuzzer.t option;
+      (* shard 0's fuzzer; with REPRO_JOBS=1 (the default) this is the
+         whole campaign, as before the campaign-engine refactor *)
+  c_corpus : unit -> Sqlcore.Ast.testcase list;
+      (* generated corpus across every shard (Table II / IV censuses) *)
+  c_lego : Lego.Lego_fuzzer.t option;  (* shard 0's, for LEGO campaigns *)
 }
 
 let budget =
   match Sys.getenv_opt "REPRO_EXECS" with
   | Some s -> (try max 1000 (int_of_string s) with Failure _ -> 60_000)
   | None -> 60_000
+
+(* Campaign shards (OCaml domains) per campaign. The default of 1 keeps
+   the published EXPERIMENTS.md numbers bit-for-bit reproducible; raise
+   it on multicore hardware for wall-clock speed at equal total budget. *)
+let jobs =
+  match Sys.getenv_opt "REPRO_JOBS" with
+  | Some s -> (try max 1 (int_of_string s) with Failure _ -> 1)
+  | None -> 1
+
+let sync_every =
+  match Sys.getenv_opt "REPRO_SYNC" with
+  | Some s ->
+    (try max 1 (int_of_string s) with Failure _ -> Fuzz.Sync.default_interval)
+  | None -> Fuzz.Sync.default_interval
 
 let continuous_budget = budget * 3
 
@@ -29,40 +47,69 @@ let dialect_name p = Minidb.Profile.name p
 (* Keep the checkpoint count fixed so the Fig. 9 series is readable. *)
 let checkpoint_every = max 1 (budget / 6)
 
-let run_campaign ?(execs = budget) profile (name, fz, lego) =
+(* A campaign maker: [factory shard_id] builds one shard's fuzzer (called
+   inside the shard's domain by the campaign engine). *)
+let run_campaign ?(execs = budget) profile (name, factory) =
   let series = ref [] in
-  let final =
-    Fuzz.Driver.run_until_execs ~checkpoint_every
+  let lego0 = ref None in
+  let make shard_id =
+    let fz, lego = factory shard_id in
+    if shard_id = 0 then lego0 := lego;
+    fz
+  in
+  let res =
+    Fuzz.Campaign.run ~checkpoint_every
       ~on_checkpoint:(fun snap ->
           series := (snap.Fuzz.Driver.st_execs, snap.st_branches) :: !series)
-      fz ~execs
+      ~sync_every ~jobs ~execs make
   in
+  let final = res.Fuzz.Campaign.cg_snapshot in
+  let shards = res.Fuzz.Campaign.cg_shards in
   { c_fuzzer = name;
     c_dialect = dialect_name profile;
     c_series =
       List.rev ((final.Fuzz.Driver.st_execs, final.st_branches) :: !series);
     c_final = final;
-    c_fz = fz;
-    c_lego = lego }
+    c_fz = (List.hd shards).Fuzz.Campaign.sh_fuzzer;
+    c_corpus =
+      (fun () ->
+         List.concat_map
+           (fun sh -> sh.Fuzz.Campaign.sh_fuzzer.Fuzz.Driver.f_corpus ())
+           shards);
+    c_lego = !lego0 }
 
 let make_lego ?(seq = true) ?(max_seq_len = 5) ?(seed = 1) profile =
-  let config =
-    { Lego.Lego_fuzzer.default_config with
-      sequence_oriented = seq; max_seq_len; seed }
-  in
-  let t = Lego.Lego_fuzzer.create ~config profile in
   ( (if seq then "LEGO" else "LEGO-"),
-    Lego.Lego_fuzzer.fuzzer t,
-    Some t )
+    fun shard_id ->
+      let config =
+        { Lego.Lego_fuzzer.default_config with
+          sequence_oriented = seq;
+          max_seq_len;
+          seed = Fuzz.Campaign.shard_seed ~seed ~shard_id }
+      in
+      let t = Lego.Lego_fuzzer.create ~config profile in
+      (Lego.Lego_fuzzer.fuzzer t, Some t) )
+
+let make_baseline name create fuzzer ?(seed = 1) profile =
+  ( name,
+    fun shard_id ->
+      (fuzzer (create ~seed:(Fuzz.Campaign.shard_seed ~seed ~shard_id) profile),
+       None) )
 
 let make_squirrel profile =
-  ("SQUIRREL", Baselines.Squirrel_sim.fuzzer (Baselines.Squirrel_sim.create profile), None)
+  make_baseline "SQUIRREL"
+    (fun ~seed p -> Baselines.Squirrel_sim.create ~seed p)
+    Baselines.Squirrel_sim.fuzzer profile
 
 let make_sqlancer profile =
-  ("SQLancer", Baselines.Sqlancer_sim.fuzzer (Baselines.Sqlancer_sim.create profile), None)
+  make_baseline "SQLancer"
+    (fun ~seed p -> Baselines.Sqlancer_sim.create ~seed p)
+    Baselines.Sqlancer_sim.fuzzer profile
 
 let make_sqlsmith profile =
-  ("SQLsmith", Baselines.Sqlsmith_sim.fuzzer (Baselines.Sqlsmith_sim.create profile), None)
+  make_baseline "SQLsmith"
+    (fun ~seed p -> Baselines.Sqlsmith_sim.create ~seed p)
+    Baselines.Sqlsmith_sim.fuzzer profile
 
 (* --- table rendering ------------------------------------------------ *)
 

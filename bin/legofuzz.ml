@@ -38,28 +38,56 @@ let seed_arg =
   let doc = "PRNG seed (campaigns are deterministic per seed)." in
   Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Number of parallel campaign shards (OCaml domains). 1 = the exact \
+     sequential behaviour; each shard gets a distinct derived seed and \
+     1/JOBS of the execution budget."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+
+let sync_arg =
+  let doc =
+    "Executions between cross-shard coverage/crash syncs (jobs > 1 only)."
+  in
+  Arg.(
+    value
+    & opt int Fuzz.Sync.default_interval
+    & info [ "sync-every" ] ~docv:"N" ~doc)
+
+(* Validate the fuzzer name up front and return a shard factory: fuzzer
+   construction is deferred into the shard's domain by the campaign
+   engine (it executes the initial corpus). *)
 let make_fuzzer name profile seed =
-  match String.lowercase_ascii name with
-  | "lego" ->
-    let cfg = { Lego.Lego_fuzzer.default_config with seed } in
-    Ok (Lego.Lego_fuzzer.fuzzer (Lego.Lego_fuzzer.create ~config:cfg profile))
-  | "lego-" | "lego_minus" ->
+  let lego ~seq shard_id =
     let cfg =
-      { Lego.Lego_fuzzer.default_config with seed; sequence_oriented = false }
+      { Lego.Lego_fuzzer.default_config with
+        seed = Fuzz.Campaign.shard_seed ~seed ~shard_id;
+        sequence_oriented = seq }
     in
-    Ok (Lego.Lego_fuzzer.fuzzer (Lego.Lego_fuzzer.create ~config:cfg profile))
+    Lego.Lego_fuzzer.fuzzer (Lego.Lego_fuzzer.create ~config:cfg profile)
+  in
+  let baseline create fuzzer shard_id =
+    fuzzer (create ~seed:(Fuzz.Campaign.shard_seed ~seed ~shard_id) profile)
+  in
+  match String.lowercase_ascii name with
+  | "lego" -> Ok (lego ~seq:true)
+  | "lego-" | "lego_minus" -> Ok (lego ~seq:false)
   | "squirrel" ->
     Ok
-      (Baselines.Squirrel_sim.fuzzer
-         (Baselines.Squirrel_sim.create ~seed profile))
+      (baseline
+         (fun ~seed p -> Baselines.Squirrel_sim.create ~seed p)
+         Baselines.Squirrel_sim.fuzzer)
   | "sqlancer" ->
     Ok
-      (Baselines.Sqlancer_sim.fuzzer
-         (Baselines.Sqlancer_sim.create ~seed profile))
+      (baseline
+         (fun ~seed p -> Baselines.Sqlancer_sim.create ~seed p)
+         Baselines.Sqlancer_sim.fuzzer)
   | "sqlsmith" ->
     Ok
-      (Baselines.Sqlsmith_sim.fuzzer
-         (Baselines.Sqlsmith_sim.create ~seed profile))
+      (baseline
+         (fun ~seed p -> Baselines.Sqlsmith_sim.create ~seed p)
+         Baselines.Sqlsmith_sim.fuzzer)
   | other ->
     Error
       (`Msg
@@ -75,6 +103,18 @@ let report name snap =
   if snap.st_bugs <> [] then
     Printf.printf "  bugs: %s\n" (String.concat ", " snap.st_bugs)
 
+let report_shards (res : Fuzz.Campaign.result) =
+  if List.length res.cg_shards > 1 then begin
+    List.iter
+      (fun (sh : Fuzz.Campaign.shard) ->
+         Printf.printf
+           "  shard %d: execs=%d branches=%d crashes(unique)=%d\n" sh.sh_id
+           sh.sh_snapshot.Fuzz.Driver.st_execs
+           sh.sh_snapshot.st_branches sh.sh_snapshot.st_unique_crashes)
+      res.cg_shards;
+    Printf.printf "  sync rounds: %d\n" res.cg_sync_rounds
+  end
+
 (* --- fuzz ------------------------------------------------------------ *)
 
 let fuzz_cmd =
@@ -87,26 +127,27 @@ let fuzz_cmd =
     let doc = "Directory to write one reduced .sql reproducer per bug." in
     Arg.(value & opt (some string) None & info [ "o"; "save" ] ~docv:"DIR" ~doc)
   in
-  let run fuzzer profile execs seed save =
+  let run fuzzer profile execs seed jobs sync_every save =
     match make_fuzzer fuzzer profile seed with
     | Error (`Msg m) ->
       prerr_endline m;
       exit 2
-    | Ok fz ->
-      Printf.printf "fuzzing %s with %s, %d executions...\n%!"
-        (Minidb.Profile.name profile) fuzzer execs;
-      let snap =
-        Fuzz.Driver.run_until_execs ~checkpoint_every:(max 1 (execs / 5))
+    | Ok make ->
+      let jobs = max 1 jobs in
+      Printf.printf "fuzzing %s with %s, %d executions, %d job(s)...\n%!"
+        (Minidb.Profile.name profile) fuzzer execs jobs;
+      let res =
+        Fuzz.Campaign.run ~checkpoint_every:(max 1 (execs / 5))
           ~on_checkpoint:(fun s ->
               Printf.printf "  ... execs=%d branches=%d bugs=%d\n%!"
                 s.Fuzz.Driver.st_execs s.st_branches (List.length s.st_bugs))
-          fz ~execs
+          ~sync_every ~jobs ~execs make
       in
-      report fuzzer snap;
+      report fuzzer res.Fuzz.Campaign.cg_snapshot;
+      report_shards res;
       (match save with
        | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
        | _ -> ());
-      let tri = Fuzz.Harness.triage fz.Fuzz.Driver.f_harness in
       List.iter
         (fun ((c : Minidb.Fault.crash), testcase) ->
            Format.printf "@.%a@." Minidb.Fault.pp_crash c;
@@ -129,28 +170,31 @@ let fuzz_cmd =
                 Out_channel.with_open_text path (fun oc ->
                     Out_channel.output_string oc (sql ^ "\n"));
                 Printf.printf "saved to %s\n" path))
-        (Fuzz.Triage.unique_with_cases tri)
+        res.Fuzz.Campaign.cg_crashes
   in
   let term =
     Term.(const run $ fuzzer_arg $ dialect_arg $ execs_arg $ seed_arg
-          $ save_arg)
+          $ jobs_arg $ sync_arg $ save_arg)
   in
   Cmd.v (Cmd.info "fuzz" ~doc:"Run one fuzzer on one simulated DBMS.") term
 
 (* --- compare --------------------------------------------------------- *)
 
 let compare_cmd =
-  let run profile execs seed =
+  let run profile execs seed jobs sync_every =
     List.iter
       (fun name ->
          match make_fuzzer name profile seed with
          | Error _ -> ()
-         | Ok fz ->
-           let snap = Fuzz.Driver.run_until_execs fz ~execs in
-           report name snap)
+         | Ok make ->
+           let res = Fuzz.Campaign.run ~sync_every ~jobs ~execs make in
+           report name res.Fuzz.Campaign.cg_snapshot)
       [ "lego"; "lego-"; "squirrel"; "sqlancer"; "sqlsmith" ]
   in
-  let term = Term.(const run $ dialect_arg $ execs_arg $ seed_arg) in
+  let term =
+    Term.(const run $ dialect_arg $ execs_arg $ seed_arg $ jobs_arg
+          $ sync_arg)
+  in
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Run every fuzzer on one DBMS with the same budget.")

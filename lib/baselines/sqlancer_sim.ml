@@ -12,9 +12,12 @@ type t = {
 
 let corpus_cap = 4096
 
-let create ?(seed = 1) ?limits profile =
+let create ?(seed = 1) ?limits ?harness profile =
   { rng = Rng.create (seed lxor 0x1A9C);
-    harness = Fuzz.Harness.create ?limits ~profile ();
+    harness =
+      (match harness with
+       | Some h -> h
+       | None -> Fuzz.Harness.create ?limits ~profile ());
     profile;
     kept = Vec.create ();
     next_slot = 0 }

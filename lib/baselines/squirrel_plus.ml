@@ -19,10 +19,13 @@ let process t tc =
     ignore (Lego.Skeleton_library.harvest t.skeletons tc)
   end
 
-let create ?(seed = 1) ?limits ~affinities profile =
+let create ?(seed = 1) ?limits ?harness ~affinities profile =
   let t =
     { rng = Rng.create (seed lxor 0x51AF);
-      harness = Fuzz.Harness.create ?limits ~profile ();
+      harness =
+        (match harness with
+         | Some h -> h
+         | None -> Fuzz.Harness.create ?limits ~profile ());
       pool = Fuzz.Seed_pool.create ();
       affinities;
       skeletons = Lego.Skeleton_library.create ();

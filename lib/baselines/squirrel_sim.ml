@@ -14,10 +14,15 @@ let process t tc =
       (Fuzz.Seed_pool.add t.pool ~tc ~cov_hash:outcome.o_cov_hash
          ~new_branches:outcome.o_new_branches ~cost:outcome.o_cost)
 
-let create ?(seed = 1) ?(mutants_per_step = 6) ?limits profile =
+let create ?(seed = 1) ?(mutants_per_step = 6) ?limits ?harness profile =
+  let harness =
+    match harness with
+    | Some h -> h
+    | None -> Fuzz.Harness.create ?limits ~profile ()
+  in
   let t =
     { rng = Rng.create (seed lxor 0x5153); (* distinct stream from LEGO *)
-      harness = Fuzz.Harness.create ?limits ~profile ();
+      harness;
       pool = Fuzz.Seed_pool.create ();
       mutants_per_step }
   in

@@ -13,8 +13,11 @@ val create :
   ?seed:int ->
   ?mutants_per_step:int ->
   ?limits:Minidb.Limits.t ->
+  ?harness:Fuzz.Harness.t ->
   Minidb.Profile.t ->
   t
+(** [?harness] injects a (e.g. shard-owned) execution harness; [?limits]
+    only applies to a harness constructed here. *)
 
 val fuzzer : t -> Fuzz.Driver.fuzzer
 

@@ -60,11 +60,16 @@ let process_candidate t ?(analyze = true) tc =
   end;
   outcome
 
-let create ?(config = default_config) ?limits profile =
+let create ?(config = default_config) ?limits ?harness profile =
+  let harness =
+    match harness with
+    | Some h -> h
+    | None -> Fuzz.Harness.create ?limits ~profile ()
+  in
   let t =
     { cfg = config;
       rng = Rng.create config.seed;
-      harness = Fuzz.Harness.create ?limits ~profile ();
+      harness;
       pool = Fuzz.Seed_pool.create ();
       affinity = Affinity.create ();
       synthesis =

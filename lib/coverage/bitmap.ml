@@ -52,6 +52,32 @@ let merge_into ~virgin t =
   done;
   !news
 
+(* Virgin maps store OR'd bucket bits, so the union of two campaigns'
+   coverage is a per-cell bitwise or. *)
+let merge ~into src =
+  let news = ref 0 in
+  for i = 0 to size - 1 do
+    let s = Char.code (Bytes.unsafe_get src i) in
+    if s <> 0 then begin
+      let v = Char.code (Bytes.unsafe_get into i) in
+      if s land lnot v <> 0 then begin
+        Bytes.unsafe_set into i (Char.chr (v lor s));
+        incr news
+      end
+    end
+  done;
+  !news
+
+let snapshot = Bytes.copy
+
+let diff t ~since =
+  let news = ref 0 in
+  for i = 0 to size - 1 do
+    let c = Char.code (Bytes.unsafe_get t i) in
+    if c land lnot (Char.code (Bytes.unsafe_get since i)) <> 0 then incr news
+  done;
+  !news
+
 let hash t =
   let h = ref 0xcbf29ce484222325L in
   for i = 0 to size - 1 do

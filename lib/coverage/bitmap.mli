@@ -38,6 +38,20 @@ val merge_into : virgin:t -> t -> int
 (** Fold an execution map into the accumulated virgin map; returns the
     number of cells whose bucket set grew (i.e. new coverage). *)
 
+val merge : into:t -> t -> int
+(** Union of two {e virgin} maps ([into ⊔ src], bitwise or per cell since
+    virgin cells hold bucket-bit sets); returns the number of cells whose
+    bucket set grew. Commutative and idempotent up to the return value:
+    re-merging the same map reports zero news. This is the cross-shard
+    coverage-exchange primitive of the campaign engine. *)
+
+val snapshot : t -> t
+(** Cheap point-in-time copy, for shards to diff against later. *)
+
+val diff : t -> since:t -> int
+(** Number of cells of [t] holding bucket bits absent from [since] — i.e.
+    the new coverage accumulated since [since] was {!snapshot}ed. *)
+
 val hash : t -> int64
 (** Order-insensitive 64-bit digest of the bucketed map, used to
     deduplicate seeds with identical coverage. *)

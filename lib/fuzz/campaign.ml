@@ -1,0 +1,118 @@
+type shard = {
+  sh_id : int;
+  sh_seed_offset : int;
+  sh_snapshot : Driver.snapshot;
+  sh_fuzzer : Driver.fuzzer;
+}
+
+type result = {
+  cg_snapshot : Driver.snapshot;
+  cg_shards : shard list;
+  cg_crashes : (Minidb.Fault.crash * Sqlcore.Ast.testcase option) list;
+  cg_sync_rounds : int;
+}
+
+(* A large prime stride keeps shard RNG streams far apart while staying
+   reproducible from the single campaign seed. *)
+let seed_stride = 1_000_003
+
+let shard_seed ~seed ~shard_id = seed + (shard_id * seed_stride)
+
+let snapshot_of_sync sync ~iteration ~execs ~total_crashes =
+  { Driver.st_iteration = iteration;
+    st_execs = execs;
+    st_branches = Sync.branches sync;
+    st_total_crashes = total_crashes;
+    st_unique_crashes = Sync.unique_count sync;
+    st_bugs = Sync.bug_ids sync }
+
+(* One shard's campaign: run in sync-interval rounds, publishing coverage
+   and crashes after each round. Runs inside its own domain. *)
+let run_shard ~sync ~make ~budget ~report shard_id =
+  let fz : Driver.fuzzer = make shard_id in
+  (* Fuzzer construction may already have executed an initial corpus;
+     those executions count against the shard's budget. *)
+  let iterations = ref 0 in
+  let published = ref 0 in
+  let publish () =
+    let execs = Harness.execs fz.Driver.f_harness in
+    let delta = execs - !published in
+    published := execs;
+    ignore (Sync.publish_harness sync fz.Driver.f_harness ~execs_delta:delta);
+    report ()
+  in
+  let rec rounds () =
+    let done_ = Harness.execs fz.Driver.f_harness in
+    if done_ < budget then begin
+      let target = min budget (done_ + Sync.interval sync) in
+      let snap = Driver.run_until_execs fz ~execs:target in
+      iterations := !iterations + snap.Driver.st_iteration;
+      publish ();
+      rounds ()
+    end
+  in
+  rounds ();
+  if !published < Harness.execs fz.Driver.f_harness then publish ();
+  { sh_id = shard_id;
+    sh_seed_offset = shard_id * seed_stride;
+    sh_snapshot = Driver.snapshot fz ~iteration:!iterations;
+    sh_fuzzer = fz }
+
+let sequential ?checkpoint_every ?on_checkpoint ~execs make =
+  let fz : Driver.fuzzer = make 0 in
+  let snap = Driver.run_until_execs ?checkpoint_every ?on_checkpoint fz ~execs in
+  let tri = Harness.triage fz.Driver.f_harness in
+  { cg_snapshot = snap;
+    cg_shards =
+      [ { sh_id = 0; sh_seed_offset = 0; sh_snapshot = snap; sh_fuzzer = fz } ];
+    cg_crashes = Triage.unique_with_cases tri;
+    cg_sync_rounds = 0 }
+
+let run ?(checkpoint_every = 0) ?(on_checkpoint = fun _ -> ()) ?sync_every
+    ~jobs ~execs make =
+  let jobs = max 1 jobs in
+  if jobs = 1 then
+    (* Bit-for-bit the pre-sharding sequential path: one fuzzer, one
+       driver loop, no sync machinery in the way. *)
+    sequential ~checkpoint_every ~on_checkpoint ~execs make
+  else begin
+    let sync = Sync.create ?interval:sync_every () in
+    (* Spread the total budget over shards; early shards absorb the
+       remainder so the sum is exactly [execs]. *)
+    let budget_of i = (execs / jobs) + (if i < execs mod jobs then 1 else 0) in
+    (* Aggregate checkpointing: after any shard publishes, emit one
+       aggregate snapshot per [checkpoint_every] published executions.
+       Guarded by its own mutex so callbacks never interleave. *)
+    let cp_lock = Mutex.create () in
+    let last_cp = ref 0 in
+    let report () =
+      if checkpoint_every > 0 then begin
+        Mutex.lock cp_lock;
+        Fun.protect ~finally:(fun () -> Mutex.unlock cp_lock) (fun () ->
+            let seen = Sync.execs_seen sync in
+            if seen - !last_cp >= checkpoint_every && seen < execs then begin
+              last_cp := seen;
+              on_checkpoint
+                (snapshot_of_sync sync ~iteration:(Sync.rounds sync)
+                   ~execs:seen ~total_crashes:0)
+            end)
+      end
+    in
+    let domains =
+      List.init jobs (fun i ->
+          Domain.spawn (fun () ->
+              run_shard ~sync ~make ~budget:(budget_of i) ~report i))
+    in
+    let shards = List.map Domain.join domains in
+    let sum f = List.fold_left (fun acc sh -> acc + f sh.sh_snapshot) 0 shards in
+    let aggregate =
+      snapshot_of_sync sync
+        ~iteration:(sum (fun s -> s.Driver.st_iteration))
+        ~execs:(sum (fun s -> s.Driver.st_execs))
+        ~total_crashes:(sum (fun s -> s.Driver.st_total_crashes))
+    in
+    { cg_snapshot = aggregate;
+      cg_shards = shards;
+      cg_crashes = Sync.unique_crashes sync;
+      cg_sync_rounds = Sync.rounds sync }
+  end

@@ -1,0 +1,68 @@
+(** The campaign engine: N coordinated fuzzing campaigns on OCaml 5
+    domains, exchanging coverage through {!Sync}.
+
+    Layering (see DESIGN.md §8):
+
+    {v
+      Campaign   one domain per shard, sync rounds, aggregate snapshot
+        │
+      Sync       global virgin ⊔, cross-shard crash dedup  (mutex)
+        │
+      Harness    per-shard executor: own exec map, virgin map, triage
+        │
+      Coverage   bitmap merge / snapshot / diff
+    v}
+
+    Each shard builds its own fuzzer from the factory (so every piece of
+    mutable fuzzing state — RNG, seed pool, affinity map, harness — is
+    domain-private), runs in rounds of [sync_every] executions, and
+    publishes after each round. The only cross-domain state is the
+    mutex-guarded {!Sync.t}. *)
+
+type shard = {
+  sh_id : int;
+  sh_seed_offset : int;  (** [shard_id * stride], what {!shard_seed} adds *)
+  sh_snapshot : Driver.snapshot;  (** this shard's private final snapshot *)
+  sh_fuzzer : Driver.fuzzer;
+      (** the shard's fuzzer; safe to use after {!run} returns (its domain
+          has been joined) — e.g. for corpus censuses or budget extension *)
+}
+
+type result = {
+  cg_snapshot : Driver.snapshot;
+      (** aggregate: summed execs/iterations/crash totals, branches of the
+          merged virgin map, cross-shard-deduped unique crashes and bugs *)
+  cg_shards : shard list;  (** in shard-id order *)
+  cg_crashes : (Minidb.Fault.crash * Sqlcore.Ast.testcase option) list;
+      (** cross-shard unique crashes with first-finder reproducers *)
+  cg_sync_rounds : int;
+}
+
+val shard_seed : seed:int -> shard_id:int -> int
+(** [seed + shard_id * 1_000_003]: deterministic, well-separated per-shard
+    RNG seeds derived from one campaign seed. Shard 0 keeps the campaign
+    seed itself, so [jobs = 1] reproduces unsharded runs exactly. *)
+
+val run :
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(Driver.snapshot -> unit) ->
+  ?sync_every:int ->
+  jobs:int ->
+  execs:int ->
+  (int -> Driver.fuzzer) ->
+  result
+(** [run ~jobs ~execs make] fuzzes with [jobs] shards sharing a total
+    budget of [execs] executions ([execs / jobs] each, remainder to the
+    first shards). [make shard_id] is called once per shard, {e inside}
+    the shard's domain — derive per-shard RNG seeds with {!shard_seed}.
+
+    With [jobs = 1] this is exactly {!Driver.run_until_execs} on
+    [make 0] — byte-identical snapshots, no domains, no sync — so
+    single-job campaigns preserve the repository's determinism guarantee.
+
+    With [jobs > 1], shards publish to a {!Sync} every [sync_every]
+    executions (default {!Sync.default_interval}); [on_checkpoint]
+    receives aggregate snapshots roughly every [checkpoint_every]
+    {e published} executions ([st_total_crashes] is not tracked at
+    checkpoint time and reads 0 there; the final snapshot has the true
+    total). *)

@@ -38,11 +38,16 @@ let run_until_execs ?(checkpoint_every = 0) ?(on_checkpoint = fun _ -> ()) f
   while Harness.execs f.f_harness < execs do
     incr i;
     f.f_step ();
+    let e = Harness.execs f.f_harness in
+    (* The returned snapshot is the final checkpoint: when a step lands on
+       or overshoots the budget, don't also fire [on_checkpoint] at the
+       same exec count. *)
     if
       checkpoint_every > 0
-      && Harness.execs f.f_harness - !last_cp >= checkpoint_every
+      && e - !last_cp >= checkpoint_every
+      && e < execs
     then begin
-      last_cp := Harness.execs f.f_harness;
+      last_cp := e;
       on_checkpoint (snapshot f ~iteration:!i)
     end
   done;

@@ -1,10 +1,16 @@
-(** The execution harness: one test case against one fresh engine, with
-    persistent virgin-coverage accumulation and crash triage.
+(** The per-shard execution harness: one test case against one fresh
+    engine, with persistent virgin-coverage accumulation and crash triage.
 
     This plays the role of AFL++'s forkserver in the paper's setup: every
     execution starts from a pristine DBMS state, coverage is collected in
-    a per-execution map and folded into the campaign-wide virgin map, and
-    crashes are deduplicated by stack. *)
+    a per-execution map and folded into the shard's virgin map, and
+    crashes are deduplicated by stack.
+
+    A harness is strictly single-shard state — exec map, virgin map,
+    triage, and exec counter are all private to the owning domain and
+    none of them is locked. Cross-shard coverage union and global crash
+    dedup live one layer up in {!Sync}; campaign orchestration one layer
+    above that in {!Campaign}. *)
 
 type outcome = {
   o_new_branches : int;  (** virgin-map cells this execution lit up *)

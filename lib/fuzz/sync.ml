@@ -1,0 +1,66 @@
+type t = {
+  lock : Mutex.t;
+  virgin : Coverage.Bitmap.t;
+  seen : (string, unit) Hashtbl.t;
+  mutable uniques :
+    (Minidb.Fault.crash * Sqlcore.Ast.testcase option) list;
+      (* reverse first-published order *)
+  mutable rounds : int;
+  mutable execs_seen : int;
+  interval : int;
+}
+
+let default_interval = 4096
+
+let create ?(interval = default_interval) () =
+  { lock = Mutex.create ();
+    virgin = Coverage.Bitmap.create ();
+    seen = Hashtbl.create 32;
+    uniques = [];
+    rounds = 0;
+    execs_seen = 0;
+    interval = max 1 interval }
+
+let interval t = t.interval
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let publish t ~virgin ~triage ~execs_delta =
+  locked t (fun () ->
+      t.rounds <- t.rounds + 1;
+      t.execs_seen <- t.execs_seen + max 0 execs_delta;
+      let news = Coverage.Bitmap.merge ~into:t.virgin virgin in
+      List.iter
+        (fun ((crash, _) as u) ->
+           let key = Triage.stack_key crash in
+           if not (Hashtbl.mem t.seen key) then begin
+             Hashtbl.replace t.seen key ();
+             t.uniques <- u :: t.uniques
+           end)
+        (Triage.unique_with_cases triage);
+      news)
+
+let publish_harness t h ~execs_delta =
+  publish t ~virgin:(Harness.virgin h) ~triage:(Harness.triage h)
+    ~execs_delta
+
+let branches t =
+  locked t (fun () -> Coverage.Bitmap.count_nonzero t.virgin)
+
+let execs_seen t = locked t (fun () -> t.execs_seen)
+
+let rounds t = locked t (fun () -> t.rounds)
+
+let unique_crashes t = locked t (fun () -> List.rev t.uniques)
+
+let unique_count t = locked t (fun () -> List.length t.uniques)
+
+let bug_ids t =
+  locked t (fun () ->
+      List.sort_uniq String.compare
+        (List.map
+           (fun ((c : Minidb.Fault.crash), _) ->
+              c.c_bug.Minidb.Fault.bug_id)
+           t.uniques))

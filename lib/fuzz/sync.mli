@@ -1,0 +1,58 @@
+(** Cross-shard coverage and crash synchronisation.
+
+    In a sharded campaign every shard owns a private {!Harness.t} (its own
+    exec map, virgin map, and triage) and periodically {e publishes} into
+    one shared [Sync.t]: the shard's virgin map is unioned into the global
+    virgin map ({!Coverage.Bitmap.merge}) and its unique crashes are
+    deduplicated by stack signature against every other shard's. This is
+    the analogue of AFL++'s [-M]/[-S] sync directory, with a bitmap union
+    instead of seed exchange (SQUIRREL's shared-coverage-map model).
+
+    All operations take an internal mutex; publishing is safe from any
+    domain. Publish frequency is the campaign's [sync_every] interval. *)
+
+type t
+
+val default_interval : int
+(** Executions between syncs when unspecified (4096). *)
+
+val create : ?interval:int -> unit -> t
+
+val interval : t -> int
+(** The configured sync interval in executions (clamped to ≥ 1). *)
+
+val publish :
+  t ->
+  virgin:Coverage.Bitmap.t ->
+  triage:Triage.t ->
+  execs_delta:int ->
+  int
+(** One sync round: union a shard's virgin map into the global map and
+    fold its unique crashes into the cross-shard dedup table. Returns the
+    number of global virgin cells whose bucket set grew. [execs_delta] is
+    the number of executions the shard performed since its last publish
+    (drives {!execs_seen} for aggregate progress reporting). Re-publishing
+    the same state is idempotent: zero news, no duplicate crashes. *)
+
+val publish_harness : t -> Harness.t -> execs_delta:int -> int
+(** {!publish} with the virgin map and triage taken from a harness. *)
+
+val branches : t -> int
+(** Branches of the merged global virgin map — the aggregate Figure 9
+    metric across shards. *)
+
+val execs_seen : t -> int
+(** Total executions published so far across all shards. *)
+
+val rounds : t -> int
+(** Publish calls so far. *)
+
+val unique_crashes :
+  t -> (Minidb.Fault.crash * Sqlcore.Ast.testcase option) list
+(** Cross-shard unique crashes in first-published order, each with the
+    reproducer test case of the shard that found it first. *)
+
+val unique_count : t -> int
+
+val bug_ids : t -> string list
+(** Distinct injected-bug ids among the cross-shard unique crashes. *)

@@ -6,6 +6,11 @@ type t
 
 val create : unit -> t
 
+val stack_key : Minidb.Fault.crash -> string
+(** The canonical deduplication key of a crash: its synthetic call stack,
+    joined. Two crashes with equal keys are the same bug signature —
+    shared with {!Sync} so cross-shard dedup agrees with local dedup. *)
+
 val record :
   t -> ?testcase:Sqlcore.Ast.testcase -> Minidb.Fault.crash -> bool
 (** [true] when this crash's stack was not seen before. The triggering

@@ -1,0 +1,131 @@
+(* Tests for the campaign engine: cross-shard sync semantics and the
+   jobs=1 determinism guarantee. *)
+
+let profile = Dialects.Registry.mariadb_sim
+
+let fake_bug id =
+  { Minidb.Fault.bug_id = id;
+    identifier = "TEST-" ^ id;
+    component = "test";
+    kind = Minidb.Fault.Segv;
+    cond = Minidb.Fault.State "never" }
+
+let fake_crash id =
+  let bug = fake_bug id in
+  { Minidb.Fault.c_bug = bug; c_stack = Minidb.Fault.stack_of_bug bug }
+
+let test_sync_dedupes_across_shards () =
+  (* Two shards independently find the same crash signature: the sync
+     layer must count it once, keeping the first finder's reproducer. *)
+  let sync = Fuzz.Sync.create () in
+  let tri_a = Fuzz.Triage.create () and tri_b = Fuzz.Triage.create () in
+  ignore (Fuzz.Triage.record tri_a (fake_crash "B1"));
+  ignore (Fuzz.Triage.record tri_b (fake_crash "B1"));
+  ignore (Fuzz.Triage.record tri_b (fake_crash "B2"));
+  let virgin_a = Coverage.Bitmap.create ()
+  and virgin_b = Coverage.Bitmap.create () in
+  ignore
+    (Fuzz.Sync.publish sync ~virgin:virgin_a ~triage:tri_a ~execs_delta:10);
+  ignore
+    (Fuzz.Sync.publish sync ~virgin:virgin_b ~triage:tri_b ~execs_delta:10);
+  Alcotest.(check int) "identical signatures deduped" 2
+    (Fuzz.Sync.unique_count sync);
+  Alcotest.(check (list string)) "bug ids unioned" [ "B1"; "B2" ]
+    (Fuzz.Sync.bug_ids sync);
+  (* republishing a shard is idempotent *)
+  ignore
+    (Fuzz.Sync.publish sync ~virgin:virgin_b ~triage:tri_b ~execs_delta:0);
+  Alcotest.(check int) "republish adds nothing" 2
+    (Fuzz.Sync.unique_count sync);
+  Alcotest.(check int) "execs accumulate" 20 (Fuzz.Sync.execs_seen sync);
+  Alcotest.(check int) "rounds counted" 3 (Fuzz.Sync.rounds sync)
+
+let test_sync_merges_coverage () =
+  let sync = Fuzz.Sync.create () in
+  let exec = Coverage.Bitmap.create () in
+  Coverage.Bitmap.hit exec 17;
+  let virgin = Coverage.Bitmap.create () in
+  ignore (Coverage.Bitmap.merge_into ~virgin exec);
+  let tri = Fuzz.Triage.create () in
+  let news = Fuzz.Sync.publish sync ~virgin ~triage:tri ~execs_delta:1 in
+  Alcotest.(check int) "first publish is news" 1 news;
+  Alcotest.(check int) "global branches" 1 (Fuzz.Sync.branches sync);
+  Alcotest.(check int) "re-publish is no news" 0
+    (Fuzz.Sync.publish sync ~virgin ~triage:tri ~execs_delta:0)
+
+let budget = 1500
+
+let lego_factory ~seed shard_id =
+  let config =
+    { Lego.Lego_fuzzer.default_config with
+      seed = Fuzz.Campaign.shard_seed ~seed ~shard_id }
+  in
+  Lego.Lego_fuzzer.fuzzer (Lego.Lego_fuzzer.create ~config profile)
+
+let test_jobs1_matches_sequential_driver () =
+  (* The determinism guarantee: a 1-job campaign is byte-identical to the
+     plain sequential driver loop on an identically-seeded fuzzer. *)
+  let sequential =
+    Fuzz.Driver.run_until_execs (lego_factory ~seed:42 0) ~execs:budget
+  in
+  let res =
+    Fuzz.Campaign.run ~jobs:1 ~execs:budget (lego_factory ~seed:42)
+  in
+  Alcotest.(check bool) "snapshots identical" true
+    (sequential = res.Fuzz.Campaign.cg_snapshot);
+  Alcotest.(check int) "single shard" 1
+    (List.length res.Fuzz.Campaign.cg_shards);
+  Alcotest.(check int) "no sync rounds" 0 res.Fuzz.Campaign.cg_sync_rounds
+
+let test_shard_seed_distinct () =
+  let seeds =
+    List.init 8 (fun i -> Fuzz.Campaign.shard_seed ~seed:1 ~shard_id:i)
+  in
+  Alcotest.(check int) "shard 0 keeps the campaign seed" 1 (List.hd seeds);
+  Alcotest.(check int) "all distinct" 8
+    (List.length (List.sort_uniq compare seeds))
+
+let test_sharded_campaign_aggregates () =
+  let res =
+    Fuzz.Campaign.run ~jobs:4 ~sync_every:200 ~execs:2000
+      (lego_factory ~seed:7)
+  in
+  let agg = res.Fuzz.Campaign.cg_snapshot in
+  Alcotest.(check int) "four shards" 4
+    (List.length res.Fuzz.Campaign.cg_shards);
+  Alcotest.(check bool) "budget spent" true (agg.Fuzz.Driver.st_execs >= 2000);
+  Alcotest.(check bool) "synced at least once per shard" true
+    (res.Fuzz.Campaign.cg_sync_rounds >= 4);
+  List.iter
+    (fun (sh : Fuzz.Campaign.shard) ->
+       Alcotest.(check bool)
+         (Printf.sprintf "aggregate >= shard %d branches" sh.sh_id)
+         true
+         (agg.Fuzz.Driver.st_branches
+          >= sh.sh_snapshot.Fuzz.Driver.st_branches);
+       Alcotest.(check bool)
+         (Printf.sprintf "aggregate >= shard %d uniques" sh.sh_id)
+         true
+         (agg.Fuzz.Driver.st_unique_crashes
+          >= sh.sh_snapshot.Fuzz.Driver.st_unique_crashes))
+    res.Fuzz.Campaign.cg_shards;
+  let summed =
+    List.fold_left
+      (fun acc (sh : Fuzz.Campaign.shard) ->
+         acc + sh.sh_snapshot.Fuzz.Driver.st_execs)
+      0 res.Fuzz.Campaign.cg_shards
+  in
+  Alcotest.(check int) "aggregate execs = sum of shards" summed
+    agg.Fuzz.Driver.st_execs;
+  (* crash totals survive aggregation *)
+  Alcotest.(check bool) "unique <= total" true
+    (agg.Fuzz.Driver.st_unique_crashes <= agg.Fuzz.Driver.st_total_crashes)
+
+let suite =
+  [ ("sync dedupes crash signatures", `Quick, test_sync_dedupes_across_shards);
+    ("sync merges coverage", `Quick, test_sync_merges_coverage);
+    ("jobs=1 is the sequential driver", `Quick,
+     test_jobs1_matches_sequential_driver);
+    ("shard seeds distinct", `Quick, test_shard_seed_distinct);
+    ("4-shard campaign aggregates", `Slow, test_sharded_campaign_aggregates)
+  ]

@@ -54,6 +54,73 @@ let test_merge_counts_cells () =
   Alcotest.(check int) "three new" 3 (B.merge_into ~virgin run);
   Alcotest.(check int) "virgin count" 3 (B.count_nonzero virgin)
 
+(* Virgin-map equality: no bits in either direction of the diff. *)
+let virgin_equal a b = B.diff a ~since:b = 0 && B.diff b ~since:a = 0
+
+(* Two shards' virgin maps, built from distinct (partially overlapping)
+   execution histories. *)
+let two_shard_virgins () =
+  let exec hits =
+    let m = B.create () in
+    List.iter (B.hit m) hits;
+    m
+  in
+  let va = B.create () and vb = B.create () in
+  ignore (B.merge_into ~virgin:va (exec [ 1; 2; 3; 3; 7 ]));
+  ignore (B.merge_into ~virgin:va (exec [ 2; 9 ]));
+  ignore (B.merge_into ~virgin:vb (exec [ 3; 5; 7; 7; 7 ]));
+  (va, vb)
+
+let test_merge_commutative () =
+  let va, vb = two_shard_virgins () in
+  let ab = B.snapshot va in
+  ignore (B.merge ~into:ab vb);
+  let ba = B.snapshot vb in
+  ignore (B.merge ~into:ba va);
+  Alcotest.(check bool) "a ⊔ b = b ⊔ a" true (virgin_equal ab ba);
+  Alcotest.(check int) "count agrees" (B.count_nonzero ab)
+    (B.count_nonzero ba)
+
+let test_merge_idempotent () =
+  let va, vb = two_shard_virgins () in
+  let g = B.snapshot va in
+  let news = B.merge ~into:g vb in
+  Alcotest.(check bool) "first merge brings news" true (news > 0);
+  let before = B.snapshot g in
+  Alcotest.(check int) "re-merge reports zero news" 0 (B.merge ~into:g vb);
+  Alcotest.(check int) "self-merge reports zero news" 0 (B.merge ~into:g g);
+  Alcotest.(check bool) "map unchanged" true (virgin_equal g before)
+
+let test_merge_then_merge_into_no_news () =
+  (* After a shard's virgin map is folded into the global map, replaying
+     any of that shard's executions against the global map is not news. *)
+  let exec = B.create () in
+  B.hit exec 11;
+  B.hit exec 11;
+  B.hit exec 42;
+  let shard = B.create () in
+  ignore (B.merge_into ~virgin:shard exec);
+  let global = B.create () in
+  ignore (B.merge ~into:global shard);
+  Alcotest.(check int) "cross-shard merge covers the execution" 0
+    (B.merge_into ~virgin:global exec)
+
+let test_snapshot_diff () =
+  let v = B.create () in
+  let exec = B.create () in
+  B.hit exec 100;
+  ignore (B.merge_into ~virgin:v exec);
+  let before = B.snapshot v in
+  Alcotest.(check int) "no drift yet" 0 (B.diff v ~since:before);
+  let exec2 = B.create () in
+  B.hit exec2 200;
+  B.hit exec2 300;
+  ignore (B.merge_into ~virgin:v exec2);
+  Alcotest.(check int) "two new cells since snapshot" 2
+    (B.diff v ~since:before);
+  (* the snapshot is detached: mutating the live map leaves it alone *)
+  Alcotest.(check int) "snapshot unchanged" 1 (B.count_nonzero before)
+
 let test_hash_sensitivity () =
   let a = B.create () in
   let b = B.create () in
@@ -106,6 +173,11 @@ let suite =
     ("buckets", `Quick, test_buckets);
     ("merge new coverage", `Quick, test_merge_new_coverage);
     ("merge counts cells", `Quick, test_merge_counts_cells);
+    ("cross-shard merge commutative", `Quick, test_merge_commutative);
+    ("cross-shard merge idempotent", `Quick, test_merge_idempotent);
+    ("merge_into after merge: no news", `Quick,
+     test_merge_then_merge_into_no_news);
+    ("snapshot and diff", `Quick, test_snapshot_diff);
     ("hash sensitivity", `Quick, test_hash_sensitivity);
     ("probe spreads", `Quick, test_probe_spreads);
     ("sites registry", `Quick, test_sites_registry);

@@ -231,6 +231,29 @@ let test_driver_checkpoints () =
   in
   Alcotest.(check int) "five checkpoints" 5 !count
 
+let test_exec_checkpoint_no_double_fire () =
+  (* A single step executes many cases, so the last step typically
+     overshoots the exec budget: the final checkpoint must then be the
+     returned snapshot alone, never on_checkpoint at the same count. *)
+  let t = Lego.Lego_fuzzer.create Dialects.Registry.comdb2_sim in
+  let fz = Lego.Lego_fuzzer.fuzzer t in
+  let cps = ref [] in
+  let final =
+    Fuzz.Driver.run_until_execs ~checkpoint_every:100
+      ~on_checkpoint:(fun s -> cps := s.Fuzz.Driver.st_execs :: !cps)
+      fz ~execs:1000
+  in
+  Alcotest.(check bool) "budget reached" true
+    (final.Fuzz.Driver.st_execs >= 1000);
+  List.iter
+    (fun e ->
+       Alcotest.(check bool) "checkpoint strictly before the final" true
+         (e < final.Fuzz.Driver.st_execs))
+    !cps;
+  Alcotest.(check int) "checkpoints strictly increasing (no double fire)"
+    (List.length !cps)
+    (List.length (List.sort_uniq compare !cps))
+
 let suite =
   [ ("harness accumulates", `Quick, test_harness_accumulates);
     ("harness fresh state", `Quick, test_harness_fresh_state_per_exec);
@@ -248,4 +271,6 @@ let suite =
     ("determinism", `Slow, test_determinism);
     ("sqlsmith single-statement corpus", `Quick,
      test_sqlsmith_single_statement_corpus);
-    ("driver checkpoints", `Quick, test_driver_checkpoints) ]
+    ("driver checkpoints", `Quick, test_driver_checkpoints);
+    ("exec checkpoint no double fire", `Quick,
+     test_exec_checkpoint_no_double_fire) ]

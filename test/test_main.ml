@@ -19,6 +19,7 @@ let () =
       ("planner_rewriter", Test_planner_rewriter.suite);
       ("engine", Test_engine.suite);
       ("reducer", Test_reducer.suite);
+      ("campaign", Test_campaign.suite);
       ("baselines", Test_baselines.suite);
       ("extensions", Test_extensions.suite);
       ("integration", Test_integration.suite) ]
