@@ -17,6 +17,9 @@ type campaign = {
   c_corpus : unit -> Sqlcore.Ast.testcase list;
       (* generated corpus across every shard (Table II / IV censuses) *)
   c_lego : Lego.Lego_fuzzer.t option;  (* shard 0's, for LEGO campaigns *)
+  c_metrics : Telemetry.Registry.t;
+      (* campaign-wide metric registry (stage times, engine counters) *)
+  c_wall_s : float;  (* wall-clock annotation, never determinism-checked *)
 }
 
 let budget =
@@ -47,6 +50,18 @@ let dialect_name p = Minidb.Profile.name p
 (* Keep the checkpoint count fixed so the Fig. 9 series is readable. *)
 let checkpoint_every = max 1 (budget / 6)
 
+(* With REPRO_TELEMETRY=jsonl every bench campaign records its event
+   stream into one shared runs/bench-campaigns.jsonl, series-prefixed
+   "<fuzzer>-<dialect>/", for legofuzz report. *)
+let bench_sink =
+  lazy
+    (match Sys.getenv_opt "REPRO_TELEMETRY" with
+     | Some "jsonl" ->
+       let sink, path = Telemetry.Sink.jsonl ~name:"bench-campaigns" () in
+       Printf.printf "telemetry: recording to %s\n%!" path;
+       Some sink
+     | _ -> None)
+
 (* A campaign maker: [factory shard_id] builds one shard's fuzzer (called
    inside the shard's domain by the campaign engine). *)
 let run_campaign ?(execs = budget) profile (name, factory) =
@@ -57,12 +72,23 @@ let run_campaign ?(execs = budget) profile (name, factory) =
     if shard_id = 0 then lego0 := lego;
     fz
   in
+  let series_prefix =
+    Printf.sprintf "%s-%s/" name (dialect_name profile)
+  in
+  let sink =
+    match Lazy.force bench_sink with
+    | Some s -> s
+    | None -> Telemetry.Sink.null
+  in
+  let start = Telemetry.Span.now_s () in
   let res =
     Fuzz.Campaign.run ~checkpoint_every
-      ~on_checkpoint:(fun snap ->
+      ~on_checkpoint:(fun cp ->
+          let snap = cp.Fuzz.Driver.cp_snapshot in
           series := (snap.Fuzz.Driver.st_execs, snap.st_branches) :: !series)
-      ~sync_every ~jobs ~execs make
+      ~sync_every ~sink ~series_prefix ~jobs ~execs make
   in
+  let wall_s = Telemetry.Span.now_s () -. start in
   let final = res.Fuzz.Campaign.cg_snapshot in
   let shards = res.Fuzz.Campaign.cg_shards in
   { c_fuzzer = name;
@@ -76,7 +102,9 @@ let run_campaign ?(execs = budget) profile (name, factory) =
          List.concat_map
            (fun sh -> sh.Fuzz.Campaign.sh_fuzzer.Fuzz.Driver.f_corpus ())
            shards);
-    c_lego = !lego0 }
+    c_lego = !lego0;
+    c_metrics = res.Fuzz.Campaign.cg_metrics;
+    c_wall_s = wall_s }
 
 let make_lego ?(seq = true) ?(max_seq_len = 5) ?(seed = 1) profile =
   ( (if seq then "LEGO" else "LEGO-"),

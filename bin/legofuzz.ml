@@ -3,6 +3,7 @@
    Subcommands:
      fuzz       run one fuzzer on one simulated DBMS
      compare    run every fuzzer on one DBMS with the same budget
+     report     render a recorded telemetry run (runs/*.jsonl)
      bugs       print the seeded bug inventory (Table I data)
      affinities run LEGO briefly and dump the learned affinity map
      exec       execute a SQL file against a simulated DBMS *)
@@ -55,6 +56,25 @@ let sync_arg =
     & opt int Fuzz.Sync.default_interval
     & info [ "sync-every" ] ~docv:"N" ~doc)
 
+let telemetry_arg =
+  let doc =
+    "Telemetry recording: $(b,none) (console only; byte-identical output \
+     to pre-telemetry builds for the same seed) or $(b,jsonl) (also \
+     record every event under runs/ as a .jsonl stream for $(b,legofuzz \
+     report))."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("none", `None); ("jsonl", `Jsonl) ]) `None
+    & info [ "telemetry" ] ~docv:"MODE" ~doc)
+
+let json_arg =
+  let doc =
+    "Machine-readable output: print every telemetry event to stdout as \
+     one JSON object per line instead of the human summary."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
 (* Validate the fuzzer name up front and return a shard factory: fuzzer
    construction is deferred into the shard's domain by the campaign
    engine (it executes the initial corpus). *)
@@ -95,25 +115,66 @@ let make_fuzzer name profile seed =
             "unknown fuzzer %S (lego, lego-, squirrel, sqlancer, sqlsmith)"
             other))
 
-let report name snap =
-  Printf.printf
-    "%-9s execs=%d branches=%d crashes(total)=%d crashes(unique)=%d\n" name
-    snap.Fuzz.Driver.st_execs snap.st_branches snap.st_total_crashes
-    snap.st_unique_crashes;
-  if snap.st_bugs <> [] then
-    Printf.printf "  bugs: %s\n" (String.concat ", " snap.st_bugs)
+(* --- telemetry plumbing ---------------------------------------------- *)
 
-let report_shards (res : Fuzz.Campaign.result) =
-  if List.length res.cg_shards > 1 then begin
+let point_of ~series (s : Fuzz.Driver.snapshot) =
+  { Telemetry.Event.p_series = series;
+    p_iteration = s.Fuzz.Driver.st_iteration;
+    p_execs = s.st_execs;
+    p_branches = s.st_branches;
+    p_crashes_total = s.st_total_crashes;
+    p_crashes_unique = s.st_unique_crashes;
+    p_bugs = s.st_bugs }
+
+(* The one summary formatter (human sink) serves both [fuzz] and
+   [compare]; [shards] controls whether per-shard lines appear
+   ([compare] never printed them). *)
+let summary_event ~name ?(shards = []) ~sync_rounds ~wall_s
+    (snap : Fuzz.Driver.snapshot) =
+  Telemetry.Event.Summary
+    { point = point_of ~series:name snap;
+      shards;
+      sync_rounds;
+      wall_s = Some wall_s;
+      execs_per_sec =
+        (if wall_s > 0.0 then
+           Some (float_of_int snap.Fuzz.Driver.st_execs /. wall_s)
+         else None) }
+
+let shard_points (res : Fuzz.Campaign.result) =
+  List.map
+    (fun (sh : Fuzz.Campaign.shard) ->
+       point_of
+         ~series:(Printf.sprintf "shard-%d" sh.sh_id)
+         sh.sh_snapshot)
+    res.cg_shards
+
+(* Console sink + optional JSONL recorder; returns the sink stack and the
+   recorder path (when recording) for the closing "telemetry:" note. *)
+let sink_stack ~json ~telemetry ~name =
+  let console =
+    if json then Telemetry.Sink.json_lines ()
+    else Telemetry.Sink.human ()
+  in
+  match telemetry with
+  | `None -> (console, None)
+  | `Jsonl ->
+    let recorder, path = Telemetry.Sink.jsonl ~name () in
+    (Telemetry.Sink.tee [ console; recorder ], Some path)
+
+let registry_dumps ~prefix sink (res : Fuzz.Campaign.result) =
+  Telemetry.Sink.emit sink
+    (Telemetry.Event.Registry_dump
+       { series = prefix ^ "aggregate"; registry = res.cg_metrics });
+  if List.length res.cg_shards > 1 then
     List.iter
       (fun (sh : Fuzz.Campaign.shard) ->
-         Printf.printf
-           "  shard %d: execs=%d branches=%d crashes(unique)=%d\n" sh.sh_id
-           sh.sh_snapshot.Fuzz.Driver.st_execs
-           sh.sh_snapshot.st_branches sh.sh_snapshot.st_unique_crashes)
-      res.cg_shards;
-    Printf.printf "  sync rounds: %d\n" res.cg_sync_rounds
-  end
+         Telemetry.Sink.emit sink
+           (Telemetry.Event.Registry_dump
+              { series = Printf.sprintf "%sshard-%d" prefix sh.sh_id;
+                registry =
+                  Fuzz.Harness.metrics sh.sh_fuzzer.Fuzz.Driver.f_harness }))
+      res.cg_shards
 
 (* --- fuzz ------------------------------------------------------------ *)
 
@@ -127,30 +188,48 @@ let fuzz_cmd =
     let doc = "Directory to write one reduced .sql reproducer per bug." in
     Arg.(value & opt (some string) None & info [ "o"; "save" ] ~docv:"DIR" ~doc)
   in
-  let run fuzzer profile execs seed jobs sync_every save =
+  let run fuzzer profile execs seed jobs sync_every telemetry json save =
     match make_fuzzer fuzzer profile seed with
     | Error (`Msg m) ->
       prerr_endline m;
       exit 2
     | Ok make ->
       let jobs = max 1 jobs in
-      Printf.printf "fuzzing %s with %s, %d executions, %d job(s)...\n%!"
-        (Minidb.Profile.name profile) fuzzer execs jobs;
-      let res =
-        Fuzz.Campaign.run ~checkpoint_every:(max 1 (execs / 5))
-          ~on_checkpoint:(fun s ->
-              Printf.printf "  ... execs=%d branches=%d bugs=%d\n%!"
-                s.Fuzz.Driver.st_execs s.st_branches (List.length s.st_bugs))
-          ~sync_every ~jobs ~execs make
+      let dialect = Minidb.Profile.name profile in
+      if not json then
+        Printf.printf "fuzzing %s with %s, %d executions, %d job(s)...\n%!"
+          dialect fuzzer execs jobs;
+      let sink, recording =
+        sink_stack ~json ~telemetry
+          ~name:(Printf.sprintf "fuzz-%s-%s-seed%d" dialect fuzzer seed)
       in
-      report fuzzer res.Fuzz.Campaign.cg_snapshot;
-      report_shards res;
+      Telemetry.Sink.emit sink
+        (Telemetry.Event.Meta
+           [ ("command", Telemetry.Json.Str "fuzz");
+             ("fuzzer", Telemetry.Json.Str fuzzer);
+             ("dialect", Telemetry.Json.Str dialect);
+             ("seed", Telemetry.Json.Int seed);
+             ("execs", Telemetry.Json.Int execs);
+             ("jobs", Telemetry.Json.Int jobs);
+             ("sync_every", Telemetry.Json.Int sync_every) ]);
+      let start = Telemetry.Span.now_s () in
+      let res =
+        Fuzz.Campaign.run ~checkpoint_every:(max 1 (execs / 5)) ~sync_every
+          ~sink ~jobs ~execs make
+      in
+      let wall_s = Telemetry.Span.now_s () -. start in
+      Telemetry.Sink.emit sink
+        (summary_event ~name:fuzzer ~shards:(shard_points res)
+           ~sync_rounds:res.Fuzz.Campaign.cg_sync_rounds ~wall_s
+           res.Fuzz.Campaign.cg_snapshot);
+      registry_dumps ~prefix:"" sink res;
+      Telemetry.Sink.close sink;
       (match save with
        | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
        | _ -> ());
       List.iter
         (fun ((c : Minidb.Fault.crash), testcase) ->
-           Format.printf "@.%a@." Minidb.Fault.pp_crash c;
+           if not json then Format.printf "@.%a@." Minidb.Fault.pp_crash c;
            match testcase with
            | None -> ()
            | Some tc ->
@@ -161,43 +240,105 @@ let fuzz_cmd =
                  .Fuzz.Reducer.r_testcase
              in
              let sql = Sqlcore.Sql_printer.testcase reduced in
-             Printf.printf "reproducer (%d statements):\n%s\n"
-               (List.length reduced) sql;
+             if not json then
+               Printf.printf "reproducer (%d statements):\n%s\n"
+                 (List.length reduced) sql;
              (match save with
               | None -> ()
               | Some dir ->
                 let path = Filename.concat dir (bug_id ^ ".sql") in
                 Out_channel.with_open_text path (fun oc ->
                     Out_channel.output_string oc (sql ^ "\n"));
-                Printf.printf "saved to %s\n" path))
-        res.Fuzz.Campaign.cg_crashes
+                if not json then Printf.printf "saved to %s\n" path))
+        res.Fuzz.Campaign.cg_crashes;
+      match recording with
+      | Some path when not json -> Printf.printf "telemetry: %s\n" path
+      | _ -> ()
   in
   let term =
     Term.(const run $ fuzzer_arg $ dialect_arg $ execs_arg $ seed_arg
-          $ jobs_arg $ sync_arg $ save_arg)
+          $ jobs_arg $ sync_arg $ telemetry_arg $ json_arg $ save_arg)
   in
   Cmd.v (Cmd.info "fuzz" ~doc:"Run one fuzzer on one simulated DBMS.") term
 
 (* --- compare --------------------------------------------------------- *)
 
 let compare_cmd =
-  let run profile execs seed jobs sync_every =
+  let run profile execs seed jobs sync_every telemetry json =
+    let dialect = Minidb.Profile.name profile in
+    let sink, recording =
+      sink_stack ~json ~telemetry
+        ~name:(Printf.sprintf "compare-%s-seed%d" dialect seed)
+    in
+    Telemetry.Sink.emit sink
+      (Telemetry.Event.Meta
+         [ ("command", Telemetry.Json.Str "compare");
+           ("dialect", Telemetry.Json.Str dialect);
+           ("seed", Telemetry.Json.Int seed);
+           ("execs", Telemetry.Json.Int execs);
+           ("jobs", Telemetry.Json.Int jobs);
+           ("sync_every", Telemetry.Json.Int sync_every) ]);
     List.iter
       (fun name ->
          match make_fuzzer name profile seed with
          | Error _ -> ()
          | Ok make ->
-           let res = Fuzz.Campaign.run ~sync_every ~jobs ~execs make in
-           report name res.Fuzz.Campaign.cg_snapshot)
-      [ "lego"; "lego-"; "squirrel"; "sqlancer"; "sqlsmith" ]
+           (* The series prefix keeps the five fuzzers' checkpoint series
+              apart in one recorded stream ("lego/aggregate", ...); the
+              human sink only voices the unprefixed "aggregate" series,
+              so compare's console output stays exactly summary lines. *)
+           let prefix = name ^ "/" in
+           let start = Telemetry.Span.now_s () in
+           let res =
+             Fuzz.Campaign.run ~sync_every ~sink ~series_prefix:prefix ~jobs
+               ~execs make
+           in
+           let wall_s = Telemetry.Span.now_s () -. start in
+           Telemetry.Sink.emit sink
+             (summary_event ~name
+                ~sync_rounds:res.Fuzz.Campaign.cg_sync_rounds ~wall_s
+                res.Fuzz.Campaign.cg_snapshot);
+           registry_dumps ~prefix sink res)
+      [ "lego"; "lego-"; "squirrel"; "sqlancer"; "sqlsmith" ];
+    Telemetry.Sink.close sink;
+    match recording with
+    | Some path when not json -> Printf.printf "telemetry: %s\n" path
+    | _ -> ()
   in
   let term =
     Term.(const run $ dialect_arg $ execs_arg $ seed_arg $ jobs_arg
-          $ sync_arg)
+          $ sync_arg $ telemetry_arg $ json_arg)
   in
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Run every fuzzer on one DBMS with the same budget.")
+    term
+
+(* --- report ---------------------------------------------------------- *)
+
+let report_cmd =
+  let file_arg =
+    let doc = "Recorded telemetry run (a runs/*.jsonl file)." in
+    Arg.(
+      required & pos 0 (some string) None & info [] ~docv:"RUN.jsonl" ~doc)
+  in
+  let run file =
+    let lines =
+      In_channel.with_open_text file (fun ic ->
+          In_channel.input_lines ic)
+    in
+    match Telemetry.Report.parse_lines lines with
+    | Error msg ->
+      Printf.eprintf "%s: %s\n" file msg;
+      exit 1
+    | Ok events -> print_string (Telemetry.Report.render events)
+  in
+  let term = Term.(const run $ file_arg) in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render a recorded run: coverage-over-time series and \
+          stage-time breakdown.")
     term
 
 (* --- bugs ------------------------------------------------------------ *)
@@ -355,5 +496,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ fuzz_cmd; compare_cmd; bugs_cmd; affinities_cmd; exec_cmd;
-            reduce_cmd ]))
+          [ fuzz_cmd; compare_cmd; report_cmd; bugs_cmd; affinities_cmd;
+            exec_cmd; reduce_cmd ]))

@@ -8,19 +8,24 @@ type t = {
   profile : Minidb.Profile.t;
   kept : Ast.testcase Vec.t;  (* generated corpus, ring-buffered *)
   mutable next_slot : int;
+  sp_synthesize : Telemetry.Span.t;
 }
 
 let corpus_cap = 4096
 
 let create ?(seed = 1) ?limits ?harness profile =
+  let harness =
+    match harness with
+    | Some h -> h
+    | None -> Fuzz.Harness.create ?limits ~profile ()
+  in
   { rng = Rng.create (seed lxor 0x1A9C);
-    harness =
-      (match harness with
-       | Some h -> h
-       | None -> Fuzz.Harness.create ?limits ~profile ());
+    harness;
     profile;
     kept = Vec.create ();
-    next_slot = 0 }
+    next_slot = 0;
+    sp_synthesize =
+      Telemetry.Span.stage (Fuzz.Harness.metrics harness) "synthesize" }
 
 let supported t ty = Minidb.Profile.supports t.profile ty
 
@@ -81,7 +86,7 @@ let generate t =
   Lego.Instantiate.repair rng (List.rev !stmts)
 
 let step t () =
-  let tc = generate t in
+  let tc = Telemetry.Span.time t.sp_synthesize (fun () -> generate t) in
   ignore (Fuzz.Harness.execute t.harness tc);
   if Vec.length t.kept < corpus_cap then Vec.push t.kept tc
   else begin

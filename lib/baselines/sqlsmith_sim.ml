@@ -8,6 +8,7 @@ type t = {
   preamble : Ast.testcase;
   kept : Ast.testcase Vec.t;
   mutable next_slot : int;
+  sp_synthesize : Telemetry.Span.t;
 }
 
 let corpus_cap = 4096
@@ -22,14 +23,18 @@ let preamble_sql =
    INSERT INTO t3 VALUES (TRUE, 'z', 0.25, 7), (FALSE, '', -1.5, -7);"
 
 let create ?(seed = 1) ?limits ?harness profile =
+  let harness =
+    match harness with
+    | Some h -> h
+    | None -> Fuzz.Harness.create ?limits ~profile ()
+  in
   { rng = Rng.create (seed lxor 0x53A1);
-    harness =
-      (match harness with
-       | Some h -> h
-       | None -> Fuzz.Harness.create ?limits ~profile ());
+    harness;
     preamble = Sqlparser.Parser.parse_testcase_exn preamble_sql;
     kept = Vec.create ();
-    next_slot = 0 }
+    next_slot = 0;
+    sp_synthesize =
+      Telemetry.Span.stage (Fuzz.Harness.metrics harness) "synthesize" }
 
 (* SQLsmith's hallmark is syntactic depth: nested derived tables, set
    operations, correlated EXISTS/IN predicates, deep scalar expressions —
@@ -96,9 +101,14 @@ let rec rich_query rng schema depth =
     | _ -> base ()
 
 let step t () =
-  let schema = Lego.Sym_schema.of_testcase t.preamble in
-  let query = Ast.S_select (rich_query t.rng schema (2 + Reprutil.Rng.int t.rng 3)) in
-  let tc = t.preamble @ [ query ] in
+  let tc =
+    Telemetry.Span.time t.sp_synthesize (fun () ->
+        let schema = Lego.Sym_schema.of_testcase t.preamble in
+        let query =
+          Ast.S_select (rich_query t.rng schema (2 + Reprutil.Rng.int t.rng 3))
+        in
+        t.preamble @ [ query ])
+  in
   ignore (Fuzz.Harness.execute t.harness tc);
   if Vec.length t.kept < corpus_cap then Vec.push t.kept tc
   else begin

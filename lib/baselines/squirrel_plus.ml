@@ -8,6 +8,7 @@ type t = {
   affinities : Lego.Affinity.t;
   skeletons : Lego.Skeleton_library.t;
   types : Stmt_type.t list;
+  sp_mutate : Telemetry.Span.t;
 }
 
 let process t tc =
@@ -20,16 +21,20 @@ let process t tc =
   end
 
 let create ?(seed = 1) ?limits ?harness ~affinities profile =
+  let harness =
+    match harness with
+    | Some h -> h
+    | None -> Fuzz.Harness.create ?limits ~profile ()
+  in
   let t =
     { rng = Rng.create (seed lxor 0x51AF);
-      harness =
-        (match harness with
-         | Some h -> h
-         | None -> Fuzz.Harness.create ?limits ~profile ());
+      harness;
       pool = Fuzz.Seed_pool.create ();
       affinities;
       skeletons = Lego.Skeleton_library.create ();
-      types = Minidb.Profile.types profile }
+      types = Minidb.Profile.types profile;
+      sp_mutate =
+        Telemetry.Span.stage (Fuzz.Harness.metrics harness) "mutate" }
   in
   List.iter (process t) (Fuzz.Corpus.initial profile);
   t
@@ -74,10 +79,13 @@ let step t () =
   | Some seed ->
     let tc = seed.Fuzz.Seed_pool.sd_tc in
     for _ = 1 to 4 do
-      process t (Lego.Conventional.mutate_testcase t.rng tc)
+      process t
+        (Telemetry.Span.time t.sp_mutate (fun () ->
+             Lego.Conventional.mutate_testcase t.rng tc))
     done;
     for _ = 1 to 2 do
-      match affinity_insert t tc with
+      match Telemetry.Span.time t.sp_mutate (fun () -> affinity_insert t tc)
+      with
       | Some mutant -> process t mutant
       | None -> ()
     done

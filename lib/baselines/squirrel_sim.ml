@@ -5,6 +5,7 @@ type t = {
   harness : Fuzz.Harness.t;
   pool : Fuzz.Seed_pool.t;
   mutants_per_step : int;
+  sp_mutate : Telemetry.Span.t;
 }
 
 let process t tc =
@@ -24,7 +25,9 @@ let create ?(seed = 1) ?(mutants_per_step = 6) ?limits ?harness profile =
     { rng = Rng.create (seed lxor 0x5153); (* distinct stream from LEGO *)
       harness;
       pool = Fuzz.Seed_pool.create ();
-      mutants_per_step }
+      mutants_per_step;
+      sp_mutate =
+        Telemetry.Span.stage (Fuzz.Harness.metrics harness) "mutate" }
   in
   List.iter (process t) (Fuzz.Corpus.initial profile);
   t
@@ -35,7 +38,9 @@ let step t () =
   | Some seed ->
     for _ = 1 to t.mutants_per_step do
       let mutant =
-        Lego.Conventional.mutate_testcase t.rng seed.Fuzz.Seed_pool.sd_tc
+        Telemetry.Span.time t.sp_mutate (fun () ->
+            Lego.Conventional.mutate_testcase t.rng
+              seed.Fuzz.Seed_pool.sd_tc)
       in
       process t mutant
     done

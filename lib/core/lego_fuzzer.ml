@@ -30,6 +30,10 @@ type t = {
          backlog stays diverse rather than first-come-first-served *)
   types : Stmt_type.t list;
   mutable initial : Ast.testcase list;
+  (* stage spans over the harness registry: generation cost attribution
+     (the harness itself times execute/triage) *)
+  sp_mutate : Telemetry.Span.t;
+  sp_synthesize : Telemetry.Span.t;
 }
 
 (* Execute a candidate; if it covers new branches, keep it: pool, skeleton
@@ -41,22 +45,24 @@ let process_candidate t ?(analyze = true) tc =
       (Fuzz.Seed_pool.add t.pool ~tc ~cov_hash:outcome.o_cov_hash
          ~new_branches:outcome.o_new_branches ~cost:outcome.o_cost);
     ignore (Skeleton_library.harvest t.skeletons tc);
-    if analyze && t.cfg.sequence_oriented then begin
-      let new_affs = Affinity.analyze t.affinity tc in
-      List.iter
-        (fun aff ->
-           let seqs = Synthesis.on_new_affinity t.synthesis t.affinity aff in
-           List.iter
-             (fun seq ->
-                if Reprutil.Vec.length t.pending < t.cfg.max_pending then
-                  Reprutil.Vec.push t.pending seq
-                else
-                  Reprutil.Vec.set t.pending
-                    (Rng.int t.rng t.cfg.max_pending)
-                    seq)
-             seqs)
-        new_affs
-    end
+    if analyze && t.cfg.sequence_oriented then
+      Telemetry.Span.time t.sp_synthesize (fun () ->
+          let new_affs = Affinity.analyze t.affinity tc in
+          List.iter
+            (fun aff ->
+               let seqs =
+                 Synthesis.on_new_affinity t.synthesis t.affinity aff
+               in
+               List.iter
+                 (fun seq ->
+                    if Reprutil.Vec.length t.pending < t.cfg.max_pending then
+                      Reprutil.Vec.push t.pending seq
+                    else
+                      Reprutil.Vec.set t.pending
+                        (Rng.int t.rng t.cfg.max_pending)
+                        seq)
+                 seqs)
+            new_affs)
   end;
   outcome
 
@@ -66,6 +72,7 @@ let create ?(config = default_config) ?limits ?harness profile =
     | Some h -> h
     | None -> Fuzz.Harness.create ?limits ~profile ()
   in
+  let metrics = Fuzz.Harness.metrics harness in
   let t =
     { cfg = config;
       rng = Rng.create config.seed;
@@ -78,7 +85,9 @@ let create ?(config = default_config) ?limits ?harness profile =
       skeletons = Skeleton_library.create ();
       pending = Reprutil.Vec.create ();
       types = Minidb.Profile.types profile;
-      initial = [] }
+      initial = [];
+      sp_mutate = Telemetry.Span.stage metrics "mutate";
+      sp_synthesize = Telemetry.Span.stage metrics "synthesize" }
   in
   let corpus = Fuzz.Corpus.initial profile in
   t.initial <- corpus;
@@ -108,7 +117,10 @@ let step t () =
       | None -> ()
       | Some seq ->
         for _ = 1 to t.cfg.instantiations_per_seq do
-          let tc = Instantiate.sequence t.rng ~skeletons:t.skeletons seq in
+          let tc =
+            Telemetry.Span.time t.sp_synthesize (fun () ->
+                Instantiate.sequence t.rng ~skeletons:t.skeletons seq)
+          in
           ignore (process_candidate t tc)
         done
     done
@@ -132,15 +144,19 @@ let step t () =
            iteration (Algorithm 1 spreads positions across iterations). *)
         let pos = Rng.int t.rng (max 1 (List.length tc)) in
         let mutants =
-          Seq_mutation.mutate_at t.rng ~skeletons:t.skeletons ~types:t.types
-            tc ~pos
+          Telemetry.Span.time t.sp_mutate (fun () ->
+              Seq_mutation.mutate_at t.rng ~skeletons:t.skeletons
+                ~types:t.types tc ~pos)
         in
         List.iter (fun (_, mutant) -> ignore (process_candidate t mutant))
           mutants
       end;
       (* Conventional mutations (both LEGO and LEGO-). *)
       for _ = 1 to t.cfg.conventional_per_step do
-        let mutant = Conventional.mutate_testcase t.rng tc in
+        let mutant =
+          Telemetry.Span.time t.sp_mutate (fun () ->
+              Conventional.mutate_testcase t.rng tc)
+        in
         ignore (process_candidate t ~analyze:t.cfg.sequence_oriented mutant)
       done;
       (* Structure mutation via the AST library: replace one statement

@@ -10,6 +10,7 @@ type result = {
   cg_shards : shard list;
   cg_crashes : (Minidb.Fault.crash * Sqlcore.Ast.testcase option) list;
   cg_sync_rounds : int;
+  cg_metrics : Telemetry.Registry.t;
 }
 
 (* A large prime stride keeps shard RNG streams far apart while staying
@@ -26,19 +27,48 @@ let snapshot_of_sync sync ~iteration ~execs ~total_crashes =
     st_unique_crashes = Sync.unique_count sync;
     st_bugs = Sync.bug_ids sync }
 
-(* One shard's campaign: run in sync-interval rounds, publishing coverage
-   and crashes after each round. Runs inside its own domain. *)
-let run_shard ~sync ~make ~budget ~report shard_id =
+let point_of ~series (s : Driver.snapshot) =
+  { Telemetry.Event.p_series = series;
+    p_iteration = s.Driver.st_iteration;
+    p_execs = s.st_execs;
+    p_branches = s.st_branches;
+    p_crashes_total = s.st_total_crashes;
+    p_crashes_unique = s.st_unique_crashes;
+    p_bugs = s.st_bugs }
+
+let checkpoint_event ~series (cp : Driver.checkpoint) =
+  Telemetry.Event.Checkpoint
+    { point = point_of ~series cp.Driver.cp_snapshot;
+      wall_s = Some cp.cp_annot.Driver.an_wall_s;
+      execs_per_sec = Some cp.cp_annot.an_execs_per_sec }
+
+(* One shard's campaign: run in sync-interval rounds, publishing coverage,
+   crashes and metric deltas after each round. Runs inside its own
+   domain. *)
+let run_shard ~sync ~make ~budget ~report ~emit ~series ~start shard_id =
   let fz : Driver.fuzzer = make shard_id in
   (* Fuzzer construction may already have executed an initial corpus;
      those executions count against the shard's budget. *)
   let iterations = ref 0 in
   let published = ref 0 in
+  (* Metrics publish as deltas against the last published snapshot, so
+     the global registry's non-idempotent counters never double-count.
+     The first delta is against an empty registry: it carries the
+     initial-corpus executions performed during fuzzer construction. *)
+  let metrics_last = ref (Telemetry.Registry.create ()) in
   let publish () =
     let execs = Harness.execs fz.Driver.f_harness in
     let delta = execs - !published in
     published := execs;
-    ignore (Sync.publish_harness sync fz.Driver.f_harness ~execs_delta:delta);
+    let m = Harness.metrics fz.Driver.f_harness in
+    let mdelta = Telemetry.Registry.diff m ~since:!metrics_last in
+    metrics_last := Telemetry.Registry.snapshot m;
+    ignore
+      (Sync.publish_harness ~metrics:mdelta sync fz.Driver.f_harness
+         ~execs_delta:delta);
+    emit
+      (checkpoint_event ~series
+         (Driver.checkpoint ~start fz ~iteration:!iterations));
     report ()
   in
   let rec rounds () =
@@ -58,25 +88,39 @@ let run_shard ~sync ~make ~budget ~report shard_id =
     sh_snapshot = Driver.snapshot fz ~iteration:!iterations;
     sh_fuzzer = fz }
 
-let sequential ?checkpoint_every ?on_checkpoint ~execs make =
+let sequential ?checkpoint_every ?(on_checkpoint = fun _ -> ()) ~sink
+    ~series_prefix ~execs make =
   let fz : Driver.fuzzer = make 0 in
-  let snap = Driver.run_until_execs ?checkpoint_every ?on_checkpoint fz ~execs in
+  let series = series_prefix ^ "aggregate" in
+  let snap =
+    Driver.run_until_execs ?checkpoint_every
+      ~on_checkpoint:(fun cp ->
+          on_checkpoint cp;
+          Telemetry.Sink.emit sink (checkpoint_event ~series cp))
+      fz ~execs
+  in
   let tri = Harness.triage fz.Driver.f_harness in
   { cg_snapshot = snap;
     cg_shards =
       [ { sh_id = 0; sh_seed_offset = 0; sh_snapshot = snap; sh_fuzzer = fz } ];
     cg_crashes = Triage.unique_with_cases tri;
-    cg_sync_rounds = 0 }
+    cg_sync_rounds = 0;
+    cg_metrics = Harness.metrics fz.Driver.f_harness }
 
 let run ?(checkpoint_every = 0) ?(on_checkpoint = fun _ -> ()) ?sync_every
-    ~jobs ~execs make =
+    ?(sink = Telemetry.Sink.null) ?(series_prefix = "") ~jobs ~execs make =
   let jobs = max 1 jobs in
   if jobs = 1 then
     (* Bit-for-bit the pre-sharding sequential path: one fuzzer, one
        driver loop, no sync machinery in the way. *)
-    sequential ~checkpoint_every ~on_checkpoint ~execs make
+    sequential ~checkpoint_every ~on_checkpoint ~sink ~series_prefix ~execs
+      make
   else begin
     let sync = Sync.create ?interval:sync_every () in
+    let start = Telemetry.Span.now_s () in
+    (* Shards on other domains share the sink: serialize emissions. *)
+    let sink = Telemetry.Sink.locked sink in
+    let emit ev = Telemetry.Sink.emit sink ev in
     (* Spread the total budget over shards; early shards absorb the
        remainder so the sum is exactly [execs]. *)
     let budget_of i = (execs / jobs) + (if i < execs mod jobs then 1 else 0) in
@@ -92,16 +136,30 @@ let run ?(checkpoint_every = 0) ?(on_checkpoint = fun _ -> ()) ?sync_every
             let seen = Sync.execs_seen sync in
             if seen - !last_cp >= checkpoint_every && seen < execs then begin
               last_cp := seen;
-              on_checkpoint
-                (snapshot_of_sync sync ~iteration:(Sync.rounds sync)
-                   ~execs:seen ~total_crashes:0)
+              let snap =
+                snapshot_of_sync sync ~iteration:(Sync.rounds sync)
+                  ~execs:seen ~total_crashes:0
+              in
+              let wall = Telemetry.Span.now_s () -. start in
+              let cp =
+                { Driver.cp_snapshot = snap;
+                  cp_annot =
+                    { Driver.an_wall_s = wall;
+                      an_execs_per_sec =
+                        (if wall > 0.0 then float_of_int seen /. wall
+                         else 0.0) } }
+              in
+              on_checkpoint cp;
+              emit (checkpoint_event ~series:(series_prefix ^ "aggregate") cp)
             end)
       end
     in
     let domains =
       List.init jobs (fun i ->
           Domain.spawn (fun () ->
-              run_shard ~sync ~make ~budget:(budget_of i) ~report i))
+              run_shard ~sync ~make ~budget:(budget_of i) ~report ~emit
+                ~series:(Printf.sprintf "%sshard-%d" series_prefix i)
+                ~start i))
     in
     let shards = List.map Domain.join domains in
     let sum f = List.fold_left (fun acc sh -> acc + f sh.sh_snapshot) 0 shards in
@@ -114,5 +172,6 @@ let run ?(checkpoint_every = 0) ?(on_checkpoint = fun _ -> ()) ?sync_every
     { cg_snapshot = aggregate;
       cg_shards = shards;
       cg_crashes = Sync.unique_crashes sync;
-      cg_sync_rounds = Sync.rounds sync }
+      cg_sync_rounds = Sync.rounds sync;
+      cg_metrics = Sync.metrics sync }
   end

@@ -36,6 +36,10 @@ type result = {
   cg_crashes : (Minidb.Fault.crash * Sqlcore.Ast.testcase option) list;
       (** cross-shard unique crashes with first-finder reproducers *)
   cg_sync_rounds : int;
+  cg_metrics : Telemetry.Registry.t;
+      (** the campaign's merged metric registry: with [jobs = 1] the
+          single harness's registry, otherwise the union of every
+          shard's published deltas (see {!Sync.metrics}) *)
 }
 
 val shard_seed : seed:int -> shard_id:int -> int
@@ -45,8 +49,10 @@ val shard_seed : seed:int -> shard_id:int -> int
 
 val run :
   ?checkpoint_every:int ->
-  ?on_checkpoint:(Driver.snapshot -> unit) ->
+  ?on_checkpoint:(Driver.checkpoint -> unit) ->
   ?sync_every:int ->
+  ?sink:Telemetry.Sink.t ->
+  ?series_prefix:string ->
   jobs:int ->
   execs:int ->
   (int -> Driver.fuzzer) ->
@@ -65,4 +71,13 @@ val run :
     receives aggregate snapshots roughly every [checkpoint_every]
     {e published} executions ([st_total_crashes] is not tracked at
     checkpoint time and reads 0 there; the final snapshot has the true
-    total). *)
+    total).
+
+    Telemetry: every aggregate checkpoint, and one per-shard checkpoint
+    per sync round, is emitted into [sink] (default {!Telemetry.Sink.null})
+    as a {!Telemetry.Event.Checkpoint} whose series is
+    [<series_prefix>aggregate] / [<series_prefix>shard-<i>]. The sink is
+    wrapped in {!Telemetry.Sink.locked} before shards share it. Shards
+    publish metric {e deltas} at each sync round, so {!result.cg_metrics}
+    is the campaign-wide registry union, mirroring the virgin-map
+    union. *)

@@ -7,6 +7,10 @@ type snapshot = {
   st_bugs : string list;
 }
 
+type annot = { an_wall_s : float; an_execs_per_sec : float }
+
+type checkpoint = { cp_snapshot : snapshot; cp_annot : annot }
+
 type fuzzer = {
   f_name : string;
   f_step : unit -> unit;
@@ -23,16 +27,28 @@ let snapshot f ~iteration =
     st_unique_crashes = Triage.unique_count tri;
     st_bugs = Triage.bug_ids tri }
 
+let annotate ~start ~execs =
+  let wall = Telemetry.Span.now_s () -. start in
+  { an_wall_s = wall;
+    an_execs_per_sec =
+      (if wall > 0.0 then float_of_int execs /. wall else 0.0) }
+
+let checkpoint ?(start = Telemetry.Span.now_s ()) f ~iteration =
+  let snap = snapshot f ~iteration in
+  { cp_snapshot = snap; cp_annot = annotate ~start ~execs:snap.st_execs }
+
 let run ?(checkpoint_every = 0) ?(on_checkpoint = fun _ -> ()) f ~iterations =
+  let start = Telemetry.Span.now_s () in
   for i = 1 to iterations do
     f.f_step ();
     if checkpoint_every > 0 && i mod checkpoint_every = 0 then
-      on_checkpoint (snapshot f ~iteration:i)
+      on_checkpoint (checkpoint ~start f ~iteration:i)
   done;
   snapshot f ~iteration:iterations
 
 let run_until_execs ?(checkpoint_every = 0) ?(on_checkpoint = fun _ -> ()) f
     ~execs =
+  let start = Telemetry.Span.now_s () in
   let i = ref 0 in
   let last_cp = ref 0 in
   while Harness.execs f.f_harness < execs do
@@ -48,7 +64,7 @@ let run_until_execs ?(checkpoint_every = 0) ?(on_checkpoint = fun _ -> ()) f
       && e < execs
     then begin
       last_cp := e;
-      on_checkpoint (snapshot f ~iteration:!i)
+      on_checkpoint (checkpoint ~start f ~iteration:!i)
     end
   done;
   snapshot f ~iteration:!i

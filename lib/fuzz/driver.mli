@@ -12,6 +12,17 @@ type snapshot = {
   st_bugs : string list;  (** distinct injected-bug ids found so far *)
 }
 
+type annot = {
+  an_wall_s : float;  (** wall-clock seconds since the loop started *)
+  an_execs_per_sec : float;
+}
+(** Wall-clock annotations carried {e next to} checkpoints, never inside
+    {!snapshot}: snapshots stay deterministic per seed (and comparable
+    across runs), while sinks may record elapsed time and throughput.
+    See the determinism contract in DESIGN.md §9. *)
+
+type checkpoint = { cp_snapshot : snapshot; cp_annot : annot }
+
 (** A running fuzzer: name, one-iteration step, its harness, and access to
     the corpus of test cases it has generated/kept (used by the Table II
     affinity census). *)
@@ -24,9 +35,13 @@ type fuzzer = {
 
 val snapshot : fuzzer -> iteration:int -> snapshot
 
+val checkpoint : ?start:float -> fuzzer -> iteration:int -> checkpoint
+(** {!snapshot} plus wall-clock annotations relative to [start]
+    (default: now, i.e. zero elapsed). *)
+
 val run :
   ?checkpoint_every:int ->
-  ?on_checkpoint:(snapshot -> unit) ->
+  ?on_checkpoint:(checkpoint -> unit) ->
   fuzzer ->
   iterations:int ->
   snapshot
@@ -35,7 +50,7 @@ val run :
 
 val run_until_execs :
   ?checkpoint_every:int ->
-  ?on_checkpoint:(snapshot -> unit) ->
+  ?on_checkpoint:(checkpoint -> unit) ->
   fuzzer ->
   execs:int ->
   snapshot

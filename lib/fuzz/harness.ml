@@ -15,31 +15,65 @@ type t = {
   h_exec_map : Coverage.Bitmap.t;
   h_triage : Triage.t;
   mutable h_execs : int;
+  (* telemetry: per-shard, lock-free, merged at sync rounds *)
+  h_metrics : Telemetry.Registry.t;
+  h_c_execs : Telemetry.Registry.counter;
+  h_c_new_branches : Telemetry.Registry.counter;
+  h_c_crashes : Telemetry.Registry.counter;
+  h_c_unique_crashes : Telemetry.Registry.counter;
+  h_h_cost : Telemetry.Registry.histogram;
+  h_sp_execute : Telemetry.Span.t;
+  h_sp_triage : Telemetry.Span.t;
 }
 
-let create ?(limits = Minidb.Limits.default) ~profile () =
+let create ?(limits = Minidb.Limits.default) ?metrics ~profile () =
+  let m =
+    match metrics with Some m -> m | None -> Telemetry.Registry.create ()
+  in
   { h_profile = profile; h_limits = limits;
     h_virgin = Coverage.Bitmap.create ();
     h_exec_map = Coverage.Bitmap.create ();
-    h_triage = Triage.create (); h_execs = 0 }
+    h_triage = Triage.create (); h_execs = 0;
+    h_metrics = m;
+    h_c_execs = Telemetry.Registry.counter m "harness.execs";
+    h_c_new_branches = Telemetry.Registry.counter m "harness.new_branches";
+    h_c_crashes = Telemetry.Registry.counter m "harness.crashes";
+    h_c_unique_crashes =
+      Telemetry.Registry.counter m "harness.unique_crashes";
+    h_h_cost = Telemetry.Registry.histogram m "harness.exec_cost";
+    h_sp_execute = Telemetry.Span.stage m "execute";
+    h_sp_triage = Telemetry.Span.stage m "triage" }
 
 let profile t = t.h_profile
 
 let execute t tc =
   t.h_execs <- t.h_execs + 1;
+  Telemetry.Registry.incr t.h_c_execs;
   Coverage.Bitmap.reset t.h_exec_map;
   let engine =
-    Minidb.Engine.create ~limits:t.h_limits ~profile:t.h_profile
-      ~cov:t.h_exec_map ()
+    Minidb.Engine.create ~limits:t.h_limits ~metrics:t.h_metrics
+      ~profile:t.h_profile ~cov:t.h_exec_map ()
   in
-  let stats = Minidb.Engine.run_testcase engine tc in
+  let stats =
+    Telemetry.Span.time t.h_sp_execute (fun () ->
+        Minidb.Engine.run_testcase engine tc)
+  in
   let news = Coverage.Bitmap.merge_into ~virgin:t.h_virgin t.h_exec_map in
+  if news > 0 then Telemetry.Registry.incr ~by:news t.h_c_new_branches;
   let crash = stats.Minidb.Engine.rs_crash in
   let crash_is_new =
     match crash with
     | None -> false
-    | Some c -> Triage.record t.h_triage ~testcase:tc c
+    | Some c ->
+      Telemetry.Registry.incr t.h_c_crashes;
+      let is_new =
+        Telemetry.Span.time t.h_sp_triage (fun () ->
+            Triage.record t.h_triage ~testcase:tc c)
+      in
+      if is_new then Telemetry.Registry.incr t.h_c_unique_crashes;
+      is_new
   in
+  Telemetry.Registry.observe t.h_h_cost stats.rs_cost;
   { o_new_branches = news;
     o_cov_hash = Coverage.Bitmap.hash t.h_exec_map;
     o_crash = crash;
@@ -55,3 +89,5 @@ let branches t = Coverage.Bitmap.count_nonzero t.h_virgin
 let triage t = t.h_triage
 
 let virgin t = t.h_virgin
+
+let metrics t = t.h_metrics

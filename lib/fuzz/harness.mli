@@ -7,10 +7,18 @@
     crashes are deduplicated by stack.
 
     A harness is strictly single-shard state — exec map, virgin map,
-    triage, and exec counter are all private to the owning domain and
-    none of them is locked. Cross-shard coverage union and global crash
-    dedup live one layer up in {!Sync}; campaign orchestration one layer
-    above that in {!Campaign}. *)
+    triage, exec counter and metric registry are all private to the
+    owning domain and none of them is locked. Cross-shard coverage union,
+    global crash dedup and metric merging live one layer up in {!Sync};
+    campaign orchestration one layer above that in {!Campaign}.
+
+    Telemetry: every execution updates the harness registry
+    ([harness.execs], [harness.new_branches], [harness.crashes],
+    [harness.unique_crashes], the [harness.exec_cost] histogram, and the
+    [execute]/[triage] stage spans) and hands the registry to the engine
+    for [engine.*] counters. Updates are pure in-memory increments, so
+    runs with no sink attached behave byte-identically to runs recorded
+    to a sink. *)
 
 type outcome = {
   o_new_branches : int;  (** virgin-map cells this execution lit up *)
@@ -25,7 +33,13 @@ type outcome = {
 type t
 
 val create :
-  ?limits:Minidb.Limits.t -> profile:Minidb.Profile.t -> unit -> t
+  ?limits:Minidb.Limits.t ->
+  ?metrics:Telemetry.Registry.t ->
+  profile:Minidb.Profile.t ->
+  unit ->
+  t
+(** [metrics] defaults to a fresh private registry; pass one to share a
+    registry between a harness and its fuzzer's own stage spans. *)
 
 val profile : t -> Minidb.Profile.t
 
@@ -42,3 +56,7 @@ val branches : t -> int
 val triage : t -> Triage.t
 
 val virgin : t -> Coverage.Bitmap.t
+
+val metrics : t -> Telemetry.Registry.t
+(** The shard's metric registry (owner-domain only; see {!Sync} for the
+    cross-shard merge). *)

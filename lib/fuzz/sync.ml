@@ -8,6 +8,7 @@ type t = {
   mutable rounds : int;
   mutable execs_seen : int;
   interval : int;
+  metrics : Telemetry.Registry.t;  (* global union of published deltas *)
 }
 
 let default_interval = 4096
@@ -19,7 +20,8 @@ let create ?(interval = default_interval) () =
     uniques = [];
     rounds = 0;
     execs_seen = 0;
-    interval = max 1 interval }
+    interval = max 1 interval;
+    metrics = Telemetry.Registry.create () }
 
 let interval t = t.interval
 
@@ -27,10 +29,13 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let publish t ~virgin ~triage ~execs_delta =
+let publish ?metrics t ~virgin ~triage ~execs_delta =
   locked t (fun () ->
       t.rounds <- t.rounds + 1;
       t.execs_seen <- t.execs_seen + max 0 execs_delta;
+      (match metrics with
+       | None -> ()
+       | Some delta -> Telemetry.Registry.merge ~into:t.metrics delta);
       let news = Coverage.Bitmap.merge ~into:t.virgin virgin in
       List.iter
         (fun ((crash, _) as u) ->
@@ -42,9 +47,11 @@ let publish t ~virgin ~triage ~execs_delta =
         (Triage.unique_with_cases triage);
       news)
 
-let publish_harness t h ~execs_delta =
-  publish t ~virgin:(Harness.virgin h) ~triage:(Harness.triage h)
+let publish_harness ?metrics t h ~execs_delta =
+  publish ?metrics t ~virgin:(Harness.virgin h) ~triage:(Harness.triage h)
     ~execs_delta
+
+let metrics t = locked t (fun () -> Telemetry.Registry.snapshot t.metrics)
 
 let branches t =
   locked t (fun () -> Coverage.Bitmap.count_nonzero t.virgin)

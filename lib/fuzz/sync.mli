@@ -22,6 +22,7 @@ val interval : t -> int
 (** The configured sync interval in executions (clamped to ≥ 1). *)
 
 val publish :
+  ?metrics:Telemetry.Registry.t ->
   t ->
   virgin:Coverage.Bitmap.t ->
   triage:Triage.t ->
@@ -32,10 +33,21 @@ val publish :
     number of global virgin cells whose bucket set grew. [execs_delta] is
     the number of executions the shard performed since its last publish
     (drives {!execs_seen} for aggregate progress reporting). Re-publishing
-    the same state is idempotent: zero news, no duplicate crashes. *)
+    the same state is idempotent: zero news, no duplicate crashes.
 
-val publish_harness : t -> Harness.t -> execs_delta:int -> int
+    [metrics], when given, must be the {e delta} registry since the
+    shard's last publish ({!Telemetry.Registry.diff}); it is merged into
+    the global registry under the same lock, mirroring the virgin-map
+    union. Deltas — not absolute registries — keep the non-idempotent
+    counter/histogram merge correct across repeated publishes. *)
+
+val publish_harness :
+  ?metrics:Telemetry.Registry.t -> t -> Harness.t -> execs_delta:int -> int
 (** {!publish} with the virgin map and triage taken from a harness. *)
+
+val metrics : t -> Telemetry.Registry.t
+(** Snapshot of the global metric registry — the union of all published
+    shard deltas (stage-time histograms, engine counters). *)
 
 val branches : t -> int
 (** Branches of the merged global virgin map — the aggregate Figure 9

@@ -5,6 +5,7 @@ type t = {
   profile : Profile.t;
   limits : Limits.t;
   cov : Coverage.Bitmap.t;
+  metrics : Telemetry.Registry.t option;
   mutable window : Stmt_type.t list;  (* most recent last *)
   mutable stmt_count : int;
 }
@@ -18,6 +19,7 @@ type run_stats = {
   rs_errors : int;
   rs_crash : Fault.crash option;
   rs_cost : int;
+  rs_rows_scanned : int;
 }
 
 let window_cap = 8
@@ -26,10 +28,10 @@ let s_gate = Coverage.Sites.register "engine.gate"
 let s_seqpair = Coverage.Sites.register "engine.type_transition"
 let s_sqlerr = Coverage.Sites.register "engine.sql_error"
 
-let create ?(limits = Limits.default) ~profile ~cov () =
+let create ?(limits = Limits.default) ?metrics ~profile ~cov () =
   let cat = Catalog.create () in
   { ctx = Executor.create_ctx ~cat ~profile ~limits ~cov;
-    profile; limits; cov; window = []; stmt_count = 0 }
+    profile; limits; cov; metrics; window = []; stmt_count = 0 }
 
 let profile t = t.profile
 
@@ -91,6 +93,7 @@ let run_testcase t tc =
   let errors = ref 0 in
   let cost = ref 0 in
   let crash = ref None in
+  let rows0 = Executor.rows_scanned t.ctx in
   (try
      List.iter
        (fun stmt ->
@@ -105,8 +108,20 @@ let run_testcase t tc =
    with
    | Exit -> ()
    | Fault.Crashed c -> crash := Some c);
+  let rows = Executor.rows_scanned t.ctx - rows0 in
+  (match t.metrics with
+   | None -> ()
+   | Some m ->
+     let count name by =
+       if by > 0 then
+         Telemetry.Registry.incr ~by (Telemetry.Registry.counter m name)
+     in
+     count "engine.statements_executed" !executed;
+     count "engine.sql_errors" !errors;
+     count "engine.rows_scanned" rows;
+     count "engine.crashes" (if !crash = None then 0 else 1));
   { rs_executed = !executed; rs_errors = !errors; rs_crash = !crash;
-    rs_cost = !cost }
+    rs_cost = !cost; rs_rows_scanned = rows }
 
 let query_rows t q =
   match Executor.run_query t.ctx q with

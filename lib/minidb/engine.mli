@@ -20,10 +20,20 @@ type run_stats = {
   rs_errors : int;          (** statements that failed with a SQL error *)
   rs_crash : Fault.crash option;  (** a bug fired; execution stopped *)
   rs_cost : int;            (** total AST size executed — a time proxy *)
+  rs_rows_scanned : int;    (** rows fetched from relations *)
 }
 
 val create :
-  ?limits:Limits.t -> profile:Profile.t -> cov:Coverage.Bitmap.t -> unit -> t
+  ?limits:Limits.t ->
+  ?metrics:Telemetry.Registry.t ->
+  profile:Profile.t ->
+  cov:Coverage.Bitmap.t ->
+  unit ->
+  t
+(** [metrics], when given, receives the engine's telemetry counters
+    ([engine.statements_executed], [engine.sql_errors],
+    [engine.rows_scanned], [engine.crashes]) after each
+    {!run_testcase}. *)
 
 val profile : t -> Profile.t
 

@@ -64,11 +64,14 @@ type ctx = {
   mutable trigger_depth : int;
   mutable shape_depth : int;  (* header/shape computation recursion *)
   mutable ctes : (string * cte_rel) list;
+  mutable rows_scanned : int;  (* rows fetched from relations, telemetry *)
 }
 
 let create_ctx ~cat ~profile ~limits ~cov =
   { cat; profile; limits; cov; flags = Hashtbl.create 8; query_depth = 0;
-    trigger_depth = 0; shape_depth = 0; ctes = [] }
+    trigger_depth = 0; shape_depth = 0; ctes = []; rows_scanned = 0 }
+
+let rows_scanned ctx = ctx.rows_scanned
 
 let catalog ctx = ctx.cat
 
@@ -381,6 +384,7 @@ and eval_from ctx ~where (f : from_item) : env_row list =
                    List.filter_map (Table.find_row table) rowids)
              | Planner.Seq_scan -> Table.to_rows table |> List.map snd
            in
+           ctx.rows_scanned <- ctx.rows_scanned + List.length rows;
            probe ctx s_scan (bucket (List.length rows));
            List.map
              (fun vals ->
@@ -389,6 +393,7 @@ and eval_from ctx ~where (f : from_item) : env_row list =
   | From_subquery { q; alias } ->
     let rows = run_query ctx q in
     let cols = Array.of_list (headers_of_query ctx q) in
+    ctx.rows_scanned <- ctx.rows_scanned + List.length rows;
     probe ctx s_scan (16 + bucket (List.length rows));
     List.map
       (fun vals ->

@@ -42,6 +42,11 @@ val reset_transient : ctx -> unit
 (** Clear per-statement flags; the engine calls this before each
     statement. *)
 
+val rows_scanned : ctx -> int
+(** Cumulative rows fetched from relations (base-table scans and
+    subquery materialisations) over the context's lifetime — the
+    engine's rows-scanned telemetry. *)
+
 val set_flag : ctx -> string -> unit
 (** Record a named per-statement event (consulted by fault triggers). *)
 

@@ -1,0 +1,141 @@
+type point = {
+  p_series : string;
+  p_iteration : int;
+  p_execs : int;
+  p_branches : int;
+  p_crashes_total : int;
+  p_crashes_unique : int;
+  p_bugs : string list;
+}
+
+type t =
+  | Meta of (string * Json.t) list
+  | Checkpoint of {
+      point : point;
+      wall_s : float option;
+      execs_per_sec : float option;
+    }
+  | Summary of {
+      point : point;
+      shards : point list;
+      sync_rounds : int;
+      wall_s : float option;
+      execs_per_sec : float option;
+    }
+  | Registry_dump of { series : string; registry : Registry.t }
+
+(* --- to JSON --------------------------------------------------------- *)
+
+let json_of_point p =
+  Json.Obj
+    [ ("series", Json.Str p.p_series); ("iteration", Json.Int p.p_iteration);
+      ("execs", Json.Int p.p_execs); ("branches", Json.Int p.p_branches);
+      ("crashes_total", Json.Int p.p_crashes_total);
+      ("crashes_unique", Json.Int p.p_crashes_unique);
+      ("bugs", Json.Arr (List.map (fun b -> Json.Str b) p.p_bugs)) ]
+
+let annot_fields wall_s execs_per_sec =
+  let f name = function None -> [] | Some v -> [ (name, Json.Float v) ] in
+  f "wall_s" wall_s @ f "execs_per_sec" execs_per_sec
+
+let merge_obj tag fields extra =
+  Json.Obj ((("type", Json.Str tag) :: fields) @ extra)
+
+let to_json = function
+  | Meta fields -> merge_obj "meta" fields []
+  | Checkpoint { point; wall_s; execs_per_sec } ->
+    let fields =
+      match json_of_point point with Json.Obj f -> f | _ -> assert false
+    in
+    merge_obj "checkpoint" fields (annot_fields wall_s execs_per_sec)
+  | Summary { point; shards; sync_rounds; wall_s; execs_per_sec } ->
+    let fields =
+      match json_of_point point with Json.Obj f -> f | _ -> assert false
+    in
+    merge_obj "summary" fields
+      (annot_fields wall_s execs_per_sec
+       @ [ ("shards", Json.Arr (List.map json_of_point shards));
+           ("sync_rounds", Json.Int sync_rounds) ])
+  | Registry_dump { series; registry } ->
+    merge_obj "registry"
+      [ ("series", Json.Str series) ]
+      [ ("registry", Registry.to_json registry) ]
+
+(* --- from JSON ------------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let int_field j name =
+  match Option.bind (Json.member name j) Json.to_int with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "event: missing int %S" name)
+
+let str_field j name =
+  match Option.bind (Json.member name j) Json.to_str with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "event: missing string %S" name)
+
+let float_opt j name = Option.bind (Json.member name j) Json.to_float
+
+let point_of_json j =
+  let* series = str_field j "series" in
+  let* iteration = int_field j "iteration" in
+  let* execs = int_field j "execs" in
+  let* branches = int_field j "branches" in
+  let* crashes_total = int_field j "crashes_total" in
+  let* crashes_unique = int_field j "crashes_unique" in
+  let bugs =
+    match Option.bind (Json.member "bugs" j) Json.to_list with
+    | Some l -> List.filter_map Json.to_str l
+    | None -> []
+  in
+  Ok
+    { p_series = series; p_iteration = iteration; p_execs = execs;
+      p_branches = branches; p_crashes_total = crashes_total;
+      p_crashes_unique = crashes_unique; p_bugs = bugs }
+
+let of_json j =
+  let* tag = str_field j "type" in
+  match tag with
+  | "meta" ->
+    (match j with
+     | Json.Obj fields ->
+       Ok (Meta (List.filter (fun (k, _) -> k <> "type") fields))
+     | _ -> Error "event: meta is not an object")
+  | "checkpoint" ->
+    let* point = point_of_json j in
+    Ok
+      (Checkpoint
+         { point; wall_s = float_opt j "wall_s";
+           execs_per_sec = float_opt j "execs_per_sec" })
+  | "summary" ->
+    let* point = point_of_json j in
+    let* shards =
+      match Option.bind (Json.member "shards" j) Json.to_list with
+      | None -> Ok []
+      | Some l ->
+        List.fold_left
+          (fun acc s ->
+             let* acc = acc in
+             let* p = point_of_json s in
+             Ok (p :: acc))
+          (Ok []) l
+        |> Result.map List.rev
+    in
+    let* sync_rounds = int_field j "sync_rounds" in
+    Ok
+      (Summary
+         { point; shards; sync_rounds; wall_s = float_opt j "wall_s";
+           execs_per_sec = float_opt j "execs_per_sec" })
+  | "registry" ->
+    let* series = str_field j "series" in
+    (match Json.member "registry" j with
+     | None -> Error "event: registry dump without registry"
+     | Some r ->
+       let* registry = Registry.of_json r in
+       Ok (Registry_dump { series; registry }))
+  | other -> Error (Printf.sprintf "event: unknown type %S" other)
+
+let of_line line =
+  let* j = Json.of_string line in
+  of_json j

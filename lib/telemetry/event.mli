@@ -1,0 +1,48 @@
+(** The telemetry event model — what flows from campaigns into sinks.
+
+    Every event serializes to one JSON object with a ["type"] tag, so a
+    recorded run is a JSONL stream that [legofuzz report] (or any script)
+    can parse line by line, AFL [plot_data] style.
+
+    Determinism contract: the primary x-axis of every series is the
+    deterministic execution/iteration count; [wall_s] and
+    [execs_per_sec] are annotations that never influence any other
+    field. *)
+
+type point = {
+  p_series : string;
+      (** which series the point belongs to: ["aggregate"], ["shard-0"],
+          or a ["<prefix>/"]-qualified variant in multi-run streams *)
+  p_iteration : int;
+  p_execs : int;
+  p_branches : int;
+  p_crashes_total : int;
+  p_crashes_unique : int;
+  p_bugs : string list;
+}
+
+type t =
+  | Meta of (string * Json.t) list
+      (** run header: command, fuzzer, dialect, seed, budget, jobs, ... *)
+  | Checkpoint of {
+      point : point;
+      wall_s : float option;
+      execs_per_sec : float option;
+    }  (** one sample of a coverage/exec/crash series *)
+  | Summary of {
+      point : point;  (** the final aggregate; [p_series] is the run name *)
+      shards : point list;  (** per-shard finals, shard-id order *)
+      sync_rounds : int;
+      wall_s : float option;
+      execs_per_sec : float option;
+    }
+  | Registry_dump of { series : string; registry : Registry.t }
+      (** final metric registry of one series (stage histograms, engine
+          counters) *)
+
+val to_json : t -> Json.t
+
+val of_json : Json.t -> (t, string) result
+
+val of_line : string -> (t, string) result
+(** Parse one JSONL line. *)

@@ -1,0 +1,279 @@
+type counter = { mutable cv : int }
+type gauge = { mutable gv : int }
+
+type histogram = {
+  h_edges : int array;
+  h_counts : int array;  (* length = edges + 1, last is overflow *)
+  mutable h_sum : int;
+  mutable h_n : int;
+}
+
+type t = {
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  hists : (string, histogram) Hashtbl.t;
+}
+
+let create () =
+  { counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 8;
+    hists = Hashtbl.create 8 }
+
+let default_edges =
+  [| 0; 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024; 2048; 4096; 8192;
+     16384; 32768; 65536 |]
+
+(* --- handles --------------------------------------------------------- *)
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> c
+  | None ->
+    let c = { cv = 0 } in
+    Hashtbl.replace t.counters name c;
+    c
+
+let gauge t name =
+  match Hashtbl.find_opt t.gauges name with
+  | Some g -> g
+  | None ->
+    let g = { gv = 0 } in
+    Hashtbl.replace t.gauges name g;
+    g
+
+let check_edges name edges =
+  let ok = ref (Array.length edges > 0) in
+  for i = 1 to Array.length edges - 1 do
+    if edges.(i) <= edges.(i - 1) then ok := false
+  done;
+  if not !ok then
+    invalid_arg
+      (Printf.sprintf "Registry.histogram %s: edges must be increasing" name)
+
+let histogram ?(edges = default_edges) t name =
+  match Hashtbl.find_opt t.hists name with
+  | Some h -> h
+  | None ->
+    check_edges name edges;
+    let h =
+      { h_edges = Array.copy edges;
+        h_counts = Array.make (Array.length edges + 1) 0;
+        h_sum = 0;
+        h_n = 0 }
+    in
+    Hashtbl.replace t.hists name h;
+    h
+
+(* --- updates --------------------------------------------------------- *)
+
+let incr ?(by = 1) c = c.cv <- c.cv + by
+
+let set_max g v = if v > g.gv then g.gv <- v
+
+let bucket_index edges v =
+  (* first edge >= v; overflow bucket otherwise *)
+  let n = Array.length edges in
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if edges.(mid) >= v then go lo mid else go (mid + 1) hi
+  in
+  if v > edges.(n - 1) then n else go 0 (n - 1)
+
+let observe h v =
+  let i = bucket_index h.h_edges v in
+  h.h_counts.(i) <- h.h_counts.(i) + 1;
+  h.h_sum <- h.h_sum + v;
+  h.h_n <- h.h_n + 1
+
+(* --- reads ----------------------------------------------------------- *)
+
+let counter_value t name =
+  match Hashtbl.find_opt t.counters name with Some c -> c.cv | None -> 0
+
+let gauge_value t name =
+  match Hashtbl.find_opt t.gauges name with Some g -> g.gv | None -> 0
+
+let histogram_stats t name =
+  match Hashtbl.find_opt t.hists name with
+  | None -> None
+  | Some h -> Some (Array.copy h.h_edges, Array.copy h.h_counts, h.h_sum, h.h_n)
+
+let sorted_keys tbl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort String.compare
+
+let counter_names t = sorted_keys t.counters
+
+let histogram_names t = sorted_keys t.hists
+
+(* --- the sync algebra ------------------------------------------------ *)
+
+let snapshot t =
+  let out = create () in
+  Hashtbl.iter (fun k c -> Hashtbl.replace out.counters k { cv = c.cv })
+    t.counters;
+  Hashtbl.iter (fun k g -> Hashtbl.replace out.gauges k { gv = g.gv })
+    t.gauges;
+  Hashtbl.iter
+    (fun k h ->
+       Hashtbl.replace out.hists k
+         { h_edges = Array.copy h.h_edges;
+           h_counts = Array.copy h.h_counts;
+           h_sum = h.h_sum;
+           h_n = h.h_n })
+    t.hists;
+  out
+
+let diff t ~since =
+  let out = create () in
+  Hashtbl.iter
+    (fun k c ->
+       let base =
+         match Hashtbl.find_opt since.counters k with
+         | Some b -> b.cv
+         | None -> 0
+       in
+       if c.cv <> base then Hashtbl.replace out.counters k { cv = c.cv - base })
+    t.counters;
+  Hashtbl.iter (fun k g -> Hashtbl.replace out.gauges k { gv = g.gv })
+    t.gauges;
+  Hashtbl.iter
+    (fun k h ->
+       let base = Hashtbl.find_opt since.hists k in
+       let counts =
+         Array.mapi
+           (fun i c ->
+              match base with
+              | Some b when Array.length b.h_counts = Array.length h.h_counts
+                -> c - b.h_counts.(i)
+              | _ -> c)
+           h.h_counts
+       in
+       let sum, n =
+         match base with
+         | Some b when Array.length b.h_counts = Array.length h.h_counts ->
+           (h.h_sum - b.h_sum, h.h_n - b.h_n)
+         | _ -> (h.h_sum, h.h_n)
+       in
+       if n <> 0 || Array.exists (fun c -> c <> 0) counts then
+         Hashtbl.replace out.hists k
+           { h_edges = Array.copy h.h_edges; h_counts = counts;
+             h_sum = sum; h_n = n })
+    t.hists;
+  out
+
+let merge ~into src =
+  Hashtbl.iter
+    (fun k c -> let dst = counter into k in dst.cv <- dst.cv + c.cv)
+    src.counters;
+  Hashtbl.iter (fun k g -> set_max (gauge into k) g.gv) src.gauges;
+  Hashtbl.iter
+    (fun k h ->
+       match Hashtbl.find_opt into.hists k with
+       | None ->
+         Hashtbl.replace into.hists k
+           { h_edges = Array.copy h.h_edges;
+             h_counts = Array.copy h.h_counts;
+             h_sum = h.h_sum;
+             h_n = h.h_n }
+       | Some dst ->
+         if dst.h_edges <> h.h_edges then
+           invalid_arg
+             (Printf.sprintf "Registry.merge: histogram %s edges disagree" k);
+         Array.iteri
+           (fun i c -> dst.h_counts.(i) <- dst.h_counts.(i) + c)
+           h.h_counts;
+         dst.h_sum <- dst.h_sum + h.h_sum;
+         dst.h_n <- dst.h_n + h.h_n)
+    src.hists
+
+(* --- JSON ------------------------------------------------------------ *)
+
+let to_json t =
+  let ints_of a = Json.Arr (Array.to_list (Array.map (fun i -> Json.Int i) a)) in
+  let counters =
+    List.map (fun k -> (k, Json.Int (counter_value t k))) (counter_names t)
+  in
+  let gauges =
+    List.map (fun k -> (k, Json.Int (gauge_value t k))) (sorted_keys t.gauges)
+  in
+  let hists =
+    List.map
+      (fun k ->
+         let h = Hashtbl.find t.hists k in
+         ( k,
+           Json.Obj
+             [ ("edges", ints_of h.h_edges); ("counts", ints_of h.h_counts);
+               ("sum", Json.Int h.h_sum); ("n", Json.Int h.h_n) ] ))
+      (histogram_names t)
+  in
+  Json.Obj
+    [ ("counters", Json.Obj counters); ("gauges", Json.Obj gauges);
+      ("histograms", Json.Obj hists) ]
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  let fields name =
+    match Json.member name j with
+    | Some (Json.Obj fields) -> Ok fields
+    | Some _ -> Error (Printf.sprintf "registry: %S is not an object" name)
+    | None -> Ok []
+  in
+  let int_field obj name =
+    match Option.bind (Json.member name obj) Json.to_int with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "registry: missing int %S" name)
+  in
+  let int_array obj name =
+    match Option.bind (Json.member name obj) Json.to_list with
+    | None -> Error (Printf.sprintf "registry: missing array %S" name)
+    | Some l ->
+      let ints = List.filter_map Json.to_int l in
+      if List.length ints = List.length l then Ok (Array.of_list ints)
+      else Error (Printf.sprintf "registry: non-int in %S" name)
+  in
+  let t = create () in
+  let* counters = fields "counters" in
+  let* () =
+    List.fold_left
+      (fun acc (k, v) ->
+         let* () = acc in
+         match Json.to_int v with
+         | Some i ->
+           (counter t k).cv <- i;
+           Ok ()
+         | None -> Error (Printf.sprintf "registry: counter %S not an int" k))
+      (Ok ()) counters
+  in
+  let* gauges = fields "gauges" in
+  let* () =
+    List.fold_left
+      (fun acc (k, v) ->
+         let* () = acc in
+         match Json.to_int v with
+         | Some i ->
+           (gauge t k).gv <- i;
+           Ok ()
+         | None -> Error (Printf.sprintf "registry: gauge %S not an int" k))
+      (Ok ()) gauges
+  in
+  let* hists = fields "histograms" in
+  let* () =
+    List.fold_left
+      (fun acc (k, v) ->
+         let* () = acc in
+         let* edges = int_array v "edges" in
+         let* counts = int_array v "counts" in
+         let* sum = int_field v "sum" in
+         let* n = int_field v "n" in
+         if Array.length counts <> Array.length edges + 1 then
+           Error (Printf.sprintf "registry: histogram %S shape" k)
+         else begin
+           Hashtbl.replace t.hists k
+             { h_edges = edges; h_counts = counts; h_sum = sum; h_n = n };
+           Ok ()
+         end)
+      (Ok ()) hists
+  in
+  Ok t

@@ -1,0 +1,171 @@
+let parse_lines lines =
+  let rec go i acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      if String.trim line = "" then go (i + 1) acc rest
+      else
+        (match Event.of_line line with
+         | Ok ev -> go (i + 1) (ev :: acc) rest
+         | Error msg -> Error (Printf.sprintf "line %d: %s" i msg))
+  in
+  go 1 [] lines
+
+(* --- helpers --------------------------------------------------------- *)
+
+let checkpoints events =
+  List.filter_map
+    (function Event.Checkpoint { point; _ } -> Some point | _ -> None)
+    events
+
+let series_names points =
+  List.fold_left
+    (fun acc (p : Event.point) ->
+       if List.mem p.p_series acc then acc else acc @ [ p.p_series ])
+    [] points
+
+let bar width value max_value =
+  if max_value <= 0 then ""
+  else String.make (max 0 (value * width / max_value)) '#'
+
+(* --- sections -------------------------------------------------------- *)
+
+let render_meta buf events =
+  List.iter
+    (function
+      | Event.Meta fields ->
+        let cell k =
+          match List.assoc_opt k fields with
+          | Some (Json.Str s) -> Some s
+          | Some (Json.Int i) -> Some (string_of_int i)
+          | _ -> None
+        in
+        let pairs =
+          List.filter_map
+            (fun k ->
+               Option.map (fun v -> Printf.sprintf "%s=%s" k v) (cell k))
+            [ "cmd"; "fuzzer"; "dialect"; "seed"; "execs"; "jobs";
+              "sync_every" ]
+        in
+        if pairs <> [] then
+          Buffer.add_string buf
+            (Printf.sprintf "run: %s\n" (String.concat " " pairs))
+      | _ -> ())
+    events
+
+let render_series buf events =
+  let points = checkpoints events in
+  if points <> [] then begin
+    Buffer.add_string buf "\ncoverage over time (branches vs execs)\n";
+    let max_branches =
+      List.fold_left (fun m (p : Event.point) -> max m p.p_branches) 1 points
+    in
+    List.iter
+      (fun name ->
+         let mine =
+           List.filter (fun (p : Event.point) -> p.p_series = name) points
+         in
+         Buffer.add_string buf (Printf.sprintf "  [%s]\n" name);
+         List.iter
+           (fun (p : Event.point) ->
+              Buffer.add_string buf
+                (Printf.sprintf "  %10d %8d  %s\n" p.p_execs p.p_branches
+                   (bar 40 p.p_branches max_branches)))
+           mine)
+      (series_names points)
+  end
+
+let render_stages buf events =
+  let dumps =
+    List.filter_map
+      (function
+        | Event.Registry_dump { series; registry } -> Some (series, registry)
+        | _ -> None)
+      events
+  in
+  List.iter
+    (fun (series, reg) ->
+       let stages = Span.stage_names reg in
+       if stages <> [] then begin
+         Buffer.add_string buf
+           (Printf.sprintf "\nstage-time breakdown [%s]\n" series);
+         let stats =
+           List.filter_map
+             (fun s -> Option.map (fun st -> (s, st)) (Span.stage_stats reg s))
+             stages
+         in
+         let total_us =
+           List.fold_left (fun acc (_, (_, us)) -> acc + us) 0 stats
+         in
+         Buffer.add_string buf
+           (Printf.sprintf "  %-12s %10s %12s %7s\n" "stage" "calls"
+              "total_ms" "share");
+         List.iter
+           (fun (name, (calls, us)) ->
+              let share =
+                if total_us = 0 then 0.0
+                else 100.0 *. float_of_int us /. float_of_int total_us
+              in
+              Buffer.add_string buf
+                (Printf.sprintf "  %-12s %10d %12.1f %6.1f%%\n" name calls
+                   (float_of_int us /. 1000.0) share))
+           stats
+       end;
+       let counters = Registry.counter_names reg in
+       let plain =
+         List.filter
+           (fun c -> not (String.length c > 6 && String.sub c 0 6 = "stage."))
+           counters
+       in
+       if plain <> [] then begin
+         Buffer.add_string buf (Printf.sprintf "\ncounters [%s]\n" series);
+         List.iter
+           (fun c ->
+              Buffer.add_string buf
+                (Printf.sprintf "  %-28s %12d\n" c
+                   (Registry.counter_value reg c)))
+           plain
+       end)
+    dumps
+
+let render_summary buf events =
+  List.iter
+    (function
+      | Event.Summary { point; shards; sync_rounds; wall_s; execs_per_sec }
+        ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "\nsummary [%s]: execs=%d branches=%d crashes(total)=%d \
+              crashes(unique)=%d\n"
+             point.Event.p_series point.p_execs point.p_branches
+             point.p_crashes_total point.p_crashes_unique);
+        if point.p_bugs <> [] then
+          Buffer.add_string buf
+            (Printf.sprintf "  bugs: %s\n" (String.concat ", " point.p_bugs));
+        List.iteri
+          (fun i (sh : Event.point) ->
+             Buffer.add_string buf
+               (Printf.sprintf
+                  "  shard %d: execs=%d branches=%d crashes(unique)=%d\n" i
+                  sh.p_execs sh.p_branches sh.p_crashes_unique))
+          shards;
+        if sync_rounds > 0 then
+          Buffer.add_string buf
+            (Printf.sprintf "  sync rounds: %d\n" sync_rounds);
+        (match (wall_s, execs_per_sec) with
+         | Some w, Some eps ->
+           Buffer.add_string buf
+             (Printf.sprintf "  wall: %.2fs (%.0f execs/sec)\n" w eps)
+         | Some w, None ->
+           Buffer.add_string buf (Printf.sprintf "  wall: %.2fs\n" w)
+         | None, _ -> ())
+      | _ -> ())
+    events
+
+let render events =
+  let buf = Buffer.create 1024 in
+  render_meta buf events;
+  render_series buf events;
+  render_stages buf events;
+  render_summary buf events;
+  if Buffer.length buf = 0 then "empty telemetry stream\n"
+  else Buffer.contents buf

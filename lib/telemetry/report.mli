@@ -1,0 +1,11 @@
+(** Render a recorded telemetry stream (the events of one [.jsonl] run)
+    as a human-readable report: run header, coverage-over-time series
+    with an ASCII growth chart on the deterministic execs axis,
+    stage-time breakdown from the recorded span histograms, engine and
+    harness counters, and the final summary. *)
+
+val render : Event.t list -> string
+
+val parse_lines : string list -> (Event.t list, string) result
+(** Parse JSONL lines (blank lines skipped); the first malformed line is
+    an error with its line number. *)

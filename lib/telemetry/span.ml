@@ -1,0 +1,38 @@
+type t = { calls : Registry.counter; us : Registry.histogram }
+
+let now_s = Unix.gettimeofday
+
+let hist_name name = "stage." ^ name ^ ".us"
+
+let calls_name name = "stage." ^ name ^ ".calls"
+
+let stage reg name =
+  { calls = Registry.counter reg (calls_name name);
+    us = Registry.histogram reg (hist_name name) }
+
+let record_us t us =
+  Registry.incr t.calls;
+  Registry.observe t.us (max 0 us)
+
+let time t f =
+  let start = now_s () in
+  let out = f () in
+  record_us t (int_of_float ((now_s () -. start) *. 1e6));
+  out
+
+let stage_of_hist name =
+  (* "stage.<name>.us" -> <name> *)
+  if
+    String.length name > 9
+    && String.sub name 0 6 = "stage."
+    && String.sub name (String.length name - 3) 3 = ".us"
+  then Some (String.sub name 6 (String.length name - 9))
+  else None
+
+let stage_names reg =
+  List.filter_map stage_of_hist (Registry.histogram_names reg)
+
+let stage_stats reg name =
+  match Registry.histogram_stats reg (hist_name name) with
+  | None -> None
+  | Some (_, _, sum, _) -> Some (Registry.counter_value reg (calls_name name), sum)

@@ -1,0 +1,33 @@
+(** Span-based stage timing.
+
+    A span attributes wall-clock cost to a named pipeline stage — the
+    fuzzing loop uses [mutate], [synthesize], [execute] and [triage] —
+    by recording each timed section into a pair of metrics in the owning
+    registry: a counter [stage.<name>.calls] and a microsecond histogram
+    [stage.<name>.us].
+
+    Wall-clock is an {e annotation only}: it feeds histograms that sinks
+    may render, never any value on the deterministic execs/iterations
+    axis, so timing a section cannot perturb a campaign's results. *)
+
+type t
+
+val now_s : unit -> float
+(** Wall clock in seconds ([Unix.gettimeofday]); the one clock the whole
+    telemetry subsystem uses. *)
+
+val stage : Registry.t -> string -> t
+(** The span for stage [name] in [registry] (find-or-create). *)
+
+val time : t -> (unit -> 'a) -> 'a
+(** Run the thunk, record its duration. Exceptions propagate untimed. *)
+
+val record_us : t -> int -> unit
+(** Record an externally measured duration in microseconds. *)
+
+val stage_names : Registry.t -> string list
+(** Stages with recorded time, sorted — recovered from the registry's
+    [stage.<name>.us] histograms. *)
+
+val stage_stats : Registry.t -> string -> (int * int) option
+(** [(calls, total_us)] for one stage, if recorded. *)

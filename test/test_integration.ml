@@ -240,7 +240,8 @@ let test_exec_checkpoint_no_double_fire () =
   let cps = ref [] in
   let final =
     Fuzz.Driver.run_until_execs ~checkpoint_every:100
-      ~on_checkpoint:(fun s -> cps := s.Fuzz.Driver.st_execs :: !cps)
+      ~on_checkpoint:(fun cp ->
+          cps := cp.Fuzz.Driver.cp_snapshot.Fuzz.Driver.st_execs :: !cps)
       fz ~execs:1000
   in
   Alcotest.(check bool) "budget reached" true

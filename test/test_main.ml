@@ -20,6 +20,7 @@ let () =
       ("engine", Test_engine.suite);
       ("reducer", Test_reducer.suite);
       ("campaign", Test_campaign.suite);
+      ("telemetry", Test_telemetry.suite);
       ("baselines", Test_baselines.suite);
       ("extensions", Test_extensions.suite);
       ("integration", Test_integration.suite) ]
