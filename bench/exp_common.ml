@@ -41,6 +41,13 @@ let sync_every =
     (try max 1 (int_of_string s) with Failure _ -> Fuzz.Sync.default_interval)
   | None -> Fuzz.Sync.default_interval
 
+(* REPRO_EXCHANGE=off disables the bidirectional seed/affinity exchange
+   at sync rounds (jobs > 1 only); the default matches the CLI: on. *)
+let exchange =
+  match Sys.getenv_opt "REPRO_EXCHANGE" with
+  | Some "off" -> Fuzz.Sync.exchange_off
+  | _ -> Fuzz.Sync.exchange_all
+
 let continuous_budget = budget * 3
 
 let dialects = Dialects.Registry.all
@@ -63,8 +70,12 @@ let bench_sink =
      | _ -> None)
 
 (* A campaign maker: [factory shard_id] builds one shard's fuzzer (called
-   inside the shard's domain by the campaign engine). *)
-let run_campaign ?(execs = budget) profile (name, factory) =
+   inside the shard's domain by the campaign engine). [jobs], [exchange]
+   and [sync_every] default to the REPRO_JOBS / REPRO_EXCHANGE /
+   REPRO_SYNC environment configuration; the exchange-ablation bench
+   overrides all three. *)
+let run_campaign ?(execs = budget) ?(jobs = jobs) ?(exchange = exchange)
+    ?(sync_every = sync_every) ?series_prefix profile (name, factory) =
   let series = ref [] in
   let lego0 = ref None in
   let make shard_id =
@@ -73,7 +84,9 @@ let run_campaign ?(execs = budget) profile (name, factory) =
     fz
   in
   let series_prefix =
-    Printf.sprintf "%s-%s/" name (dialect_name profile)
+    match series_prefix with
+    | Some p -> p
+    | None -> Printf.sprintf "%s-%s/" name (dialect_name profile)
   in
   let sink =
     match Lazy.force bench_sink with
@@ -86,7 +99,7 @@ let run_campaign ?(execs = budget) profile (name, factory) =
       ~on_checkpoint:(fun cp ->
           let snap = cp.Fuzz.Driver.cp_snapshot in
           series := (snap.Fuzz.Driver.st_execs, snap.st_branches) :: !series)
-      ~sync_every ~sink ~series_prefix ~jobs ~execs make
+      ~sync_every ~exchange ~sink ~series_prefix ~jobs ~execs make
   in
   let wall_s = Telemetry.Span.now_s () -. start in
   let final = res.Fuzz.Campaign.cg_snapshot in

@@ -56,6 +56,28 @@ let sync_arg =
     & opt int Fuzz.Sync.default_interval
     & info [ "sync-every" ] ~docv:"N" ~doc)
 
+let onoff = Arg.enum [ ("on", true); ("off", false) ]
+
+let sync_seeds_arg =
+  let doc =
+    "Bidirectional seed exchange between shards at sync rounds (jobs > 1 \
+     only): shards publish their coverage-increasing seeds and import \
+     each other's. $(b,on) or $(b,off)."
+  in
+  Arg.(value & opt onoff true & info [ "sync-seeds" ] ~docv:"on|off" ~doc)
+
+let sync_affinities_arg =
+  let doc =
+    "Bidirectional type-affinity and AST-skeleton exchange between shards \
+     at sync rounds (jobs > 1 only); imported affinities trigger LEGO's \
+     sequence synthesis on the importing shard. $(b,on) or $(b,off)."
+  in
+  Arg.(
+    value & opt onoff true & info [ "sync-affinities" ] ~docv:"on|off" ~doc)
+
+let exchange_of ~sync_seeds ~sync_affinities =
+  { Fuzz.Sync.ex_seeds = sync_seeds; ex_affinities = sync_affinities }
+
 let telemetry_arg =
   let doc =
     "Telemetry recording: $(b,none) (console only; byte-identical output \
@@ -188,13 +210,15 @@ let fuzz_cmd =
     let doc = "Directory to write one reduced .sql reproducer per bug." in
     Arg.(value & opt (some string) None & info [ "o"; "save" ] ~docv:"DIR" ~doc)
   in
-  let run fuzzer profile execs seed jobs sync_every telemetry json save =
+  let run fuzzer profile execs seed jobs sync_every sync_seeds
+      sync_affinities telemetry json save =
     match make_fuzzer fuzzer profile seed with
     | Error (`Msg m) ->
       prerr_endline m;
       exit 2
     | Ok make ->
       let jobs = max 1 jobs in
+      let exchange = exchange_of ~sync_seeds ~sync_affinities in
       let dialect = Minidb.Profile.name profile in
       if not json then
         Printf.printf "fuzzing %s with %s, %d executions, %d job(s)...\n%!"
@@ -211,11 +235,13 @@ let fuzz_cmd =
              ("seed", Telemetry.Json.Int seed);
              ("execs", Telemetry.Json.Int execs);
              ("jobs", Telemetry.Json.Int jobs);
-             ("sync_every", Telemetry.Json.Int sync_every) ]);
+             ("sync_every", Telemetry.Json.Int sync_every);
+             ("sync_seeds", Telemetry.Json.Bool sync_seeds);
+             ("sync_affinities", Telemetry.Json.Bool sync_affinities) ]);
       let start = Telemetry.Span.now_s () in
       let res =
         Fuzz.Campaign.run ~checkpoint_every:(max 1 (execs / 5)) ~sync_every
-          ~sink ~jobs ~execs make
+          ~exchange ~sink ~jobs ~execs make
       in
       let wall_s = Telemetry.Span.now_s () -. start in
       Telemetry.Sink.emit sink
@@ -257,15 +283,18 @@ let fuzz_cmd =
   in
   let term =
     Term.(const run $ fuzzer_arg $ dialect_arg $ execs_arg $ seed_arg
-          $ jobs_arg $ sync_arg $ telemetry_arg $ json_arg $ save_arg)
+          $ jobs_arg $ sync_arg $ sync_seeds_arg $ sync_affinities_arg
+          $ telemetry_arg $ json_arg $ save_arg)
   in
   Cmd.v (Cmd.info "fuzz" ~doc:"Run one fuzzer on one simulated DBMS.") term
 
 (* --- compare --------------------------------------------------------- *)
 
 let compare_cmd =
-  let run profile execs seed jobs sync_every telemetry json =
+  let run profile execs seed jobs sync_every sync_seeds sync_affinities
+      telemetry json =
     let dialect = Minidb.Profile.name profile in
+    let exchange = exchange_of ~sync_seeds ~sync_affinities in
     let sink, recording =
       sink_stack ~json ~telemetry
         ~name:(Printf.sprintf "compare-%s-seed%d" dialect seed)
@@ -277,7 +306,9 @@ let compare_cmd =
            ("seed", Telemetry.Json.Int seed);
            ("execs", Telemetry.Json.Int execs);
            ("jobs", Telemetry.Json.Int jobs);
-           ("sync_every", Telemetry.Json.Int sync_every) ]);
+           ("sync_every", Telemetry.Json.Int sync_every);
+           ("sync_seeds", Telemetry.Json.Bool sync_seeds);
+           ("sync_affinities", Telemetry.Json.Bool sync_affinities) ]);
     List.iter
       (fun name ->
          match make_fuzzer name profile seed with
@@ -290,8 +321,8 @@ let compare_cmd =
            let prefix = name ^ "/" in
            let start = Telemetry.Span.now_s () in
            let res =
-             Fuzz.Campaign.run ~sync_every ~sink ~series_prefix:prefix ~jobs
-               ~execs make
+             Fuzz.Campaign.run ~sync_every ~exchange ~sink
+               ~series_prefix:prefix ~jobs ~execs make
            in
            let wall_s = Telemetry.Span.now_s () -. start in
            Telemetry.Sink.emit sink
@@ -307,7 +338,8 @@ let compare_cmd =
   in
   let term =
     Term.(const run $ dialect_arg $ execs_arg $ seed_arg $ jobs_arg
-          $ sync_arg $ telemetry_arg $ json_arg)
+          $ sync_arg $ sync_seeds_arg $ sync_affinities_arg $ telemetry_arg
+          $ json_arg)
   in
   Cmd.v
     (Cmd.info "compare"

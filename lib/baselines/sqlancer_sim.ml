@@ -7,6 +7,9 @@ type t = {
   harness : Fuzz.Harness.t;
   profile : Minidb.Profile.t;
   kept : Ast.testcase Vec.t;  (* generated corpus, ring-buffered *)
+  pool : Fuzz.Seed_pool.t;
+      (* coverage-increasing cases, recorded for the cross-shard seed
+         exchange only: generation never reads it back *)
   mutable next_slot : int;
   sp_synthesize : Telemetry.Span.t;
 }
@@ -23,6 +26,7 @@ let create ?(seed = 1) ?limits ?harness profile =
     harness;
     profile;
     kept = Vec.create ();
+    pool = Fuzz.Seed_pool.create ();
     next_slot = 0;
     sp_synthesize =
       Telemetry.Span.stage (Fuzz.Harness.metrics harness) "synthesize" }
@@ -87,7 +91,11 @@ let generate t =
 
 let step t () =
   let tc = Telemetry.Span.time t.sp_synthesize (fun () -> generate t) in
-  ignore (Fuzz.Harness.execute t.harness tc);
+  let outcome = Fuzz.Harness.execute t.harness tc in
+  if outcome.Fuzz.Harness.o_new_branches > 0 then
+    ignore
+      (Fuzz.Seed_pool.add t.pool ~tc ~cov_hash:outcome.o_cov_hash
+         ~new_branches:outcome.o_new_branches ~cost:outcome.o_cost);
   if Vec.length t.kept < corpus_cap then Vec.push t.kept tc
   else begin
     Vec.set t.kept t.next_slot tc;
@@ -98,4 +106,5 @@ let fuzzer t =
   { Fuzz.Driver.f_name = "SQLancer";
     f_step = step t;
     f_harness = t.harness;
-    f_corpus = (fun () -> Vec.to_list t.kept) }
+    f_corpus = (fun () -> Vec.to_list t.kept);
+    f_exchange = Some (Fuzz.Sync.seed_port t.pool) }

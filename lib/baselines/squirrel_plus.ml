@@ -97,4 +97,5 @@ let fuzzer t =
     f_corpus =
       (fun () ->
          List.map (fun s -> s.Fuzz.Seed_pool.sd_tc)
-           (Fuzz.Seed_pool.seeds t.pool)) }
+           (Fuzz.Seed_pool.seeds t.pool));
+    f_exchange = Some (Fuzz.Sync.seed_port t.pool) }

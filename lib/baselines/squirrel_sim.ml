@@ -52,6 +52,7 @@ let fuzzer t =
     f_corpus =
       (fun () ->
          List.map (fun s -> s.Fuzz.Seed_pool.sd_tc)
-           (Fuzz.Seed_pool.seeds t.pool)) }
+           (Fuzz.Seed_pool.seeds t.pool));
+    f_exchange = Some (Fuzz.Sync.seed_port t.pool) }
 
 let pool_size t = Fuzz.Seed_pool.size t.pool

@@ -1,11 +1,14 @@
 open Sqlcore
+module Vec = Reprutil.Vec
 
 type t = {
   map : (int, (int, unit) Hashtbl.t) Hashtbl.t;
   mutable total : int;
+  log : (Stmt_type.t * Stmt_type.t) Vec.t;
 }
 
-let create () = { map = Hashtbl.create 64; total = 0 }
+let create () =
+  { map = Hashtbl.create 64; total = 0; log = Vec.create () }
 
 let mem t t1 t2 =
   match Hashtbl.find_opt t.map (Stmt_type.to_index t1) with
@@ -27,8 +30,19 @@ let add t t1 t2 =
   else begin
     Hashtbl.replace set i2 ();
     t.total <- t.total + 1;
+    Vec.push t.log (t1, t2);
     true
   end
+
+let log_length t = Vec.length t.log
+
+let log_since t from =
+  let n = Vec.length t.log in
+  let acc = ref [] in
+  for i = n - 1 downto max 0 from do
+    acc := Vec.get t.log i :: !acc
+  done;
+  !acc
 
 (* Algorithm 2: walk adjacent pairs, skipping same-type pairs. *)
 let analyze_sequence t types =

@@ -34,6 +34,14 @@ val count : t -> int
 
 val pairs : t -> (Stmt_type.t * Stmt_type.t) list
 
+val log_length : t -> int
+(** Length of the append-only discovery log: every pair ever accepted by
+    {!add}, in discovery order. *)
+
+val log_since : t -> int -> (Stmt_type.t * Stmt_type.t) list
+(** Pairs discovered at log index ≥ the cursor, in discovery order — the
+    exchange export drains new affinities with this. *)
+
 val of_corpus : Ast.testcase list -> t
 (** Affinity census over a corpus (Table II counts affinities contained
     in the seeds each fuzzer generated). *)

@@ -30,11 +30,30 @@ type t = {
          backlog stays diverse rather than first-come-first-served *)
   types : Stmt_type.t list;
   mutable initial : Ast.testcase list;
+  (* exchange cursors: how much of the pool / affinity log / skeleton
+     journal has already been exported to other shards *)
+  mutable xc_pool : int;
+  mutable xc_aff : int;
+  mutable xc_skel : int;
   (* stage spans over the harness registry: generation cost attribution
      (the harness itself times execute/triage) *)
   sp_mutate : Telemetry.Span.t;
   sp_synthesize : Telemetry.Span.t;
 }
+
+(* [slot] picks the reservoir slot to evict on overflow. The fuzzing path
+   uses the shard RNG; the exchange-import path must not touch that
+   stream, so it uses a content hash instead. *)
+let enqueue_seq t ~slot seq =
+  if Reprutil.Vec.length t.pending < t.cfg.max_pending then
+    Reprutil.Vec.push t.pending seq
+  else Reprutil.Vec.set t.pending (slot t.cfg.max_pending) seq
+
+(* Algorithm 3 on one newly-discovered affinity: synthesize sequences and
+   queue them for instantiation. *)
+let synthesize_from t ~slot aff =
+  let seqs = Synthesis.on_new_affinity t.synthesis t.affinity aff in
+  List.iter (enqueue_seq t ~slot) seqs
 
 (* Execute a candidate; if it covers new branches, keep it: pool, skeleton
    harvest, affinity analysis, and synthesis from each new affinity. *)
@@ -49,19 +68,7 @@ let process_candidate t ?(analyze = true) tc =
       Telemetry.Span.time t.sp_synthesize (fun () ->
           let new_affs = Affinity.analyze t.affinity tc in
           List.iter
-            (fun aff ->
-               let seqs =
-                 Synthesis.on_new_affinity t.synthesis t.affinity aff
-               in
-               List.iter
-                 (fun seq ->
-                    if Reprutil.Vec.length t.pending < t.cfg.max_pending then
-                      Reprutil.Vec.push t.pending seq
-                    else
-                      Reprutil.Vec.set t.pending
-                        (Rng.int t.rng t.cfg.max_pending)
-                        seq)
-                 seqs)
+            (synthesize_from t ~slot:(fun n -> Rng.int t.rng n))
             new_affs)
   end;
   outcome
@@ -86,6 +93,9 @@ let create ?(config = default_config) ?limits ?harness profile =
       pending = Reprutil.Vec.create ();
       types = Minidb.Profile.types profile;
       initial = [];
+      xc_pool = 0;
+      xc_aff = 0;
+      xc_skel = 0;
       sp_mutate = Telemetry.Span.stage metrics "mutate";
       sp_synthesize = Telemetry.Span.stage metrics "synthesize" }
   in
@@ -182,6 +192,50 @@ let step t () =
       done
   end
 
+let sync_cursors t =
+  t.xc_pool <- Fuzz.Seed_pool.size t.pool;
+  t.xc_aff <- Affinity.log_length t.affinity;
+  t.xc_skel <- Skeleton_library.journal_length t.skeletons
+
+(* Drain everything discovered since the last export. *)
+let export t () =
+  let seeds =
+    List.map
+      (fun s ->
+         { Fuzz.Sync.xs_tc = s.Fuzz.Seed_pool.sd_tc;
+           xs_cov_hash = s.Fuzz.Seed_pool.sd_cov_hash;
+           xs_new_branches = s.Fuzz.Seed_pool.sd_new_branches;
+           xs_cost = s.Fuzz.Seed_pool.sd_cost })
+      (Fuzz.Seed_pool.since t.pool t.xc_pool)
+  in
+  let affs = Affinity.log_since t.affinity t.xc_aff in
+  let skels = Skeleton_library.journal_since t.skeletons t.xc_skel in
+  sync_cursors t;
+  { Fuzz.Sync.xp_seeds = seeds; xp_affinities = affs; xp_skeletons = skels }
+
+(* Fold one foreign discovery in. Imported affinities trigger Algorithm 3
+   synthesis just like locally-discovered ones; the reservoir eviction
+   slot comes from a content hash, never the shard RNG (imports must not
+   perturb the shard's random stream). *)
+let import t entry =
+  (match entry with
+   | Fuzz.Sync.Seed x ->
+     ignore
+       (Fuzz.Seed_pool.add t.pool ~tc:x.Fuzz.Sync.xs_tc
+          ~cov_hash:x.Fuzz.Sync.xs_cov_hash
+          ~new_branches:x.Fuzz.Sync.xs_new_branches
+          ~cost:x.Fuzz.Sync.xs_cost)
+   | Fuzz.Sync.Affinity (a, b) ->
+     if t.cfg.sequence_oriented && Affinity.add t.affinity a b then
+       Telemetry.Span.time t.sp_synthesize (fun () ->
+           synthesize_from t
+             ~slot:(fun n -> Hashtbl.hash (a, b) mod n)
+             (a, b))
+   | Fuzz.Sync.Skeleton s -> ignore (Skeleton_library.store t.skeletons s));
+  (* store growth during import is the import itself: advance the export
+     cursors so foreign entries don't echo back out of this shard *)
+  sync_cursors t
+
 let fuzzer t =
   { Fuzz.Driver.f_name =
       (if t.cfg.sequence_oriented then "LEGO" else "LEGO-");
@@ -190,7 +244,9 @@ let fuzzer t =
     f_corpus =
       (fun () ->
          List.map (fun s -> s.Fuzz.Seed_pool.sd_tc)
-           (Fuzz.Seed_pool.seeds t.pool)) }
+           (Fuzz.Seed_pool.seeds t.pool));
+    f_exchange =
+      Some { Fuzz.Sync.p_export = export t; p_import = import t } }
 
 let affinities t = t.affinity
 

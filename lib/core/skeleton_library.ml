@@ -6,6 +6,7 @@ type t = {
   cap : int;
   by_type : Ast.stmt Vec.t array;  (* indexed by Stmt_type.to_index *)
   seen : (string, unit) Hashtbl.t;
+  journal : Ast.stmt Vec.t;
   mutable total : int;
 }
 
@@ -13,28 +14,47 @@ let create ?(cap_per_type = 64) () =
   { cap = cap_per_type;
     by_type = Array.init Stmt_type.count (fun _ -> Vec.create ());
     seen = Hashtbl.create 256;
+    journal = Vec.create ();
     total = 0 }
 
 (* Eviction is deterministic given the store order: replace the slot the
-   size hash points at. *)
+   size hash points at. [journal] decides whether the structure counts as
+   a local discovery worth re-exporting to other shards: foreign imports
+   via [store] are kept but never journaled, so they can't echo back. *)
+let insert t ~journal stmt =
+  let key = Sql_printer.stmt stmt in
+  if Hashtbl.mem t.seen key then false
+  else begin
+    Hashtbl.replace t.seen key ();
+    let idx = Stmt_type.to_index (Ast.type_of_stmt stmt) in
+    let vec = t.by_type.(idx) in
+    if Vec.length vec < t.cap then begin
+      Vec.push vec stmt;
+      t.total <- t.total + 1
+    end
+    else Vec.set vec (Hashtbl.hash key mod t.cap) stmt;
+    if journal then Vec.push t.journal stmt;
+    true
+  end
+
 let harvest t tc =
   let stored = ref 0 in
   List.iter
-    (fun stmt ->
-       let key = Sql_printer.stmt stmt in
-       if not (Hashtbl.mem t.seen key) then begin
-         Hashtbl.replace t.seen key ();
-         let idx = Stmt_type.to_index (Ast.type_of_stmt stmt) in
-         let vec = t.by_type.(idx) in
-         if Vec.length vec < t.cap then begin
-           Vec.push vec stmt;
-           t.total <- t.total + 1
-         end
-         else Vec.set vec (Hashtbl.hash key mod t.cap) stmt;
-         incr stored
-       end)
+    (fun stmt -> if insert t ~journal:true stmt then incr stored)
     tc;
   !stored
+
+let store t stmt = insert t ~journal:false stmt
+
+let journal_length t = Vec.length t.journal
+
+let journal_since t from =
+  let n = Vec.length t.journal in
+  let acc = ref [] in
+  for i = n - 1 downto max 0 from do
+    acc := Vec.get t.journal i :: !acc
+  done;
+  !acc
 
 let pick t rng ty =
   let vec = t.by_type.(Stmt_type.to_index ty) in

@@ -16,7 +16,20 @@ val create : ?cap_per_type:int -> unit -> t
 
 val harvest : t -> Ast.testcase -> int
 (** Store each statement under its type; returns how many were newly
-    stored. *)
+    stored. Newly-stored structures are also appended to the journal
+    ({!journal_since}) for exchange export. *)
+
+val store : t -> Ast.stmt -> bool
+(** Store one structure {e without} journaling it — the import path for
+    structures received from other shards ([false] on duplicate).
+    Skipping the journal keeps a foreign structure from being re-exported
+    by its importer. *)
+
+val journal_length : t -> int
+
+val journal_since : t -> int -> Ast.stmt list
+(** Locally-harvested structures at journal index ≥ the cursor, in
+    harvest order. *)
 
 val pick : t -> Reprutil.Rng.t -> Stmt_type.t -> Ast.stmt option
 (** Random stored structure of that type, if any. *)

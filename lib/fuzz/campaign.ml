@@ -42,30 +42,53 @@ let checkpoint_event ~series (cp : Driver.checkpoint) =
       wall_s = Some cp.cp_annot.Driver.an_wall_s;
       execs_per_sec = Some cp.cp_annot.an_execs_per_sec }
 
-(* One shard's campaign: run in sync-interval rounds, publishing coverage,
-   crashes and metric deltas after each round. Runs inside its own
-   domain. *)
+(* Per-shard publish bookkeeping: every published quantity is a delta
+   against the last publish, so the global accumulators (exec counts,
+   crash totals, metric registry) never double-count. The first metric
+   delta is against an empty registry: it carries the initial-corpus
+   executions performed during fuzzer construction. *)
+type deltas = {
+  mutable dl_execs : int;
+  mutable dl_crashes : int;
+  mutable dl_metrics : Telemetry.Registry.t;
+}
+
+let deltas_create () =
+  { dl_execs = 0; dl_crashes = 0;
+    dl_metrics = Telemetry.Registry.create () }
+
+let deltas_take dl (fz : Driver.fuzzer) =
+  let execs = Harness.execs fz.Driver.f_harness in
+  let execs_delta = execs - dl.dl_execs in
+  dl.dl_execs <- execs;
+  let total = Triage.total_crashes (Harness.triage fz.Driver.f_harness) in
+  let crashes_delta = total - dl.dl_crashes in
+  dl.dl_crashes <- total;
+  let m = Harness.metrics fz.Driver.f_harness in
+  let mdelta = Telemetry.Registry.diff m ~since:dl.dl_metrics in
+  dl.dl_metrics <- Telemetry.Registry.snapshot m;
+  (execs_delta, crashes_delta, mdelta)
+
+let shard_result fz ~shard_id ~iterations =
+  { sh_id = shard_id;
+    sh_seed_offset = shard_id * seed_stride;
+    sh_snapshot = Driver.snapshot fz ~iteration:iterations;
+    sh_fuzzer = fz }
+
+(* One shard's campaign, publish-only sync: free-running sync-interval
+   rounds, publishing coverage, crash and metric deltas after each.
+   Runs inside its own domain. *)
 let run_shard ~sync ~make ~budget ~report ~emit ~series ~start shard_id =
   let fz : Driver.fuzzer = make shard_id in
   (* Fuzzer construction may already have executed an initial corpus;
      those executions count against the shard's budget. *)
   let iterations = ref 0 in
-  let published = ref 0 in
-  (* Metrics publish as deltas against the last published snapshot, so
-     the global registry's non-idempotent counters never double-count.
-     The first delta is against an empty registry: it carries the
-     initial-corpus executions performed during fuzzer construction. *)
-  let metrics_last = ref (Telemetry.Registry.create ()) in
+  let dl = deltas_create () in
   let publish () =
-    let execs = Harness.execs fz.Driver.f_harness in
-    let delta = execs - !published in
-    published := execs;
-    let m = Harness.metrics fz.Driver.f_harness in
-    let mdelta = Telemetry.Registry.diff m ~since:!metrics_last in
-    metrics_last := Telemetry.Registry.snapshot m;
+    let execs_delta, crashes_delta, mdelta = deltas_take dl fz in
     ignore
-      (Sync.publish_harness ~metrics:mdelta sync fz.Driver.f_harness
-         ~execs_delta:delta);
+      (Sync.publish_harness ~metrics:mdelta ~crashes_delta sync
+         fz.Driver.f_harness ~execs_delta);
     emit
       (checkpoint_event ~series
          (Driver.checkpoint ~start fz ~iteration:!iterations));
@@ -82,11 +105,45 @@ let run_shard ~sync ~make ~budget ~report ~emit ~series ~start shard_id =
     end
   in
   rounds ();
-  if !published < Harness.execs fz.Driver.f_harness then publish ();
-  { sh_id = shard_id;
-    sh_seed_offset = shard_id * seed_stride;
-    sh_snapshot = Driver.snapshot fz ~iteration:!iterations;
-    sh_fuzzer = fz }
+  if dl.dl_execs < Harness.execs fz.Driver.f_harness then publish ();
+  shard_result fz ~shard_id ~iterations:!iterations
+
+(* One shard's campaign in bidirectional-exchange mode: a fixed number of
+   barriered rounds, identical for every shard (the barrier needs all
+   parties each round; a shard whose budget is exhausted keeps joining
+   with empty deltas). Round r fuzzes up to [min budget (r * interval)],
+   so budgets and sync cadence match the free-running mode. *)
+let run_shard_exchange ~sync ~make ~budget ~rounds_total ~report ~emit
+    ~series ~start shard_id =
+  let fz : Driver.fuzzer = make shard_id in
+  let iterations = ref 0 in
+  let dl = deltas_create () in
+  let interval = Sync.interval sync in
+  for r = 1 to rounds_total do
+    let target = min budget (r * interval) in
+    if Harness.execs fz.Driver.f_harness < target then begin
+      let snap = Driver.run_until_execs fz ~execs:target in
+      iterations := !iterations + snap.Driver.st_iteration
+    end;
+    let execs_delta, crashes_delta, mdelta = deltas_take dl fz in
+    let export =
+      match fz.Driver.f_exchange with
+      | Some p -> p.Sync.p_export ()
+      | None -> Sync.empty_export
+    in
+    let imports =
+      Sync.exchange_harness_round ~metrics:mdelta ~crashes_delta sync
+        fz.Driver.f_harness ~shard:shard_id ~execs_delta ~export
+    in
+    (match fz.Driver.f_exchange with
+     | Some p -> List.iter p.Sync.p_import imports
+     | None -> ());
+    emit
+      (checkpoint_event ~series
+         (Driver.checkpoint ~start fz ~iteration:!iterations));
+    report ()
+  done;
+  shard_result fz ~shard_id ~iterations:!iterations
 
 let sequential ?checkpoint_every ?(on_checkpoint = fun _ -> ()) ~sink
     ~series_prefix ~execs make =
@@ -105,18 +162,26 @@ let sequential ?checkpoint_every ?(on_checkpoint = fun _ -> ()) ~sink
       [ { sh_id = 0; sh_seed_offset = 0; sh_snapshot = snap; sh_fuzzer = fz } ];
     cg_crashes = Triage.unique_with_cases tri;
     cg_sync_rounds = 0;
-    cg_metrics = Harness.metrics fz.Driver.f_harness }
+    (* a snapshot, like the sharded path returns: the caller gets the
+       campaign's metrics as of completion, not a live registry that
+       keeps mutating if the fuzzer is driven further *)
+    cg_metrics =
+      Telemetry.Registry.snapshot (Harness.metrics fz.Driver.f_harness) }
 
 let run ?(checkpoint_every = 0) ?(on_checkpoint = fun _ -> ()) ?sync_every
-    ?(sink = Telemetry.Sink.null) ?(series_prefix = "") ~jobs ~execs make =
+    ?(exchange = Sync.exchange_off) ?(sink = Telemetry.Sink.null)
+    ?(series_prefix = "") ~jobs ~execs make =
   let jobs = max 1 jobs in
   if jobs = 1 then
     (* Bit-for-bit the pre-sharding sequential path: one fuzzer, one
-       driver loop, no sync machinery in the way. *)
+       driver loop, no sync machinery in the way. With one shard there is
+       no foreign party to exchange with, so [exchange] is irrelevant
+       here by construction — the sequential path keeps single-job
+       campaigns byte-identical whatever the flags say. *)
     sequential ~checkpoint_every ~on_checkpoint ~sink ~series_prefix ~execs
       make
   else begin
-    let sync = Sync.create ?interval:sync_every () in
+    let sync = Sync.create ?interval:sync_every ~exchange ~parties:jobs () in
     let start = Telemetry.Span.now_s () in
     (* Shards on other domains share the sink: serialize emissions. *)
     let sink = Telemetry.Sink.locked sink in
@@ -138,7 +203,8 @@ let run ?(checkpoint_every = 0) ?(on_checkpoint = fun _ -> ()) ?sync_every
               last_cp := seen;
               let snap =
                 snapshot_of_sync sync ~iteration:(Sync.rounds sync)
-                  ~execs:seen ~total_crashes:0
+                  ~execs:seen
+                  ~total_crashes:(Sync.total_crashes sync)
               in
               let wall = Telemetry.Span.now_s () -. start in
               let cp =
@@ -154,14 +220,52 @@ let run ?(checkpoint_every = 0) ?(on_checkpoint = fun _ -> ()) ?sync_every
             end)
       end
     in
+    (* In exchange mode every shard runs the same fixed number of
+       barriered rounds, derived from the largest shard budget. *)
+    let rounds_total =
+      let iv = Sync.interval sync in
+      max 1 ((budget_of 0 + iv - 1) / iv)
+    in
+    let exchange_on = Sync.exchange_active exchange in
+    (* A dying shard (Driver.Stalled, a harness bug …) must not leave the
+       others blocked at the exchange barrier: trap the exception, abort
+       the sync (waking everyone with Sync.Aborted), join all domains,
+       then re-raise the original error rather than a secondary Aborted. *)
     let domains =
       List.init jobs (fun i ->
           Domain.spawn (fun () ->
-              run_shard ~sync ~make ~budget:(budget_of i) ~report ~emit
-                ~series:(Printf.sprintf "%sshard-%d" series_prefix i)
-                ~start i))
+              let series = Printf.sprintf "%sshard-%d" series_prefix i in
+              match
+                if exchange_on then
+                  run_shard_exchange ~sync ~make ~budget:(budget_of i)
+                    ~rounds_total ~report ~emit ~series ~start i
+                else
+                  run_shard ~sync ~make ~budget:(budget_of i) ~report ~emit
+                    ~series ~start i
+              with
+              | sh -> Ok sh
+              | exception e ->
+                Sync.abort sync;
+                Error e))
     in
-    let shards = List.map Domain.join domains in
+    let results = List.map Domain.join domains in
+    let errors =
+      List.filter_map (function Error e -> Some e | Ok _ -> None) results
+    in
+    (match errors with
+     | [] -> ()
+     | es ->
+       let primary =
+         match
+           List.find_opt (function Sync.Aborted -> false | _ -> true) es
+         with
+         | Some e -> e
+         | None -> List.hd es
+       in
+       raise primary);
+    let shards =
+      List.filter_map (function Ok sh -> Some sh | Error _ -> None) results
+    in
     let sum f = List.fold_left (fun acc sh -> acc + f sh.sh_snapshot) 0 shards in
     let aggregate =
       snapshot_of_sync sync

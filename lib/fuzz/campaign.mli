@@ -17,7 +17,13 @@
     mutable fuzzing state — RNG, seed pool, affinity map, harness — is
     domain-private), runs in rounds of [sync_every] executions, and
     publishes after each round. The only cross-domain state is the
-    mutex-guarded {!Sync.t}. *)
+    mutex-guarded {!Sync.t}.
+
+    With an active [exchange] configuration the rounds become barriered
+    bidirectional exchange rounds (DESIGN.md §10): each shard additionally
+    pulls the global virgin map back into its own harness and
+    imports foreign coverage-increasing seeds / type-affinities / AST
+    skeletons through its fuzzer's {!Driver.fuzzer.f_exchange} port. *)
 
 type shard = {
   sh_id : int;
@@ -37,9 +43,10 @@ type result = {
       (** cross-shard unique crashes with first-finder reproducers *)
   cg_sync_rounds : int;
   cg_metrics : Telemetry.Registry.t;
-      (** the campaign's merged metric registry: with [jobs = 1] the
-          single harness's registry, otherwise the union of every
-          shard's published deltas (see {!Sync.metrics}) *)
+      (** the campaign's merged metric registry — always a completion-time
+          {e snapshot}: with [jobs = 1] a snapshot of the single harness's
+          registry, otherwise the union of every shard's published deltas
+          (see {!Sync.metrics}) *)
 }
 
 val shard_seed : seed:int -> shard_id:int -> int
@@ -51,6 +58,7 @@ val run :
   ?checkpoint_every:int ->
   ?on_checkpoint:(Driver.checkpoint -> unit) ->
   ?sync_every:int ->
+  ?exchange:Sync.exchange ->
   ?sink:Telemetry.Sink.t ->
   ?series_prefix:string ->
   jobs:int ->
@@ -63,15 +71,24 @@ val run :
     the shard's domain — derive per-shard RNG seeds with {!shard_seed}.
 
     With [jobs = 1] this is exactly {!Driver.run_until_execs} on
-    [make 0] — byte-identical snapshots, no domains, no sync — so
+    [make 0] — byte-identical snapshots, no domains, no sync, regardless
+    of [exchange] (one shard has nobody to exchange with) — so
     single-job campaigns preserve the repository's determinism guarantee.
 
     With [jobs > 1], shards publish to a {!Sync} every [sync_every]
     executions (default {!Sync.default_interval}); [on_checkpoint]
     receives aggregate snapshots roughly every [checkpoint_every]
-    {e published} executions ([st_total_crashes] is not tracked at
-    checkpoint time and reads 0 there; the final snapshot has the true
-    total).
+    {e published} executions, including the true published crash total.
+
+    [exchange] (default {!Sync.exchange_off}) turns the sync rounds into
+    barriered bidirectional exchange rounds: all shards run the same
+    fixed round count derived from the largest shard budget, and at each
+    barrier they pull the merged virgin map and import each other's
+    deduplicated discoveries in (round, shard id) order. The aggregate
+    result is deterministic per (seed, jobs, execs, sync_every,
+    exchange): import order never depends on domain scheduling. If a
+    shard dies (e.g. {!Driver.Stalled}), the campaign aborts the
+    remaining shards and re-raises that shard's exception.
 
     Telemetry: every aggregate checkpoint, and one per-shard checkpoint
     per sync round, is emitted into [sink] (default {!Telemetry.Sink.null})

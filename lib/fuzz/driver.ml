@@ -16,7 +16,12 @@ type fuzzer = {
   f_step : unit -> unit;
   f_harness : Harness.t;
   f_corpus : unit -> Sqlcore.Ast.testcase list;
+  f_exchange : Sync.port option;
 }
+
+exception Stalled of string
+
+let default_max_stall = 4096
 
 let snapshot f ~iteration =
   let tri = Harness.triage f.f_harness in
@@ -46,15 +51,32 @@ let run ?(checkpoint_every = 0) ?(on_checkpoint = fun _ -> ()) f ~iterations =
   done;
   snapshot f ~iteration:iterations
 
-let run_until_execs ?(checkpoint_every = 0) ?(on_checkpoint = fun _ -> ()) f
-    ~execs =
+let run_until_execs ?(checkpoint_every = 0) ?(on_checkpoint = fun _ -> ())
+    ?(max_stall = default_max_stall) f ~execs =
   let start = Telemetry.Span.now_s () in
   let i = ref 0 in
   let last_cp = ref 0 in
+  let stalled = ref 0 in
   while Harness.execs f.f_harness < execs do
     incr i;
+    let before = Harness.execs f.f_harness in
     f.f_step ();
     let e = Harness.execs f.f_harness in
+    (* A step that performs zero executions makes no progress toward the
+       exec budget; a fuzzer stuck that way (empty corpus, stuck seed —
+       the paper's C3 anecdote) would previously livelock this loop. *)
+    if e = before then begin
+      incr stalled;
+      if !stalled >= max_stall then
+        raise
+          (Stalled
+             (Printf.sprintf
+                "%s performed no executions in %d consecutive steps \
+                 (stuck at %d of %d budgeted execs): empty corpus or \
+                 stuck seed?"
+                f.f_name max_stall e execs))
+    end
+    else stalled := 0;
     (* The returned snapshot is the final checkpoint: when a step lands on
        or overshoots the budget, don't also fire [on_checkpoint] at the
        same exec count. *)

@@ -23,15 +23,27 @@ type annot = {
 
 type checkpoint = { cp_snapshot : snapshot; cp_annot : annot }
 
-(** A running fuzzer: name, one-iteration step, its harness, and access to
+(** A running fuzzer: name, one-iteration step, its harness, access to
     the corpus of test cases it has generated/kept (used by the Table II
-    affinity census). *)
+    affinity census), and its optional cross-shard exchange capability
+    ([None] opts the fuzzer out of seed/affinity exchange; it still
+    participates in coverage/crash sync). *)
 type fuzzer = {
   f_name : string;
   f_step : unit -> unit;
   f_harness : Harness.t;
   f_corpus : unit -> Sqlcore.Ast.testcase list;
+  f_exchange : Sync.port option;
 }
+
+exception Stalled of string
+(** Raised by {!run_until_execs} after [max_stall] consecutive
+    zero-execution steps: an exec-budget loop over a fuzzer that stopped
+    executing (empty corpus / stuck seed, the paper's C3 anecdote) would
+    otherwise spin forever. *)
+
+val default_max_stall : int
+(** 4096 consecutive zero-execution steps. *)
 
 val snapshot : fuzzer -> iteration:int -> snapshot
 
@@ -51,10 +63,13 @@ val run :
 val run_until_execs :
   ?checkpoint_every:int ->
   ?on_checkpoint:(checkpoint -> unit) ->
+  ?max_stall:int ->
   fuzzer ->
   execs:int ->
   snapshot
 (** Like {!run}, but the budget is a number of {e executions} rather than
     iterations — the fair cross-fuzzer comparison (a 24-hour wall-clock
     budget in the paper gives every fuzzer a similar execution count).
-    [checkpoint_every] is also in executions. *)
+    [checkpoint_every] is also in executions.
+    @raise Stalled after [max_stall] (default {!default_max_stall})
+    consecutive steps that performed zero executions. *)

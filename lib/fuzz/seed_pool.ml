@@ -29,6 +29,14 @@ let size t = Vec.length t.pool
 
 let seeds t = Vec.to_list t.pool
 
+let since t from =
+  let n = Vec.length t.pool in
+  let acc = ref [] in
+  for i = n - 1 downto max 0 from do
+    acc := Vec.get t.pool i :: !acc
+  done;
+  !acc
+
 let score s =
   (* Higher is better: productive, cheap, not yet over-fuzzed. *)
   float_of_int (1 + s.sd_new_branches)

@@ -32,4 +32,10 @@ val select : t -> Reprutil.Rng.t -> seed option
 
 val seeds : t -> seed list
 
+val since : t -> int -> seed list
+(** Seeds admitted at pool index ≥ the given cursor, in admission order —
+    the pool is append-only, so [since t c] with [c] the previous
+    {!size} drains exactly the seeds admitted in between (the exchange
+    export uses this). *)
+
 val size : t -> int

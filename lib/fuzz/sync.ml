@@ -1,3 +1,40 @@
+(* Cross-shard synchronisation: global virgin union, crash dedup, and —
+   when exchange is enabled — the bidirectional seed/affinity/skeleton
+   exchange protocol (barriered rounds, deterministic import order). *)
+
+type exchange = { ex_seeds : bool; ex_affinities : bool }
+
+let exchange_off = { ex_seeds = false; ex_affinities = false }
+let exchange_all = { ex_seeds = true; ex_affinities = true }
+let exchange_active x = x.ex_seeds || x.ex_affinities
+
+type xseed = {
+  xs_tc : Sqlcore.Ast.testcase;
+  xs_cov_hash : int64;
+  xs_new_branches : int;
+  xs_cost : int;
+}
+
+type entry =
+  | Seed of xseed
+  | Affinity of Sqlcore.Stmt_type.t * Sqlcore.Stmt_type.t
+  | Skeleton of Sqlcore.Ast.stmt
+
+type export = {
+  xp_seeds : xseed list;
+  xp_affinities : (Sqlcore.Stmt_type.t * Sqlcore.Stmt_type.t) list;
+  xp_skeletons : Sqlcore.Ast.stmt list;
+}
+
+let empty_export = { xp_seeds = []; xp_affinities = []; xp_skeletons = [] }
+
+type port = {
+  p_export : unit -> export;
+  p_import : entry -> unit;
+}
+
+exception Aborted
+
 type t = {
   lock : Mutex.t;
   virgin : Coverage.Bitmap.t;
@@ -5,51 +42,239 @@ type t = {
   mutable uniques :
     (Minidb.Fault.crash * Sqlcore.Ast.testcase option) list;
       (* reverse first-published order *)
+  mutable n_uniques : int;  (* = List.length uniques, kept O(1) *)
+  mutable bug_ids_memo : string list option;
+      (* sorted distinct bug ids; invalidated on unique insert *)
   mutable rounds : int;
   mutable execs_seen : int;
+  mutable total_crashes : int;  (* sum of published crash deltas *)
   interval : int;
   metrics : Telemetry.Registry.t;  (* global union of published deltas *)
+  (* --- exchange state (unused when exchange_off) ------------------- *)
+  exchange : exchange;
+  parties : int;
+  cond : Condition.t;
+  mutable arrived : int;
+  mutable generation : int;
+  mutable aborted : bool;
+  mutable staged :
+    (int
+     * (Minidb.Fault.crash * Sqlcore.Ast.testcase option) list
+     * export)
+      list;  (* this round's publishes, resolved sorted at release *)
+  store : (int * entry) Reprutil.Vec.t;
+      (* canonical exchange log in (round, shard id) order *)
+  mutable pull_map : Coverage.Bitmap.t;
+      (* global virgin frozen at the last round release: every party of a
+         round pulls the same map even if a fast shard already started
+         publishing the next round *)
+  seen_seeds : (int64, unit) Hashtbl.t;
+  seen_affinities : (int * int, unit) Hashtbl.t;
+  seen_skeletons : (string, unit) Hashtbl.t;
+  cursors : (int, int) Hashtbl.t;  (* shard id -> store prefix imported *)
 }
 
 let default_interval = 4096
 
-let create ?(interval = default_interval) () =
+let create ?(interval = default_interval) ?(exchange = exchange_off)
+    ?(parties = 1) () =
   { lock = Mutex.create ();
     virgin = Coverage.Bitmap.create ();
     seen = Hashtbl.create 32;
     uniques = [];
+    n_uniques = 0;
+    bug_ids_memo = None;
     rounds = 0;
     execs_seen = 0;
+    total_crashes = 0;
     interval = max 1 interval;
-    metrics = Telemetry.Registry.create () }
+    metrics = Telemetry.Registry.create ();
+    exchange;
+    parties = max 1 parties;
+    cond = Condition.create ();
+    arrived = 0;
+    generation = 0;
+    aborted = false;
+    staged = [];
+    store = Reprutil.Vec.create ();
+    pull_map = Coverage.Bitmap.create ();
+    seen_seeds = Hashtbl.create 64;
+    seen_affinities = Hashtbl.create 64;
+    seen_skeletons = Hashtbl.create 64;
+    cursors = Hashtbl.create 8 }
 
 let interval t = t.interval
+
+let exchange_config t = t.exchange
 
 let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let publish ?metrics t ~virgin ~triage ~execs_delta =
+let note_unique t ((crash, _) as u) =
+  let key = Triage.stack_key crash in
+  if not (Hashtbl.mem t.seen key) then begin
+    Hashtbl.replace t.seen key ();
+    t.uniques <- u :: t.uniques;
+    t.n_uniques <- t.n_uniques + 1;
+    t.bug_ids_memo <- None
+  end
+
+(* Caller holds the lock. Common bookkeeping of one shard publish. *)
+let publish_locked ?metrics t ~virgin ~execs_delta ~crashes_delta =
+  t.rounds <- t.rounds + 1;
+  t.execs_seen <- t.execs_seen + max 0 execs_delta;
+  t.total_crashes <- t.total_crashes + max 0 crashes_delta;
+  (match metrics with
+   | None -> ()
+   | Some delta -> Telemetry.Registry.merge ~into:t.metrics delta);
+  Coverage.Bitmap.merge ~into:t.virgin virgin
+
+let publish ?metrics ?(crashes_delta = 0) t ~virgin ~triage ~execs_delta =
   locked t (fun () ->
-      t.rounds <- t.rounds + 1;
-      t.execs_seen <- t.execs_seen + max 0 execs_delta;
-      (match metrics with
-       | None -> ()
-       | Some delta -> Telemetry.Registry.merge ~into:t.metrics delta);
-      let news = Coverage.Bitmap.merge ~into:t.virgin virgin in
-      List.iter
-        (fun ((crash, _) as u) ->
-           let key = Triage.stack_key crash in
-           if not (Hashtbl.mem t.seen key) then begin
-             Hashtbl.replace t.seen key ();
-             t.uniques <- u :: t.uniques
-           end)
-        (Triage.unique_with_cases triage);
+      let news =
+        publish_locked ?metrics t ~virgin ~execs_delta ~crashes_delta
+      in
+      List.iter (note_unique t) (Triage.unique_with_cases triage);
       news)
 
-let publish_harness ?metrics t h ~execs_delta =
-  publish ?metrics t ~virgin:(Harness.virgin h) ~triage:(Harness.triage h)
-    ~execs_delta
+let publish_harness ?metrics ?crashes_delta t h ~execs_delta =
+  publish ?metrics ?crashes_delta t ~virgin:(Harness.virgin h)
+    ~triage:(Harness.triage h) ~execs_delta
+
+(* --- exchange rounds -------------------------------------------------- *)
+
+(* Caller holds the lock. Resolve the round's staged publishes into the
+   canonical store, sorted by shard id so the store order — and hence every
+   shard's import order — is independent of domain scheduling. Global
+   dedup (cov-hash / affinity pair / printed skeleton SQL) is resolved
+   here for the same reason: the lowest shard id wins ties, not the
+   first to arrive. *)
+let release_round t =
+  let staged =
+    List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b) t.staged
+  in
+  t.staged <- [];
+  List.iter
+    (fun (shard, crashes, export) ->
+       List.iter (note_unique t) crashes;
+       if t.exchange.ex_seeds then
+         List.iter
+           (fun s ->
+              if not (Hashtbl.mem t.seen_seeds s.xs_cov_hash) then begin
+                Hashtbl.replace t.seen_seeds s.xs_cov_hash ();
+                Reprutil.Vec.push t.store (shard, Seed s)
+              end)
+           export.xp_seeds;
+       if t.exchange.ex_affinities then begin
+         List.iter
+           (fun (a, b) ->
+              let key =
+                ( Sqlcore.Stmt_type.to_index a,
+                  Sqlcore.Stmt_type.to_index b )
+              in
+              if not (Hashtbl.mem t.seen_affinities key) then begin
+                Hashtbl.replace t.seen_affinities key ();
+                Reprutil.Vec.push t.store (shard, Affinity (a, b))
+              end)
+           export.xp_affinities;
+         List.iter
+           (fun stmt ->
+              let key = Sqlcore.Sql_printer.stmt stmt in
+              if not (Hashtbl.mem t.seen_skeletons key) then begin
+                Hashtbl.replace t.seen_skeletons key ();
+                Reprutil.Vec.push t.store (shard, Skeleton stmt)
+              end)
+           export.xp_skeletons
+       end)
+    staged;
+  t.pull_map <- Coverage.Bitmap.snapshot t.virgin
+
+let abort t =
+  Mutex.lock t.lock;
+  t.aborted <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.lock
+
+let exchange_round ?metrics ?(crashes_delta = 0) t ~shard ~virgin ~triage
+    ~execs_delta ~export =
+  locked t (fun () ->
+      if t.aborted then raise Aborted;
+      ignore
+        (publish_locked ?metrics t ~virgin ~execs_delta ~crashes_delta);
+      (* crashes are staged, not folded, so the cross-shard dedup's
+         first-finder attribution is scheduling-independent too *)
+      t.staged <-
+        (shard, Triage.unique_with_cases triage, export) :: t.staged;
+      t.arrived <- t.arrived + 1;
+      let gen = t.generation in
+      if t.arrived >= t.parties then begin
+        release_round t;
+        t.arrived <- 0;
+        t.generation <- t.generation + 1;
+        Condition.broadcast t.cond
+      end
+      else begin
+        while t.generation = gen && not t.aborted do
+          Condition.wait t.cond t.lock
+        done;
+        if t.aborted then raise Aborted
+      end;
+      (* Post-barrier, still under the lock: fold the round-frozen global
+         virgin map back into the shard's own, so branches the campaign
+         already knows stop counting as new there, and collect the foreign
+         store entries this shard has not imported yet. *)
+      ignore (Coverage.Bitmap.merge ~into:virgin t.pull_map);
+      let from =
+        match Hashtbl.find_opt t.cursors shard with
+        | Some i -> i
+        | None -> 0
+      in
+      let n = Reprutil.Vec.length t.store in
+      Hashtbl.replace t.cursors shard n;
+      let acc = ref [] in
+      for i = n - 1 downto from do
+        let owner, entry = Reprutil.Vec.get t.store i in
+        if owner <> shard then acc := entry :: !acc
+      done;
+      !acc)
+
+let exchange_harness_round ?metrics ?crashes_delta t h ~shard ~execs_delta
+    ~export =
+  exchange_round ?metrics ?crashes_delta t ~shard
+    ~virgin:(Harness.virgin h) ~triage:(Harness.triage h) ~execs_delta
+    ~export
+
+(* Seed-only port over a plain seed pool — the exchange capability of the
+   conventional baselines. The cursor lives in the closure: exports drain
+   pool entries admitted since the last call, and it is re-synced after an
+   import so foreign seeds don't echo back out. *)
+let seed_port pool =
+  let cursor = ref 0 in
+  let p_export () =
+    let seeds =
+      List.map
+        (fun s ->
+           { xs_tc = s.Seed_pool.sd_tc;
+             xs_cov_hash = s.Seed_pool.sd_cov_hash;
+             xs_new_branches = s.Seed_pool.sd_new_branches;
+             xs_cost = s.Seed_pool.sd_cost })
+        (Seed_pool.since pool !cursor)
+    in
+    cursor := Seed_pool.size pool;
+    { empty_export with xp_seeds = seeds }
+  in
+  let p_import = function
+    | Seed x ->
+      ignore
+        (Seed_pool.add pool ~tc:x.xs_tc ~cov_hash:x.xs_cov_hash
+           ~new_branches:x.xs_new_branches ~cost:x.xs_cost);
+      cursor := Seed_pool.size pool
+    | Affinity _ | Skeleton _ -> ()
+  in
+  { p_export; p_import }
+
+(* --- aggregate reads -------------------------------------------------- *)
 
 let metrics t = locked t (fun () -> Telemetry.Registry.snapshot t.metrics)
 
@@ -58,16 +283,27 @@ let branches t =
 
 let execs_seen t = locked t (fun () -> t.execs_seen)
 
+let total_crashes t = locked t (fun () -> t.total_crashes)
+
 let rounds t = locked t (fun () -> t.rounds)
+
+let exchanged t = locked t (fun () -> Reprutil.Vec.length t.store)
 
 let unique_crashes t = locked t (fun () -> List.rev t.uniques)
 
-let unique_count t = locked t (fun () -> List.length t.uniques)
+let unique_count t = locked t (fun () -> t.n_uniques)
 
 let bug_ids t =
   locked t (fun () ->
-      List.sort_uniq String.compare
-        (List.map
-           (fun ((c : Minidb.Fault.crash), _) ->
-              c.c_bug.Minidb.Fault.bug_id)
-           t.uniques))
+      match t.bug_ids_memo with
+      | Some ids -> ids
+      | None ->
+        let ids =
+          List.sort_uniq String.compare
+            (List.map
+               (fun ((c : Minidb.Fault.crash), _) ->
+                  c.c_bug.Minidb.Fault.bug_id)
+               t.uniques)
+        in
+        t.bug_ids_memo <- Some ids;
+        ids)

@@ -1,39 +1,114 @@
-(** Cross-shard coverage and crash synchronisation.
+(** Cross-shard coverage, crash and corpus synchronisation.
 
     In a sharded campaign every shard owns a private {!Harness.t} (its own
     exec map, virgin map, and triage) and periodically {e publishes} into
     one shared [Sync.t]: the shard's virgin map is unioned into the global
     virgin map ({!Coverage.Bitmap.merge}) and its unique crashes are
     deduplicated by stack signature against every other shard's. This is
-    the analogue of AFL++'s [-M]/[-S] sync directory, with a bitmap union
-    instead of seed exchange (SQUIRREL's shared-coverage-map model).
+    the analogue of AFL++'s [-M]/[-S] sync directory.
+
+    With an {!exchange} configuration the sync becomes {e bidirectional}
+    (DESIGN.md §10): sync rounds turn into barriered exchange rounds in
+    which each shard also publishes its coverage-increasing seeds and its
+    discovered type-affinities and AST skeletons, then (a) pulls the
+    global virgin map back into its own so branches the campaign already
+    knows stop counting as new, and (b) imports the foreign entries it
+    has not seen. Entries are globally deduplicated (seed cov-hash,
+    affinity pair, printed skeleton SQL) and resolved in (publish round,
+    shard id) order at the round barrier, so the canonical store — and
+    every shard's import sequence — is a pure function of the campaign
+    seed, independent of domain scheduling.
 
     All operations take an internal mutex; publishing is safe from any
     domain. Publish frequency is the campaign's [sync_every] interval. *)
+
+type exchange = { ex_seeds : bool; ex_affinities : bool }
+(** What crosses shards at exchange rounds: coverage-increasing seeds
+    ([ex_seeds]) and/or type-affinities + AST skeletons
+    ([ex_affinities]). The virgin-map pull-back is active whenever either
+    is. *)
+
+val exchange_off : exchange
+(** Publish-only sync: the pre-exchange behaviour, free-running shards. *)
+
+val exchange_all : exchange
+
+val exchange_active : exchange -> bool
+
+type xseed = {
+  xs_tc : Sqlcore.Ast.testcase;
+  xs_cov_hash : int64;      (** coverage digest when first executed *)
+  xs_new_branches : int;    (** new branches when first executed *)
+  xs_cost : int;
+}
+(** A seed as exchanged between shards: the finder's pool entry minus its
+    private selection count. *)
+
+type entry =
+  | Seed of xseed
+  | Affinity of Sqlcore.Stmt_type.t * Sqlcore.Stmt_type.t
+  | Skeleton of Sqlcore.Ast.stmt
+      (** One exchangeable discovery. Fuzzers without an affinity map
+          simply ignore non-[Seed] imports. *)
+
+type export = {
+  xp_seeds : xseed list;
+  xp_affinities : (Sqlcore.Stmt_type.t * Sqlcore.Stmt_type.t) list;
+  xp_skeletons : Sqlcore.Ast.stmt list;
+}
+(** A shard's discoveries since its last export, in discovery order. *)
+
+val empty_export : export
+
+type port = {
+  p_export : unit -> export;
+      (** Drain the fuzzer's discoveries since the last call. *)
+  p_import : entry -> unit;
+      (** Fold one foreign entry into the fuzzer's own stores (seed pool /
+          affinity map / skeleton library). Must not touch the fuzzer's
+          RNG: import is applied in the deterministic store order and all
+          randomness stays on the shard's own stream. *)
+}
+(** A fuzzer's exchange capability (carried as
+    {!Driver.fuzzer.f_exchange}). The four baselines export and import
+    seeds only; LEGO exchanges all three kinds. *)
+
+exception Aborted
+(** Raised by {!exchange_round} on every other shard after {!abort} —
+    e.g. when one shard died and would otherwise leave the rest waiting
+    at the barrier forever. *)
 
 type t
 
 val default_interval : int
 (** Executions between syncs when unspecified (4096). *)
 
-val create : ?interval:int -> unit -> t
+val create : ?interval:int -> ?exchange:exchange -> ?parties:int -> unit -> t
+(** [parties] is the number of shards meeting at each exchange-round
+    barrier (default 1; only meaningful with an active [exchange],
+    default {!exchange_off}). *)
 
 val interval : t -> int
 (** The configured sync interval in executions (clamped to ≥ 1). *)
 
+val exchange_config : t -> exchange
+
 val publish :
   ?metrics:Telemetry.Registry.t ->
+  ?crashes_delta:int ->
   t ->
   virgin:Coverage.Bitmap.t ->
   triage:Triage.t ->
   execs_delta:int ->
   int
-(** One sync round: union a shard's virgin map into the global map and
-    fold its unique crashes into the cross-shard dedup table. Returns the
-    number of global virgin cells whose bucket set grew. [execs_delta] is
-    the number of executions the shard performed since its last publish
-    (drives {!execs_seen} for aggregate progress reporting). Re-publishing
-    the same state is idempotent: zero news, no duplicate crashes.
+(** One publish-only sync round: union a shard's virgin map into the
+    global map and fold its unique crashes into the cross-shard dedup
+    table. Returns the number of global virgin cells whose bucket set
+    grew. [execs_delta] and [crashes_delta] are the executions and {e
+    total} (not unique) crashes the shard accumulated since its last
+    publish; they drive {!execs_seen} and {!total_crashes} for aggregate
+    progress reporting. Re-publishing the same state is idempotent:
+    zero news, no duplicate crashes.
 
     [metrics], when given, must be the {e delta} registry since the
     shard's last publish ({!Telemetry.Registry.diff}); it is merged into
@@ -42,8 +117,63 @@ val publish :
     counter/histogram merge correct across repeated publishes. *)
 
 val publish_harness :
-  ?metrics:Telemetry.Registry.t -> t -> Harness.t -> execs_delta:int -> int
+  ?metrics:Telemetry.Registry.t ->
+  ?crashes_delta:int ->
+  t ->
+  Harness.t ->
+  execs_delta:int ->
+  int
 (** {!publish} with the virgin map and triage taken from a harness. *)
+
+val exchange_round :
+  ?metrics:Telemetry.Registry.t ->
+  ?crashes_delta:int ->
+  t ->
+  shard:int ->
+  virgin:Coverage.Bitmap.t ->
+  triage:Triage.t ->
+  execs_delta:int ->
+  export:export ->
+  entry list
+(** One barriered bidirectional round. Publishes like {!publish} (except
+    crashes, which are staged and folded in shard-id order at the
+    barrier so first-finder attribution is deterministic), stages
+    [export], then blocks until all [parties] shards of this round have
+    arrived. The last arrival resolves the round: staged entries are
+    deduplicated into the canonical store sorted by shard id, and the
+    global virgin map is frozen for this round's pulls. On wake-up the
+    shard's [virgin] map absorbs the frozen global map (the pull-back)
+    and the call returns the store entries this shard has not imported
+    yet, excluding its own, in canonical order — apply them through the
+    fuzzer's {!port}.
+
+    Every shard must call this the same number of times (the campaign
+    derives a fixed round count from the budget); a shard whose budget is
+    exhausted keeps joining with empty deltas. Kinds disabled in the
+    {!exchange} configuration are dropped at staging time.
+    @raise Aborted after {!abort}. *)
+
+val exchange_harness_round :
+  ?metrics:Telemetry.Registry.t ->
+  ?crashes_delta:int ->
+  t ->
+  Harness.t ->
+  shard:int ->
+  execs_delta:int ->
+  export:export ->
+  entry list
+(** {!exchange_round} with virgin map and triage taken from a harness. *)
+
+val abort : t -> unit
+(** Wake every shard blocked at the exchange barrier with {!Aborted};
+    idempotent. Called when a shard dies so the campaign can fail instead
+    of hanging. *)
+
+val seed_port : Seed_pool.t -> port
+(** Seed-only exchange over a plain seed pool: export drains seeds
+    admitted since the previous export, import folds foreign seeds into
+    the pool (affinity/skeleton entries are ignored). The capability the
+    four baselines carry. *)
 
 val metrics : t -> Telemetry.Registry.t
 (** Snapshot of the global metric registry — the union of all published
@@ -56,8 +186,14 @@ val branches : t -> int
 val execs_seen : t -> int
 (** Total executions published so far across all shards. *)
 
+val total_crashes : t -> int
+(** Total (non-unique) crashes published so far across all shards. *)
+
 val rounds : t -> int
-(** Publish calls so far. *)
+(** Publish calls so far (exchange rounds count one per shard). *)
+
+val exchanged : t -> int
+(** Entries in the canonical exchange store (post-dedup). *)
 
 val unique_crashes :
   t -> (Minidb.Fault.crash * Sqlcore.Ast.testcase option) list
@@ -65,6 +201,8 @@ val unique_crashes :
     reproducer test case of the shard that found it first. *)
 
 val unique_count : t -> int
+(** O(1): maintained on insert, never recomputed from the list. *)
 
 val bug_ids : t -> string list
-(** Distinct injected-bug ids among the cross-shard unique crashes. *)
+(** Distinct injected-bug ids among the cross-shard unique crashes.
+    Memoized; recomputed only after a new unique crash was inserted. *)

@@ -89,6 +89,21 @@ let test_fig3_affinity_extraction () =
   Alcotest.(check bool) "create trigger->select" true
     (A.mem t Stmt_type.Create_trigger Stmt_type.Select)
 
+let test_discovery_log () =
+  (* The append-only log drains exactly the pairs accepted by [add], in
+     discovery order, duplicates excluded — the exchange export cursor
+     relies on all three properties. *)
+  let t = A.create () in
+  ignore (A.add t Stmt_type.Create_table Stmt_type.Insert);
+  ignore (A.add t Stmt_type.Create_table Stmt_type.Insert);
+  ignore (A.add t Stmt_type.Insert Stmt_type.Select);
+  Alcotest.(check int) "duplicates not logged" 2 (A.log_length t);
+  Alcotest.(check bool) "suffix since cursor" true
+    (A.log_since t 1 = [ (Stmt_type.Insert, Stmt_type.Select) ]);
+  Alcotest.(check int) "full log from zero" 2 (List.length (A.log_since t 0));
+  Alcotest.(check int) "empty past the end" 0
+    (List.length (A.log_since t (A.log_length t)))
+
 (* Property: count equals the number of distinct adjacent unequal pairs. *)
 let prop_count_matches_pairs =
   let gen_seq =
@@ -118,4 +133,5 @@ let suite =
     ("successors sorted", `Quick, test_successors_sorted);
     ("of_corpus", `Quick, test_of_corpus);
     ("fig3 affinity extraction", `Quick, test_fig3_affinity_extraction);
+    ("discovery log", `Quick, test_discovery_log);
     QCheck_alcotest.to_alcotest prop_count_matches_pairs ]

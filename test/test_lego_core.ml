@@ -135,6 +135,29 @@ let test_skeleton_harvest_pick () =
   Alcotest.(check int) "types covered" 2
     (Lego.Skeleton_library.types_covered lib)
 
+let test_skeleton_journal_and_store () =
+  (* Harvested structures are journaled for exchange export; [store]d
+     (imported) ones are kept but never journaled, so importers can't
+     re-export foreign structures. *)
+  let lib = Lego.Skeleton_library.create () in
+  let tc = parse "CREATE TABLE t (a INT); INSERT INTO t VALUES (1);" in
+  ignore (Lego.Skeleton_library.harvest lib tc);
+  Alcotest.(check int) "harvest journals" 2
+    (Lego.Skeleton_library.journal_length lib);
+  Alcotest.(check int) "journal suffix" 1
+    (List.length (Lego.Skeleton_library.journal_since lib 1));
+  let foreign = List.hd (parse "SELECT 1;") in
+  Alcotest.(check bool) "store accepts fresh" true
+    (Lego.Skeleton_library.store lib foreign);
+  Alcotest.(check bool) "store dedups" false
+    (Lego.Skeleton_library.store lib foreign);
+  Alcotest.(check int) "stored counted" 3 (Lego.Skeleton_library.count lib);
+  Alcotest.(check int) "stored not journaled" 2
+    (Lego.Skeleton_library.journal_length lib);
+  (match Lego.Skeleton_library.pick lib (Rng.create 1) Stmt_type.Select with
+   | Some (Ast.S_select _) -> ()
+   | _ -> Alcotest.fail "expected the stored select to be pickable")
+
 (* --- conventional mutation ------------------------------------------ *)
 
 let prop_conventional_preserves_type_sequence =
@@ -243,6 +266,7 @@ let suite =
     ("repair clamps deep exprs", `Quick, test_repair_clamps_deep_exprs);
     QCheck_alcotest.to_alcotest prop_instantiate_preserves_type_sequence;
     ("skeleton harvest/pick", `Quick, test_skeleton_harvest_pick);
+    ("skeleton journal/store", `Quick, test_skeleton_journal_and_store);
     QCheck_alcotest.to_alcotest prop_conventional_preserves_type_sequence;
     ("conventional changes something", `Quick,
      test_conventional_changes_something);
