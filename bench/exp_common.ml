@@ -48,6 +48,20 @@ let exchange =
   | Some "off" -> Fuzz.Sync.exchange_off
   | _ -> Fuzz.Sync.exchange_all
 
+(* REPRO_ORACLES=on replays coverage-increasing executions through the
+   logic-bug oracle suite; the default matches the CLI: off, keeping the
+   published EXPERIMENTS.md numbers and exec rates untouched. *)
+let oracles =
+  match Sys.getenv_opt "REPRO_ORACLES" with
+  | Some "on" -> true
+  | _ -> false
+
+let oracle_harness profile =
+  if oracles then
+    Some
+      (Fuzz.Harness.create ~profile ~oracles:(Oracle.Suite.create profile) ())
+  else None
+
 let continuous_budget = budget * 3
 
 let dialects = Dialects.Registry.all
@@ -128,28 +142,34 @@ let make_lego ?(seq = true) ?(max_seq_len = 5) ?(seed = 1) profile =
           max_seq_len;
           seed = Fuzz.Campaign.shard_seed ~seed ~shard_id }
       in
-      let t = Lego.Lego_fuzzer.create ~config profile in
+      let t =
+        Lego.Lego_fuzzer.create ~config ?harness:(oracle_harness profile)
+          profile
+      in
       (Lego.Lego_fuzzer.fuzzer t, Some t) )
 
 let make_baseline name create fuzzer ?(seed = 1) profile =
   ( name,
     fun shard_id ->
-      (fuzzer (create ~seed:(Fuzz.Campaign.shard_seed ~seed ~shard_id) profile),
+      (fuzzer
+         (create
+            ~seed:(Fuzz.Campaign.shard_seed ~seed ~shard_id)
+            ~harness:(oracle_harness profile) profile),
        None) )
 
 let make_squirrel profile =
   make_baseline "SQUIRREL"
-    (fun ~seed p -> Baselines.Squirrel_sim.create ~seed p)
+    (fun ~seed ~harness p -> Baselines.Squirrel_sim.create ~seed ?harness p)
     Baselines.Squirrel_sim.fuzzer profile
 
 let make_sqlancer profile =
   make_baseline "SQLancer"
-    (fun ~seed p -> Baselines.Sqlancer_sim.create ~seed p)
+    (fun ~seed ~harness p -> Baselines.Sqlancer_sim.create ~seed ?harness p)
     Baselines.Sqlancer_sim.fuzzer profile
 
 let make_sqlsmith profile =
   make_baseline "SQLsmith"
-    (fun ~seed p -> Baselines.Sqlsmith_sim.create ~seed p)
+    (fun ~seed ~harness p -> Baselines.Sqlsmith_sim.create ~seed ?harness p)
     Baselines.Sqlsmith_sim.fuzzer profile
 
 (* --- table rendering ------------------------------------------------ *)

@@ -78,6 +78,16 @@ let sync_affinities_arg =
 let exchange_of ~sync_seeds ~sync_affinities =
   { Fuzz.Sync.ex_seeds = sync_seeds; ex_affinities = sync_affinities }
 
+let oracles_arg =
+  let doc =
+    "Logic-bug oracles: replay every coverage-increasing, non-crashing \
+     execution through the differential-plan, TLP-partitioning and \
+     rewrite-consistency oracles (SQLancer-style) on a fault-free engine; \
+     unique violations are reported and reduced like crashes. $(b,on) or \
+     $(b,off)."
+  in
+  Arg.(value & opt onoff false & info [ "oracles" ] ~docv:"on|off" ~doc)
+
 let telemetry_arg =
   let doc =
     "Telemetry recording: $(b,none) (console only; byte-identical output \
@@ -99,18 +109,31 @@ let json_arg =
 
 (* Validate the fuzzer name up front and return a shard factory: fuzzer
    construction is deferred into the shard's domain by the campaign
-   engine (it executes the initial corpus). *)
-let make_fuzzer name profile seed =
+   engine (it executes the initial corpus). With [oracles] on, each shard
+   gets a harness wired to its own oracle suite — suites hold replay
+   state and must stay domain-private like the harness itself. *)
+let make_fuzzer ?(oracles = false) name profile seed =
+  let harness () =
+    if oracles then
+      Some
+        (Fuzz.Harness.create ~profile
+           ~oracles:(Oracle.Suite.create profile) ())
+    else None
+  in
   let lego ~seq shard_id =
     let cfg =
       { Lego.Lego_fuzzer.default_config with
         seed = Fuzz.Campaign.shard_seed ~seed ~shard_id;
         sequence_oriented = seq }
     in
-    Lego.Lego_fuzzer.fuzzer (Lego.Lego_fuzzer.create ~config:cfg profile)
+    Lego.Lego_fuzzer.fuzzer
+      (Lego.Lego_fuzzer.create ~config:cfg ?harness:(harness ()) profile)
   in
   let baseline create fuzzer shard_id =
-    fuzzer (create ~seed:(Fuzz.Campaign.shard_seed ~seed ~shard_id) profile)
+    fuzzer
+      (create
+         ~seed:(Fuzz.Campaign.shard_seed ~seed ~shard_id)
+         ?harness:(harness ()) profile)
   in
   match String.lowercase_ascii name with
   | "lego" -> Ok (lego ~seq:true)
@@ -118,17 +141,17 @@ let make_fuzzer name profile seed =
   | "squirrel" ->
     Ok
       (baseline
-         (fun ~seed p -> Baselines.Squirrel_sim.create ~seed p)
+         (fun ~seed ?harness p -> Baselines.Squirrel_sim.create ~seed ?harness p)
          Baselines.Squirrel_sim.fuzzer)
   | "sqlancer" ->
     Ok
       (baseline
-         (fun ~seed p -> Baselines.Sqlancer_sim.create ~seed p)
+         (fun ~seed ?harness p -> Baselines.Sqlancer_sim.create ~seed ?harness p)
          Baselines.Sqlancer_sim.fuzzer)
   | "sqlsmith" ->
     Ok
       (baseline
-         (fun ~seed p -> Baselines.Sqlsmith_sim.create ~seed p)
+         (fun ~seed ?harness p -> Baselines.Sqlsmith_sim.create ~seed ?harness p)
          Baselines.Sqlsmith_sim.fuzzer)
   | other ->
     Error
@@ -184,10 +207,13 @@ let sink_stack ~json ~telemetry ~name =
     let recorder, path = Telemetry.Sink.jsonl ~name () in
     (Telemetry.Sink.tee [ console; recorder ], Some path)
 
-let registry_dumps ~prefix sink (res : Fuzz.Campaign.result) =
+let registry_dumps ?aggregate ~prefix sink (res : Fuzz.Campaign.result) =
+  let aggregate =
+    match aggregate with Some r -> r | None -> res.Fuzz.Campaign.cg_metrics
+  in
   Telemetry.Sink.emit sink
     (Telemetry.Event.Registry_dump
-       { series = prefix ^ "aggregate"; registry = res.cg_metrics });
+       { series = prefix ^ "aggregate"; registry = aggregate });
   if List.length res.cg_shards > 1 then
     List.iter
       (fun (sh : Fuzz.Campaign.shard) ->
@@ -211,8 +237,8 @@ let fuzz_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "save" ] ~docv:"DIR" ~doc)
   in
   let run fuzzer profile execs seed jobs sync_every sync_seeds
-      sync_affinities telemetry json save =
-    match make_fuzzer fuzzer profile seed with
+      sync_affinities oracles telemetry json save =
+    match make_fuzzer ~oracles fuzzer profile seed with
     | Error (`Msg m) ->
       prerr_endline m;
       exit 2
@@ -237,7 +263,8 @@ let fuzz_cmd =
              ("jobs", Telemetry.Json.Int jobs);
              ("sync_every", Telemetry.Json.Int sync_every);
              ("sync_seeds", Telemetry.Json.Bool sync_seeds);
-             ("sync_affinities", Telemetry.Json.Bool sync_affinities) ]);
+             ("sync_affinities", Telemetry.Json.Bool sync_affinities);
+             ("oracles", Telemetry.Json.Bool oracles) ]);
       let start = Telemetry.Span.now_s () in
       let res =
         Fuzz.Campaign.run ~checkpoint_every:(max 1 (execs / 5)) ~sync_every
@@ -248,11 +275,17 @@ let fuzz_cmd =
         (summary_event ~name:fuzzer ~shards:(shard_points res)
            ~sync_rounds:res.Fuzz.Campaign.cg_sync_rounds ~wall_s
            res.Fuzz.Campaign.cg_snapshot);
-      registry_dumps ~prefix:"" sink res;
-      Telemetry.Sink.close sink;
       (match save with
        | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
        | _ -> ());
+      (* Post-campaign registry: the reduce stage happens after the
+         campaign's own metrics were snapshotted, so its span and try
+         counter are collected separately and merged into the aggregate
+         registry dump below — "reduce" then shows up in the stage
+         breakdown of [legofuzz report] next to execute/triage. *)
+      let post = Telemetry.Registry.create () in
+      let sp_reduce = Telemetry.Span.stage post "reduce" in
+      let c_tries = Telemetry.Registry.counter post "reducer.tries" in
       List.iter
         (fun ((c : Minidb.Fault.crash), testcase) ->
            if not json then Format.printf "@.%a@." Minidb.Fault.pp_crash c;
@@ -261,10 +294,12 @@ let fuzz_cmd =
            | Some tc ->
              (* ship a minimized reproducer, like the paper's Fig. 3/7 *)
              let bug_id = c.Minidb.Fault.c_bug.Minidb.Fault.bug_id in
-             let reduced =
-               (Fuzz.Reducer.reduce ~profile ~max_tries:256 ~bug_id tc)
-                 .Fuzz.Reducer.r_testcase
+             let out =
+               Telemetry.Span.time sp_reduce (fun () ->
+                   Fuzz.Reducer.reduce ~profile ~max_tries:256 ~bug_id tc)
              in
+             Telemetry.Registry.incr ~by:out.Fuzz.Reducer.r_tries c_tries;
+             let reduced = out.Fuzz.Reducer.r_testcase in
              let sql = Sqlcore.Sql_printer.testcase reduced in
              if not json then
                Printf.printf "reproducer (%d statements):\n%s\n"
@@ -277,6 +312,47 @@ let fuzz_cmd =
                     Out_channel.output_string oc (sql ^ "\n"));
                 if not json then Printf.printf "saved to %s\n" path))
         res.Fuzz.Campaign.cg_crashes;
+      (* Logic-bug findings: same pipeline as crashes — print, reduce with
+         the violation's oracle as the interestingness predicate, save. *)
+      List.iteri
+        (fun i ((v : Oracle.Violation.t), testcase) ->
+           if not json then Format.printf "@.%a@." Oracle.Violation.pp v;
+           match testcase with
+           | None -> ()
+           | Some tc ->
+             let suite = Oracle.Suite.create profile in
+             let key = Oracle.Violation.key v in
+             let pred candidate =
+               List.exists
+                 (fun v' -> String.equal (Oracle.Violation.key v') key)
+                 (Oracle.Suite.check suite candidate)
+                   .Oracle.Suite.oc_violations
+             in
+             let out =
+               Telemetry.Span.time sp_reduce (fun () ->
+                   Fuzz.Reducer.reduce_with ~pred ~max_tries:256 tc)
+             in
+             Telemetry.Registry.incr ~by:out.Fuzz.Reducer.r_tries c_tries;
+             let reduced = out.Fuzz.Reducer.r_testcase in
+             let sql = Sqlcore.Sql_printer.testcase reduced in
+             if not json then
+               Printf.printf "reproducer (%d statements):\n%s\n"
+                 (List.length reduced) sql;
+             (match save with
+              | None -> ()
+              | Some dir ->
+                let path =
+                  Filename.concat dir
+                    (Printf.sprintf "logic-%s-%d.sql" v.Oracle.Violation.vi_oracle i)
+                in
+                Out_channel.with_open_text path (fun oc ->
+                    Out_channel.output_string oc (sql ^ "\n"));
+                if not json then Printf.printf "saved to %s\n" path))
+        res.Fuzz.Campaign.cg_logic;
+      let aggregate = Telemetry.Registry.snapshot res.Fuzz.Campaign.cg_metrics in
+      Telemetry.Registry.merge ~into:aggregate post;
+      registry_dumps ~aggregate ~prefix:"" sink res;
+      Telemetry.Sink.close sink;
       match recording with
       | Some path when not json -> Printf.printf "telemetry: %s\n" path
       | _ -> ()
@@ -284,7 +360,7 @@ let fuzz_cmd =
   let term =
     Term.(const run $ fuzzer_arg $ dialect_arg $ execs_arg $ seed_arg
           $ jobs_arg $ sync_arg $ sync_seeds_arg $ sync_affinities_arg
-          $ telemetry_arg $ json_arg $ save_arg)
+          $ oracles_arg $ telemetry_arg $ json_arg $ save_arg)
   in
   Cmd.v (Cmd.info "fuzz" ~doc:"Run one fuzzer on one simulated DBMS.") term
 

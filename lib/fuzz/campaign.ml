@@ -9,6 +9,7 @@ type result = {
   cg_snapshot : Driver.snapshot;
   cg_shards : shard list;
   cg_crashes : (Minidb.Fault.crash * Sqlcore.Ast.testcase option) list;
+  cg_logic : (Oracle.Violation.t * Sqlcore.Ast.testcase option) list;
   cg_sync_rounds : int;
   cg_metrics : Telemetry.Registry.t;
 }
@@ -161,6 +162,7 @@ let sequential ?checkpoint_every ?(on_checkpoint = fun _ -> ()) ~sink
     cg_shards =
       [ { sh_id = 0; sh_seed_offset = 0; sh_snapshot = snap; sh_fuzzer = fz } ];
     cg_crashes = Triage.unique_with_cases tri;
+    cg_logic = Triage.unique_logic tri;
     cg_sync_rounds = 0;
     (* a snapshot, like the sharded path returns: the caller gets the
        campaign's metrics as of completion, not a live registry that
@@ -276,6 +278,7 @@ let run ?(checkpoint_every = 0) ?(on_checkpoint = fun _ -> ()) ?sync_every
     { cg_snapshot = aggregate;
       cg_shards = shards;
       cg_crashes = Sync.unique_crashes sync;
+      cg_logic = Sync.unique_logic sync;
       cg_sync_rounds = Sync.rounds sync;
       cg_metrics = Sync.metrics sync }
   end

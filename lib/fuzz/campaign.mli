@@ -41,6 +41,10 @@ type result = {
   cg_shards : shard list;  (** in shard-id order *)
   cg_crashes : (Minidb.Fault.crash * Sqlcore.Ast.testcase option) list;
       (** cross-shard unique crashes with first-finder reproducers *)
+  cg_logic : (Oracle.Violation.t * Sqlcore.Ast.testcase option) list;
+      (** cross-shard unique logic-bug findings (empty when the harness
+          runs without an oracle suite), deduplicated by
+          {!Oracle.Violation.key} with first-finder reproducers *)
   cg_sync_rounds : int;
   cg_metrics : Telemetry.Registry.t;
       (** the campaign's merged metric registry — always a completion-time

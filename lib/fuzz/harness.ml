@@ -6,6 +6,7 @@ type outcome = {
   o_errors : int;
   o_executed : int;
   o_cost : int;
+  o_violations : int;
 }
 
 type t = {
@@ -24,11 +25,40 @@ type t = {
   h_h_cost : Telemetry.Registry.histogram;
   h_sp_execute : Telemetry.Span.t;
   h_sp_triage : Telemetry.Span.t;
+  h_oracles : oracle_state option;
 }
 
-let create ?(limits = Minidb.Limits.default) ?metrics ~profile () =
+and oracle_state = {
+  os_suite : Oracle.Suite.t;
+  (* per-oracle (checks, violations) counters, in Suite.oracle_names
+     order, created up front so a zero-violation campaign still exports
+     the full oracle.* namespace *)
+  os_counters :
+    (string * (Telemetry.Registry.counter * Telemetry.Registry.counter))
+      list;
+  os_span : Telemetry.Span.t;
+}
+
+let create ?(limits = Minidb.Limits.default) ?metrics ?oracles ~profile () =
   let m =
     match metrics with Some m -> m | None -> Telemetry.Registry.create ()
+  in
+  let oracle_state =
+    match oracles with
+    | None -> None
+    | Some suite ->
+      Some
+        { os_suite = suite;
+          os_counters =
+            List.map
+              (fun name ->
+                 ( name,
+                   ( Telemetry.Registry.counter m
+                       ("oracle." ^ name ^ ".checks"),
+                     Telemetry.Registry.counter m
+                       ("oracle." ^ name ^ ".violations") ) ))
+              Oracle.Suite.oracle_names;
+          os_span = Telemetry.Span.stage m "oracle" }
   in
   { h_profile = profile; h_limits = limits;
     h_virgin = Coverage.Bitmap.create ();
@@ -42,7 +72,8 @@ let create ?(limits = Minidb.Limits.default) ?metrics ~profile () =
       Telemetry.Registry.counter m "harness.unique_crashes";
     h_h_cost = Telemetry.Registry.histogram m "harness.exec_cost";
     h_sp_execute = Telemetry.Span.stage m "execute";
-    h_sp_triage = Telemetry.Span.stage m "triage" }
+    h_sp_triage = Telemetry.Span.stage m "triage";
+    h_oracles = oracle_state }
 
 let profile t = t.h_profile
 
@@ -74,13 +105,42 @@ let execute t tc =
       is_new
   in
   Telemetry.Registry.observe t.h_h_cost stats.rs_cost;
+  (* Logic-bug oracles only replay coverage-increasing, non-crashing test
+     cases: new coverage is the paper's interestingness signal, and a
+     crashing case already carries a stronger verdict. *)
+  let violations =
+    match t.h_oracles with
+    | Some os when news > 0 && crash = None ->
+      let outcome =
+        Telemetry.Span.time os.os_span (fun () ->
+            Oracle.Suite.check os.os_suite tc)
+      in
+      List.iter
+        (fun (name, n) ->
+           match List.assoc_opt name os.os_counters with
+           | Some (checks, _) when n > 0 ->
+             Telemetry.Registry.incr ~by:n checks
+           | _ -> ())
+        outcome.Oracle.Suite.oc_checks;
+      List.iter
+        (fun v ->
+           (match List.assoc_opt v.Oracle.Violation.vi_oracle os.os_counters
+            with
+            | Some (_, violations) -> Telemetry.Registry.incr violations
+            | None -> ());
+           ignore (Triage.record_logic t.h_triage ~testcase:tc v))
+        outcome.Oracle.Suite.oc_violations;
+      List.length outcome.Oracle.Suite.oc_violations
+    | _ -> 0
+  in
   { o_new_branches = news;
     o_cov_hash = Coverage.Bitmap.hash t.h_exec_map;
     o_crash = crash;
     o_crash_is_new = crash_is_new;
     o_errors = stats.rs_errors;
     o_executed = stats.rs_executed;
-    o_cost = stats.rs_cost }
+    o_cost = stats.rs_cost;
+    o_violations = violations }
 
 let execs t = t.h_execs
 

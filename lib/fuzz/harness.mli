@@ -32,6 +32,8 @@ type outcome = {
   o_errors : int;        (** statements that failed with SQL errors *)
   o_executed : int;
   o_cost : int;          (** execution cost proxy *)
+  o_violations : int;    (** logic-bug oracle violations (0 when oracles
+                             are off) *)
 }
 
 type t
@@ -39,11 +41,21 @@ type t
 val create :
   ?limits:Minidb.Limits.t ->
   ?metrics:Telemetry.Registry.t ->
+  ?oracles:Oracle.Suite.t ->
   profile:Minidb.Profile.t ->
   unit ->
   t
 (** [metrics] defaults to a fresh private registry; pass one to share a
-    registry between a harness and its fuzzer's own stage spans. *)
+    registry between a harness and its fuzzer's own stage spans.
+
+    [oracles], when given, replays every coverage-increasing non-crashing
+    execution through the logic-bug oracle suite: violations are
+    deduplicated into this harness's triage ({!Triage.record_logic}) and
+    counted under [oracle.<name>.checks] / [oracle.<name>.violations]
+    (all counters are pre-created so the namespace exports even when
+    everything passes), with replay time under the [oracle] stage span.
+    Omitted (the default), behaviour — including every metric — is
+    byte-identical to earlier builds. *)
 
 val profile : t -> Minidb.Profile.t
 

@@ -13,7 +13,7 @@ let crashes_with ~profile ?(limits = Minidb.Limits.default) ~bug_id tc =
   | Some crash -> crash.Minidb.Fault.c_bug.Minidb.Fault.bug_id = bug_id
   | None -> false
 
-(* Replace every literal with a simpler one where the crash survives:
+(* Replace every literal with a simpler one where the property survives:
    readable repro cases use 0/''/NULL, not 22471185.000000. *)
 let simplify_literals ~oracle ~oracle_candidate tries stmt_list =
   let simpler = function
@@ -56,16 +56,11 @@ let simplify_literals ~oracle ~oracle_candidate tries stmt_list =
     stmt_list;
   !current
 
-let reduce ~profile ?(limits = Minidb.Limits.default) ?(max_tries = 2048)
-    ~bug_id tc =
+let reduce_with ~pred ?(max_tries = 2048) tc =
   let tries = ref 0 in
-  (* budget check (no execution) and the crash oracle itself *)
+  (* budget check (no execution) and the interestingness oracle itself *)
   let within_budget () = !tries < max_tries in
-  let oracle_candidate candidate =
-    crashes_with ~profile ~limits ~bug_id candidate
-  in
-  if not (crashes_with ~profile ~limits ~bug_id tc) then
-    { r_testcase = tc; r_tries = 1; r_removed = 0 }
+  if not (pred tc) then { r_testcase = tc; r_tries = 1; r_removed = 0 }
   else begin
     tries := 1;
     (* Pass 1: drop statements until 1-minimal (greedy, repeated). *)
@@ -80,7 +75,7 @@ let reduce ~profile ?(limits = Minidb.Limits.default) ?(max_tries = 2048)
         if List.length !current > 1 then begin
           let candidate = List.filteri (fun j _ -> j <> !i) !current in
           incr tries;
-          if oracle_candidate candidate then begin
+          if pred candidate then begin
             current := candidate;
             progress := true
           end
@@ -90,13 +85,17 @@ let reduce ~profile ?(limits = Minidb.Limits.default) ?(max_tries = 2048)
     done;
     (* Pass 2: simplify literals inside the survivors. *)
     let simplified =
-      simplify_literals ~oracle:within_budget ~oracle_candidate tries !current
+      simplify_literals ~oracle:within_budget ~oracle_candidate:pred tries
+        !current
     in
-    let simplified =
-      if crashes_with ~profile ~limits ~bug_id simplified then simplified
-      else !current
-    in
+    let simplified = if pred simplified then simplified else !current in
     { r_testcase = simplified;
       r_tries = !tries;
       r_removed = List.length tc - List.length simplified }
   end
+
+let reduce ~profile ?(limits = Minidb.Limits.default) ?max_tries ~bug_id tc =
+  (* bind the limits once: every oracle execution of this reduction reuses
+     the same record instead of re-resolving the optional default per try *)
+  let pred = crashes_with ~profile ~limits ~bug_id in
+  reduce_with ~pred ?max_tries tc

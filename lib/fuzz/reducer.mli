@@ -22,6 +22,18 @@ val crashes_with :
 (** Oracle: does this test case, on a fresh engine, crash with exactly
     this bug? *)
 
+val reduce_with :
+  pred:(Sqlcore.Ast.testcase -> bool) ->
+  ?max_tries:int ->
+  Sqlcore.Ast.testcase ->
+  outcome
+(** Shrink while the pluggable interestingness predicate stays true —
+    [pred] may replay a crash ({!crashes_with}) or re-run a logic-bug
+    oracle ({!Oracle.Suite.check}). The result is 1-minimal at the
+    statement level: removing any single remaining statement loses the
+    property (up to [max_tries] predicate executions, default 2048). If
+    the input does not satisfy [pred], it is returned unchanged. *)
+
 val reduce :
   profile:Minidb.Profile.t ->
   ?limits:Minidb.Limits.t ->
@@ -29,7 +41,5 @@ val reduce :
   bug_id:string ->
   Sqlcore.Ast.testcase ->
   outcome
-(** Shrink while {!crashes_with} stays true. The result is 1-minimal at
-    the statement level: removing any single remaining statement loses the
-    crash (up to [max_tries], default 2048). If the input does not crash
-    with [bug_id], it is returned unchanged. *)
+(** {!reduce_with} with [pred] bound once to
+    [crashes_with ~profile ~limits ~bug_id]. *)

@@ -43,6 +43,13 @@ type t = {
     (Minidb.Fault.crash * Sqlcore.Ast.testcase option) list;
       (* reverse first-published order *)
   mutable n_uniques : int;  (* = List.length uniques, kept O(1) *)
+  lseen : (string, unit) Hashtbl.t;
+      (* logic-bug signatures (Oracle.Violation.key), deduped like crash
+         stacks *)
+  mutable logic_uniques :
+    (Oracle.Violation.t * Sqlcore.Ast.testcase option) list;
+      (* reverse first-published order *)
+  mutable n_logic : int;
   mutable bug_ids_memo : string list option;
       (* sorted distinct bug ids; invalidated on unique insert *)
   mutable rounds : int;
@@ -60,6 +67,7 @@ type t = {
   mutable staged :
     (int
      * (Minidb.Fault.crash * Sqlcore.Ast.testcase option) list
+     * (Oracle.Violation.t * Sqlcore.Ast.testcase option) list
      * export)
       list;  (* this round's publishes, resolved sorted at release *)
   store : (int * entry) Reprutil.Vec.t;
@@ -83,6 +91,9 @@ let create ?(interval = default_interval) ?(exchange = exchange_off)
     seen = Hashtbl.create 32;
     uniques = [];
     n_uniques = 0;
+    lseen = Hashtbl.create 16;
+    logic_uniques = [];
+    n_logic = 0;
     bug_ids_memo = None;
     rounds = 0;
     execs_seen = 0;
@@ -120,6 +131,14 @@ let note_unique t ((crash, _) as u) =
     t.bug_ids_memo <- None
   end
 
+let note_logic t ((violation, _) as u) =
+  let key = Oracle.Violation.key violation in
+  if not (Hashtbl.mem t.lseen key) then begin
+    Hashtbl.replace t.lseen key ();
+    t.logic_uniques <- u :: t.logic_uniques;
+    t.n_logic <- t.n_logic + 1
+  end
+
 (* Caller holds the lock. Common bookkeeping of one shard publish. *)
 let publish_locked ?metrics t ~virgin ~execs_delta ~crashes_delta =
   t.rounds <- t.rounds + 1;
@@ -136,6 +155,7 @@ let publish ?metrics ?(crashes_delta = 0) t ~virgin ~triage ~execs_delta =
         publish_locked ?metrics t ~virgin ~execs_delta ~crashes_delta
       in
       List.iter (note_unique t) (Triage.unique_with_cases triage);
+      List.iter (note_logic t) (Triage.unique_logic triage);
       news)
 
 let publish_harness ?metrics ?crashes_delta t h ~execs_delta =
@@ -152,12 +172,13 @@ let publish_harness ?metrics ?crashes_delta t h ~execs_delta =
    first to arrive. *)
 let release_round t =
   let staged =
-    List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b) t.staged
+    List.sort (fun (a, _, _, _) (b, _, _, _) -> Int.compare a b) t.staged
   in
   t.staged <- [];
   List.iter
-    (fun (shard, crashes, export) ->
+    (fun (shard, crashes, logic, export) ->
        List.iter (note_unique t) crashes;
+       List.iter (note_logic t) logic;
        if t.exchange.ex_seeds then
          List.iter
            (fun s ->
@@ -202,10 +223,13 @@ let exchange_round ?metrics ?(crashes_delta = 0) t ~shard ~virgin ~triage
       if t.aborted then raise Aborted;
       ignore
         (publish_locked ?metrics t ~virgin ~execs_delta ~crashes_delta);
-      (* crashes are staged, not folded, so the cross-shard dedup's
-         first-finder attribution is scheduling-independent too *)
+      (* crashes and logic-bug signatures are staged, not folded, so the
+         cross-shard dedup's first-finder attribution is
+         scheduling-independent too *)
       t.staged <-
-        (shard, Triage.unique_with_cases triage, export) :: t.staged;
+        (shard, Triage.unique_with_cases triage, Triage.unique_logic triage,
+         export)
+        :: t.staged;
       t.arrived <- t.arrived + 1;
       let gen = t.generation in
       if t.arrived >= t.parties then begin
@@ -292,6 +316,10 @@ let exchanged t = locked t (fun () -> Reprutil.Vec.length t.store)
 let unique_crashes t = locked t (fun () -> List.rev t.uniques)
 
 let unique_count t = locked t (fun () -> t.n_uniques)
+
+let unique_logic t = locked t (fun () -> List.rev t.logic_uniques)
+
+let logic_count t = locked t (fun () -> t.n_logic)
 
 let bug_ids t =
   locked t (fun () ->

@@ -203,6 +203,17 @@ val unique_crashes :
 val unique_count : t -> int
 (** O(1): maintained on insert, never recomputed from the list. *)
 
+val unique_logic :
+  t -> (Oracle.Violation.t * Sqlcore.Ast.testcase option) list
+(** Cross-shard unique logic-bug findings in first-published order,
+    deduplicated by {!Oracle.Violation.key} exactly like crashes are by
+    stack, each with the test case of the shard that exposed it first.
+    Fed by {!publish} (from the shard triage) and staged/folded in
+    shard-id order at exchange-round barriers. *)
+
+val logic_count : t -> int
+(** O(1), like {!unique_count}. *)
+
 val bug_ids : t -> string list
 (** Distinct injected-bug ids among the cross-shard unique crashes.
     Memoized; recomputed only after a new unique crash was inserted. *)

@@ -3,9 +3,16 @@ type t = {
   mutable uniques : (Minidb.Fault.crash * Sqlcore.Ast.testcase option) list;
       (* reverse first-seen order *)
   mutable total : int;
+  lseen : (string, unit) Hashtbl.t;
+  mutable logic_uniques :
+    (Oracle.Violation.t * Sqlcore.Ast.testcase option) list;
+      (* reverse first-seen order *)
+  mutable logic_total : int;
 }
 
-let create () = { seen = Hashtbl.create 32; uniques = []; total = 0 }
+let create () =
+  { seen = Hashtbl.create 32; uniques = []; total = 0;
+    lseen = Hashtbl.create 16; logic_uniques = []; logic_total = 0 }
 
 let stack_key (c : Minidb.Fault.crash) = String.concat "|" c.c_stack
 
@@ -19,6 +26,16 @@ let record t ?testcase crash =
     true
   end
 
+let record_logic t ?testcase violation =
+  t.logic_total <- t.logic_total + 1;
+  let key = Oracle.Violation.key violation in
+  if Hashtbl.mem t.lseen key then false
+  else begin
+    Hashtbl.replace t.lseen key ();
+    t.logic_uniques <- (violation, testcase) :: t.logic_uniques;
+    true
+  end
+
 let total_crashes t = t.total
 
 let unique_with_cases t = List.rev t.uniques
@@ -26,6 +43,12 @@ let unique_with_cases t = List.rev t.uniques
 let unique t = List.map fst (unique_with_cases t)
 
 let unique_count t = List.length t.uniques
+
+let total_logic t = t.logic_total
+
+let unique_logic t = List.rev t.logic_uniques
+
+let logic_count t = List.length t.logic_uniques
 
 let bug_ids t =
   let ids =

@@ -31,3 +31,20 @@ val bug_ids : t -> string list
 val unique_with_cases :
   t -> (Minidb.Fault.crash * Sqlcore.Ast.testcase option) list
 (** Unique crashes paired with the test case that first triggered them. *)
+
+val record_logic :
+  t -> ?testcase:Sqlcore.Ast.testcase -> Oracle.Violation.t -> bool
+(** The logic-bug counterpart of {!record}: [true] when this violation's
+    {!Oracle.Violation.key} (oracle name + plan-shape tag) was not seen
+    before. The triggering test case is kept with the first violation of
+    each signature. *)
+
+val total_logic : t -> int
+(** All oracle violations recorded, including duplicates. *)
+
+val unique_logic :
+  t -> (Oracle.Violation.t * Sqlcore.Ast.testcase option) list
+(** One representative per distinct signature, in first-seen order,
+    paired with the test case that first exposed it. *)
+
+val logic_count : t -> int

@@ -123,6 +123,8 @@ let run_testcase t tc =
   { rs_executed = !executed; rs_errors = !errors; rs_crash = !crash;
     rs_cost = !cost; rs_rows_scanned = rows }
 
+let set_plan_mode t mode = Executor.set_plan_mode t.ctx mode
+
 let query_rows t q =
   match Executor.run_query t.ctx q with
   | rows -> Ok rows

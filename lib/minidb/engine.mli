@@ -53,3 +53,7 @@ val run_testcase : t -> Ast.testcase -> run_stats
 val query_rows :
   t -> Ast.query -> (Storage.Value.t array list, Errors.t) result
 (** Convenience for examples and tests. *)
+
+val set_plan_mode : t -> Executor.plan_mode -> unit
+(** Pin or release access-path selection (see {!Executor.set_plan_mode});
+    used by the differential-plan oracle's paired executions. *)

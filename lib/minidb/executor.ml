@@ -54,6 +54,8 @@ let s_values = reg "exec.values"
 
 type cte_rel = { cr_headers : string list; cr_rows : Value.t array list }
 
+type plan_mode = Plan_auto | Plan_force_seq
+
 type ctx = {
   cat : Catalog.t;
   profile : Profile.t;
@@ -65,11 +67,17 @@ type ctx = {
   mutable shape_depth : int;  (* header/shape computation recursion *)
   mutable ctes : (string * cte_rel) list;
   mutable rows_scanned : int;  (* rows fetched from relations, telemetry *)
+  mutable plan_mode : plan_mode;
+      (* Plan_force_seq pins every base-table scan to Seq_scan — the
+         differential-plan oracle's reference execution *)
 }
 
 let create_ctx ~cat ~profile ~limits ~cov =
   { cat; profile; limits; cov; flags = Hashtbl.create 8; query_depth = 0;
-    trigger_depth = 0; shape_depth = 0; ctes = []; rows_scanned = 0 }
+    trigger_depth = 0; shape_depth = 0; ctes = []; rows_scanned = 0;
+    plan_mode = Plan_auto }
+
+let set_plan_mode ctx mode = ctx.plan_mode <- mode
 
 let rows_scanned ctx = ctx.rows_scanned
 
@@ -364,8 +372,11 @@ and eval_from ctx ~where (f : from_item) : env_row list =
            check_lock ctx name `Read;
            let cols = Array.map (fun c -> c.Table.c_name) (Table.cols table) in
            let access =
-             Planner.choose_access ctx.cat ~analyzed:(analyzed ctx)
-               ~table:name ~where
+             match ctx.plan_mode with
+             | Plan_force_seq -> Planner.Seq_scan
+             | Plan_auto ->
+               Planner.choose_access ctx.cat ~analyzed:(analyzed ctx)
+                 ~table:name ~where
            in
            probe ctx s_access
              ((Planner.access_tag access * 8) lor state_shape ctx);
@@ -381,6 +392,13 @@ and eval_from ctx ~where (f : from_item) : env_row list =
                  | Some spec ->
                    let key = eval_scalar ctx key_expr in
                    let rowids = Index.find spec.x_data [ key ] in
+                   let rowids =
+                     (* test-only planted planner bug: the index path
+                        silently loses its first match *)
+                     if Profile.quirk ctx.profile "index_eq_skips_first"
+                     then match rowids with [] -> [] | _ :: tl -> tl
+                     else rowids
+                   in
                    List.filter_map (Table.find_row table) rowids)
              | Planner.Seq_scan -> Table.to_rows table |> List.map snd
            in
@@ -2071,7 +2089,13 @@ and apply_rule ctx ~in_with decision =
     ignore (do_notify ctx chan None);
     Affected 0
   | Rewriter.Instead_stmt (_, s) ->
-    if ctx.trigger_depth >= ctx.limits.Limits.max_trigger_depth then begin
+    if
+      (* test-only planted rewriter bug: the substituted statement is
+         dropped instead of executed *)
+      Profile.quirk ctx.profile "rule_rewrite_noop"
+    then Affected 0
+    else if ctx.trigger_depth >= ctx.limits.Limits.max_trigger_depth
+    then begin
       probe ctx s_rule 15;
       Affected 0
     end

@@ -20,7 +20,18 @@ type result =
   | Affected of int
   | Done of string
 
+type plan_mode =
+  | Plan_auto       (** the planner's own choice ({!Planner.choose_access}) *)
+  | Plan_force_seq  (** every base-table scan pinned to [Seq_scan] *)
+
 type ctx
+
+val set_plan_mode : ctx -> plan_mode -> unit
+(** Override access-path selection for subsequent statements. The
+    differential-plan oracle executes each SELECT once under
+    [Plan_force_seq] (the semantic reference: a full scan filtered by
+    WHERE) and once under [Plan_auto], and compares row multisets.
+    Defaults to [Plan_auto]; fuzzing-loop executions never change it. *)
 
 val create_ctx :
   cat:Catalog.t ->

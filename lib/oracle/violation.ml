@@ -1,0 +1,12 @@
+type t = {
+  vi_oracle : string;
+  vi_tag : string;
+  vi_detail : string;
+  vi_sql : string;
+}
+
+let key v = v.vi_oracle ^ "#" ^ v.vi_tag
+
+let pp fmt v =
+  Format.fprintf fmt "logic bug [%s] %s@.  %s@.  offending statement: %s"
+    v.vi_oracle v.vi_tag v.vi_detail v.vi_sql

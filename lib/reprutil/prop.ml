@@ -1,0 +1,216 @@
+(* Deterministic property-based testing with integrated shrinking.
+
+   Generators produce lazy shrink trees (Hedgehog-style): the root is the
+   generated value and the children are smaller candidates, so shrinking
+   composes through [map]/[pair]/[list] for free. All randomness flows
+   through Rng, so a failing seed replays exactly. *)
+
+module Tree = struct
+  type 'a t = Node of 'a * 'a t Seq.t
+
+  let root (Node (x, _)) = x
+
+  let children (Node (_, cs)) = cs
+
+  let rec map f (Node (x, cs)) = Node (f x, Seq.map (map f) cs)
+end
+
+type 'a t = {
+  gen : Rng.t -> 'a Tree.t;
+  print : 'a -> string;
+}
+
+(* --- building generators -------------------------------------------- *)
+
+let make ?(shrink = fun _ -> Seq.empty) ~print gen =
+  (* A user [shrink] must return strictly smaller values or the recursive
+     tree is infinite in depth; laziness keeps construction cheap. *)
+  let rec tree x = Tree.Node (x, Seq.map tree (shrink x)) in
+  { gen = (fun rng -> tree (gen rng)); print }
+
+(* Halving steps from [x] toward [dest]: dest first (the biggest jump),
+   then ever-closer candidates. *)
+let towards dest x =
+  let rec halves h () =
+    if h = 0 then Seq.Nil else Seq.Cons (x - h, halves (h / 2))
+  in
+  halves (x - dest)
+
+let rec int_tree dest x =
+  Tree.Node (x, Seq.map (int_tree dest) (towards dest x))
+
+let int_range lo hi =
+  if hi < lo then invalid_arg "Prop.int_range";
+  { gen = (fun rng -> int_tree lo (lo + Rng.int rng (hi - lo + 1)));
+    print = string_of_int }
+
+let bool =
+  { gen =
+      (fun rng ->
+         if Rng.bool rng then
+           Tree.Node (true, Seq.return (Tree.Node (false, Seq.empty)))
+         else Tree.Node (false, Seq.empty));
+    print = string_of_bool }
+
+let pair a b =
+  let rec pair_tree tx ty =
+    let (Tree.Node (x, xs)) = tx and (Tree.Node (y, ys)) = ty in
+    Tree.Node
+      ( (x, y),
+        Seq.append
+          (Seq.map (fun tx' -> pair_tree tx' ty) xs)
+          (Seq.map (fun ty' -> pair_tree tx ty') ys) )
+  in
+  { gen = (fun rng -> pair_tree (a.gen rng) (b.gen rng));
+    print = (fun (x, y) -> "(" ^ a.print x ^ ", " ^ b.print y ^ ")") }
+
+let triple a b c =
+  let abc = pair a (pair b c) in
+  { gen =
+      (fun rng -> Tree.map (fun (x, (y, z)) -> (x, y, z)) (abc.gen rng));
+    print =
+      (fun (x, y, z) ->
+         "(" ^ a.print x ^ ", " ^ b.print y ^ ", " ^ c.print z ^ ")") }
+
+let rec remove_nth i = function
+  | [] -> []
+  | x :: tl -> if i = 0 then tl else x :: remove_nth (i - 1) tl
+
+let rec replace_nth i y = function
+  | [] -> []
+  | x :: tl -> if i = 0 then y :: tl else x :: replace_nth (i - 1) y tl
+
+let list ?(max_len = 20) elt =
+  (* Shrinks by dropping any single element, then by shrinking elements in
+     place — the shape reducer-style 1-minimality tests need. *)
+  let rec list_tree ts =
+    let n = List.length ts in
+    let drops = Seq.init n (fun i -> list_tree (remove_nth i ts)) in
+    let shrinks =
+      Seq.concat
+        (Seq.init n (fun i ->
+             Seq.map
+               (fun t' -> list_tree (replace_nth i t' ts))
+               (Tree.children (List.nth ts i))))
+    in
+    Tree.Node (List.map Tree.root ts, Seq.append drops shrinks)
+  in
+  { gen =
+      (fun rng ->
+         let n = Rng.int rng (max_len + 1) in
+         list_tree (List.init n (fun _ -> elt.gen rng)));
+    print =
+      (fun xs -> "[" ^ String.concat "; " (List.map elt.print xs) ^ "]") }
+
+let map ~print f t = { gen = (fun rng -> Tree.map f (t.gen rng)); print }
+
+(* --- running properties --------------------------------------------- *)
+
+type failure = {
+  f_name : string;
+  f_seed : int;
+  f_case : int;
+  f_original : string;
+  f_shrunk : string;
+  f_steps : int;
+  f_error : string option;
+}
+
+type outcome = Pass of int | Fail of failure
+
+let shrink_budget = 1000
+
+let run ?(count = 1000) ?(seed = 0) ~name arb prop =
+  let rng = Rng.create seed in
+  let error = ref None in
+  let holds x =
+    match prop x with
+    | b ->
+      error := None;
+      b
+    | exception e ->
+      error := Some (Printexc.to_string e);
+      false
+  in
+  let rec find_fail i =
+    if i >= count then None
+    else
+      let t = arb.gen rng in
+      if holds (Tree.root t) then find_fail (i + 1) else Some (i, t)
+  in
+  match find_fail 0 with
+  | None -> Pass count
+  | Some (i, t0) ->
+    let budget = ref shrink_budget in
+    let steps = ref 0 in
+    let rec shrink t =
+      let rec first_failing cs =
+        if !budget <= 0 then None
+        else
+          match cs () with
+          | Seq.Nil -> None
+          | Seq.Cons (c, rest) ->
+            decr budget;
+            if holds (Tree.root c) then first_failing rest else Some c
+      in
+      match first_failing (Tree.children t) with
+      | Some c ->
+        incr steps;
+        shrink c
+      | None -> t
+    in
+    let shrunk = shrink t0 in
+    (* re-evaluate so [error] describes the reported counterexample *)
+    ignore (holds (Tree.root shrunk));
+    Fail
+      { f_name = name;
+        f_seed = seed;
+        f_case = i + 1;
+        f_original = arb.print (Tree.root t0);
+        f_shrunk = arb.print (Tree.root shrunk);
+        f_steps = !steps;
+        f_error = !error }
+
+let summary f =
+  Printf.sprintf
+    "property %s falsified (seed %d, case %d)%s: %s%s"
+    f.f_name f.f_seed f.f_case
+    (match f.f_error with None -> "" | Some e -> " [raised " ^ e ^ "]")
+    f.f_shrunk
+    (if f.f_steps = 0 then ""
+     else
+       Printf.sprintf " (shrunk from %s in %d step(s))" f.f_original
+         f.f_steps)
+
+let sanitize name =
+  String.map
+    (fun c ->
+       match c with
+       | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> c
+       | _ -> '_')
+    name
+
+let default_dir () =
+  match Sys.getenv_opt "PROP_DIR" with
+  | Some d -> d
+  | None -> "_prop_failures"
+
+let save_failure ?dir f =
+  let dir = match dir with Some d -> d | None -> default_dir () in
+  try
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let file = Filename.concat dir (sanitize f.f_name ^ ".txt") in
+    let oc = open_out file in
+    Printf.fprintf oc "%s\n\noriginal counterexample:\n%s\n\nshrunk (%d step(s)):\n%s\n"
+      (summary f) f.f_original f.f_steps f.f_shrunk;
+    close_out oc;
+    Some file
+  with _ -> None
+  (* reporting must never mask the actual failure *)
+
+let check ?count ?seed ?dir ~name arb prop =
+  match run ?count ?seed ~name arb prop with
+  | Pass _ -> ()
+  | Fail f ->
+    ignore (save_failure ?dir f);
+    failwith (summary f)

@@ -1,0 +1,64 @@
+(** Deterministic QuickCheck-style property testing with integrated
+    shrinking.
+
+    A ['a t] couples a generator (drawing from {!Rng}, so equal seeds
+    yield equal case streams) with a lazy shrink tree: combinators
+    ({!pair}, {!list}, {!map}) compose shrinking automatically, and
+    black-box generators get shrinking via the [?shrink] argument of
+    {!make}. On failure the counterexample is greedily shrunk (bounded
+    candidate budget), written to a [_prop_failures/] report file — CI
+    uploads these as artifacts — and summarised in the raised message. *)
+
+type 'a t
+
+val make :
+  ?shrink:('a -> 'a Seq.t) -> print:('a -> string) -> (Rng.t -> 'a) -> 'a t
+(** Wrap a plain generator. [shrink x] must yield strictly smaller
+    candidates (it is applied recursively); it defaults to no
+    shrinking. *)
+
+val int_range : int -> int -> int t
+(** Uniform in [\[lo, hi\]], shrinking toward [lo]. *)
+
+val bool : bool t
+(** [true] shrinks to [false]. *)
+
+val pair : 'a t -> 'b t -> ('a * 'b) t
+
+val triple : 'a t -> 'b t -> 'c t -> ('a * 'b * 'c) t
+
+val list : ?max_len:int -> 'a t -> 'a list t
+(** Length uniform in [\[0, max_len\]]; shrinks by dropping any single
+    element, then by shrinking elements in place. *)
+
+val map : print:('b -> string) -> ('a -> 'b) -> 'a t -> 'b t
+
+type failure = {
+  f_name : string;
+  f_seed : int;
+  f_case : int;          (** 1-based index of the first failing case *)
+  f_original : string;   (** printed counterexample as generated *)
+  f_shrunk : string;     (** printed counterexample after shrinking *)
+  f_steps : int;         (** successful shrink steps taken *)
+  f_error : string option;  (** exception text when the property raised *)
+}
+
+type outcome = Pass of int | Fail of failure
+
+val run :
+  ?count:int -> ?seed:int -> name:string -> 'a t -> ('a -> bool) -> outcome
+(** Evaluate the property on [count] generated cases (default 1000). A
+    property that raises counts as failing. Purely functional apart from
+    the property itself — no file output. *)
+
+val summary : failure -> string
+
+val save_failure : ?dir:string -> failure -> string option
+(** Write the counterexample report under [dir] (default: [$PROP_DIR] or
+    ["_prop_failures"]); returns the path, or [None] if writing failed. *)
+
+val check :
+  ?count:int -> ?seed:int -> ?dir:string -> name:string ->
+  'a t -> ('a -> bool) -> unit
+(** {!run}, then on failure {!save_failure} and [failwith] with the
+    {!summary} — the Alcotest-facing entry point. *)

@@ -57,39 +57,48 @@ let test_merge_counts_cells () =
 (* Virgin-map equality: no bits in either direction of the diff. *)
 let virgin_equal a b = B.diff a ~since:b = 0 && B.diff b ~since:a = 0
 
-(* Two shards' virgin maps, built from distinct (partially overlapping)
-   execution histories. *)
-let two_shard_virgins () =
-  let exec hits =
-    let m = B.create () in
-    List.iter (B.hit m) hits;
-    m
-  in
-  let va = B.create () and vb = B.create () in
-  ignore (B.merge_into ~virgin:va (exec [ 1; 2; 3; 3; 7 ]));
-  ignore (B.merge_into ~virgin:va (exec [ 2; 9 ]));
-  ignore (B.merge_into ~virgin:vb (exec [ 3; 5; 7; 7; 7 ]));
-  (va, vb)
+(* A shard's virgin map built from one execution history (a list of hit
+   sites, possibly repeating — repeats exercise the count buckets). *)
+let virgin_of hits =
+  let m = B.create () in
+  List.iter (B.hit m) hits;
+  let v = B.create () in
+  ignore (B.merge_into ~virgin:v m);
+  v
+
+let joined a b =
+  let g = B.snapshot a in
+  ignore (B.merge ~into:g b);
+  g
+
+(* The cross-shard merge is a semilattice join: 1000 random three-shard
+   histories checked for commutativity, associativity and idempotence
+   via the in-tree Prop harness (shrinking gives a minimal history on
+   failure). *)
+let hits_arb = Reprutil.Prop.(list ~max_len:30 (int_range 0 2000))
 
 let test_merge_commutative () =
-  let va, vb = two_shard_virgins () in
-  let ab = B.snapshot va in
-  ignore (B.merge ~into:ab vb);
-  let ba = B.snapshot vb in
-  ignore (B.merge ~into:ba va);
-  Alcotest.(check bool) "a ⊔ b = b ⊔ a" true (virgin_equal ab ba);
-  Alcotest.(check int) "count agrees" (B.count_nonzero ab)
-    (B.count_nonzero ba)
+  Reprutil.Prop.check ~count:1000 ~name:"bitmap merge commutative"
+    (Reprutil.Prop.pair hits_arb hits_arb)
+    (fun (ha, hb) ->
+       let va = virgin_of ha and vb = virgin_of hb in
+       virgin_equal (joined va vb) (joined vb va))
+
+let test_merge_associative () =
+  Reprutil.Prop.check ~count:1000 ~name:"bitmap merge associative"
+    (Reprutil.Prop.triple hits_arb hits_arb hits_arb)
+    (fun (ha, hb, hc) ->
+       let va = virgin_of ha
+       and vb = virgin_of hb
+       and vc = virgin_of hc in
+       virgin_equal (joined (joined va vb) vc) (joined va (joined vb vc)))
 
 let test_merge_idempotent () =
-  let va, vb = two_shard_virgins () in
-  let g = B.snapshot va in
-  let news = B.merge ~into:g vb in
-  Alcotest.(check bool) "first merge brings news" true (news > 0);
-  let before = B.snapshot g in
-  Alcotest.(check int) "re-merge reports zero news" 0 (B.merge ~into:g vb);
-  Alcotest.(check int) "self-merge reports zero news" 0 (B.merge ~into:g g);
-  Alcotest.(check bool) "map unchanged" true (virgin_equal g before)
+  Reprutil.Prop.check ~count:1000 ~name:"bitmap merge idempotent" hits_arb
+    (fun hits ->
+       let v = virgin_of hits in
+       let before = B.snapshot v in
+       B.merge ~into:v (B.snapshot v) = 0 && virgin_equal v before)
 
 let test_merge_then_merge_into_no_news () =
   (* After a shard's virgin map is folded into the global map, replaying
@@ -173,8 +182,12 @@ let suite =
     ("buckets", `Quick, test_buckets);
     ("merge new coverage", `Quick, test_merge_new_coverage);
     ("merge counts cells", `Quick, test_merge_counts_cells);
-    ("cross-shard merge commutative", `Quick, test_merge_commutative);
-    ("cross-shard merge idempotent", `Quick, test_merge_idempotent);
+    ("cross-shard merge commutative (1000 cases)", `Quick,
+     test_merge_commutative);
+    ("cross-shard merge associative (1000 cases)", `Quick,
+     test_merge_associative);
+    ("cross-shard merge idempotent (1000 cases)", `Quick,
+     test_merge_idempotent);
     ("merge_into after merge: no news", `Quick,
      test_merge_then_merge_into_no_news);
     ("snapshot and diff", `Quick, test_snapshot_diff);

@@ -3,6 +3,7 @@
 let () =
   Alcotest.run "lego_repro"
     [ ("reprutil", Test_reprutil.suite);
+      ("prop", Test_prop.suite);
       ("stmt_type", Test_stmt_type.suite);
       ("value", Test_value.suite);
       ("storage", Test_storage.suite);
@@ -19,6 +20,7 @@ let () =
       ("planner_rewriter", Test_planner_rewriter.suite);
       ("engine", Test_engine.suite);
       ("reducer", Test_reducer.suite);
+      ("oracle", Test_oracle.suite);
       ("campaign", Test_campaign.suite);
       ("telemetry", Test_telemetry.suite);
       ("baselines", Test_baselines.suite);

@@ -1,0 +1,297 @@
+(* End-to-end tests for the logic-bug oracle layer.
+
+   The acceptance path of the oracle subsystem: a planted planner
+   inconsistency (a test-only quirk profile; every shipped dialect is
+   quirk-free) must be detected by the differential-plan oracle, deduped
+   by Triage to one finding, and shrunk by the reducer to a 1-minimal
+   reproducer — while bug-free campaigns stay violation-free. *)
+
+open Sqlcore
+module Suite = Oracle.Suite
+module V = Oracle.Violation
+
+let parse = Sqlparser.Parser.parse_testcase_exn
+
+let base name =
+  Minidb.Profile.make ~name ~flavor:Minidb.Profile.Pg ~types:Stmt_type.all
+    ~bugs:[]
+
+(* planner picks the equality index but skips its first rowid *)
+let quirky =
+  Minidb.Profile.with_quirks (base "quirky") [ "index_eq_skips_first" ]
+
+(* DO INSTEAD rules silently rewrite to a no-op *)
+let noop_rule =
+  Minidb.Profile.with_quirks (base "noop-rule") [ "rule_rewrite_noop" ]
+
+(* The minimal planted-bug reproducer: every statement is essential —
+   without the index or ANALYZE the planner stays on Seq_scan, without
+   the row both plans agree on the empty result. *)
+let planted =
+  "CREATE TABLE t (a INT);\n\
+   CREATE INDEX i ON t (a);\n\
+   INSERT INTO t VALUES (1);\n\
+   ANALYZE;\n\
+   SELECT * FROM t WHERE (a = 1);"
+
+let checks_of out name = List.assoc name out.Suite.oc_checks
+
+let test_diff_plan_detects_planted_quirk () =
+  let out = Suite.check (Suite.create quirky) (parse planted) in
+  Alcotest.(check bool) "diff_plan ran" true (checks_of out "diff_plan" >= 1);
+  (* the broken index path is caught twice over: the pinned-seq-scan
+     differential disagrees, and the TLP partitions (whose NOT/IS NULL
+     branches take the honest seq scan) no longer sum to the unfiltered
+     query *)
+  Alcotest.(check (list string)) "both SELECT oracles fire"
+    [ "diff_plan"; "tlp" ]
+    (List.sort compare
+       (List.map (fun v -> v.V.vi_oracle) out.Suite.oc_violations));
+  let v =
+    List.find (fun v -> v.V.vi_oracle = "diff_plan") out.Suite.oc_violations
+  in
+  Alcotest.(check string) "offending statement captured"
+    "SELECT * FROM t WHERE (a = 1)" v.V.vi_sql
+
+let test_quirk_free_profile_is_sound () =
+  (* the same reproducer on the un-quirked profile must pass *)
+  let out = Suite.check (Suite.create (base "clean")) (parse planted) in
+  Alcotest.(check bool) "diff_plan ran" true (checks_of out "diff_plan" >= 1);
+  Alcotest.(check int) "no violations" 0 (List.length out.Suite.oc_violations)
+
+let test_tlp_counts_eligible_selects () =
+  (* a plain filtered SELECT is TLP-eligible; partitioning a correct
+     engine never diverges *)
+  let tc =
+    parse
+      "CREATE TABLE t (a INT);\n\
+       INSERT INTO t VALUES (1);\n\
+       INSERT INTO t VALUES (2);\n\
+       SELECT a FROM t WHERE (a > 1);"
+  in
+  let out = Suite.check (Suite.create (base "clean")) tc in
+  Alcotest.(check bool) "tlp ran" true (checks_of out "tlp" >= 1);
+  Alcotest.(check int) "no violations" 0 (List.length out.Suite.oc_violations)
+
+let test_rewrite_detects_noop_rule () =
+  let tc =
+    parse
+      "CREATE TABLE t (a INT);\n\
+       CREATE TABLE u (a INT);\n\
+       CREATE RULE r AS ON INSERT TO t DO INSTEAD INSERT INTO u VALUES (1);\n\
+       INSERT INTO t VALUES (2);"
+  in
+  let out = Suite.check (Suite.create noop_rule) tc in
+  Alcotest.(check bool) "rewrite ran" true (checks_of out "rewrite" >= 1);
+  (match out.Suite.oc_violations with
+   | [ v ] -> Alcotest.(check string) "rewrite verdict" "rewrite" v.V.vi_oracle
+   | vs ->
+     Alcotest.fail
+       (Printf.sprintf "expected exactly one violation, got %d"
+          (List.length vs)));
+  (* the identical test case on a faithful engine is clean *)
+  let sound = Suite.check (Suite.create (base "clean")) tc in
+  Alcotest.(check bool) "rewrite ran (clean)" true
+    (checks_of sound "rewrite" >= 1);
+  Alcotest.(check int) "no violations (clean)" 0
+    (List.length sound.Suite.oc_violations)
+
+let test_rewrite_checks_instead_nothing () =
+  (* DO INSTEAD NOTHING must leave the catalog untouched — the
+     fingerprint-invariance arm of the rewrite oracle *)
+  let tc =
+    parse
+      "CREATE TABLE t (a INT);\n\
+       CREATE RULE r AS ON INSERT TO t DO INSTEAD NOTHING;\n\
+       INSERT INTO t VALUES (1);"
+  in
+  let out = Suite.check (Suite.create (base "clean")) tc in
+  Alcotest.(check bool) "rewrite ran" true (checks_of out "rewrite" >= 1);
+  Alcotest.(check int) "no violations" 0 (List.length out.Suite.oc_violations)
+
+let test_plan_tag_tracks_access_path () =
+  (* the dedup-key component changes when the planner's choice changes *)
+  let eng =
+    Minidb.Engine.create ~profile:(base "clean")
+      ~cov:(Coverage.Bitmap.create ()) ()
+  in
+  List.iter
+    (fun s -> ignore (Minidb.Engine.exec_stmt eng s))
+    (parse "CREATE TABLE t (a INT); CREATE INDEX i ON t (a); INSERT INTO t \
+            VALUES (1);");
+  let q =
+    match Sqlparser.Parser.parse_stmt_exn "SELECT * FROM t WHERE (a = 1)" with
+    | Ast.S_select q -> q
+    | _ -> Alcotest.fail "not a select"
+  in
+  let before = Suite.plan_tag (Minidb.Engine.catalog eng) q in
+  List.iter
+    (fun s -> ignore (Minidb.Engine.exec_stmt eng s))
+    (parse "ANALYZE;");
+  let after = Suite.plan_tag (Minidb.Engine.catalog eng) q in
+  Alcotest.(check bool) "seq-scan tag before ANALYZE, index tag after" true
+    (before <> after)
+
+let test_triage_dedups_by_signature () =
+  let out = Suite.check (Suite.create quirky) (parse planted) in
+  let v = List.hd out.Suite.oc_violations in
+  let tri = Fuzz.Triage.create () in
+  Alcotest.(check bool) "first sighting is new" true
+    (Fuzz.Triage.record_logic tri ~testcase:(parse planted) v);
+  Alcotest.(check bool) "same signature is not" false
+    (Fuzz.Triage.record_logic tri v);
+  Alcotest.(check int) "one unique finding" 1 (Fuzz.Triage.logic_count tri);
+  Alcotest.(check int) "both recorded in the total" 2
+    (Fuzz.Triage.total_logic tri);
+  (match Fuzz.Triage.unique_logic tri with
+   | [ (v', tc) ] ->
+     Alcotest.(check string) "keys agree" (V.key v) (V.key v');
+     Alcotest.(check bool) "first reproducer kept" true (tc <> None)
+   | _ -> Alcotest.fail "expected one unique finding")
+
+let test_harness_end_to_end () =
+  let h =
+    Fuzz.Harness.create ~profile:quirky ~oracles:(Suite.create quirky) ()
+  in
+  let out = Fuzz.Harness.execute h (parse planted) in
+  (* one diff_plan + one tlp sighting of the same planted bug *)
+  Alcotest.(check int) "violations surfaced" 2 out.Fuzz.Harness.o_violations;
+  Alcotest.(check int) "one finding per oracle signature" 2
+    (Fuzz.Triage.logic_count (Fuzz.Harness.triage h));
+  let m = Fuzz.Harness.metrics h in
+  Alcotest.(check bool) "checks counter exported" true
+    (Telemetry.Registry.counter_value m "oracle.diff_plan.checks" >= 1);
+  Alcotest.(check int) "diff_plan violation counted" 1
+    (Telemetry.Registry.counter_value m "oracle.diff_plan.violations");
+  Alcotest.(check int) "tlp violation counted" 1
+    (Telemetry.Registry.counter_value m "oracle.tlp.violations");
+  (* replaying the identical case lights no new coverage, so the oracle
+     replay is skipped: findings stay deduplicated, counters stable *)
+  let out2 = Fuzz.Harness.execute h (parse planted) in
+  Alcotest.(check int) "no news, no replay" 0 out2.Fuzz.Harness.o_violations;
+  Alcotest.(check int) "findings unchanged" 2
+    (Fuzz.Triage.logic_count (Fuzz.Harness.triage h))
+
+let rec drop_nth i = function
+  | [] -> []
+  | x :: tl -> if i = 0 then tl else x :: drop_nth (i - 1) tl
+
+let test_reduce_logic_one_minimal () =
+  (* the CLI's logic-bug reduction path: the pluggable reducer predicate
+     re-runs the oracle suite and keeps the finding's signature alive *)
+  let noisy =
+    parse
+      "CREATE TABLE junk (x INT);\n\
+       INSERT INTO junk VALUES (7);\n\
+       CREATE TABLE t (a INT);\n\
+       CREATE INDEX i ON t (a);\n\
+       SELECT 99;\n\
+       INSERT INTO t VALUES (1);\n\
+       ANALYZE;\n\
+       SELECT * FROM t WHERE (a = 1);\n\
+       DROP TABLE junk;"
+  in
+  let suite = Suite.create quirky in
+  let key =
+    V.key (List.hd (Suite.check suite (parse planted)).Suite.oc_violations)
+  in
+  let pred tc =
+    List.exists
+      (fun v -> String.equal (V.key v) key)
+      (Suite.check suite tc).Suite.oc_violations
+  in
+  Alcotest.(check bool) "noisy case violates" true (pred noisy);
+  let out = Fuzz.Reducer.reduce_with ~pred noisy in
+  Alcotest.(check bool) "reduced case still violates" true
+    (pred out.Fuzz.Reducer.r_testcase);
+  Alcotest.(check int) "only the five essential statements survive" 5
+    (List.length out.Fuzz.Reducer.r_testcase);
+  Alcotest.(check int) "four junk statements removed" 4
+    out.Fuzz.Reducer.r_removed;
+  (* 1-minimality: dropping any single surviving statement loses the
+     violation *)
+  List.iteri
+    (fun i _ ->
+       Alcotest.(check bool)
+         (Printf.sprintf "dropping statement %d breaks the reproducer" i)
+         false
+         (pred (drop_nth i out.Fuzz.Reducer.r_testcase)))
+    out.Fuzz.Reducer.r_testcase
+
+(* --- campaign-level soundness and determinism ------------------------ *)
+
+let oracle_factory profile ~seed shard_id =
+  let config =
+    { Lego.Lego_fuzzer.default_config with
+      seed = Fuzz.Campaign.shard_seed ~seed ~shard_id }
+  in
+  let harness =
+    Fuzz.Harness.create ~profile ~oracles:(Suite.create profile) ()
+  in
+  Lego.Lego_fuzzer.fuzzer (Lego.Lego_fuzzer.create ~config ~harness profile)
+
+let assert_no_violations name (res : Fuzz.Campaign.result) =
+  Alcotest.(check int) (name ^ ": no logic findings") 0
+    (List.length res.Fuzz.Campaign.cg_logic);
+  List.iter
+    (fun o ->
+       Alcotest.(check int)
+         (Printf.sprintf "%s: oracle.%s.violations" name o)
+         0
+         (Telemetry.Registry.counter_value res.Fuzz.Campaign.cg_metrics
+            ("oracle." ^ o ^ ".violations")))
+    Suite.oracle_names
+
+let test_oracles_sound_on_all_dialects () =
+  (* every shipped dialect, fuzzed bug-free with oracles on: the three
+     oracles must run and never cry wolf (~10k executions overall) *)
+  List.iter
+    (fun profile ->
+       let name = Minidb.Profile.name profile in
+       let res =
+         Fuzz.Campaign.run ~jobs:1 ~execs:2500 (oracle_factory profile ~seed:11)
+       in
+       Alcotest.(check bool) (name ^ ": diff_plan exercised") true
+         (Telemetry.Registry.counter_value res.Fuzz.Campaign.cg_metrics
+            "oracle.diff_plan.checks"
+          > 0);
+       assert_no_violations name res)
+    Dialects.Registry.all
+
+let test_sharded_oracle_campaign_deterministic () =
+  (* jobs=4 with oracle replays enabled: still zero violations and still
+     a pure function of the seed *)
+  let run () =
+    Fuzz.Campaign.run ~jobs:4 ~sync_every:500 ~execs:10_000
+      (oracle_factory Dialects.Registry.mariadb_sim ~seed:21)
+  in
+  let a = run () in
+  assert_no_violations "jobs=4" a;
+  let b = run () in
+  Alcotest.(check bool) "aggregate snapshots identical" true
+    (a.Fuzz.Campaign.cg_snapshot = b.Fuzz.Campaign.cg_snapshot);
+  Alcotest.(check (list string)) "logic findings identical"
+    (List.map (fun (v, _) -> V.key v) a.Fuzz.Campaign.cg_logic)
+    (List.map (fun (v, _) -> V.key v) b.Fuzz.Campaign.cg_logic)
+
+let suite =
+  [ ("diff_plan detects the planted quirk", `Quick,
+     test_diff_plan_detects_planted_quirk);
+    ("quirk-free profile is sound", `Quick, test_quirk_free_profile_is_sound);
+    ("tlp partitions eligible selects", `Quick,
+     test_tlp_counts_eligible_selects);
+    ("rewrite detects the no-op rule quirk", `Quick,
+     test_rewrite_detects_noop_rule);
+    ("rewrite checks DO INSTEAD NOTHING", `Quick,
+     test_rewrite_checks_instead_nothing);
+    ("plan tag tracks the access path", `Quick,
+     test_plan_tag_tracks_access_path);
+    ("triage dedups logic signatures", `Quick,
+     test_triage_dedups_by_signature);
+    ("harness end to end", `Quick, test_harness_end_to_end);
+    ("logic finding reduces to 1-minimal", `Quick,
+     test_reduce_logic_one_minimal);
+    ("oracles sound on all dialects", `Slow,
+     test_oracles_sound_on_all_dialects);
+    ("4-shard oracle campaign deterministic", `Slow,
+     test_sharded_oracle_campaign_deterministic) ]

@@ -145,10 +145,13 @@ let test_expr_depth () =
   Alcotest.(check int) "nested" 4 (Ast_util.expr_depth e)
 
 (* property: printing any parsed statement is stable (print . parse .
-   print = print) *)
-let prop_print_stable =
-  QCheck.Test.make ~name:"printer is a normal form" ~count:300
-    QCheck.(pair small_nat (int_bound (Stmt_type.count - 1)))
+   print = print) — 1000 generator-driven cases with shrinking over the
+   (seed, statement type) space via the in-tree Prop harness *)
+let test_prop_print_stable () =
+  let arb =
+    Reprutil.Prop.(pair (int_range 0 9999) (int_range 0 (Stmt_type.count - 1)))
+  in
+  Reprutil.Prop.check ~count:1000 ~name:"printer is a normal form" arb
     (fun (seed, idx) ->
        let rng = Reprutil.Rng.create (seed + 77) in
        let schema = Lego.Sym_schema.empty () in
@@ -172,4 +175,5 @@ let suite =
     ("column_refs", `Quick, test_column_refs);
     ("stmt_size monotone", `Quick, test_stmt_size_monotone);
     ("expr_depth", `Quick, test_expr_depth);
-    QCheck_alcotest.to_alcotest prop_print_stable ]
+    ("printer is a normal form (1000 cases)", `Quick,
+     test_prop_print_stable) ]

@@ -1,0 +1,138 @@
+(* Self-tests for the Prop harness: determinism, integrated shrinking,
+   and counterexample reporting. *)
+
+module Prop = Reprutil.Prop
+
+let test_pass_counts_cases () =
+  match
+    Prop.run ~count:500 ~name:"tautology" (Prop.int_range 0 9) (fun _ -> true)
+  with
+  | Prop.Pass n -> Alcotest.(check int) "all cases evaluated" 500 n
+  | Prop.Fail f -> Alcotest.fail (Prop.summary f)
+
+let fail_of ~name arb prop =
+  match Prop.run ~name arb prop with
+  | Prop.Pass _ -> Alcotest.fail (name ^ ": expected a counterexample")
+  | Prop.Fail f -> f
+
+let test_int_shrinks_to_boundary () =
+  (* halving search must land on the smallest failing value exactly *)
+  let f = fail_of ~name:"ints below 50" (Prop.int_range 0 1000) (fun x -> x < 50) in
+  Alcotest.(check string) "1-minimal counterexample" "50" f.Prop.f_shrunk;
+  Alcotest.(check (option string)) "no exception" None f.Prop.f_error;
+  Alcotest.(check bool) "shrinking did work" true (f.Prop.f_steps > 0)
+
+let test_list_shrinks_elements_and_length () =
+  let f =
+    fail_of ~name:"short lists"
+      (Prop.list ~max_len:12 (Prop.int_range 0 9))
+      (fun l -> List.length l < 3)
+  in
+  Alcotest.(check string) "minimal failing list" "[0; 0; 0]" f.Prop.f_shrunk
+
+let test_pair_shrinks_both_components () =
+  let f =
+    fail_of ~name:"small sums"
+      (Prop.pair (Prop.int_range 0 100) (Prop.int_range 0 100))
+      (fun (a, b) -> a + b < 30)
+  in
+  let sum = Scanf.sscanf f.Prop.f_shrunk "(%d, %d)" (fun a b -> a + b) in
+  Alcotest.(check int) "shrunk pair sits on the boundary" 30 sum
+
+let test_deterministic_replay () =
+  (* equal seeds: equal first-failing case and equal shrunk witness *)
+  let run () =
+    Prop.run ~seed:7 ~name:"replay" (Prop.int_range 0 10_000)
+      (fun x -> x mod 131 <> 17)
+  in
+  match (run (), run ()) with
+  | Prop.Fail a, Prop.Fail b ->
+    Alcotest.(check int) "same failing case" a.Prop.f_case b.Prop.f_case;
+    Alcotest.(check string) "same original" a.Prop.f_original
+      b.Prop.f_original;
+    Alcotest.(check string) "same shrunk witness" a.Prop.f_shrunk
+      b.Prop.f_shrunk
+  | _ -> Alcotest.fail "expected both runs to falsify"
+
+let test_exception_counts_as_failure () =
+  let f =
+    fail_of ~name:"raising prop" (Prop.int_range 0 100) (fun x ->
+        if x >= 10 then failwith "boom" else true)
+  in
+  Alcotest.(check string) "shrunk to the raise threshold" "10"
+    f.Prop.f_shrunk;
+  (match f.Prop.f_error with
+   | Some e ->
+     Alcotest.(check bool) "exception text captured" true
+       (String.length e > 0)
+   | None -> Alcotest.fail "expected the exception to be recorded")
+
+let test_custom_shrink_via_make () =
+  (* black-box generator with a user shrink function: halve toward 0 *)
+  let arb =
+    Prop.make
+      ~shrink:(fun x -> if x = 0 then Seq.empty else Seq.return (x / 2))
+      ~print:string_of_int
+      (fun rng -> 512 + Reprutil.Rng.int rng 512)
+  in
+  let f = fail_of ~name:"halving" arb (fun x -> x < 4) in
+  (* halving from >=512 bottoms out in [4, 7] *)
+  let v = int_of_string f.Prop.f_shrunk in
+  Alcotest.(check bool) "shrunk into the minimal halving band" true
+    (v >= 4 && v < 8)
+
+let test_save_failure_writes_report () =
+  let f = fail_of ~name:"report file" (Prop.int_range 0 99) (fun x -> x < 1) in
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "prop-selftest" in
+  (match Prop.save_failure ~dir f with
+   | Some path ->
+     Alcotest.(check bool) "report exists" true (Sys.file_exists path);
+     let ic = open_in path in
+     let len = in_channel_length ic in
+     let body = really_input_string ic len in
+     close_in ic;
+     Alcotest.(check bool) "report names the property" true
+       (String.length body > 0
+        && String.length f.Prop.f_name > 0
+        &&
+        let re = f.Prop.f_name in
+        let n = String.length body and m = String.length re in
+        let rec loop i =
+          i + m <= n && (String.sub body i m = re || loop (i + 1))
+        in
+        loop 0);
+     Sys.remove path
+   | None -> Alcotest.fail "save_failure returned no path")
+
+let test_check_raises_with_summary () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "prop-selftest" in
+  match
+    Prop.check ~dir ~name:"must raise" (Prop.int_range 0 9) (fun _ -> false)
+  with
+  | () -> Alcotest.fail "check should have raised"
+  | exception Failure msg ->
+    Alcotest.(check bool) "summary mentions falsification" true
+      (String.length msg > 0
+       &&
+       let re = "falsified" in
+       let n = String.length msg and m = String.length re in
+       let rec loop i =
+         i + m <= n && (String.sub msg i m = re || loop (i + 1))
+       in
+       loop 0)
+
+let suite =
+  [ ("pass counts cases", `Quick, test_pass_counts_cases);
+    ("int shrinks to the boundary", `Quick, test_int_shrinks_to_boundary);
+    ("list shrinks length and elements", `Quick,
+     test_list_shrinks_elements_and_length);
+    ("pair shrinks both components", `Quick,
+     test_pair_shrinks_both_components);
+    ("deterministic replay", `Quick, test_deterministic_replay);
+    ("exception counts as failure", `Quick,
+     test_exception_counts_as_failure);
+    ("custom shrink via make", `Quick, test_custom_shrink_via_make);
+    ("save_failure writes a report", `Quick,
+     test_save_failure_writes_report);
+    ("check raises with the summary", `Quick,
+     test_check_raises_with_summary) ]

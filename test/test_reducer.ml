@@ -90,6 +90,46 @@ let test_reduce_simplifies_literals () =
         in
         loop 0))
 
+(* property: whatever benign noise surrounds the crashing pair, the
+   reducer lands on exactly [VACUUM; CHECKPOINT] — the strongest form of
+   1-minimality for this bug — while the result keeps crashing. (The
+   pair must stay adjacent: Fault.Subseq matches a contiguous window
+   run, so interleaved junk would defuse the bug, not obscure it.) *)
+let test_prop_reduce_one_minimal () =
+  let junk = Reprutil.Prop.list ~max_len:6 (Reprutil.Prop.int_range 0 99) in
+  let selects ns = List.map (Printf.sprintf "SELECT %d") ns in
+  Reprutil.Prop.check ~count:300 ~name:"reducer 1-minimality"
+    (Reprutil.Prop.pair junk junk)
+    (fun (before, after) ->
+       let tc =
+         parse
+           (String.concat "; "
+              (selects before @ [ "VACUUM"; "CHECKPOINT" ] @ selects after))
+       in
+       let out = R.reduce ~profile ~bug_id:"RED-1" tc in
+       R.crashes_with ~profile ~bug_id:"RED-1" out.R.r_testcase
+       && List.map Stmt_type.name (Ast.type_sequence out.R.r_testcase)
+          = [ "VACUUM"; "CHECKPOINT" ]
+       && out.R.r_removed = List.length before + List.length after)
+
+(* property: the reducer never spends more predicate executions than its
+   budget allows (+1 for the uncounted final revalidation), and a
+   truncated reduction still preserves the crash *)
+let test_prop_reduce_never_exceeds_budget () =
+  let junk = Reprutil.Prop.list ~max_len:8 (Reprutil.Prop.int_range 0 99) in
+  Reprutil.Prop.check ~count:300 ~name:"reducer budget"
+    (Reprutil.Prop.pair (Reprutil.Prop.int_range 1 16) junk)
+    (fun (max_tries, ns) ->
+       let tc =
+         parse
+           (String.concat "; "
+              (List.map (Printf.sprintf "SELECT %d") ns
+               @ [ "VACUUM"; "CHECKPOINT" ]))
+       in
+       let out = R.reduce ~profile ~max_tries ~bug_id:"RED-1" tc in
+       out.R.r_tries <= max_tries + 1
+       && R.crashes_with ~profile ~bug_id:"RED-1" out.R.r_testcase)
+
 let test_reduce_respects_budget () =
   let noisy =
     parse
@@ -108,4 +148,7 @@ let suite =
     ("one-minimal", `Quick, test_reduce_one_minimal);
     ("non-crashing unchanged", `Quick, test_reduce_non_crashing_unchanged);
     ("simplifies literals", `Quick, test_reduce_simplifies_literals);
-    ("respects budget", `Quick, test_reduce_respects_budget) ]
+    ("respects budget", `Quick, test_reduce_respects_budget);
+    ("1-minimality (300 cases)", `Quick, test_prop_reduce_one_minimal);
+    ("budget bound (300 cases)", `Quick,
+     test_prop_reduce_never_exceeds_budget) ]
