@@ -56,10 +56,26 @@ let oracles =
   | Some "on" -> true
   | _ -> false
 
-let oracle_harness profile =
-  if oracles then
+(* REPRO_EXEC_CACHE=on (or an entry count) enables the prefix-snapshot
+   execution cache in every campaign harness; the default matches the
+   CLI-off behaviour so published numbers stay byte-identical. The
+   cache-ablation bench overrides it per campaign. *)
+let exec_cache =
+  match Sys.getenv_opt "REPRO_EXEC_CACHE" with
+  | Some "on" -> 1024
+  | Some ("off" | "") | None -> 0
+  | Some s -> (try max 0 (int_of_string s) with Failure _ -> 0)
+
+(* One shard's execution harness, when any harness-level feature
+   (oracles, exec cache) is enabled; [None] lets the fuzzer build its
+   own default harness, as before those features existed. *)
+let campaign_harness ?(exec_cache = exec_cache) profile =
+  if oracles || exec_cache > 0 then
     Some
-      (Fuzz.Harness.create ~profile ~oracles:(Oracle.Suite.create profile) ())
+      (Fuzz.Harness.create ~profile ~exec_cache
+         ?oracles:
+           (if oracles then Some (Oracle.Suite.create profile) else None)
+         ())
   else None
 
 let continuous_budget = budget * 3
@@ -133,7 +149,8 @@ let run_campaign ?(execs = budget) ?(jobs = jobs) ?(exchange = exchange)
     c_metrics = res.Fuzz.Campaign.cg_metrics;
     c_wall_s = wall_s }
 
-let make_lego ?(seq = true) ?(max_seq_len = 5) ?(seed = 1) profile =
+let make_lego ?(seq = true) ?(max_seq_len = 5) ?(seed = 1)
+    ?(exec_cache = exec_cache) profile =
   ( (if seq then "LEGO" else "LEGO-"),
     fun shard_id ->
       let config =
@@ -143,8 +160,8 @@ let make_lego ?(seq = true) ?(max_seq_len = 5) ?(seed = 1) profile =
           seed = Fuzz.Campaign.shard_seed ~seed ~shard_id }
       in
       let t =
-        Lego.Lego_fuzzer.create ~config ?harness:(oracle_harness profile)
-          profile
+        Lego.Lego_fuzzer.create ~config
+          ?harness:(campaign_harness ~exec_cache profile) profile
       in
       (Lego.Lego_fuzzer.fuzzer t, Some t) )
 
@@ -154,8 +171,21 @@ let make_baseline name create fuzzer ?(seed = 1) profile =
       (fuzzer
          (create
             ~seed:(Fuzz.Campaign.shard_seed ~seed ~shard_id)
-            ~harness:(oracle_harness profile) profile),
+            ~harness:(campaign_harness profile) profile),
        None) )
+
+(* Fraction of executions that restored a cached prefix ([nan] when the
+   cache was off: no lookups at all). *)
+let cache_hit_rate c =
+  let hits = Telemetry.Registry.counter_value c.c_metrics "cache.hits" in
+  let misses = Telemetry.Registry.counter_value c.c_metrics "cache.misses" in
+  if hits + misses = 0 then nan
+  else float_of_int hits /. float_of_int (hits + misses)
+
+let execs_per_sec c =
+  if c.c_wall_s > 0.0 then
+    float_of_int c.c_final.Fuzz.Driver.st_execs /. c.c_wall_s
+  else 0.0
 
 let make_squirrel profile =
   make_baseline "SQUIRREL"

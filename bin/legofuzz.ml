@@ -88,6 +88,37 @@ let oracles_arg =
   in
   Arg.(value & opt onoff false & info [ "oracles" ] ~docv:"on|off" ~doc)
 
+let exec_cache_arg =
+  let doc =
+    "Prefix-snapshot execution cache: seed statement prefixes are \
+     captured as engine snapshots and mutants sharing a prefix resume \
+     from the snapshot instead of replaying it. Outcomes — coverage, \
+     crashes, oracle verdicts — are identical to cold replays; only \
+     wall-clock changes. $(b,on) (1024 entries), $(b,off), or an entry \
+     count."
+  in
+  let cache_conv =
+    let parse s =
+      match String.lowercase_ascii s with
+      | "on" -> Ok 1024
+      | "off" -> Ok 0
+      | s -> (
+          match int_of_string_opt s with
+          | Some n when n >= 0 -> Ok n
+          | _ ->
+            Error
+              (`Msg
+                 (Printf.sprintf
+                    "invalid exec-cache %S (on, off or an entry count)" s)))
+    in
+    let print ppf n =
+      Format.pp_print_string ppf (if n = 0 then "off" else string_of_int n)
+    in
+    Arg.conv (parse, print)
+  in
+  Arg.(
+    value & opt cache_conv 1024 & info [ "exec-cache" ] ~docv:"on|off|N" ~doc)
+
 let telemetry_arg =
   let doc =
     "Telemetry recording: $(b,none) (console only; byte-identical output \
@@ -112,12 +143,14 @@ let json_arg =
    engine (it executes the initial corpus). With [oracles] on, each shard
    gets a harness wired to its own oracle suite — suites hold replay
    state and must stay domain-private like the harness itself. *)
-let make_fuzzer ?(oracles = false) name profile seed =
+let make_fuzzer ?(oracles = false) ?(exec_cache = 0) name profile seed =
   let harness () =
-    if oracles then
+    if oracles || exec_cache > 0 then
       Some
         (Fuzz.Harness.create ~profile
-           ~oracles:(Oracle.Suite.create profile) ())
+           ?oracles:
+             (if oracles then Some (Oracle.Suite.create profile) else None)
+           ~exec_cache ())
     else None
   in
   let lego ~seq shard_id =
@@ -237,8 +270,8 @@ let fuzz_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "save" ] ~docv:"DIR" ~doc)
   in
   let run fuzzer profile execs seed jobs sync_every sync_seeds
-      sync_affinities oracles telemetry json save =
-    match make_fuzzer ~oracles fuzzer profile seed with
+      sync_affinities oracles exec_cache telemetry json save =
+    match make_fuzzer ~oracles ~exec_cache fuzzer profile seed with
     | Error (`Msg m) ->
       prerr_endline m;
       exit 2
@@ -264,7 +297,8 @@ let fuzz_cmd =
              ("sync_every", Telemetry.Json.Int sync_every);
              ("sync_seeds", Telemetry.Json.Bool sync_seeds);
              ("sync_affinities", Telemetry.Json.Bool sync_affinities);
-             ("oracles", Telemetry.Json.Bool oracles) ]);
+             ("oracles", Telemetry.Json.Bool oracles);
+             ("exec_cache", Telemetry.Json.Int exec_cache) ]);
       let start = Telemetry.Span.now_s () in
       let res =
         Fuzz.Campaign.run ~checkpoint_every:(max 1 (execs / 5)) ~sync_every
@@ -360,7 +394,8 @@ let fuzz_cmd =
   let term =
     Term.(const run $ fuzzer_arg $ dialect_arg $ execs_arg $ seed_arg
           $ jobs_arg $ sync_arg $ sync_seeds_arg $ sync_affinities_arg
-          $ oracles_arg $ telemetry_arg $ json_arg $ save_arg)
+          $ oracles_arg $ exec_cache_arg $ telemetry_arg $ json_arg
+          $ save_arg)
   in
   Cmd.v (Cmd.info "fuzz" ~doc:"Run one fuzzer on one simulated DBMS.") term
 
@@ -368,7 +403,7 @@ let fuzz_cmd =
 
 let compare_cmd =
   let run profile execs seed jobs sync_every sync_seeds sync_affinities
-      telemetry json =
+      exec_cache telemetry json =
     let dialect = Minidb.Profile.name profile in
     let exchange = exchange_of ~sync_seeds ~sync_affinities in
     let sink, recording =
@@ -384,10 +419,11 @@ let compare_cmd =
            ("jobs", Telemetry.Json.Int jobs);
            ("sync_every", Telemetry.Json.Int sync_every);
            ("sync_seeds", Telemetry.Json.Bool sync_seeds);
-           ("sync_affinities", Telemetry.Json.Bool sync_affinities) ]);
+           ("sync_affinities", Telemetry.Json.Bool sync_affinities);
+           ("exec_cache", Telemetry.Json.Int exec_cache) ]);
     List.iter
       (fun name ->
-         match make_fuzzer name profile seed with
+         match make_fuzzer ~exec_cache name profile seed with
          | Error _ -> ()
          | Ok make ->
            (* The series prefix keeps the five fuzzers' checkpoint series
@@ -414,8 +450,8 @@ let compare_cmd =
   in
   let term =
     Term.(const run $ dialect_arg $ execs_arg $ seed_arg $ jobs_arg
-          $ sync_arg $ sync_seeds_arg $ sync_affinities_arg $ telemetry_arg
-          $ json_arg)
+          $ sync_arg $ sync_seeds_arg $ sync_affinities_arg $ exec_cache_arg
+          $ telemetry_arg $ json_arg)
   in
   Cmd.v
     (Cmd.info "compare"

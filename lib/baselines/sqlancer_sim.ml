@@ -92,6 +92,8 @@ let generate t =
 let step t () =
   let tc = Telemetry.Span.time t.sp_synthesize (fun () -> generate t) in
   let outcome = Fuzz.Harness.execute t.harness tc in
+  (* no priming: SQLancer is generation-based — successive cases share
+     no statement prefixes, so cached snapshots would never be hit *)
   if outcome.Fuzz.Harness.o_new_branches > 0 then
     ignore
       (Fuzz.Seed_pool.add t.pool ~tc ~cov_hash:outcome.o_cov_hash

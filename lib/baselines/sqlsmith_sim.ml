@@ -31,9 +31,10 @@ let create ?(seed = 1) ?limits ?harness profile =
     | Some h -> h
     | None -> Fuzz.Harness.create ?limits ~profile ()
   in
+  let preamble = Sqlparser.Parser.parse_testcase_exn preamble_sql in
   { rng = Rng.create (seed lxor 0x53A1);
     harness;
-    preamble = Sqlparser.Parser.parse_testcase_exn preamble_sql;
+    preamble;
     kept = Vec.create ();
     pool = Fuzz.Seed_pool.create ();
     next_slot = 0;
@@ -113,7 +114,11 @@ let step t () =
         in
         t.preamble @ [ query ])
   in
-  let outcome = Fuzz.Harness.execute t.harness tc in
+  (* every case is [preamble @ query]: the preamble is the shared prefix
+     of every execution, captured by the first one *)
+  let outcome =
+    Fuzz.Harness.execute ~hint:(List.length t.preamble) t.harness tc
+  in
   if outcome.Fuzz.Harness.o_new_branches > 0 then
     ignore
       (Fuzz.Seed_pool.add t.pool ~tc ~cov_hash:outcome.o_cov_hash

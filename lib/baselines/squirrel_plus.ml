@@ -11,8 +11,8 @@ type t = {
   sp_mutate : Telemetry.Span.t;
 }
 
-let process t tc =
-  let outcome = Fuzz.Harness.execute t.harness tc in
+let process ?hint t tc =
+  let outcome = Fuzz.Harness.execute ?hint t.harness tc in
   if outcome.Fuzz.Harness.o_new_branches > 0 then begin
     ignore
       (Fuzz.Seed_pool.add t.pool ~tc ~cov_hash:outcome.o_cov_hash
@@ -71,7 +71,9 @@ let affinity_insert t tc =
               tc)
        in
        if List.length mutant > 24 then None
-       else Some (Lego.Instantiate.repair t.rng mutant))
+       else
+         (* statements up to and including the anchor are the parent's *)
+         Some (Lego.Instantiate.repair t.rng mutant, pos + 1))
 
 let step t () =
   match Fuzz.Seed_pool.select t.pool t.rng with
@@ -79,14 +81,16 @@ let step t () =
   | Some seed ->
     let tc = seed.Fuzz.Seed_pool.sd_tc in
     for _ = 1 to 4 do
-      process t
-        (Telemetry.Span.time t.sp_mutate (fun () ->
-             Lego.Conventional.mutate_testcase t.rng tc))
+      let mutant, pos =
+        Telemetry.Span.time t.sp_mutate (fun () ->
+            Lego.Conventional.mutate_testcase_at t.rng tc)
+      in
+      process ~hint:pos t mutant
     done;
     for _ = 1 to 2 do
       match Telemetry.Span.time t.sp_mutate (fun () -> affinity_insert t tc)
       with
-      | Some mutant -> process t mutant
+      | Some (mutant, hint) -> process ~hint t mutant
       | None -> ()
     done
 

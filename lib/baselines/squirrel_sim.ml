@@ -8,8 +8,8 @@ type t = {
   sp_mutate : Telemetry.Span.t;
 }
 
-let process t tc =
-  let outcome = Fuzz.Harness.execute t.harness tc in
+let process ?hint t tc =
+  let outcome = Fuzz.Harness.execute ?hint t.harness tc in
   if outcome.Fuzz.Harness.o_new_branches > 0 then
     ignore
       (Fuzz.Seed_pool.add t.pool ~tc ~cov_hash:outcome.o_cov_hash
@@ -37,12 +37,13 @@ let step t () =
   | None -> ()
   | Some seed ->
     for _ = 1 to t.mutants_per_step do
-      let mutant =
+      let mutant, pos =
         Telemetry.Span.time t.sp_mutate (fun () ->
-            Lego.Conventional.mutate_testcase t.rng
+            Lego.Conventional.mutate_testcase_at t.rng
               seed.Fuzz.Seed_pool.sd_tc)
       in
-      process t mutant
+      (* statements before the mutated position print like the parent's *)
+      process ~hint:pos t mutant
     done
 
 let fuzzer t =

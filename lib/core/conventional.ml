@@ -191,9 +191,9 @@ let mutate_stmt ?(rich = true) rng schema stmt =
       | s when s = stmt -> mutate_data rng stmt
       | s -> s)
 
-let mutate_testcase ?(rich = true) rng tc =
+let mutate_testcase_at ?(rich = true) rng tc =
   match tc with
-  | [] -> []
+  | [] -> ([], 0)
   | _ ->
     let target = Rng.int rng (List.length tc) in
     let schema = Sym_schema.empty () in
@@ -207,4 +207,6 @@ let mutate_testcase ?(rich = true) rng tc =
            stmt')
         tc
     in
-    Instantiate.repair rng mutated
+    (Instantiate.repair rng mutated, target)
+
+let mutate_testcase ?rich rng tc = fst (mutate_testcase_at ?rich rng tc)

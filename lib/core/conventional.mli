@@ -20,3 +20,11 @@ val mutate_testcase :
   ?rich:bool -> Reprutil.Rng.t -> Ast.testcase -> Ast.testcase
 (** Pick a statement, mutate it, re-validate the test case. The type
     sequence is preserved. *)
+
+val mutate_testcase_at :
+  ?rich:bool -> Reprutil.Rng.t -> Ast.testcase -> Ast.testcase * int
+(** Like {!mutate_testcase}, but also returns the mutated position:
+    statements before it print identically to the parent's (repair only
+    rewrites invalid references), so the position serves as a prefix hint
+    for the harness's execution cache. Same RNG stream as
+    {!mutate_testcase}. *)

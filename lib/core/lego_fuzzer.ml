@@ -28,6 +28,12 @@ type t = {
       (* synthesized type sequences awaiting instantiation+execution;
          a sampling reservoir: overflow replaces a random slot so the
          backlog stays diverse rather than first-come-first-served *)
+  seq_seen : (Stmt_type.t list, unit) Hashtbl.t;
+      (* sequences ever enqueued: Algorithm 3 re-derives the same
+         sequences from overlapping affinity sets, and instantiating a
+         duplicate costs a full execution. Bounded (reset on overflow,
+         like the reservoir's replacement policy bounds [pending]). *)
+  c_dup_skipped : Telemetry.Registry.counter;
   types : Stmt_type.t list;
   mutable initial : Ast.testcase list;
   (* exchange cursors: how much of the pool / affinity log / skeleton
@@ -45,9 +51,16 @@ type t = {
    uses the shard RNG; the exchange-import path must not touch that
    stream, so it uses a content hash instead. *)
 let enqueue_seq t ~slot seq =
-  if Reprutil.Vec.length t.pending < t.cfg.max_pending then
-    Reprutil.Vec.push t.pending seq
-  else Reprutil.Vec.set t.pending (slot t.cfg.max_pending) seq
+  if Hashtbl.mem t.seq_seen seq then
+    Telemetry.Registry.incr t.c_dup_skipped
+  else begin
+    if Hashtbl.length t.seq_seen >= 4 * t.cfg.max_pending then
+      Hashtbl.reset t.seq_seen;
+    Hashtbl.replace t.seq_seen seq ();
+    if Reprutil.Vec.length t.pending < t.cfg.max_pending then
+      Reprutil.Vec.push t.pending seq
+    else Reprutil.Vec.set t.pending (slot t.cfg.max_pending) seq
+  end
 
 (* Algorithm 3 on one newly-discovered affinity: synthesize sequences and
    queue them for instantiation. *)
@@ -56,9 +69,12 @@ let synthesize_from t ~slot aff =
   List.iter (enqueue_seq t ~slot) seqs
 
 (* Execute a candidate; if it covers new branches, keep it: pool, skeleton
-   harvest, affinity analysis, and synthesis from each new affinity. *)
-let process_candidate t ?(analyze = true) tc =
-  let outcome = Fuzz.Harness.execute t.harness tc in
+   harvest, affinity analysis, and synthesis from each new affinity.
+   [hint] is the statement prefix the candidate shares with its parent,
+   forwarded to the harness's prefix-snapshot cache: the first hinted
+   execution captures the boundary, its siblings restore from it. *)
+let process_candidate t ?(analyze = true) ?hint tc =
+  let outcome = Fuzz.Harness.execute ?hint t.harness tc in
   if outcome.Fuzz.Harness.o_new_branches > 0 then begin
     ignore
       (Fuzz.Seed_pool.add t.pool ~tc ~cov_hash:outcome.o_cov_hash
@@ -91,6 +107,8 @@ let create ?(config = default_config) ?limits ?harness profile =
           ~types:(Minidb.Profile.types profile) ();
       skeletons = Skeleton_library.create ();
       pending = Reprutil.Vec.create ();
+      seq_seen = Hashtbl.create 256;
+      c_dup_skipped = Telemetry.Registry.counter metrics "synth.dup_skipped";
       types = Minidb.Profile.types profile;
       initial = [];
       xc_pool = 0;
@@ -158,16 +176,21 @@ let step t () =
               Seq_mutation.mutate_at t.rng ~skeletons:t.skeletons
                 ~types:t.types tc ~pos)
         in
-        List.iter (fun (_, mutant) -> ignore (process_candidate t mutant))
+        List.iter
+          (fun (_, mutant) ->
+             (* statements before the mutated position are the parent's *)
+             ignore (process_candidate t ~hint:pos mutant))
           mutants
       end;
       (* Conventional mutations (both LEGO and LEGO-). *)
       for _ = 1 to t.cfg.conventional_per_step do
-        let mutant =
+        let mutant, pos =
           Telemetry.Span.time t.sp_mutate (fun () ->
-              Conventional.mutate_testcase t.rng tc)
+              Conventional.mutate_testcase_at t.rng tc)
         in
-        ignore (process_candidate t ~analyze:t.cfg.sequence_oriented mutant)
+        ignore
+          (process_candidate t ~analyze:t.cfg.sequence_oriented ~hint:pos
+             mutant)
       done;
       (* Structure mutation via the AST library: replace one statement
          with a different structure of the SAME type (the paper's LEGO-
@@ -188,7 +211,9 @@ let step t () =
            Instantiate.repair t.rng
              (List.mapi (fun i s -> if i = pos then fresh else s) tc)
          in
-         ignore (process_candidate t ~analyze:t.cfg.sequence_oriented mutant))
+         ignore
+           (process_candidate t ~analyze:t.cfg.sequence_oriented ~hint:pos
+              mutant))
       done
   end
 

@@ -20,7 +20,9 @@ val size : int
 val create : unit -> t
 
 val reset : t -> unit
-(** Zero all cells (reuse between executions). *)
+(** Zero all cells (reuse between executions). Cost is proportional to
+    the number of cells touched since the previous reset, not to the map
+    size, so per-execution reuse of one scratch map stays cheap. *)
 
 val hit : t -> int -> unit
 (** Increment the cell at [index mod size]. *)
@@ -48,6 +50,11 @@ val merge : into:t -> t -> int
 val snapshot : t -> t
 (** Cheap point-in-time copy, for shards to diff against later. *)
 
+val load : into:t -> t -> unit
+(** Make [into] cell-for-cell equal to [src], i.e. [reset] followed by
+    copying [src]'s touched cells. Cost is proportional to the touched
+    cells of both maps. Used to restore a cached execution map. *)
+
 val diff : t -> since:t -> int
 (** Number of cells of [t] holding bucket bits absent from [since] — i.e.
     the new coverage accumulated since [since] was {!snapshot}ed. *)
@@ -59,3 +66,17 @@ val hash : t -> int64
 val is_set : t -> int -> bool
 
 val copy : t -> t
+
+type compact
+(** Frozen point-in-time copy storing only touched cells; creating,
+    holding and restoring one costs O(touched cells), not O(map size).
+    The prefix-snapshot cache stores one per cached boundary. *)
+
+val compact : t -> compact
+
+val load_compact : into:t -> compact -> unit
+(** Make [into] cell-for-cell equal to the map [compact] was taken
+    from. *)
+
+val compact_bytes : compact -> int
+(** Approximate heap footprint, for cache memory accounting. *)

@@ -50,7 +50,11 @@ let raw_sql =
      SELECT c1 FROM t12 UNION SELECT c2 FROM t12;\n\
      DELETE FROM t12;" ]
 
-let parsed = lazy (List.map Sqlparser.Parser.parse_testcase_exn raw_sql)
+(* Parsed eagerly at module init (single-threaded, before any domain
+   spawns): a [lazy] here is forced concurrently by every shard's
+   [initial] and OCaml 5 lazies are not domain-safe — a racing first
+   force raises [CamlinternalLazy.Undefined]. *)
+let parsed = List.map Sqlparser.Parser.parse_testcase_exn raw_sql
 
 let initial profile =
   List.filter_map
@@ -62,4 +66,4 @@ let initial profile =
            tc
        in
        if supported && tc <> [] then Some tc else None)
-    (Lazy.force parsed)
+    parsed

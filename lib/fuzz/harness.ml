@@ -26,6 +26,45 @@ type t = {
   h_sp_execute : Telemetry.Span.t;
   h_sp_triage : Telemetry.Span.t;
   h_oracles : oracle_state option;
+  h_cache : cache_state option;
+}
+
+(* Prefix-snapshot execution cache (DESIGN.md §12). Entries are keyed by
+   a digest chain over the printed statement prefix and hold everything
+   a cold replay of that prefix would have produced: the engine snapshot
+   at the boundary, the exec-map contribution, and the cumulative run
+   stats. Restoring one and executing only the suffix is then
+   outcome-identical to replaying from statement 0.
+
+   Entries are captured opportunistically during execution itself: a
+   hinted lookup that misses (or hits short of the hint) snapshots the
+   hinted boundary as the run passes it, so the first mutant of a batch
+   pays one deep-copy and its siblings hit. There is no separate priming
+   replay — capture rides on work the harness was doing anyway. *)
+and cache_state = {
+  cs_cache : (string, cache_entry) Prefix_cache.t;
+  cs_c_hits : Telemetry.Registry.counter;
+  cs_c_misses : Telemetry.Registry.counter;
+  cs_c_bypass : Telemetry.Registry.counter;  (* unhinted: never probed *)
+  cs_c_evictions : Telemetry.Registry.counter;
+  cs_g_bytes : Telemetry.Registry.gauge;  (* peak estimated bytes *)
+  cs_sp_restore : Telemetry.Span.t;
+  cs_sp_lookup : Telemetry.Span.t;
+  cs_sp_capture : Telemetry.Span.t;
+  (* Physical-identity memo of per-statement text digests. Mutants share
+     their parent seed's prefix statement objects, so the same statements
+     are digested over and over; remembering recent ones turns the common
+     lookup into pointer comparisons instead of print + MD5. A bounded
+     round-robin ring: staleness only costs a recomputation. *)
+  cs_stmt_memo : (Sqlcore.Ast.stmt * string) option array;
+  mutable cs_memo_next : int;
+}
+
+and cache_entry = {
+  e_snapshot : Minidb.Engine.snapshot;
+  e_map : Coverage.Bitmap.compact;  (* the prefix's exec-map contribution *)
+  e_stats : Minidb.Engine.run_stats;
+  e_len : int;  (* statements the prefix covers *)
 }
 
 and oracle_state = {
@@ -39,9 +78,32 @@ and oracle_state = {
   os_span : Telemetry.Span.t;
 }
 
-let create ?(limits = Minidb.Limits.default) ?metrics ?oracles ~profile () =
+(* Snapshots are bounded by entry count and by estimated bytes; the
+   byte bound keeps a pathological dialect (huge tables in every
+   snapshot) from eating the heap even when the entry cap is generous. *)
+let cache_max_bytes = 256 * 1024 * 1024
+
+let create ?(limits = Minidb.Limits.default) ?metrics ?oracles
+    ?(exec_cache = 0) ~profile () =
   let m =
     match metrics with Some m -> m | None -> Telemetry.Registry.create ()
+  in
+  let cache_state =
+    if exec_cache <= 0 then None
+    else
+      Some
+        { cs_cache =
+            Prefix_cache.create ~cap:exec_cache ~max_bytes:cache_max_bytes ();
+          cs_c_hits = Telemetry.Registry.counter m "cache.hits";
+          cs_c_misses = Telemetry.Registry.counter m "cache.misses";
+          cs_c_bypass = Telemetry.Registry.counter m "cache.bypass";
+          cs_c_evictions = Telemetry.Registry.counter m "cache.evictions";
+          cs_g_bytes = Telemetry.Registry.gauge m "cache.bytes";
+          cs_sp_restore = Telemetry.Span.stage m "cache_restore";
+          cs_sp_lookup = Telemetry.Span.stage m "cache_lookup";
+          cs_sp_capture = Telemetry.Span.stage m "cache_capture";
+          cs_stmt_memo = Array.make 64 None;
+          cs_memo_next = 0 }
   in
   let oracle_state =
     match oracles with
@@ -73,21 +135,183 @@ let create ?(limits = Minidb.Limits.default) ?metrics ?oracles ~profile () =
     h_h_cost = Telemetry.Registry.histogram m "harness.exec_cost";
     h_sp_execute = Telemetry.Span.stage m "execute";
     h_sp_triage = Telemetry.Span.stage m "triage";
-    h_oracles = oracle_state }
+    h_oracles = oracle_state;
+    h_cache = cache_state }
 
 let profile t = t.h_profile
 
-let execute t tc =
+(* Digest of one statement's printed text, via the physical-identity
+   memo: the common case (a mutant probing its parent's prefix) resolves
+   in a handful of pointer comparisons. *)
+let stmt_digest cs stmt =
+  let memo = cs.cs_stmt_memo in
+  let n = Array.length memo in
+  let rec scan i =
+    if i >= n then begin
+      let d = Digest.string (Sqlcore.Sql_printer.stmt stmt) in
+      memo.(cs.cs_memo_next) <- Some (stmt, d);
+      cs.cs_memo_next <- (cs.cs_memo_next + 1) mod n;
+      d
+    end
+    else
+      match memo.(i) with
+      | Some (s, d) when s == stmt -> d
+      | _ -> scan (i + 1)
+  in
+  scan 0
+
+(* [d.(k-1)] keys the printed prefix of length [k] via a digest chain:
+   each boundary digest folds the previous digest with the digest of the
+   next statement's printed text, so computing all of them is linear in
+   the number of statements (and mostly memo hits). Keying on the
+   {e printed} statement makes the key exactly as precise as what the
+   engine executes — two ASTs that print alike execute alike. *)
+let prefix_digests cs ~up_to tc =
+  let d = Array.make (max up_to 1) "" in
+  let prev = ref "" in
+  List.iteri
+    (fun i stmt ->
+       if i < up_to then begin
+         prev := Digest.string (!prev ^ stmt_digest cs stmt);
+         d.(i) <- !prev
+       end)
+    tc;
+  d
+
+(* Probe for the longest cached prefix of [tc], from [hint] — the
+   statements the candidate shares with its parent — downwards. Unhinted
+   executions (freshly generated one-shot cases) skip the cache
+   entirely: digesting a never-seen prefix costs more than the certain
+   miss saves, and their fresh statements would pollute the digest memo.
+   Any hinted key match is sound regardless of provenance: the digest
+   covers the full printed prefix, so a stale hint degrades to a miss,
+   never a wrong hit.
+
+   Returns the boundary digests and probe depth alongside the entry so
+   [execute] can capture the hinted boundary when the probe fell
+   short. *)
+let cache_lookup cs ?hint tc =
+  match hint with
+  | None -> None
+  | Some h ->
+    let n = List.length tc in
+    let maxp = min h n in
+    if maxp < 1 || n < 2 then None
+    else begin
+      let d = prefix_digests cs ~up_to:maxp tc in
+      let rec probe k =
+        if k < 1 then None
+        else
+          match Prefix_cache.find cs.cs_cache d.(k - 1) with
+          | Some e -> Some e
+          | None -> probe (k - 1)
+      in
+      Some (d, maxp, probe maxp)
+    end
+
+let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
+
+(* Snapshot the running engine at a statement boundary and insert it
+   under [key]. Called from [execute]'s boundary callback: at that point
+   [t.h_exec_map] holds exactly the prefix's coverage contribution and
+   [stats] the prefix's cumulative run stats, so the entry equals what a
+   cold replay of the prefix would have produced. Snapshotting is a pure
+   deep copy — the live run is unaffected. *)
+let cache_capture t cs engine key ~stats ~len =
+  Telemetry.Span.time cs.cs_sp_capture @@ fun () ->
+  let snapshot = Minidb.Engine.snapshot engine in
+  let map = Coverage.Bitmap.compact t.h_exec_map in
+  let entry =
+    { e_snapshot = snapshot; e_map = map; e_stats = stats; e_len = len }
+  in
+  (* Structural estimate: walking the real object graph
+     (Obj.reachable_words) costs more than the replay the cache saves. *)
+  let bytes =
+    Minidb.Engine.snapshot_bytes snapshot
+    + Coverage.Bitmap.compact_bytes map + 128
+  in
+  let evicted = Prefix_cache.insert cs.cs_cache key entry ~bytes in
+  if evicted > 0 then Telemetry.Registry.incr ~by:evicted cs.cs_c_evictions;
+  Telemetry.Registry.set_max cs.cs_g_bytes (Prefix_cache.bytes cs.cs_cache)
+
+let execute ?hint t tc =
   t.h_execs <- t.h_execs + 1;
   Telemetry.Registry.incr t.h_c_execs;
-  Coverage.Bitmap.reset t.h_exec_map;
-  let engine =
-    Minidb.Engine.create ~limits:t.h_limits ~metrics:t.h_metrics
-      ~profile:t.h_profile ~cov:t.h_exec_map ()
+  let probed =
+    match t.h_cache with
+    | None -> None
+    | Some cs ->
+      let r =
+        Telemetry.Span.time cs.cs_sp_lookup (fun () ->
+            cache_lookup cs ?hint tc)
+      in
+      (match r with
+       | Some (_, _, Some _) -> Telemetry.Registry.incr cs.cs_c_hits
+       | Some (_, _, None) -> Telemetry.Registry.incr cs.cs_c_misses
+       | None -> Telemetry.Registry.incr cs.cs_c_bypass);
+      Some (cs, r)
+  in
+  (* When the probe fell short of the hinted depth, capture that
+     boundary as this run passes it: the next sibling sharing the same
+     prefix then restores instead of replaying. [mem] (no LRU reorder):
+     an existing entry is identical by determinism, so keep it and its
+     recency. *)
+  let boundary_capture cs d maxp ~base engine =
+    Some
+      (fun k stats ->
+         let abs = base + k in
+         if abs = maxp && not (Prefix_cache.mem cs.cs_cache d.(abs - 1))
+         then cache_capture t cs engine d.(abs - 1) ~stats ~len:abs)
   in
   let stats =
-    Telemetry.Span.time t.h_sp_execute (fun () ->
-        Minidb.Engine.run_testcase engine tc)
+    match probed with
+    | Some (cs, Some (_, maxp, Some e)) when e.e_len = maxp ->
+      (* Full-depth hit: restore the boundary — exec map first (the
+         prefix's coverage contribution), then an engine continuing from
+         the snapshot. Running the remaining suffix with the prefix
+         stats carried over reproduces a cold full replay bit for
+         bit. *)
+      let engine =
+        Telemetry.Span.time cs.cs_sp_restore (fun () ->
+            Coverage.Bitmap.load_compact ~into:t.h_exec_map e.e_map;
+            Minidb.Engine.restore ~metrics:t.h_metrics e.e_snapshot
+              ~cov:t.h_exec_map ())
+      in
+      Telemetry.Span.time t.h_sp_execute (fun () ->
+          Minidb.Engine.run_testcase_from ~carry:e.e_stats engine
+            (drop e.e_len tc))
+    | Some (cs, Some (d, maxp, Some e)) ->
+      (* Shallow hit: restore what we have, deepen the cache to the
+         hinted boundary on the way through the suffix. *)
+      let engine =
+        Telemetry.Span.time cs.cs_sp_restore (fun () ->
+            Coverage.Bitmap.load_compact ~into:t.h_exec_map e.e_map;
+            Minidb.Engine.restore ~metrics:t.h_metrics e.e_snapshot
+              ~cov:t.h_exec_map ())
+      in
+      Telemetry.Span.time t.h_sp_execute (fun () ->
+          Minidb.Engine.run_testcase_from ~carry:e.e_stats
+            ?on_boundary:(boundary_capture cs d maxp ~base:e.e_len engine)
+            engine (drop e.e_len tc))
+    | Some (cs, Some (d, maxp, None)) ->
+      (* Hinted miss: cold run, capturing the hinted boundary. *)
+      Coverage.Bitmap.reset t.h_exec_map;
+      let engine =
+        Minidb.Engine.create ~limits:t.h_limits ~metrics:t.h_metrics
+          ~profile:t.h_profile ~cov:t.h_exec_map ()
+      in
+      Telemetry.Span.time t.h_sp_execute (fun () ->
+          Minidb.Engine.run_testcase_from
+            ?on_boundary:(boundary_capture cs d maxp ~base:0 engine)
+            engine tc)
+    | Some (_, None) | None ->
+      Coverage.Bitmap.reset t.h_exec_map;
+      let engine =
+        Minidb.Engine.create ~limits:t.h_limits ~metrics:t.h_metrics
+          ~profile:t.h_profile ~cov:t.h_exec_map ()
+      in
+      Telemetry.Span.time t.h_sp_execute (fun () ->
+          Minidb.Engine.run_testcase engine tc)
   in
   let news = Coverage.Bitmap.merge_into ~virgin:t.h_virgin t.h_exec_map in
   if news > 0 then Telemetry.Registry.incr ~by:news t.h_c_new_branches;
@@ -141,6 +365,8 @@ let execute t tc =
     o_executed = stats.rs_executed;
     o_cost = stats.rs_cost;
     o_violations = violations }
+
+let cache_enabled t = t.h_cache <> None
 
 let execs t = t.h_execs
 

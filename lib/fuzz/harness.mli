@@ -42,11 +42,23 @@ val create :
   ?limits:Minidb.Limits.t ->
   ?metrics:Telemetry.Registry.t ->
   ?oracles:Oracle.Suite.t ->
+  ?exec_cache:int ->
   profile:Minidb.Profile.t ->
   unit ->
   t
 (** [metrics] defaults to a fresh private registry; pass one to share a
     registry between a harness and its fuzzer's own stage spans.
+
+    [exec_cache] > 0 enables the prefix-snapshot execution cache with
+    that many LRU entries (DESIGN.md §12): hinted executions restore the
+    longest cached statement prefix instead of replaying it, and capture
+    the hinted boundary on a miss so siblings sharing the prefix hit.
+    Outcomes — coverage, crashes, oracle verdicts, stats — are provably
+    identical to cold replays. Adds
+    [cache.hits]/[cache.misses]/[cache.bypass]/[cache.evictions] counters, a
+    [cache.bytes] peak gauge and [cache_restore]/[cache_lookup]/
+    [cache_capture] stage spans. Default 0: off, byte-identical to
+    earlier builds.
 
     [oracles], when given, replays every coverage-increasing non-crashing
     execution through the logic-bug oracle suite: violations are
@@ -59,8 +71,17 @@ val create :
 
 val profile : t -> Minidb.Profile.t
 
-val execute : t -> Sqlcore.Ast.testcase -> outcome
-(** Never raises. *)
+val execute : ?hint:int -> t -> Sqlcore.Ast.testcase -> outcome
+(** Never raises. [hint], when the fuzzer knows it, is the number of
+    leading statements the candidate shares with its parent seed (e.g.
+    the mutation position); the cache probes prefix lengths from there
+    downwards, and on a miss captures the hinted boundary during the
+    run so the next candidate sharing the prefix restores instead of
+    replaying. Unhinted executions bypass the cache — a freshly
+    generated case has no prefix worth probing for or capturing.
+    Ignored when the cache is off. *)
+
+val cache_enabled : t -> bool
 
 val execs : t -> int
 (** Total executions so far. *)

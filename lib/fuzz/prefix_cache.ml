@@ -1,0 +1,96 @@
+(* Bounded LRU map from printed-prefix keys to cached values (engine
+   snapshots, in the harness). A hash table gives O(1) lookup; an
+   intrusive doubly-linked list over the entries gives O(1)
+   recency-reorder and O(1) eviction of the least recently used entry.
+   Capacity is bounded both by entry count and (optionally) by the
+   caller-supplied per-entry byte estimates. *)
+
+type ('k, 'v) node = {
+  n_key : 'k;
+  n_value : 'v;
+  n_bytes : int;
+  mutable n_prev : ('k, 'v) node option;  (* towards most recent *)
+  mutable n_next : ('k, 'v) node option;  (* towards least recent *)
+}
+
+type ('k, 'v) t = {
+  cap : int;
+  max_bytes : int option;
+  tbl : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option;  (* most recently used *)
+  mutable tail : ('k, 'v) node option;  (* least recently used *)
+  mutable bytes : int;
+}
+
+let create ?max_bytes ~cap () =
+  if cap <= 0 then invalid_arg "Prefix_cache.create: cap must be positive";
+  { cap; max_bytes; tbl = Hashtbl.create (min cap 1024); head = None;
+    tail = None; bytes = 0 }
+
+let length t = Hashtbl.length t.tbl
+
+let bytes t = t.bytes
+
+let unlink t node =
+  (match node.n_prev with
+   | Some p -> p.n_next <- node.n_next
+   | None -> t.head <- node.n_next);
+  (match node.n_next with
+   | Some n -> n.n_prev <- node.n_prev
+   | None -> t.tail <- node.n_prev);
+  node.n_prev <- None;
+  node.n_next <- None
+
+let push_front t node =
+  node.n_next <- t.head;
+  (match t.head with
+   | Some h -> h.n_prev <- Some node
+   | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> None
+  | Some node ->
+    (match t.head with
+     | Some h when h == node -> ()
+     | _ ->
+       unlink t node;
+       push_front t node);
+    Some node.n_value
+
+let mem t key = Hashtbl.mem t.tbl key
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.tbl node.n_key;
+    t.bytes <- t.bytes - node.n_bytes
+
+let over_budget t =
+  Hashtbl.length t.tbl > t.cap
+  || (match t.max_bytes with
+      | Some mb -> t.bytes > mb && Hashtbl.length t.tbl > 1
+      | None -> false)
+
+let insert t key value ~bytes:n_bytes =
+  (match Hashtbl.find_opt t.tbl key with
+   | Some old ->
+     unlink t old;
+     Hashtbl.remove t.tbl key;
+     t.bytes <- t.bytes - old.n_bytes
+   | None -> ());
+  let node = { n_key = key; n_value = value; n_bytes; n_prev = None;
+               n_next = None }
+  in
+  Hashtbl.replace t.tbl key node;
+  push_front t node;
+  t.bytes <- t.bytes + n_bytes;
+  let evicted = ref 0 in
+  while over_budget t do
+    evict_lru t;
+    incr evicted
+  done;
+  !evicted

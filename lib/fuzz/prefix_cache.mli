@@ -1,0 +1,32 @@
+(** Bounded LRU map — the backing store of the harness's prefix-snapshot
+    execution cache (DESIGN.md §12).
+
+    Polymorphic in both key and value so the eviction policy is unit
+    testable without constructing engine snapshots. All operations are
+    O(1) (expected) apart from the amortised eviction loop in
+    {!insert}. Not thread-safe: each harness (one per campaign shard)
+    owns its own cache. *)
+
+type ('k, 'v) t
+
+val create : ?max_bytes:int -> cap:int -> unit -> ('k, 'v) t
+(** LRU cache holding at most [cap] entries (and, when [max_bytes] is
+    given, at most [max_bytes] of caller-estimated payload — except that
+    a single over-sized entry is kept rather than thrashing).
+    @raise Invalid_argument when [cap <= 0]. *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Lookup; a hit moves the entry to most-recently-used. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Lookup without touching recency — used to skip re-priming. *)
+
+val insert : ('k, 'v) t -> 'k -> 'v -> bytes:int -> int
+(** Insert (or replace) an entry whose payload the caller estimates at
+    [bytes] bytes, then evict least-recently-used entries until both
+    bounds hold again. Returns the number of entries evicted. *)
+
+val length : ('k, 'v) t -> int
+
+val bytes : ('k, 'v) t -> int
+(** Sum of the byte estimates of the live entries. *)

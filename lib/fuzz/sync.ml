@@ -33,6 +33,20 @@ type port = {
   p_import : entry -> unit;
 }
 
+(* A shard's round contribution with every dedup key precomputed — the
+   affinity index pairs and the printed skeleton SQL are derived by the
+   publishing shard {e before} it takes the lock, so the round barrier's
+   critical section only does hash-table lookups and list pushes. *)
+type staged_publish = {
+  sp_shard : int;
+  sp_crashes : (Minidb.Fault.crash * Sqlcore.Ast.testcase option) list;
+  sp_logic : (Oracle.Violation.t * Sqlcore.Ast.testcase option) list;
+  sp_seeds : xseed list;
+  sp_affinities :
+    ((int * int) * (Sqlcore.Stmt_type.t * Sqlcore.Stmt_type.t)) list;
+  sp_skeletons : (string * Sqlcore.Ast.stmt) list;
+}
+
 exception Aborted
 
 type t = {
@@ -64,12 +78,10 @@ type t = {
   mutable arrived : int;
   mutable generation : int;
   mutable aborted : bool;
-  mutable staged :
-    (int
-     * (Minidb.Fault.crash * Sqlcore.Ast.testcase option) list
-     * (Oracle.Violation.t * Sqlcore.Ast.testcase option) list
-     * export)
-      list;  (* this round's publishes, resolved sorted at release *)
+  mutable staged : staged_publish list;
+      (* this round's publishes, kept sorted by shard id: each shard
+         stages exactly once per round, so sorted insertion is a merge
+         of already-ordered runs and release needs no sort *)
   store : (int * entry) Reprutil.Vec.t;
       (* canonical exchange log in (round, shard id) order *)
   mutable pull_map : Coverage.Bitmap.t;
@@ -150,12 +162,15 @@ let publish_locked ?metrics t ~virgin ~execs_delta ~crashes_delta =
   Coverage.Bitmap.merge ~into:t.virgin virgin
 
 let publish ?metrics ?(crashes_delta = 0) t ~virgin ~triage ~execs_delta =
+  (* Triage is shard-private: read it before taking the global lock. *)
+  let crashes = Triage.unique_with_cases triage in
+  let logic = Triage.unique_logic triage in
   locked t (fun () ->
       let news =
         publish_locked ?metrics t ~virgin ~execs_delta ~crashes_delta
       in
-      List.iter (note_unique t) (Triage.unique_with_cases triage);
-      List.iter (note_logic t) (Triage.unique_logic triage);
+      List.iter (note_unique t) crashes;
+      List.iter (note_logic t) logic;
       news)
 
 let publish_harness ?metrics ?crashes_delta t h ~execs_delta =
@@ -171,42 +186,35 @@ let publish_harness ?metrics ?crashes_delta t h ~execs_delta =
    here for the same reason: the lowest shard id wins ties, not the
    first to arrive. *)
 let release_round t =
-  let staged =
-    List.sort (fun (a, _, _, _) (b, _, _, _) -> Int.compare a b) t.staged
-  in
+  let staged = t.staged in  (* already sorted by shard id at insertion *)
   t.staged <- [];
   List.iter
-    (fun (shard, crashes, logic, export) ->
-       List.iter (note_unique t) crashes;
-       List.iter (note_logic t) logic;
+    (fun sp ->
+       List.iter (note_unique t) sp.sp_crashes;
+       List.iter (note_logic t) sp.sp_logic;
        if t.exchange.ex_seeds then
          List.iter
            (fun s ->
               if not (Hashtbl.mem t.seen_seeds s.xs_cov_hash) then begin
                 Hashtbl.replace t.seen_seeds s.xs_cov_hash ();
-                Reprutil.Vec.push t.store (shard, Seed s)
+                Reprutil.Vec.push t.store (sp.sp_shard, Seed s)
               end)
-           export.xp_seeds;
+           sp.sp_seeds;
        if t.exchange.ex_affinities then begin
          List.iter
-           (fun (a, b) ->
-              let key =
-                ( Sqlcore.Stmt_type.to_index a,
-                  Sqlcore.Stmt_type.to_index b )
-              in
+           (fun (key, (a, b)) ->
               if not (Hashtbl.mem t.seen_affinities key) then begin
                 Hashtbl.replace t.seen_affinities key ();
-                Reprutil.Vec.push t.store (shard, Affinity (a, b))
+                Reprutil.Vec.push t.store (sp.sp_shard, Affinity (a, b))
               end)
-           export.xp_affinities;
+           sp.sp_affinities;
          List.iter
-           (fun stmt ->
-              let key = Sqlcore.Sql_printer.stmt stmt in
+           (fun (key, stmt) ->
               if not (Hashtbl.mem t.seen_skeletons key) then begin
                 Hashtbl.replace t.seen_skeletons key ();
-                Reprutil.Vec.push t.store (shard, Skeleton stmt)
+                Reprutil.Vec.push t.store (sp.sp_shard, Skeleton stmt)
               end)
-           export.xp_skeletons
+           sp.sp_skeletons
        end)
     staged;
   t.pull_map <- Coverage.Bitmap.snapshot t.virgin
@@ -217,19 +225,51 @@ let abort t =
   Condition.broadcast t.cond;
   Mutex.unlock t.lock
 
+(* Insert keeping ascending shard-id order: at most [parties] entries per
+   round, each shard once, so this is the merge step of already-ordered
+   per-shard runs. *)
+let rec insert_staged sp = function
+  | [] -> [ sp ]
+  | hd :: _ as l when sp.sp_shard <= hd.sp_shard -> sp :: l
+  | hd :: tl -> hd :: insert_staged sp tl
+
 let exchange_round ?metrics ?(crashes_delta = 0) t ~shard ~virgin ~triage
     ~execs_delta ~export =
+  (* Everything derivable from shard-private state is prepared before
+     the lock: the triage reads, the affinity dedup keys and the printed
+     skeleton SQL. The barrier's critical section then only merges and
+     pushes. Kinds disabled in the exchange configuration are dropped
+     here too, so their keys are never computed ([t.exchange] is
+     immutable — reading it unlocked is safe). *)
+  let staged =
+    { sp_shard = shard;
+      (* crashes and logic-bug signatures are staged, not folded, so the
+         cross-shard dedup's first-finder attribution is
+         scheduling-independent too *)
+      sp_crashes = Triage.unique_with_cases triage;
+      sp_logic = Triage.unique_logic triage;
+      sp_seeds = (if t.exchange.ex_seeds then export.xp_seeds else []);
+      sp_affinities =
+        (if t.exchange.ex_affinities then
+           List.map
+             (fun (a, b) ->
+                ( ( Sqlcore.Stmt_type.to_index a,
+                    Sqlcore.Stmt_type.to_index b ),
+                  (a, b) ))
+             export.xp_affinities
+         else []);
+      sp_skeletons =
+        (if t.exchange.ex_affinities then
+           List.map
+             (fun stmt -> (Sqlcore.Sql_printer.stmt stmt, stmt))
+             export.xp_skeletons
+         else []) }
+  in
   locked t (fun () ->
       if t.aborted then raise Aborted;
       ignore
         (publish_locked ?metrics t ~virgin ~execs_delta ~crashes_delta);
-      (* crashes and logic-bug signatures are staged, not folded, so the
-         cross-shard dedup's first-finder attribution is
-         scheduling-independent too *)
-      t.staged <-
-        (shard, Triage.unique_with_cases triage, Triage.unique_logic triage,
-         export)
-        :: t.staged;
+      t.staged <- insert_staged staged t.staged;
       t.arrived <- t.arrived + 1;
       let gen = t.generation in
       if t.arrived >= t.parties then begin

@@ -176,7 +176,109 @@ let restore_snapshot t snapshot =
     snapshot.sn_sequences;
   rebuild_indexes t
 
+let copy_snapshot sn =
+  { sn_tables =
+      List.map (fun (n, tbl) -> (n, Storage.Table.copy tbl)) sn.sn_tables;
+    sn_sequences = sn.sn_sequences }
+
+(* [Hashtbl.copy] then rewriting every binding in place keeps the
+   bucket layout — and therefore the fold/iter order every consumer of
+   [indexes_on]/[triggers_on]/... observes — identical to the source
+   table's. That is load-bearing for the prefix-snapshot cache: replays
+   from a restored catalog must follow the same trigger/index order a
+   cold replay would. *)
+let copy_bindings copy_v h =
+  let h' = Hashtbl.copy h in
+  Hashtbl.filter_map_inplace (fun _ v -> Some (copy_v v)) h';
+  h'
+
+let deep_copy t =
+  { tables = copy_bindings Storage.Table.copy t.tables;
+    views =
+      copy_bindings
+        (fun v ->
+           { v with v_cache = Option.map (List.map Array.copy) v.v_cache })
+        t.views;
+    indexes =
+      copy_bindings
+        (fun s -> { s with x_data = Storage.Index.copy s.x_data })
+        t.indexes;
+    (* Immutable payloads: a plain table copy is enough. *)
+    triggers = Hashtbl.copy t.triggers;
+    rules = Hashtbl.copy t.rules;
+    sequences =
+      copy_bindings
+        (fun sq ->
+           { sq_value = sq.sq_value; sq_step = sq.sq_step;
+             sq_start = sq.sq_start })
+        t.sequences;
+    schemas = Hashtbl.copy t.schemas;
+    databases = Hashtbl.copy t.databases;
+    users =
+      copy_bindings
+        (fun u -> { us_password = u.us_password; us_privs = u.us_privs })
+        t.users;
+    session_vars = Hashtbl.copy t.session_vars;
+    global_vars = Hashtbl.copy t.global_vars;
+    prepared = Hashtbl.copy t.prepared;
+    comments = Hashtbl.copy t.comments;
+    locks = Hashtbl.copy t.locks;
+    handlers = Hashtbl.copy t.handlers;
+    listening = t.listening;
+    notify_queue = t.notify_queue;
+    current_user = t.current_user;
+    current_db = t.current_db;
+    in_txn = t.in_txn;
+    iso = t.iso;
+    txn_snapshot = Option.map copy_snapshot t.txn_snapshot;
+    savepoints = List.map (fun (n, sn) -> (n, copy_snapshot sn)) t.savepoints }
+
 let object_count t =
   Hashtbl.length t.tables + Hashtbl.length t.views + Hashtbl.length t.indexes
   + Hashtbl.length t.triggers + Hashtbl.length t.rules
   + Hashtbl.length t.sequences
+
+(* Structural heap estimate in words. Row data (tables, view caches,
+   index keys, transaction snapshots) dominates a deep copy's footprint;
+   fixed per-object and per-catalog overheads cover the rest. Used for
+   the prefix-snapshot cache's memory accounting: it must be cheap
+   (O(#objects), never O(#rows)) and roughly monotone in real size, not
+   exact. *)
+let approx_words t =
+  let table_words tbl =
+    64 + (Storage.Table.row_count tbl * (Storage.Table.arity tbl + 4))
+  in
+  let words = ref 512 in
+  Hashtbl.iter (fun _ tbl -> words := !words + table_words tbl) t.tables;
+  Hashtbl.iter
+    (fun _ v ->
+       words := !words + 32;
+       match v.v_cache with
+       | None -> ()
+       | Some rows ->
+         List.iter (fun r -> words := !words + Array.length r + 4) rows)
+    t.views;
+  Hashtbl.iter
+    (fun _ spec ->
+       words := !words + 48 + (8 * Storage.Index.length spec.x_data))
+    t.indexes;
+  words :=
+    !words
+    + 48
+      * (Hashtbl.length t.triggers + Hashtbl.length t.rules
+         + Hashtbl.length t.prepared)
+    + 16
+      * (Hashtbl.length t.sequences + Hashtbl.length t.users
+         + Hashtbl.length t.session_vars + Hashtbl.length t.global_vars
+         + Hashtbl.length t.comments + Hashtbl.length t.locks
+         + Hashtbl.length t.handlers);
+  let snap_words sn =
+    List.fold_left (fun acc (_, tbl) -> acc + table_words tbl) 0 sn.sn_tables
+  in
+  (match t.txn_snapshot with
+   | Some sn -> words := !words + snap_words sn
+   | None -> ());
+  List.iter (fun (_, sn) -> words := !words + snap_words sn) t.savepoints;
+  !words
+
+let approx_bytes t = approx_words t * (Sys.word_size / 8)

@@ -106,5 +106,17 @@ val restore_snapshot : t -> snapshot -> unit
 
 val rebuild_indexes : t -> unit
 
+val deep_copy : t -> t
+(** Fully independent copy of the whole catalog — every table, index,
+    view cache, sequence, variable table, transaction snapshot and
+    savepoint. Mutating either side never affects the other, and hash
+    table bucket layouts are preserved so iteration orders match the
+    source. Backs the prefix-snapshot execution cache. *)
+
 val object_count : t -> int
 (** Total number of schema objects, for coverage state keys. *)
+
+val approx_bytes : t -> int
+(** Structural heap-footprint estimate of a deep copy, dominated by row
+    data. O(#objects) — never walks rows — and only roughly monotone in
+    real size. Backs the prefix-snapshot cache's memory accounting. *)

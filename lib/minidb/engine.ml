@@ -88,12 +88,28 @@ let exec_stmt t stmt =
     status
   end
 
-let run_testcase t tc =
-  let executed = ref 0 in
-  let errors = ref 0 in
-  let cost = ref 0 in
+let empty_stats =
+  { rs_executed = 0; rs_errors = 0; rs_crash = None; rs_cost = 0;
+    rs_rows_scanned = 0 }
+
+(* [carry] holds the stats of a prefix already replayed into this engine
+   (by the harness's snapshot cache): the returned stats and the metric
+   counters report prefix + suffix combined, exactly what one cold run
+   of the full test case would have reported. [on_boundary n stats]
+   fires after each completed, non-crashing statement ([n] = statements
+   consumed from [tc] so far) — the snapshot cache captures entries
+   there, so crashing statements are never cached as boundaries. *)
+let run_testcase_from ?(carry = empty_stats) ?on_boundary t tc =
+  let executed = ref carry.rs_executed in
+  let errors = ref carry.rs_errors in
+  let cost = ref carry.rs_cost in
   let crash = ref None in
-  let rows0 = Executor.rows_scanned t.ctx in
+  let consumed = ref 0 in
+  let rows0 = Executor.rows_scanned t.ctx - carry.rs_rows_scanned in
+  let stats () =
+    { rs_executed = !executed; rs_errors = !errors; rs_crash = !crash;
+      rs_cost = !cost; rs_rows_scanned = Executor.rows_scanned t.ctx - rows0 }
+  in
   (try
      List.iter
        (fun stmt ->
@@ -101,14 +117,18 @@ let run_testcase t tc =
           t.stmt_count <- t.stmt_count + 1;
           incr executed;
           cost := !cost + Ast_util.stmt_size stmt;
-          match exec_stmt t stmt with
-          | Ok_result _ -> ()
-          | Sql_failed _ -> incr errors)
+          (match exec_stmt t stmt with
+           | Ok_result _ -> ()
+           | Sql_failed _ -> incr errors);
+          incr consumed;
+          match on_boundary with
+          | None -> ()
+          | Some f -> f !consumed (stats ()))
        tc
    with
    | Exit -> ()
    | Fault.Crashed c -> crash := Some c);
-  let rows = Executor.rows_scanned t.ctx - rows0 in
+  let res = stats () in
   (match t.metrics with
    | None -> ()
    | Some m ->
@@ -116,12 +136,40 @@ let run_testcase t tc =
        if by > 0 then
          Telemetry.Registry.incr ~by (Telemetry.Registry.counter m name)
      in
-     count "engine.statements_executed" !executed;
-     count "engine.sql_errors" !errors;
-     count "engine.rows_scanned" rows;
-     count "engine.crashes" (if !crash = None then 0 else 1));
-  { rs_executed = !executed; rs_errors = !errors; rs_crash = !crash;
-    rs_cost = !cost; rs_rows_scanned = rows }
+     count "engine.statements_executed" res.rs_executed;
+     count "engine.sql_errors" res.rs_errors;
+     count "engine.rows_scanned" res.rs_rows_scanned;
+     count "engine.crashes" (if res.rs_crash = None then 0 else 1));
+  res
+
+let run_testcase t tc = run_testcase_from t tc
+
+type snapshot = {
+  sn_state : Executor.state;
+  sn_window : Stmt_type.t list;  (* immutable list: safe to share *)
+  sn_stmt_count : int;
+  sn_profile : Profile.t;
+  sn_limits : Limits.t;
+}
+
+let snapshot t =
+  { sn_state = Executor.capture t.ctx;
+    sn_window = t.window;
+    sn_stmt_count = t.stmt_count;
+    sn_profile = t.profile;
+    sn_limits = t.limits }
+
+let restore ?metrics snap ~cov () =
+  { ctx = Executor.restore snap.sn_state ~cov;
+    profile = snap.sn_profile;
+    limits = snap.sn_limits;
+    cov;
+    metrics;
+    window = snap.sn_window;
+    stmt_count = snap.sn_stmt_count }
+
+let snapshot_bytes snap =
+  Executor.state_bytes snap.sn_state + (16 * List.length snap.sn_window) + 256
 
 let set_plan_mode t mode = Executor.set_plan_mode t.ctx mode
 

@@ -50,6 +50,47 @@ val run_testcase : t -> Ast.testcase -> run_stats
 (** Execute a whole test case, statement by statement, stopping at the
     first crash. Never raises. *)
 
+val run_testcase_from :
+  ?carry:run_stats ->
+  ?on_boundary:(int -> run_stats -> unit) ->
+  t ->
+  Ast.testcase ->
+  run_stats
+(** Like {!run_testcase}, but [carry] (stats of a prefix already
+    replayed into this engine by the snapshot cache) is folded into the
+    returned stats and the metric counters, so a restored-prefix +
+    suffix run reports exactly what one cold run of the whole test case
+    would. [on_boundary n stats] fires after each completed,
+    non-crashing statement with [n] = statements consumed so far and the
+    cumulative stats — the safe points at which the engine may be
+    {!snapshot}ted. *)
+
+type snapshot
+(** Frozen engine at a statement boundary: executor state (catalog deep
+    copy), type window and statement budget. Shares nothing mutable with
+    the live engine. *)
+
+val snapshot : t -> snapshot
+(** Capture the engine. Only valid at statement boundaries (between
+    {!run_testcase} calls or inside [on_boundary]). *)
+
+val restore :
+  ?metrics:Telemetry.Registry.t ->
+  snapshot ->
+  cov:Coverage.Bitmap.t ->
+  unit ->
+  t
+(** Build a fresh engine from a snapshot. The snapshot is deep-copied
+    again, so it can be restored any number of times; mutating a
+    restored engine never leaks back into the snapshot. A restored
+    engine continues bit-identically to the engine that was captured:
+    catalog iteration orders, the statement-type window and the
+    statement budget all match. *)
+
+val snapshot_bytes : snapshot -> int
+(** Structural heap estimate of a snapshot, O(#schema objects). Backs
+    the prefix cache's memory accounting. *)
+
 val query_rows :
   t -> Ast.query -> (Storage.Value.t array list, Errors.t) result
 (** Convenience for examples and tests. *)

@@ -79,6 +79,43 @@ let create_ctx ~cat ~profile ~limits ~cov =
 
 let set_plan_mode ctx mode = ctx.plan_mode <- mode
 
+(* Everything a statement boundary can observe. [flags], [ctes] and the
+   recursion depths are per-statement transients — [reset_transient]
+   clears them before each statement, and they are empty/zero at every
+   boundary — so only the catalog, the cumulative scan counter and the
+   plan mode need to survive a snapshot. *)
+type state = {
+  st_cat : Catalog.t;
+  st_rows_scanned : int;
+  st_plan_mode : plan_mode;
+  st_profile : Profile.t;
+  st_limits : Limits.t;
+}
+
+let capture ctx =
+  { st_cat = Catalog.deep_copy ctx.cat;
+    st_rows_scanned = ctx.rows_scanned;
+    st_plan_mode = ctx.plan_mode;
+    st_profile = ctx.profile;
+    st_limits = ctx.limits }
+
+(* Deep-copies the stored catalog again, so the [state] value stays
+   pristine no matter how the restored context is mutated afterwards. *)
+let restore st ~cov =
+  { cat = Catalog.deep_copy st.st_cat;
+    profile = st.st_profile;
+    limits = st.st_limits;
+    cov;
+    flags = Hashtbl.create 8;
+    query_depth = 0;
+    trigger_depth = 0;
+    shape_depth = 0;
+    ctes = [];
+    rows_scanned = st.st_rows_scanned;
+    plan_mode = st.st_plan_mode }
+
+let state_bytes st = Catalog.approx_bytes st.st_cat
+
 let rows_scanned ctx = ctx.rows_scanned
 
 let catalog ctx = ctx.cat

@@ -42,6 +42,24 @@ val create_ctx :
 
 val catalog : ctx -> Catalog.t
 
+type state
+(** Frozen copy of a context at a statement boundary: catalog deep copy,
+    rows-scanned counter and plan mode. Per-statement transients (flags,
+    CTE scope, recursion depths) are empty at boundaries and excluded. *)
+
+val capture : ctx -> state
+(** Snapshot the context. The result shares nothing mutable with the
+    live context. Only valid at statement boundaries. *)
+
+val restore : state -> cov:Coverage.Bitmap.t -> ctx
+(** Build a fresh context from a snapshot, writing coverage into [cov].
+    The snapshot is deep-copied again, so one [state] can be restored
+    any number of times; mutating a restored context never leaks back. *)
+
+val state_bytes : state -> int
+(** Structural heap estimate of the snapshot (see
+    {!Catalog.approx_bytes}). O(#schema objects). *)
+
 val exec : ctx -> Ast.stmt -> result
 (** Execute one statement. @raise Errors.Sql_error on recoverable
     errors. *)

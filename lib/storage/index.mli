@@ -26,3 +26,7 @@ val length : t -> int
 (** Number of distinct keys. *)
 
 val clear : t -> unit
+
+val copy : t -> t
+(** Independent copy: mutations of either side never affect the other.
+    O(1) — the underlying map is persistent. *)

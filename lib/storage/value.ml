@@ -80,7 +80,14 @@ let int_of_text s =
   in
   let start = if n > 0 && (s.[0] = '-' || s.[0] = '+') then 1 else 0 in
   let stop = scan start in
-  if stop = start then 0 else int_of_string (String.sub s 0 stop)
+  if stop = start then 0
+  else
+    match int_of_string (String.sub s 0 stop) with
+    | v -> v
+    | exception Failure _ ->
+      (* Digit run overflows the native int, e.g. a 25-digit literal:
+         clamp like MySQL instead of crashing the engine. *)
+      if s.[0] = '-' then min_int else max_int
 
 let coerce v dt =
   let open Sqlcore.Ast in

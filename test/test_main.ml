@@ -25,4 +25,5 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("baselines", Test_baselines.suite);
       ("extensions", Test_extensions.suite);
-      ("integration", Test_integration.suite) ]
+      ("integration", Test_integration.suite);
+      ("cache", Test_cache.suite) ]
