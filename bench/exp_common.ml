@@ -66,6 +66,17 @@ let exec_cache =
   | Some ("off" | "") | None -> 0
   | Some s -> (try max 0 (int_of_string s) with Failure _ -> 0)
 
+(* REPRO_COW=off reverts engine snapshots to the pre-refactor physical
+   deep copies for the whole bench run (DESIGN.md §13); the default is
+   the O(1) persistent-map copy. The cow-ablation bench toggles this
+   per campaign regardless of the global setting. *)
+let cow =
+  match Sys.getenv_opt "REPRO_COW" with
+  | Some ("off" | "0" | "deep") -> false
+  | _ -> true
+
+let () = Minidb.Catalog.set_copy_on_write cow
+
 (* One shard's execution harness, when any harness-level feature
    (oracles, exec cache) is enabled; [None] lets the fuzzer build its
    own default harness, as before those features existed. *)

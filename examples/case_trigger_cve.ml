@@ -65,7 +65,9 @@ let () =
     [ Stmt_type.Create_table; Stmt_type.Insert; Stmt_type.Create_trigger;
       Stmt_type.Select ]
   in
-  let have_wanted = List.mem wanted seqs in
+  let have_wanted =
+    List.mem wanted (List.map (Lego.Synthesis.to_types synthesis) seqs)
+  in
   Printf.printf "  contains the paper's 2->3->5->4 sequence: %b\n"
     have_wanted;
 

@@ -5,10 +5,20 @@ type t = {
   map : (int, (int, unit) Hashtbl.t) Hashtbl.t;
   mutable total : int;
   log : (Stmt_type.t * Stmt_type.t) Vec.t;
+  (* Memoized sorted successor-index lists, one slot per source type,
+     invalidated on {!add}. Algorithm 3's recursive closure queries
+     successors once per visited sequence node — hundreds of thousands
+     of times per campaign — so rebuilding the sorted list from the
+     hash set on every call dominated synthesis cost (an array read
+     keeps the lookup itself off the profile too). The sort is by
+     index, which equals [Stmt_type.compare] order, so memoized and
+     unmemoized results are identical. *)
+  succ : int list option array;
 }
 
 let create () =
-  { map = Hashtbl.create 64; total = 0; log = Vec.create () }
+  { map = Hashtbl.create 64; total = 0; log = Vec.create ();
+    succ = Array.make Stmt_type.count None }
 
 let mem t t1 t2 =
   match Hashtbl.find_opt t.map (Stmt_type.to_index t1) with
@@ -29,6 +39,7 @@ let add t t1 t2 =
   if Hashtbl.mem set i2 then false
   else begin
     Hashtbl.replace set i2 ();
+    t.succ.(i1) <- None;
     t.total <- t.total + 1;
     Vec.push t.log (t1, t2);
     true
@@ -59,12 +70,22 @@ let analyze_sequence t types =
 
 let analyze t tc = analyze_sequence t (Ast.type_sequence tc)
 
+let successor_indices t ix =
+  match t.succ.(ix) with
+  | Some l -> l
+  | None ->
+    let l =
+      match Hashtbl.find_opt t.map ix with
+      | None -> []
+      | Some set ->
+        Hashtbl.fold (fun i () acc -> i :: acc) set []
+        |> List.sort Int.compare
+    in
+    t.succ.(ix) <- Some l;
+    l
+
 let successors t ty =
-  match Hashtbl.find_opt t.map (Stmt_type.to_index ty) with
-  | None -> []
-  | Some set ->
-    Hashtbl.fold (fun i () acc -> Stmt_type.of_index i :: acc) set []
-    |> List.sort Stmt_type.compare
+  List.map Stmt_type.of_index (successor_indices t (Stmt_type.to_index ty))
 
 let count t = t.total
 

@@ -27,6 +27,12 @@ val analyze_sequence :
 (** Same, over a bare type sequence. *)
 
 val successors : t -> Stmt_type.t -> Stmt_type.t list
+(** Sorted by {!Stmt_type.compare}; memoized per source type. *)
+
+val successor_indices : t -> int -> int list
+(** {!successors} by statement-type index, sorted ascending — the
+    memoized list itself, shared with Algorithm 3's inner loop (do not
+    mutate). Index order equals [Stmt_type.compare] order. *)
 
 val count : t -> int
 (** Number of distinct affinities — the paper's Tables II and IV

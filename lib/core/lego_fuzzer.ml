@@ -24,16 +24,17 @@ type t = {
   affinity : Affinity.t;
   synthesis : Synthesis.t;
   skeletons : Skeleton_library.t;
-  pending : Stmt_type.t list Reprutil.Vec.t;
-      (* synthesized type sequences awaiting instantiation+execution;
-         a sampling reservoir: overflow replaces a random slot so the
-         backlog stays diverse rather than first-come-first-served *)
-  seq_seen : (Stmt_type.t list, unit) Hashtbl.t;
-      (* sequences ever enqueued: Algorithm 3 re-derives the same
-         sequences from overlapping affinity sets, and instantiating a
-         duplicate costs a full execution. Bounded (reset on overflow,
-         like the reservoir's replacement policy bounds [pending]). *)
+  pending : Synthesis.id Reprutil.Vec.t;
+      (* synthesized sequence ids awaiting instantiation + execution; a
+         sampling reservoir: overflow replaces a random slot so the
+         backlog stays diverse rather than first-come-first-served. No
+         dedup is needed here: [Synthesis.on_new_affinity] returns only
+         globally-new sequences (its dedup spans all discoveries, local
+         and imported), so every enqueued id is fresh by
+         construction. *)
   c_dup_skipped : Telemetry.Registry.counter;
+      (* kept registered (always 0) so the exported synth.* namespace
+         is stable across the dedup-removal refactor *)
   types : Stmt_type.t list;
   mutable initial : Ast.testcase list;
   (* exchange cursors: how much of the pool / affinity log / skeleton
@@ -45,28 +46,23 @@ type t = {
      (the harness itself times execute/triage) *)
   sp_mutate : Telemetry.Span.t;
   sp_synthesize : Telemetry.Span.t;
+  sp_instantiate : Telemetry.Span.t;
 }
 
 (* [slot] picks the reservoir slot to evict on overflow. The fuzzing path
    uses the shard RNG; the exchange-import path must not touch that
    stream, so it uses a content hash instead. *)
 let enqueue_seq t ~slot seq =
-  if Hashtbl.mem t.seq_seen seq then
-    Telemetry.Registry.incr t.c_dup_skipped
-  else begin
-    if Hashtbl.length t.seq_seen >= 4 * t.cfg.max_pending then
-      Hashtbl.reset t.seq_seen;
-    Hashtbl.replace t.seq_seen seq ();
-    if Reprutil.Vec.length t.pending < t.cfg.max_pending then
-      Reprutil.Vec.push t.pending seq
-    else Reprutil.Vec.set t.pending (slot t.cfg.max_pending) seq
-  end
+  if Reprutil.Vec.length t.pending < t.cfg.max_pending then
+    Reprutil.Vec.push t.pending seq
+  else Reprutil.Vec.set t.pending (slot t.cfg.max_pending) seq
 
 (* Algorithm 3 on one newly-discovered affinity: synthesize sequences and
-   queue them for instantiation. *)
+   queue them for instantiation. Ids stream straight into the reservoir
+   in synthesis order — no intermediate list. *)
 let synthesize_from t ~slot aff =
-  let seqs = Synthesis.on_new_affinity t.synthesis t.affinity aff in
-  List.iter (enqueue_seq t ~slot) seqs
+  Synthesis.on_new_affinity_iter t.synthesis t.affinity aff
+    (enqueue_seq t ~slot)
 
 (* Execute a candidate; if it covers new branches, keep it: pool, skeleton
    harvest, affinity analysis, and synthesis from each new affinity.
@@ -107,7 +103,6 @@ let create ?(config = default_config) ?limits ?harness profile =
           ~types:(Minidb.Profile.types profile) ();
       skeletons = Skeleton_library.create ();
       pending = Reprutil.Vec.create ();
-      seq_seen = Hashtbl.create 256;
       c_dup_skipped = Telemetry.Registry.counter metrics "synth.dup_skipped";
       types = Minidb.Profile.types profile;
       initial = [];
@@ -115,7 +110,8 @@ let create ?(config = default_config) ?limits ?harness profile =
       xc_aff = 0;
       xc_skel = 0;
       sp_mutate = Telemetry.Span.stage metrics "mutate";
-      sp_synthesize = Telemetry.Span.stage metrics "synthesize" }
+      sp_synthesize = Telemetry.Span.stage metrics "synthesize";
+      sp_instantiate = Telemetry.Span.stage metrics "instantiate" }
   in
   let corpus = Fuzz.Corpus.initial profile in
   t.initial <- corpus;
@@ -144,9 +140,12 @@ let step t () =
       match take_pending t with
       | None -> ()
       | Some seq ->
+        let seq = Synthesis.to_types t.synthesis seq in
         for _ = 1 to t.cfg.instantiations_per_seq do
           let tc =
-            Telemetry.Span.time t.sp_synthesize (fun () ->
+            (* instantiation is its own pipeline stage (the paper's
+               Step 2 second half), timed apart from Algorithm 3 *)
+            Telemetry.Span.time t.sp_instantiate (fun () ->
                 Instantiate.sequence t.rng ~skeletons:t.skeletons seq)
           in
           ignore (process_candidate t tc)

@@ -48,6 +48,10 @@ and cache_state = {
   cs_c_bypass : Telemetry.Registry.counter;  (* unhinted: never probed *)
   cs_c_evictions : Telemetry.Registry.counter;
   cs_g_bytes : Telemetry.Registry.gauge;  (* peak estimated bytes *)
+  cs_g_entries : Telemetry.Registry.gauge;
+      (* peak live entries; "effective" because byte accounting reflects
+         structural sharing, so one 256 MiB budget holds ~100x the
+         snapshots a deep-copy accounting would admit *)
   cs_sp_restore : Telemetry.Span.t;
   cs_sp_lookup : Telemetry.Span.t;
   cs_sp_capture : Telemetry.Span.t;
@@ -99,6 +103,7 @@ let create ?(limits = Minidb.Limits.default) ?metrics ?oracles
           cs_c_bypass = Telemetry.Registry.counter m "cache.bypass";
           cs_c_evictions = Telemetry.Registry.counter m "cache.evictions";
           cs_g_bytes = Telemetry.Registry.gauge m "cache.bytes";
+          cs_g_entries = Telemetry.Registry.gauge m "cache.effective_entries";
           cs_sp_restore = Telemetry.Span.stage m "cache_restore";
           cs_sp_lookup = Telemetry.Span.stage m "cache_lookup";
           cs_sp_capture = Telemetry.Span.stage m "cache_capture";
@@ -232,7 +237,8 @@ let cache_capture t cs engine key ~stats ~len =
   in
   let evicted = Prefix_cache.insert cs.cs_cache key entry ~bytes in
   if evicted > 0 then Telemetry.Registry.incr ~by:evicted cs.cs_c_evictions;
-  Telemetry.Registry.set_max cs.cs_g_bytes (Prefix_cache.bytes cs.cs_cache)
+  Telemetry.Registry.set_max cs.cs_g_bytes (Prefix_cache.bytes cs.cs_cache);
+  Telemetry.Registry.set_max cs.cs_g_entries (Prefix_cache.length cs.cs_cache)
 
 let execute ?hint t tc =
   t.h_execs <- t.h_execs + 1;

@@ -130,10 +130,22 @@ let rules_on t table event =
        if r.r_table = table && r.r_event = event then r :: acc else acc)
     t.rules []
 
+(* Copy-on-write snapshots are the production mode: table copies share
+   their persistent row maps, making every snapshot O(#objects). The
+   REPRO_COW bench ablation flips this off to measure the pre-refactor
+   physical-copy cost; outcomes are identical either way. *)
+let cow_enabled = ref true
+
+let set_copy_on_write b = cow_enabled := b
+
+let table_copy tbl =
+  if !cow_enabled then Storage.Table.copy tbl
+  else Storage.Table.deep_copy tbl
+
 let take_snapshot t =
   { sn_tables =
       Hashtbl.fold
-        (fun name table acc -> (name, Storage.Table.copy table) :: acc)
+        (fun name table acc -> (name, table_copy table) :: acc)
         t.tables [];
     sn_sequences =
       Hashtbl.fold
@@ -165,7 +177,7 @@ let restore_snapshot t snapshot =
   Hashtbl.iter
     (fun name table ->
        match List.assoc_opt name snapshot.sn_tables with
-       | Some saved -> Hashtbl.replace t.tables name (Storage.Table.copy saved)
+       | Some saved -> Hashtbl.replace t.tables name (table_copy saved)
        | None -> ignore (Storage.Table.truncate table))
     (Hashtbl.copy t.tables);
   List.iter
@@ -178,7 +190,7 @@ let restore_snapshot t snapshot =
 
 let copy_snapshot sn =
   { sn_tables =
-      List.map (fun (n, tbl) -> (n, Storage.Table.copy tbl)) sn.sn_tables;
+      List.map (fun (n, tbl) -> (n, table_copy tbl)) sn.sn_tables;
     sn_sequences = sn.sn_sequences }
 
 (* [Hashtbl.copy] then rewriting every binding in place keeps the
@@ -193,12 +205,11 @@ let copy_bindings copy_v h =
   h'
 
 let deep_copy t =
-  { tables = copy_bindings Storage.Table.copy t.tables;
+  { tables = copy_bindings table_copy t.tables;
     views =
-      copy_bindings
-        (fun v ->
-           { v with v_cache = Option.map (List.map Array.copy) v.v_cache })
-        t.views;
+      (* Cached rows are never mutated in place — a REFRESH rebinds the
+         copy's own [v_cache] field — so the row lists can be shared. *)
+      copy_bindings (fun v -> { v with v_cache = v.v_cache }) t.views;
     indexes =
       copy_bindings
         (fun s -> { s with x_data = Storage.Index.copy s.x_data })
@@ -238,47 +249,51 @@ let object_count t =
   + Hashtbl.length t.triggers + Hashtbl.length t.rules
   + Hashtbl.length t.sequences
 
-(* Structural heap estimate in words. Row data (tables, view caches,
-   index keys, transaction snapshots) dominates a deep copy's footprint;
-   fixed per-object and per-catalog overheads cover the rest. Used for
-   the prefix-snapshot cache's memory accounting: it must be cheap
-   (O(#objects), never O(#rows)) and roughly monotone in real size, not
-   exact. *)
+(* Incremental heap cost of a [deep_copy], in words. Since tables,
+   indexes and view caches went persistent, a copy shares all row data
+   with its source: what it actually allocates is one record per
+   table/view/index/sequence/user, the copied hash-table bucket arrays,
+   and the snapshot/savepoint spines. Row counts deliberately do NOT
+   appear — that is the whole point of the copy-on-write refactor, and
+   the prefix-snapshot cache's eviction pressure must reflect the real
+   (shared) footprint, not the pre-refactor deep-copy one. Must stay
+   cheap (O(#objects)) and roughly monotone in real incremental size. *)
 let approx_words t =
-  let table_words tbl =
-    64 + (Storage.Table.row_count tbl * (Storage.Table.arity tbl + 4))
+  (* Fresh record per object (header + fields + binding cell). *)
+  let record_copies =
+    16
+    * (Hashtbl.length t.tables + Hashtbl.length t.views
+       + Hashtbl.length t.indexes + Hashtbl.length t.sequences
+       + Hashtbl.length t.users)
   in
-  let words = ref 512 in
-  Hashtbl.iter (fun _ tbl -> words := !words + table_words tbl) t.tables;
-  Hashtbl.iter
-    (fun _ v ->
-       words := !words + 32;
-       match v.v_cache with
-       | None -> ()
-       | Some rows ->
-         List.iter (fun r -> words := !words + Array.length r + 4) rows)
-    t.views;
-  Hashtbl.iter
-    (fun _ spec ->
-       words := !words + 48 + (8 * Storage.Index.length spec.x_data))
-    t.indexes;
-  words :=
-    !words
-    + 48
-      * (Hashtbl.length t.triggers + Hashtbl.length t.rules
-         + Hashtbl.length t.prepared)
-    + 16
-      * (Hashtbl.length t.sequences + Hashtbl.length t.users
-         + Hashtbl.length t.session_vars + Hashtbl.length t.global_vars
-         + Hashtbl.length t.comments + Hashtbl.length t.locks
-         + Hashtbl.length t.handlers);
-  let snap_words sn =
-    List.fold_left (fun acc (_, tbl) -> acc + table_words tbl) 0 sn.sn_tables
+  (* [Hashtbl.copy] duplicates bucket arrays: ~4 words per binding on
+     top of a fixed per-table floor (15 hash tables in a catalog). *)
+  let bucket_copies =
+    4
+    * (object_count t + Hashtbl.length t.prepared
+       + Hashtbl.length t.session_vars + Hashtbl.length t.global_vars
+       + Hashtbl.length t.users + Hashtbl.length t.comments
+       + Hashtbl.length t.locks + Hashtbl.length t.handlers)
   in
-  (match t.txn_snapshot with
-   | Some sn -> words := !words + snap_words sn
-   | None -> ());
-  List.iter (fun (_, sn) -> words := !words + snap_words sn) t.savepoints;
-  !words
+  let snap_words sn = 16 * List.length sn.sn_tables in
+  let snapshots =
+    (match t.txn_snapshot with Some sn -> snap_words sn | None -> 0)
+    + List.fold_left
+        (fun acc (_, sn) -> acc + snap_words sn)
+        0 t.savepoints
+  in
+  (* In the REPRO_COW ablation's legacy mode copies really do duplicate
+     every row, so account for them — eviction pressure must match the
+     copying regime actually in force. *)
+  let legacy_rows =
+    if !cow_enabled then 0
+    else
+      Hashtbl.fold
+        (fun _ tbl acc ->
+           acc
+           + (Storage.Table.row_count tbl * (Storage.Table.arity tbl + 4)))
+        t.tables 0
+  in
+  512 + record_copies + bucket_copies + snapshots + legacy_rows
 
 let approx_bytes t = approx_words t * (Sys.word_size / 8)

@@ -98,7 +98,8 @@ val triggers_on : t -> string -> Ast.trig_event -> trigger list
 val rules_on : t -> string -> Ast.trig_event -> rule list
 
 val take_snapshot : t -> snapshot
-(** Deep copy of table contents and sequence positions. *)
+(** Snapshot of table contents and sequence positions. O(#tables): each
+    table copy shares its persistent row map with the live table. *)
 
 val restore_snapshot : t -> snapshot -> unit
 (** Restore data to the snapshot; schema objects created since the
@@ -107,16 +108,29 @@ val restore_snapshot : t -> snapshot -> unit
 val rebuild_indexes : t -> unit
 
 val deep_copy : t -> t
-(** Fully independent copy of the whole catalog — every table, index,
-    view cache, sequence, variable table, transaction snapshot and
+(** Independent copy of the whole catalog — every table, index, view
+    cache, sequence, variable table, transaction snapshot and
     savepoint. Mutating either side never affects the other, and hash
     table bucket layouts are preserved so iteration orders match the
-    source. Backs the prefix-snapshot execution cache. *)
+    source. O(#objects), not O(#rows): tables and indexes are backed by
+    persistent structures, so the copy shares all row data with the
+    source and later mutations only rebind per-copy roots. Backs the
+    prefix-snapshot execution cache. *)
 
 val object_count : t -> int
 (** Total number of schema objects, for coverage state keys. *)
 
+val set_copy_on_write : bool -> unit
+(** Global snapshot mode. [true] (the default) makes every table copy
+    O(1) via the persistent storage layer; [false] restores the
+    pre-refactor physical row copies. Outcomes are identical in both
+    modes — only wall clock and heap pressure differ. Exists for the
+    REPRO_COW bench ablation; production code never flips it. *)
+
 val approx_bytes : t -> int
-(** Structural heap-footprint estimate of a deep copy, dominated by row
-    data. O(#objects) — never walks rows — and only roughly monotone in
-    real size. Backs the prefix-snapshot cache's memory accounting. *)
+(** Incremental heap cost of a {!deep_copy}: per-object record copies
+    plus hash-table buckets, with all row data shared via the
+    persistent storage layer (so row counts do not appear). O(#objects)
+    and roughly monotone in real incremental size. Backs the
+    prefix-snapshot cache's memory accounting, whose byte budget now
+    stretches ~100x further than under pre-refactor deep copies. *)

@@ -80,16 +80,20 @@ val restore :
   cov:Coverage.Bitmap.t ->
   unit ->
   t
-(** Build a fresh engine from a snapshot. The snapshot is deep-copied
-    again, so it can be restored any number of times; mutating a
-    restored engine never leaks back into the snapshot. A restored
+(** Build a fresh engine from a snapshot. The restored engine gets its
+    own catalog records sharing persistent row storage with the
+    snapshot (copy-on-write), so one snapshot can be restored any
+    number of times and mutating a restored engine never leaks back
+    into the snapshot. A restored
     engine continues bit-identically to the engine that was captured:
     catalog iteration orders, the statement-type window and the
     statement budget all match. *)
 
 val snapshot_bytes : snapshot -> int
-(** Structural heap estimate of a snapshot, O(#schema objects). Backs
-    the prefix cache's memory accounting. *)
+(** Incremental heap cost of a snapshot, O(#schema objects). Row data
+    is shared with the live engine (see {!Catalog.approx_bytes}), so
+    this is orders of magnitude below the pre-refactor deep-copy cost.
+    Backs the prefix cache's memory accounting. *)
 
 val query_rows :
   t -> Ast.query -> (Storage.Value.t array list, Errors.t) result

@@ -99,8 +99,9 @@ let capture ctx =
     st_profile = ctx.profile;
     st_limits = ctx.limits }
 
-(* Deep-copies the stored catalog again, so the [state] value stays
-   pristine no matter how the restored context is mutated afterwards. *)
+(* Copies the stored catalog again (O(#objects): rows are shared
+   copy-on-write), so the [state] value stays pristine no matter how
+   the restored context is mutated afterwards. *)
 let restore st ~cov =
   { cat = Catalog.deep_copy st.st_cat;
     profile = st.st_profile;

@@ -53,12 +53,13 @@ val capture : ctx -> state
 
 val restore : state -> cov:Coverage.Bitmap.t -> ctx
 (** Build a fresh context from a snapshot, writing coverage into [cov].
-    The snapshot is deep-copied again, so one [state] can be restored
-    any number of times; mutating a restored context never leaks back. *)
+    The snapshot's catalog is copied again (copy-on-write, O(#objects)),
+    so one [state] can be restored any number of times; mutating a
+    restored context never leaks back. *)
 
 val state_bytes : state -> int
-(** Structural heap estimate of the snapshot (see
-    {!Catalog.approx_bytes}). O(#schema objects). *)
+(** Incremental heap cost of the snapshot (see
+    {!Catalog.approx_bytes}). O(#schema objects), row-independent. *)
 
 val exec : ctx -> Ast.stmt -> result
 (** Execute one statement. @raise Errors.Sql_error on recoverable

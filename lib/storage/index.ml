@@ -26,10 +26,8 @@ let has_null key = List.exists (fun v -> v = Value.Null) key
 
 let add t key rowid =
   match M.find_opt key t.map with
-  | Some (existing :: _ as ids) when t.uniq && not (has_null key) ->
-    `Dup existing |> fun r ->
-    ignore ids;
-    r
+  | Some (existing :: _) when t.uniq && not (has_null key) ->
+    `Dup existing
   | Some ids ->
     t.map <- M.add key (rowid :: ids) t.map;
     `Ok

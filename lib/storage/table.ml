@@ -10,17 +10,25 @@ type col = {
   c_zerofill : bool;
 }
 
+(* Rows live in a persistent map keyed by rowid. Rowids are assigned
+   monotonically and never reused (truncate does not reset
+   [next_rowid]), so ascending key order IS insertion order — [iter]
+   and [to_rows] preserve the ordering the old Vec-backed storage had.
+   The executor never mutates a stored row array in place (updates
+   build a fresh array), so [copy] can share both the map root and the
+   row arrays: snapshots are O(1) and later mutations of either side
+   only rebind their own [t_rows] field. *)
 type t = {
   mutable t_name : string;
   t_temp : bool;
   mutable t_cols : col array;
-  t_rows : (int * Value.t array) Vec.t;
+  mutable t_rows : Value.t array Imap.t;
   mutable next_rowid : int;
 }
 
 let create ~name ~temp cols =
   { t_name = name; t_temp = temp; t_cols = Array.of_list cols;
-    t_rows = Vec.create (); next_rowid = 0 }
+    t_rows = Imap.empty; next_rowid = 0 }
 
 let col_of_def (d : Sqlcore.Ast.col_def) =
   { c_name = d.col_name;
@@ -50,64 +58,41 @@ let col_index t name =
 
 let arity t = Array.length t.t_cols
 
-let row_count t = Vec.length t.t_rows
+let row_count t = Imap.cardinal t.t_rows
 
 let insert t row =
   let id = t.next_rowid in
   t.next_rowid <- id + 1;
-  Vec.push t.t_rows (id, row);
+  t.t_rows <- Imap.add id row t.t_rows;
   id
 
-let find_row t rowid =
-  let n = Vec.length t.t_rows in
-  let rec loop i =
-    if i >= n then None
-    else
-      let id, row = Vec.get t.t_rows i in
-      if id = rowid then Some row else loop (i + 1)
-  in
-  loop 0
+let find_row t rowid = Imap.find_opt rowid t.t_rows
 
 let update_row t rowid row =
-  let n = Vec.length t.t_rows in
-  let rec loop i =
-    if i < n then begin
-      let id, _ = Vec.get t.t_rows i in
-      if id = rowid then Vec.set t.t_rows i (id, row) else loop (i + 1)
-    end
-  in
-  loop 0
+  if Imap.mem rowid t.t_rows then t.t_rows <- Imap.add rowid row t.t_rows
 
 let delete_rows t pred =
-  let kept = Vec.create () in
-  let deleted = ref 0 in
-  Vec.iter
-    (fun (id, row) ->
-       if pred id then incr deleted else Vec.push kept (id, row))
-    t.t_rows;
-  if !deleted > 0 then begin
-    Vec.clear t.t_rows;
-    Vec.iter (Vec.push t.t_rows) kept
-  end;
-  !deleted
+  let before = Imap.cardinal t.t_rows in
+  let kept = Imap.filter (fun id _ -> not (pred id)) t.t_rows in
+  let deleted = before - Imap.cardinal kept in
+  if deleted > 0 then t.t_rows <- kept;
+  deleted
 
 let truncate t =
-  let n = Vec.length t.t_rows in
-  Vec.clear t.t_rows;
+  let n = Imap.cardinal t.t_rows in
+  t.t_rows <- Imap.empty;
   n
 
-let iter f t = Vec.iter (fun (id, row) -> f id row) t.t_rows
+let iter f t = Imap.iter f t.t_rows
 
-let to_rows t = Vec.to_list t.t_rows
+let to_rows t = Imap.bindings t.t_rows
+
+let rows_root_eq a b = Imap.root_eq a.t_rows b.t_rows
 
 let add_column t col =
   t.t_cols <- Array.append t.t_cols [| col |];
   let filler = Option.value ~default:Value.Null col.c_default in
-  let n = Vec.length t.t_rows in
-  for i = 0 to n - 1 do
-    let id, row = Vec.get t.t_rows i in
-    Vec.set t.t_rows i (id, Array.append row [| filler |])
-  done
+  t.t_rows <- Imap.map (fun row -> Array.append row [| filler |]) t.t_rows
 
 let drop_column t pos =
   let keep_cols =
@@ -115,14 +100,12 @@ let drop_column t pos =
       (List.filteri (fun i _ -> i <> pos) (Array.to_list t.t_cols))
   in
   t.t_cols <- keep_cols;
-  let n = Vec.length t.t_rows in
-  for i = 0 to n - 1 do
-    let id, row = Vec.get t.t_rows i in
-    let row' =
-      Array.of_list (List.filteri (fun j _ -> j <> pos) (Array.to_list row))
-    in
-    Vec.set t.t_rows i (id, row')
-  done
+  t.t_rows <-
+    Imap.map
+      (fun row ->
+         Array.of_list
+           (List.filteri (fun j _ -> j <> pos) (Array.to_list row)))
+      t.t_rows
 
 let rename_column t pos name =
   let cols = Array.copy t.t_cols in
@@ -130,22 +113,27 @@ let rename_column t pos name =
   t.t_cols <- cols
 
 let copy t =
-  let rows = Vec.create () in
-  Vec.iter (fun (id, row) -> Vec.push rows (id, Array.copy row)) t.t_rows;
+  { t_name = t.t_name; t_temp = t.t_temp; t_cols = t.t_cols;
+    t_rows = t.t_rows; next_rowid = t.next_rowid }
+
+(* Pre-refactor physical copy, kept for the REPRO_COW bench ablation
+   (and as the reference implementation in the equivalence tests):
+   rebuilds the row map with fresh arrays so nothing is shared. *)
+let deep_copy t =
   { t_name = t.t_name; t_temp = t.t_temp; t_cols = Array.copy t.t_cols;
-    t_rows = rows; next_rowid = t.next_rowid }
+    t_rows = Imap.map Array.copy t.t_rows; next_rowid = t.next_rowid }
 
 let change_column_type t pos dt =
   let cols = Array.copy t.t_cols in
   cols.(pos) <- { cols.(pos) with c_type = dt };
   t.t_cols <- cols;
-  let n = Vec.length t.t_rows in
-  for i = 0 to n - 1 do
-    let id, row = Vec.get t.t_rows i in
-    let row = Array.copy row in
-    (row.(pos) <-
-       (match Value.coerce row.(pos) dt with
-        | Ok v -> v
-        | Error _ -> Value.Null));
-    Vec.set t.t_rows i (id, row)
-  done
+  t.t_rows <-
+    Imap.map
+      (fun row ->
+         let row = Array.copy row in
+         (row.(pos) <-
+            (match Value.coerce row.(pos) dt with
+             | Ok v -> v
+             | Error _ -> Value.Null));
+         row)
+      t.t_rows

@@ -67,4 +67,17 @@ val change_column_type : t -> int -> Sqlcore.Ast.data_type -> unit
     NULL. *)
 
 val copy : t -> t
-(** Deep copy (schema and rows), used for transaction snapshots. *)
+(** Independent copy used for transaction and engine snapshots. O(1):
+    rows live in a persistent map, so both sides share the row storage
+    and later mutations of either side only rebind their own root. *)
+
+val deep_copy : t -> t
+(** Physical copy sharing nothing with the source — the pre-refactor
+    [copy] semantics. O(rows); only the REPRO_COW bench ablation and
+    the equivalence tests should need it. *)
+
+val rows_root_eq : t -> t -> bool
+(** Whether two tables share the same row-storage root (physical
+    equality of the persistent map). [true] guarantees the row sets are
+    identical; used by snapshot size accounting to cost shared state at
+    zero. *)

@@ -105,6 +105,8 @@ let sorted_keys tbl =
 
 let counter_names t = sorted_keys t.counters
 
+let gauge_names t = sorted_keys t.gauges
+
 let histogram_names t = sorted_keys t.hists
 
 (* --- the sync algebra ------------------------------------------------ *)

@@ -67,6 +67,9 @@ val histogram_stats : t -> string -> (int array * int array * int * int) option
 val counter_names : t -> string list
 (** Sorted. *)
 
+val gauge_names : t -> string list
+(** Sorted. *)
+
 val histogram_names : t -> string list
 (** Sorted. *)
 

@@ -124,6 +124,16 @@ let render_stages buf events =
                 (Printf.sprintf "  %-28s %12d\n" c
                    (Registry.counter_value reg c)))
            plain
+       end;
+       let gauges = Registry.gauge_names reg in
+       if gauges <> [] then begin
+         Buffer.add_string buf (Printf.sprintf "\ngauges [%s]\n" series);
+         List.iter
+           (fun g ->
+              Buffer.add_string buf
+                (Printf.sprintf "  %-28s %12d\n" g
+                   (Registry.gauge_value reg g)))
+           gauges
        end)
     dumps
 

@@ -7,6 +7,7 @@ let () =
       ("stmt_type", Test_stmt_type.suite);
       ("value", Test_value.suite);
       ("storage", Test_storage.suite);
+      ("cow_equiv", Test_cow_equiv.suite);
       ("coverage", Test_coverage.suite);
       ("parser", Test_parser.suite);
       ("executor", Test_executor.suite);

@@ -17,6 +17,10 @@ let names seqs =
   List.sort compare
     (List.map (fun s -> String.concat ">" (List.map Stmt_type.name s)) seqs)
 
+(* [on_new_affinity] returns sequence ids; tests reason over the
+   reconstructed type lists. *)
+let names_of_ids s ids = names (List.map (S.to_types s) ids)
+
 let test_singletons_seeded () =
   let _, s = mk () in
   Alcotest.(check int) "one per type" 4 (S.total s);
@@ -28,7 +32,7 @@ let test_first_affinity () =
   let news = S.on_new_affinity s aff (ct, ins) in
   (* the only prefix ending in CREATE TABLE is [CREATE TABLE] itself *)
   Alcotest.(check (list string)) "one new sequence"
-    [ "CREATE TABLE>INSERT" ] (names news)
+    [ "CREATE TABLE>INSERT" ] (names_of_ids s news)
 
 let test_paper_example () =
   (* Paper: LEN 2, current "CREATE TABLE", affinity
@@ -40,7 +44,7 @@ let test_paper_example () =
   let n2 = S.on_new_affinity s aff (ct, sel) in
   Alcotest.(check (list string)) "both sequences"
     [ "CREATE TABLE>INSERT"; "CREATE TABLE>SELECT" ]
-    (names (n1 @ n2))
+    (names_of_ids s (n1 @ n2))
 
 let test_closure_under_existing_affinities () =
   (* With CREATE->INSERT known, discovering INSERT->SELECT must produce
@@ -51,7 +55,7 @@ let test_closure_under_existing_affinities () =
   ignore (S.on_new_affinity s aff (ct, ins));
   ignore (A.add aff ins sel);
   let news = S.on_new_affinity s aff (ins, sel) in
-  let got = names news in
+  let got = names_of_ids s news in
   Alcotest.(check bool) "short form" true
     (List.mem "INSERT>SELECT" got);
   Alcotest.(check bool) "extended form" true
@@ -72,7 +76,7 @@ let test_all_results_contain_affinity () =
   ignore (A.add aff ins upd);
   ignore (S.on_new_affinity s aff (ins, upd));
   ignore (A.add aff upd sel);
-  let news = S.on_new_affinity s aff (upd, sel) in
+  let news = List.map (S.to_types s) (S.on_new_affinity s aff (upd, sel)) in
   let contains_pair seq =
     let rec loop = function
       | a :: (b :: _ as rest) ->
@@ -89,7 +93,7 @@ let test_length_bound () =
   let aff, s = mk ~max_len:3 () in
   ignore (A.add aff ct ct);  (* self loop to provoke depth *)
   ignore (A.add aff ct ins);
-  let news = S.on_new_affinity s aff (ct, ins) in
+  let news = List.map (S.to_types s) (S.on_new_affinity s aff (ct, ins)) in
   Alcotest.(check bool) "all within LEN" true
     (List.for_all (fun seq -> List.length seq <= 3) news)
 
@@ -146,7 +150,7 @@ let prop_sequences_walk_affinities =
                          if A.mem aff x y then walk rest else ok := false
                        | _ -> ()
                      in
-                     walk seq)
+                     walk (S.to_types s seq))
                   (S.on_new_affinity s aff (a, b))
             end)
          pairs;
