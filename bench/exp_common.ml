@@ -75,6 +75,19 @@ let cow =
   | Some ("off" | "0" | "deep") -> false
   | _ -> true
 
+(* REPRO_SESSIONS / REPRO_SCHEDULES scale the interleaving-schedule
+   ablation: the widest session-pool width measured, and how many
+   schedules each width synthesizes and executes. *)
+let sessions =
+  match Sys.getenv_opt "REPRO_SESSIONS" with
+  | Some s -> (try max 2 (int_of_string s) with Failure _ -> 4)
+  | None -> 4
+
+let schedules =
+  match Sys.getenv_opt "REPRO_SCHEDULES" with
+  | Some s -> (try max 1 (int_of_string s) with Failure _ -> 128)
+  | None -> 128
+
 let () = Minidb.Catalog.set_copy_on_write cow
 
 (* One shard's execution harness, when any harness-level feature

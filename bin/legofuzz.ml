@@ -129,6 +129,24 @@ let cow_arg =
   in
   Arg.(value & opt onoff true & info [ "cow" ] ~docv:"on|off" ~doc)
 
+let sessions_arg =
+  let doc =
+    "Concurrent sessions for the interleaving-schedule phase: after the \
+     single-session campaign, corpus sequences are assigned to SESSIONS \
+     sessions of one shared engine and executed under synthesized \
+     interleavings (real OCaml domains, deterministic turnstile order), \
+     hunting concurrency bugs and isolation violations no single-session \
+     campaign can reach. 1 disables the phase."
+  in
+  Arg.(value & opt int 1 & info [ "sessions" ] ~docv:"N" ~doc)
+
+let schedules_arg =
+  let doc =
+    "Interleaving schedules to synthesize and execute when --sessions > 1 \
+     (each runs live-concurrent, then serially replayed for triage)."
+  in
+  Arg.(value & opt int 64 & info [ "schedules" ] ~docv:"M" ~doc)
+
 let telemetry_arg =
   let doc =
     "Telemetry recording: $(b,none) (console only; byte-identical output \
@@ -280,7 +298,8 @@ let fuzz_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "save" ] ~docv:"DIR" ~doc)
   in
   let run fuzzer profile execs seed jobs sync_every sync_seeds
-      sync_affinities oracles exec_cache cow telemetry json save =
+      sync_affinities oracles exec_cache cow sessions schedules telemetry
+      json save =
     Minidb.Catalog.set_copy_on_write cow;
     match make_fuzzer ~oracles ~exec_cache fuzzer profile seed with
     | Error (`Msg m) ->
@@ -309,7 +328,9 @@ let fuzz_cmd =
              ("sync_seeds", Telemetry.Json.Bool sync_seeds);
              ("sync_affinities", Telemetry.Json.Bool sync_affinities);
              ("oracles", Telemetry.Json.Bool oracles);
-             ("exec_cache", Telemetry.Json.Int exec_cache) ]);
+             ("exec_cache", Telemetry.Json.Int exec_cache);
+             ("sessions", Telemetry.Json.Int sessions);
+             ("schedules", Telemetry.Json.Int schedules) ]);
       let start = Telemetry.Span.now_s () in
       let res =
         Fuzz.Campaign.run ~checkpoint_every:(max 1 (execs / 5)) ~sync_every
@@ -394,8 +415,41 @@ let fuzz_cmd =
                     Out_channel.output_string oc (sql ^ "\n"));
                 if not json then Printf.printf "saved to %s\n" path))
         res.Fuzz.Campaign.cg_logic;
+      (* Interleaving-schedule phase: corpus sequences across concurrent
+         sessions of one shared engine. Its schedule.* / session.* /
+         oracle.isolation.* counters join the aggregate registry dump. *)
+      let sched_metrics = Telemetry.Registry.create () in
+      if sessions > 1 && schedules > 0 then begin
+        let corpus = Fuzz.Corpus.initial profile in
+        let sr =
+          Fuzz.Schedule.campaign ~metrics:sched_metrics ~profile ~sessions
+            ~schedules ~seed ~corpus ()
+        in
+        if not json then begin
+          Printf.printf
+            "\nschedules: %d executed (%d steps, %d sessions), %d replay \
+             mismatch(es)\n"
+            sr.Fuzz.Schedule.sr_schedules sr.Fuzz.Schedule.sr_steps sessions
+            sr.Fuzz.Schedule.sr_replay_mismatch;
+          List.iter
+            (fun (bug_id, steps) ->
+               Printf.printf
+                 "\nconcurrency crash %s, minimized schedule (%d steps):\n%s\n"
+                 bug_id (Array.length steps)
+                 (Fuzz.Schedule.render_steps steps))
+            sr.Fuzz.Schedule.sr_crash_repros;
+          List.iter
+            (fun (key, steps) ->
+               Printf.printf
+                 "\nisolation violation %s, minimized schedule (%d steps):\n%s\n"
+                 key (Array.length steps)
+                 (Fuzz.Schedule.render_steps steps))
+            sr.Fuzz.Schedule.sr_violation_repros
+        end
+      end;
       let aggregate = Telemetry.Registry.snapshot res.Fuzz.Campaign.cg_metrics in
       Telemetry.Registry.merge ~into:aggregate post;
+      Telemetry.Registry.merge ~into:aggregate sched_metrics;
       registry_dumps ~aggregate ~prefix:"" sink res;
       Telemetry.Sink.close sink;
       match recording with
@@ -405,8 +459,8 @@ let fuzz_cmd =
   let term =
     Term.(const run $ fuzzer_arg $ dialect_arg $ execs_arg $ seed_arg
           $ jobs_arg $ sync_arg $ sync_seeds_arg $ sync_affinities_arg
-          $ oracles_arg $ exec_cache_arg $ cow_arg $ telemetry_arg
-          $ json_arg $ save_arg)
+          $ oracles_arg $ exec_cache_arg $ cow_arg $ sessions_arg
+          $ schedules_arg $ telemetry_arg $ json_arg $ save_arg)
   in
   Cmd.v (Cmd.info "fuzz" ~doc:"Run one fuzzer on one simulated DBMS.") term
 
@@ -589,6 +643,76 @@ let exec_cmd =
     (Cmd.info "exec" ~doc:"Execute a SQL file against a simulated DBMS.")
     term
 
+(* --- serve ----------------------------------------------------------- *)
+
+let serve_cmd =
+  let sessions_arg =
+    let doc = "Number of concurrent sessions served by the pool." in
+    Arg.(value & opt int 4 & info [ "sessions" ] ~docv:"N" ~doc)
+  in
+  let run profile sessions =
+    let sessions = max 1 sessions in
+    let cov = Coverage.Bitmap.create () in
+    let pool =
+      Server.Session_pool.create ~sessions ~profile ~cov ()
+    in
+    Printf.printf
+      "legofuzz serve: %s, %d session(s). \"@N SQL\" runs SQL on session \
+       N, \"@N\" switches; \\q quits.\n%!"
+      (Minidb.Profile.name profile) sessions;
+    let current = ref 0 in
+    let rec loop () =
+      Printf.printf "s%d> " !current;
+      flush stdout;
+      match In_channel.input_line In_channel.stdin with
+      | None -> ()
+      | Some line ->
+        let line = String.trim line in
+        if line = "\\q" || line = "exit" then ()
+        else if line = "" then loop ()
+        else begin
+          let sql, sid =
+            if String.length line > 1 && line.[0] = '@' then begin
+              let rest, digits =
+                match String.index_opt line ' ' with
+                | Some sp ->
+                  ( String.sub line (sp + 1) (String.length line - sp - 1),
+                    String.sub line 1 (sp - 1) )
+                | None -> ("", String.sub line 1 (String.length line - 1))
+              in
+              match int_of_string_opt digits with
+              | Some n when n >= 0 && n < sessions -> (rest, n)
+              | _ ->
+                Printf.printf "no such session %s (0..%d)\n" digits
+                  (sessions - 1);
+                ("", !current)
+            end
+            else (line, !current)
+          in
+          current := sid;
+          (if sql <> "" then
+             match Sqlparser.Parser.parse_testcase sql with
+             | Error msg -> Printf.printf "parse error: %s\n" msg
+             | Ok stmts ->
+               List.iter
+                 (fun stmt ->
+                    print_endline
+                      (Server.Wire.render
+                         (Server.Session_pool.exec pool ~session:sid stmt)))
+                 stmts);
+          loop ()
+        end
+    in
+    loop ()
+  in
+  let term = Term.(const run $ dialect_arg $ sessions_arg) in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a multi-session MiniDB REPL on stdio: one shared store, \
+          per-session transaction state, typed wire responses.")
+    term
+
 (* --- reduce ----------------------------------------------------------- *)
 
 let reduce_cmd =
@@ -659,4 +783,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ fuzz_cmd; compare_cmd; report_cmd; bugs_cmd; affinities_cmd;
-            exec_cmd; reduce_cmd ]))
+            exec_cmd; serve_cmd; reduce_cmd ]))

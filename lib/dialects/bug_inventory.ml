@@ -355,3 +355,42 @@ let easy_bug_ids = !easy_ids
 let total =
   List.length pg + List.length mysql + List.length mariadb
   + List.length comdb2
+
+(* --- Seeded concurrency bugs (all dialects) ------------------------- *)
+
+(* Cross-session races, outside the paper's 102-bug corpus. The
+   [other_*] predicates are only answered by the server layer's
+   session-pool fault hook ([Engine.set_fault_ext]); a plain
+   single-session engine resolves them through [Executor.state_pred],
+   where unknown names are [false] — so these bugs are registered in
+   every profile yet provably unreachable without interleaved
+   schedules. Statement types are restricted to the shared generation
+   vocabulary so every dialect's corpus can in principle reach them. *)
+let concurrency =
+  [ (* UPDATE on an unindexed table while another session's open
+       transaction holds dirty writes: the classic lost update. *)
+    { bug_id = "CC-LOST-UPDATE";
+      identifier = "RACE-0001";
+      component = "Storage";
+      kind = Ub;
+      cond =
+        All
+          [ Ends_with [ Update ]; Not (State "has_index");
+            State "other_txn_dirty" ] };
+    (* SELECT inside a transaction observing another session's
+       uncommitted writes: a dirty read made control flow. *)
+    { bug_id = "CC-DIRTY-READ";
+      identifier = "RACE-0002";
+      component = "Lock";
+      kind = Uap;
+      cond =
+        All
+          [ Ends_with [ Select ]; State "in_txn";
+            State "other_txn_dirty" ] };
+    (* Window-function evaluation racing another session's
+       window-function frame state. *)
+    { bug_id = "CC-WINDOW-RACE";
+      identifier = "RACE-0003";
+      component = "Item";
+      kind = Segv;
+      cond = All [ Stmt_has F_window; State "other_session_window" ] } ]

@@ -28,4 +28,12 @@ val easy_bug_ids : string list
     (corpus-order subsequences plus a statement feature). *)
 
 val total : int
-(** 102. *)
+(** 102. Excludes {!concurrency}, which is outside the paper's corpus. *)
+
+val concurrency : Minidb.Fault.bug list
+(** Three seeded cross-session races ([CC-LOST-UPDATE],
+    [CC-DIRTY-READ], [CC-WINDOW-RACE]), registered in every profile by
+    {!Registry}. Their [other_*] state predicates are only answered by
+    the server layer's session pool, so single-session campaigns can
+    provably never fire them — they exist to prove interleaved
+    schedules reach states sequential fuzzing cannot. *)

@@ -1,20 +1,28 @@
 open Minidb
 
+(* Every profile also carries the cross-session concurrency bugs,
+   appended AFTER the dialect's own corpus: [Fault.check] reports the
+   first matching bug, so appending cannot change which of the 102
+   paper bugs a single-session campaign reports — and the [other_*]
+   predicates are false without the server layer's fault hook, making
+   the appended bugs inert there entirely. *)
+let with_cc bugs = bugs @ Bug_inventory.concurrency
+
 let pg_sim =
   Profile.make ~name:"PostgreSQL" ~flavor:Profile.Pg ~types:Type_sets.pg
-    ~bugs:Bug_inventory.pg
+    ~bugs:(with_cc Bug_inventory.pg)
 
 let mysql_sim =
   Profile.make ~name:"MySQL" ~flavor:Profile.Mysql ~types:Type_sets.mysql
-    ~bugs:Bug_inventory.mysql
+    ~bugs:(with_cc Bug_inventory.mysql)
 
 let mariadb_sim =
   Profile.make ~name:"MariaDB" ~flavor:Profile.Mariadb
-    ~types:Type_sets.mariadb ~bugs:Bug_inventory.mariadb
+    ~types:Type_sets.mariadb ~bugs:(with_cc Bug_inventory.mariadb)
 
 let comdb2_sim =
   Profile.make ~name:"Comdb2" ~flavor:Profile.Comdb2
-    ~types:Type_sets.comdb2 ~bugs:Bug_inventory.comdb2
+    ~types:Type_sets.comdb2 ~bugs:(with_cc Bug_inventory.comdb2)
 
 let all = [ pg_sim; mysql_sim; mariadb_sim; comdb2_sim ]
 

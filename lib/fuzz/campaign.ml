@@ -185,9 +185,30 @@ let run ?(checkpoint_every = 0) ?(on_checkpoint = fun _ -> ()) ?sync_every
   else begin
     let sync = Sync.create ?interval:sync_every ~exchange ~parties:jobs () in
     let start = Telemetry.Span.now_s () in
-    (* Shards on other domains share the sink: serialize emissions. *)
-    let sink = Telemetry.Sink.locked sink in
-    let emit ev = Telemetry.Sink.emit sink ev in
+    (* Shards on other domains never write the sink directly: checkpoint
+       events are buffered with a (rank, execs, seq) tag and emitted in
+       sorted order after the join, so the jobs>1 event stream is
+       ordered-identical run to run, not merely multiset-identical.
+       rank is the shard id (aggregate checkpoints sort last, rank =
+       jobs); within one rank, execs then seq reproduce the shard's own
+       emission order — seq values are globally timing-dependent, but
+       each shard assigns them monotonically, so relative order inside a
+       (rank, execs) group is program order. [on_checkpoint] callbacks
+       still fire live. *)
+    let buf_lock = Mutex.create () in
+    let buffered = ref [] in
+    let seq = ref 0 in
+    let execs_of = function
+      | Telemetry.Event.Checkpoint { point; _ } ->
+        point.Telemetry.Event.p_execs
+      | _ -> 0
+    in
+    let emit_tagged rank ev =
+      Mutex.lock buf_lock;
+      incr seq;
+      buffered := (rank, execs_of ev, !seq, ev) :: !buffered;
+      Mutex.unlock buf_lock
+    in
     (* Spread the total budget over shards; early shards absorb the
        remainder so the sum is exactly [execs]. *)
     let budget_of i = (execs / jobs) + (if i < execs mod jobs then 1 else 0) in
@@ -218,7 +239,8 @@ let run ?(checkpoint_every = 0) ?(on_checkpoint = fun _ -> ()) ?sync_every
                          else 0.0) } }
               in
               on_checkpoint cp;
-              emit (checkpoint_event ~series:(series_prefix ^ "aggregate") cp)
+              emit_tagged jobs
+                (checkpoint_event ~series:(series_prefix ^ "aggregate") cp)
             end)
       end
     in
@@ -237,6 +259,7 @@ let run ?(checkpoint_every = 0) ?(on_checkpoint = fun _ -> ()) ?sync_every
       List.init jobs (fun i ->
           Domain.spawn (fun () ->
               let series = Printf.sprintf "%sshard-%d" series_prefix i in
+              let emit = emit_tagged i in
               match
                 if exchange_on then
                   run_shard_exchange ~sync ~make ~budget:(budget_of i)
@@ -265,6 +288,14 @@ let run ?(checkpoint_every = 0) ?(on_checkpoint = fun _ -> ()) ?sync_every
          | None -> List.hd es
        in
        raise primary);
+    List.iter
+      (fun (_, _, _, ev) -> Telemetry.Sink.emit sink ev)
+      (List.sort
+         (fun (r1, e1, s1, _) (r2, e2, s2, _) ->
+            match compare r1 r2 with
+            | 0 -> (match compare e1 e2 with 0 -> compare s1 s2 | c -> c)
+            | c -> c)
+         !buffered);
     let shards =
       List.filter_map (function Ok sh -> Some sh | Error _ -> None) results
     in

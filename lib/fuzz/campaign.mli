@@ -97,8 +97,12 @@ val run :
     Telemetry: every aggregate checkpoint, and one per-shard checkpoint
     per sync round, is emitted into [sink] (default {!Telemetry.Sink.null})
     as a {!Telemetry.Event.Checkpoint} whose series is
-    [<series_prefix>aggregate] / [<series_prefix>shard-<i>]. The sink is
-    wrapped in {!Telemetry.Sink.locked} before shards share it. Shards
+    [<series_prefix>aggregate] / [<series_prefix>shard-<i>]. With
+    [jobs > 1] the events are buffered during the run and written to
+    [sink] after the shards join, sorted by (shard, execs, emission
+    order) with aggregate checkpoints last — the stream is
+    ordered-identical run to run, never a scheduling-dependent
+    interleaving ([on_checkpoint] still fires live). Shards
     publish metric {e deltas} at each sync round, so {!result.cg_metrics}
     is the campaign-wide registry union, mirroring the virgin-map
     union. *)

@@ -56,6 +56,42 @@ let simplify_literals ~oracle ~oracle_candidate tries stmt_list =
     stmt_list;
   !current
 
+(* Greedy repeated single-deletion until 1-minimal, element-type
+   agnostic: test cases are [stmt list], schedules are
+   [(session * stmt) list] — same shrink loop. Back-to-front so
+   trailing junk goes first. Shared [tries] counter lets callers run
+   further passes under one budget. *)
+let delta_pass ~pred ~tries ~within_budget current =
+  let progress = ref true in
+  while !progress && within_budget () do
+    progress := false;
+    let n = List.length !current in
+    let i = ref (n - 1) in
+    while !i >= 0 && within_budget () do
+      if List.length !current > 1 then begin
+        let candidate = List.filteri (fun j _ -> j <> !i) !current in
+        incr tries;
+        if pred candidate then begin
+          current := candidate;
+          progress := true
+        end
+      end;
+      decr i
+    done
+  done
+
+let reduce_poly ~pred ?(max_tries = 2048) items =
+  let tries = ref 0 in
+  if not (pred items) then (items, 1)
+  else begin
+    tries := 1;
+    let current = ref items in
+    delta_pass ~pred ~tries
+      ~within_budget:(fun () -> !tries < max_tries)
+      current;
+    (!current, !tries)
+  end
+
 let reduce_with ~pred ?(max_tries = 2048) tc =
   let tries = ref 0 in
   (* budget check (no execution) and the interestingness oracle itself *)
@@ -65,24 +101,7 @@ let reduce_with ~pred ?(max_tries = 2048) tc =
     tries := 1;
     (* Pass 1: drop statements until 1-minimal (greedy, repeated). *)
     let current = ref tc in
-    let progress = ref true in
-    while !progress && within_budget () do
-      progress := false;
-      let n = List.length !current in
-      (* back-to-front: trailing junk goes first *)
-      let i = ref (n - 1) in
-      while !i >= 0 && within_budget () do
-        if List.length !current > 1 then begin
-          let candidate = List.filteri (fun j _ -> j <> !i) !current in
-          incr tries;
-          if pred candidate then begin
-            current := candidate;
-            progress := true
-          end
-        end;
-        decr i
-      done
-    done;
+    delta_pass ~pred ~tries ~within_budget current;
     (* Pass 2: simplify literals inside the survivors. *)
     let simplified =
       simplify_literals ~oracle:within_budget ~oracle_candidate:pred tries

@@ -22,6 +22,18 @@ val crashes_with :
 (** Oracle: does this test case, on a fresh engine, crash with exactly
     this bug? *)
 
+val reduce_poly :
+  pred:('a list -> bool) ->
+  ?max_tries:int ->
+  'a list ->
+  'a list * int
+(** The statement-level delta-reduction core, element-type agnostic:
+    shrink any list to 1-minimality under [pred] (greedy repeated
+    single-deletion, back-to-front). Schedule shrinking runs it over
+    [(session * stmt)] steps, which {!reduce_with} cannot carry.
+    Returns the reduced list and predicate executions spent; an input
+    not satisfying [pred] comes back unchanged with 1 try. *)
+
 val reduce_with :
   pred:(Sqlcore.Ast.testcase -> bool) ->
   ?max_tries:int ->

@@ -66,11 +66,30 @@ type t = {
   mutable iso : Ast.iso_level;
   mutable txn_snapshot : snapshot option;
   mutable savepoints : (string * snapshot) list;
+  mutable parked : (int * session_view) list;
 }
 
 and snapshot = {
   sn_tables : (string * Storage.Table.t) list;
   sn_sequences : (string * int) list;
+}
+
+(* Connection-scoped state lifted out of the catalog while another
+   session is attached. Everything here is what a real server keeps in
+   its per-connection control block; the shared store (tables, schema
+   objects, global variables) stays in [t] and is never swapped. *)
+and session_view = {
+  mutable sv_in_txn : bool;
+  mutable sv_iso : Ast.iso_level;
+  mutable sv_txn_snapshot : snapshot option;
+  mutable sv_savepoints : (string * snapshot) list;
+  sv_session_vars : (string, Storage.Value.t) Hashtbl.t;
+  sv_prepared : (string, Ast.stmt) Hashtbl.t;
+  sv_handlers : (string, int) Hashtbl.t;
+  mutable sv_listening : string list;
+  mutable sv_notify_queue : (string * string option) list;
+  mutable sv_current_user : string;
+  mutable sv_current_db : string;
 }
 
 let create () =
@@ -100,7 +119,8 @@ let create () =
     in_txn = false;
     iso = Ast.Read_committed;
     txn_snapshot = None;
-    savepoints = [] }
+    savepoints = [];
+    parked = [] }
 
 let find_table t name =
   match Hashtbl.find_opt t.tables name with
@@ -193,6 +213,105 @@ let copy_snapshot sn =
       List.map (fun (n, tbl) -> (n, table_copy tbl)) sn.sn_tables;
     sn_sequences = sn.sn_sequences }
 
+(* ---- per-session connection state (multi-session server layer) ---- *)
+
+let fresh_session_view () =
+  { sv_in_txn = false;
+    sv_iso = Ast.Read_committed;
+    sv_txn_snapshot = None;
+    sv_savepoints = [];
+    sv_session_vars = Hashtbl.create 8;
+    sv_prepared = Hashtbl.create 8;
+    sv_handlers = Hashtbl.create 4;
+    sv_listening = [];
+    sv_notify_queue = [];
+    sv_current_user = "root";
+    sv_current_db = "main" }
+
+(* [transfer dst src] rebinds [dst]'s contents to [src]'s. Layout after
+   a reset+replace sequence is a pure function of insertion order, which
+   is itself the (deterministic) iteration order of [src] — so repeated
+   park/unpark cycles with identical statement histories keep identical
+   bucket layouts, preserving the engine-wide determinism contract. *)
+let transfer dst src =
+  Hashtbl.reset dst;
+  Hashtbl.iter (fun k v -> Hashtbl.replace dst k v) src
+
+let detach_session t =
+  let view =
+    { sv_in_txn = t.in_txn;
+      sv_iso = t.iso;
+      sv_txn_snapshot = t.txn_snapshot;
+      sv_savepoints = t.savepoints;
+      sv_session_vars = Hashtbl.copy t.session_vars;
+      sv_prepared = Hashtbl.copy t.prepared;
+      sv_handlers = Hashtbl.copy t.handlers;
+      sv_listening = t.listening;
+      sv_notify_queue = t.notify_queue;
+      sv_current_user = t.current_user;
+      sv_current_db = t.current_db }
+  in
+  (* Reset the catalog to fresh-connection defaults so an attach always
+     starts from the same base state regardless of who ran last. *)
+  t.in_txn <- false;
+  t.iso <- Ast.Read_committed;
+  t.txn_snapshot <- None;
+  t.savepoints <- [];
+  Hashtbl.reset t.session_vars;
+  Hashtbl.reset t.prepared;
+  Hashtbl.reset t.handlers;
+  t.listening <- [];
+  t.notify_queue <- [];
+  t.current_user <- "root";
+  t.current_db <- "main";
+  view
+
+let attach_session t view =
+  t.in_txn <- view.sv_in_txn;
+  t.iso <- view.sv_iso;
+  t.txn_snapshot <- view.sv_txn_snapshot;
+  t.savepoints <- view.sv_savepoints;
+  transfer t.session_vars view.sv_session_vars;
+  transfer t.prepared view.sv_prepared;
+  transfer t.handlers view.sv_handlers;
+  t.listening <- view.sv_listening;
+  t.notify_queue <- view.sv_notify_queue;
+  t.current_user <- view.sv_current_user;
+  t.current_db <- view.sv_current_db
+
+let park_session t id =
+  let view = detach_session t in
+  t.parked <-
+    List.merge
+      (fun (a, _) (b, _) -> compare a b)
+      [ (id, view) ]
+      (List.remove_assoc id t.parked)
+
+let unpark_session t id =
+  let view =
+    match List.assoc_opt id t.parked with
+    | Some v -> v
+    | None -> fresh_session_view ()
+  in
+  t.parked <- List.remove_assoc id t.parked;
+  attach_session t view
+
+let parked_sessions t = List.map fst t.parked
+
+let copy_session_view sv =
+  { sv_in_txn = sv.sv_in_txn;
+    sv_iso = sv.sv_iso;
+    sv_txn_snapshot = Option.map copy_snapshot sv.sv_txn_snapshot;
+    sv_savepoints =
+      List.map (fun (n, sn) -> (n, copy_snapshot sn)) sv.sv_savepoints;
+    sv_session_vars = Hashtbl.copy sv.sv_session_vars;
+    sv_prepared = Hashtbl.copy sv.sv_prepared;
+    sv_handlers = Hashtbl.copy sv.sv_handlers;
+    sv_listening = sv.sv_listening;
+    sv_notify_queue = sv.sv_notify_queue;
+    sv_current_user = sv.sv_current_user;
+    sv_current_db = sv.sv_current_db }
+
 (* [Hashtbl.copy] then rewriting every binding in place keeps the
    bucket layout — and therefore the fold/iter order every consumer of
    [indexes_on]/[triggers_on]/... observes — identical to the source
@@ -242,7 +361,23 @@ let deep_copy t =
     in_txn = t.in_txn;
     iso = t.iso;
     txn_snapshot = Option.map copy_snapshot t.txn_snapshot;
-    savepoints = List.map (fun (n, sn) -> (n, copy_snapshot sn)) t.savepoints }
+    savepoints = List.map (fun (n, sn) -> (n, copy_snapshot sn)) t.savepoints;
+    parked = List.map (fun (id, sv) -> (id, copy_session_view sv)) t.parked }
+
+let snap_words sn = 16 * List.length sn.sn_tables
+
+(* Heap cost of one parked session's connection state: its txn snapshot,
+   savepoints and variable tables. With N sessions live each parked view
+   carries its own copies, so [approx_words] prices them all — keeping
+   [cache.bytes] honest under multi-session fuzzing, not just for the
+   attached session's share. *)
+let session_view_words sv =
+  64
+  + (match sv.sv_txn_snapshot with Some sn -> snap_words sn | None -> 0)
+  + List.fold_left (fun acc (_, sn) -> acc + snap_words sn) 0 sv.sv_savepoints
+  + 4
+    * (Hashtbl.length sv.sv_session_vars + Hashtbl.length sv.sv_prepared
+       + Hashtbl.length sv.sv_handlers)
 
 let object_count t =
   Hashtbl.length t.tables + Hashtbl.length t.views + Hashtbl.length t.indexes
@@ -275,12 +410,14 @@ let approx_words t =
        + Hashtbl.length t.users + Hashtbl.length t.comments
        + Hashtbl.length t.locks + Hashtbl.length t.handlers)
   in
-  let snap_words sn = 16 * List.length sn.sn_tables in
   let snapshots =
     (match t.txn_snapshot with Some sn -> snap_words sn | None -> 0)
     + List.fold_left
         (fun acc (_, sn) -> acc + snap_words sn)
         0 t.savepoints
+    + List.fold_left
+        (fun acc (_, sv) -> acc + session_view_words sv)
+        0 t.parked
   in
   (* In the REPRO_COW ablation's legacy mode copies really do duplicate
      every row, so account for them — eviction pressure must match the

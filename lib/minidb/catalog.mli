@@ -74,9 +74,20 @@ type t = {
   mutable iso : Ast.iso_level;
   mutable txn_snapshot : snapshot option;
   mutable savepoints : (string * snapshot) list;
+  mutable parked : (int * session_view) list;
+      (** connection state of sessions not currently attached, keyed by
+          session id and sorted by it (see {!park_session}) *)
 }
 
 and snapshot
+
+and session_view
+(** Connection-scoped state (transaction status, snapshots, savepoints,
+    session variables, prepared statements, open handlers, LISTEN/NOTIFY
+    queues, current user/database) lifted out of the catalog while
+    another session is attached to the shared store. The server layer's
+    session pool context-switches these in and out; the shared store —
+    tables, schema objects, global variables — never moves. *)
 
 val create : unit -> t
 (** Fresh catalog with the default database and root user. *)
@@ -119,6 +130,39 @@ val deep_copy : t -> t
 
 val object_count : t -> int
 (** Total number of schema objects, for coverage state keys. *)
+
+val fresh_session_view : unit -> session_view
+(** The connection state a just-connected session starts with. *)
+
+val detach_session : t -> session_view
+(** Capture the currently attached session's connection state and reset
+    the catalog's session-scoped fields to fresh-connection defaults.
+    The shared store is untouched. *)
+
+val attach_session : t -> session_view -> unit
+(** Install a session's connection state into the catalog. Hash-table
+    bucket layouts after an attach are a pure function of the view's
+    contents, so repeated park/unpark cycles with identical statement
+    histories stay deterministic. *)
+
+val park_session : t -> int -> unit
+(** [park_session t id] detaches the current session and stores its view
+    under [id] in {!t.parked} (replacing any previous view for [id]).
+    The parked list stays sorted by id, so catalog copies and byte
+    accounting are order-independent of the switch history. *)
+
+val unpark_session : t -> int -> unit
+(** Attach the view parked under [id], removing it from the parked list;
+    a never-parked id attaches a {!fresh_session_view} (a new client
+    connecting). *)
+
+val parked_sessions : t -> int list
+(** Ids with parked state, ascending. *)
+
+val session_view_words : session_view -> int
+(** Heap cost of one parked session's connection state, in words —
+    counted per parked session by {!approx_bytes} so the prefix cache's
+    [cache.bytes] stays honest with N sessions live. *)
 
 val set_copy_on_write : bool -> unit
 (** Global snapshot mode. [true] (the default) makes every table copy

@@ -8,6 +8,9 @@ type t = {
   metrics : Telemetry.Registry.t option;
   mutable window : Stmt_type.t list;  (* most recent last *)
   mutable stmt_count : int;
+  mutable fault_ext : (string -> bool option) option;
+      (* cross-session fault predicates (server layer); [None] answers
+         fall through to [Executor.state_pred] *)
 }
 
 type stmt_status =
@@ -31,13 +34,26 @@ let s_sqlerr = Coverage.Sites.register "engine.sql_error"
 let create ?(limits = Limits.default) ?metrics ~profile ~cov () =
   let cat = Catalog.create () in
   { ctx = Executor.create_ctx ~cat ~profile ~limits ~cov;
-    profile; limits; cov; metrics; window = []; stmt_count = 0 }
+    profile; limits; cov; metrics; window = []; stmt_count = 0;
+    fault_ext = None }
 
 let profile t = t.profile
 
 let catalog t = Executor.catalog t.ctx
 
 let window t = t.window
+
+let set_window t w = t.window <- w
+
+let set_fault_ext t f = t.fault_ext <- f
+
+let state_pred t name =
+  match t.fault_ext with
+  | None -> Executor.state_pred t.ctx name
+  | Some ext -> (
+      match ext name with
+      | Some b -> b
+      | None -> Executor.state_pred t.ctx name)
 
 let push_window t ty =
   let w = t.window @ [ ty ] in
@@ -84,7 +100,7 @@ let exec_stmt t stmt =
        corruption detected at the next safepoint. *)
     Fault.check (Profile.bugs t.profile)
       { Fault.window = t.window; stmt;
-        state = (fun name -> Executor.state_pred t.ctx name) };
+        state = (fun name -> state_pred t name) };
     status
   end
 
@@ -166,7 +182,8 @@ let restore ?metrics snap ~cov () =
     cov;
     metrics;
     window = snap.sn_window;
-    stmt_count = snap.sn_stmt_count }
+    stmt_count = snap.sn_stmt_count;
+    fault_ext = None }
 
 let snapshot_bytes snap =
   Executor.state_bytes snap.sn_state + (16 * List.length snap.sn_window) + 256

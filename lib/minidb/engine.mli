@@ -42,6 +42,22 @@ val catalog : t -> Catalog.t
 val window : t -> Stmt_type.t list
 (** Recently executed statement types, oldest first. *)
 
+val set_window : t -> Stmt_type.t list -> unit
+(** Replace the sliding window wholesale. The server layer's session
+    pool swaps windows on session context switches so the window tracks
+    the {e session}, not the shared store — bug-registry triggers must
+    never see another session's statement types. *)
+
+val set_fault_ext : t -> (string -> bool option) option -> unit
+(** Install (or clear) an external answerer for bug-registry state
+    predicates. A [Some b] answer overrides {!Executor.state_pred};
+    [None] falls through to it. The session pool uses this for
+    cross-session predicates ([other_txn_dirty],
+    [other_session_in_txn], [other_session_window]) that a
+    single-session engine cannot express — with no hook installed those
+    names keep answering [false], so single-session campaigns are
+    byte-identical to before the server layer existed. *)
+
 val exec_stmt : t -> Ast.stmt -> stmt_status
 (** Execute one statement; afterwards evaluate the bug registry.
     @raise Fault.Crashed when an injected bug's trigger matches. *)

@@ -16,7 +16,7 @@ type outcome = {
   oc_violations : Violation.t list;
 }
 
-let oracle_names = [ "diff_plan"; "tlp"; "rewrite" ]
+let oracle_names = [ "diff_plan"; "tlp"; "rewrite"; "isolation" ]
 
 let create ?(limits = Minidb.Limits.default) profile =
   { s_profile = Minidb.Profile.without_bugs profile;

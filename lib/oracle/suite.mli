@@ -31,8 +31,10 @@ type outcome = {
 }
 
 val oracle_names : string list
-(** [["diff_plan"; "tlp"; "rewrite"]] — the telemetry counter namespace
-    ([oracle.<name>.checks] / [oracle.<name>.violations]). *)
+(** [["diff_plan"; "tlp"; "rewrite"; "isolation"]] — the telemetry
+    counter namespace ([oracle.<name>.checks] /
+    [oracle.<name>.violations]). The isolation oracle runs on the
+    schedule-replay path ({!Isolation}), not in {!check}. *)
 
 val create : ?limits:Minidb.Limits.t -> Minidb.Profile.t -> t
 
@@ -43,3 +45,9 @@ val check : t -> Sqlcore.Ast.testcase -> outcome
 val plan_tag : Minidb.Catalog.t -> Sqlcore.Ast.query -> string
 (** Access-path shape of a query under the current catalog state — the
     dedup-key component of diff_plan/tlp violations. Exposed for tests. *)
+
+val fingerprint : Minidb.Catalog.t -> string
+(** Deterministic digest of the data state: every table's rows (sorted)
+    and every sequence's value. The agreement protocol shared by the
+    rewrite oracle, the isolation oracle and the server layer's
+    schedule-replay determinism check. *)

@@ -6,7 +6,8 @@
     logic-bug analogue of [Triage.stack_key]. *)
 
 type t = {
-  vi_oracle : string;  (** ["diff_plan"], ["tlp"] or ["rewrite"] *)
+  vi_oracle : string;
+      (** ["diff_plan"], ["tlp"], ["rewrite"] or ["isolation"] *)
   vi_tag : string;     (** plan-shape tag: dedup key component *)
   vi_detail : string;  (** human-readable description of the divergence *)
   vi_sql : string;     (** the offending statement, printed *)

@@ -1,0 +1,216 @@
+open Sqlcore
+
+(* N sessions multiplexed over ONE engine. Exactly one session is
+   attached to the shared catalog at a time; a context switch parks the
+   attached session's connection state (Catalog.park_session) and
+   swaps statement-type windows, so bug-registry windows and
+   transaction state always track the session, never the store.
+
+   Concurrency model: statements of a schedule execute on OCaml 5
+   domains (one per session), but the schedule dictates a TOTAL order —
+   a turnstile over the shared mutex admits exactly the session whose
+   turn the schedule names next. The engine therefore observes the
+   identical operation sequence whether the schedule runs concurrently
+   or serially, which is what makes live crash hunting and serial
+   triage replay byte-identical (the determinism contract the
+   schedule-replay tests pin). *)
+
+type t = {
+  p_engine : Minidb.Engine.t;
+  p_sessions : Session.t array;
+  mutable p_current : int;
+  p_lock : Mutex.t;
+  p_metrics : Telemetry.Registry.t option;
+}
+
+let count t name by =
+  match t.p_metrics with
+  | None -> ()
+  | Some m ->
+    if by > 0 then
+      Telemetry.Registry.incr ~by (Telemetry.Registry.counter m name)
+
+(* Cross-session fault predicates, answered from the other sessions'
+   mirror flags. Unknown names fall through (None) to the executor's
+   own state predicates, so the single-session vocabulary is
+   untouched. *)
+let fault_hook t name =
+  let others f =
+    Array.exists
+      (fun s -> s.Session.s_id <> t.p_current && f s)
+      t.p_sessions
+  in
+  match name with
+  | "other_txn_dirty" -> Some (others Session.dirty)
+  | "other_session_in_txn" ->
+    Some (others (fun s -> s.Session.s_in_txn))
+  | "other_session_window" ->
+    Some (others (fun s -> s.Session.s_last_window))
+  | _ -> None
+
+let create ?limits ?metrics ~sessions ~profile ~cov () =
+  if sessions < 1 then invalid_arg "Session_pool.create: sessions < 1";
+  let engine = Minidb.Engine.create ?limits ?metrics ~profile ~cov () in
+  let t =
+    { p_engine = engine;
+      p_sessions = Array.init sessions Session.create;
+      p_current = 0;
+      p_lock = Mutex.create ();
+      p_metrics = metrics }
+  in
+  Minidb.Engine.set_fault_ext engine (Some (fault_hook t));
+  t
+
+let sessions t = Array.length t.p_sessions
+
+let current t = t.p_current
+
+let session t i = t.p_sessions.(i)
+
+let engine t = t.p_engine
+
+let switch t sid =
+  if sid <> t.p_current then begin
+    let cur = t.p_sessions.(t.p_current) in
+    cur.Session.s_window <- Minidb.Engine.window t.p_engine;
+    let cat = Minidb.Engine.catalog t.p_engine in
+    Minidb.Catalog.park_session cat t.p_current;
+    Minidb.Catalog.unpark_session cat sid;
+    Minidb.Engine.set_window t.p_engine t.p_sessions.(sid).Session.s_window;
+    t.p_current <- sid;
+    count t "session.switches" 1
+  end
+
+let last_insert_rowid t stmt =
+  let cat = Minidb.Engine.catalog t.p_engine in
+  match Ast_util.tables_written stmt with
+  | tbl :: _ ->
+    (match Hashtbl.find_opt cat.Minidb.Catalog.tables tbl with
+     | Some table -> Storage.Table.last_rowid table
+     | None -> -1)
+  | [] -> -1
+
+let response_of_result t stmt = function
+  | Minidb.Executor.Rows (cols, rows) ->
+    Wire.Data
+      { columns = cols;
+        rows = List.map (Array.map Wire.of_value) rows }
+  | Minidb.Executor.Affected n ->
+    Wire.Execute_result
+      { rows_affected = n; last_insert_rowid = last_insert_rowid t stmt }
+  | Minidb.Executor.Done _ ->
+    Wire.Execute_result
+      { rows_affected = 0; last_insert_rowid = last_insert_rowid t stmt }
+
+(* Execute one statement for [sid]. Caller holds [p_lock]. Returns the
+   response and, when a fault-registry bug fired, the crash. *)
+let exec_unlocked t sid stmt =
+  switch t sid;
+  let sess = t.p_sessions.(sid) in
+  let cat = Minidb.Engine.catalog t.p_engine in
+  let resp, failed, crash =
+    match Minidb.Engine.exec_stmt t.p_engine stmt with
+    | Minidb.Engine.Ok_result r -> (response_of_result t stmt r, false, None)
+    | Minidb.Engine.Sql_failed e -> (Wire.of_error e, true, None)
+    | exception Minidb.Fault.Crashed c -> (Wire.of_crash c, false, Some c)
+  in
+  Session.note sess stmt ~in_txn:cat.Minidb.Catalog.in_txn ~failed;
+  count t "session.statements" 1;
+  (resp, crash)
+
+let exec t ~session stmt =
+  if session < 0 || session >= Array.length t.p_sessions then
+    invalid_arg "Session_pool.exec: no such session";
+  Mutex.lock t.p_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.p_lock)
+    (fun () -> fst (exec_unlocked t session stmt))
+
+(* --- schedule execution --------------------------------------------- *)
+
+type outcome = {
+  o_replies : string array;  (* rendered responses, schedule order *)
+  o_crash : (int * Minidb.Fault.crash) option;
+  o_executed : int;
+  o_fingerprint : string;
+}
+
+let crash_key (c : Minidb.Fault.crash) =
+  c.c_bug.bug_id ^ ":" ^ String.concat "<" c.c_stack
+
+let outcome_equal a b =
+  a.o_replies = b.o_replies
+  && a.o_executed = b.o_executed
+  && String.equal a.o_fingerprint b.o_fingerprint
+  && (match a.o_crash, b.o_crash with
+      | None, None -> true
+      | Some (ia, ca), Some (ib, cb) ->
+        ia = ib && String.equal (crash_key ca) (crash_key cb)
+      | _ -> false)
+
+let finish t ~replies ~crash ~executed =
+  (match crash with
+   | Some _ -> count t "session.crashes" 1
+   | None -> ());
+  { o_replies = Array.sub replies 0 executed;
+    o_crash = crash;
+    o_executed = executed;
+    o_fingerprint = Oracle.Suite.fingerprint (Minidb.Engine.catalog t.p_engine) }
+
+let run_serial t steps =
+  let n = Array.length steps in
+  let replies = Array.make n "" in
+  let crash = ref None in
+  let i = ref 0 in
+  while !crash = None && !i < n do
+    let sid, stmt = steps.(!i) in
+    let resp, cr = exec_unlocked t sid stmt in
+    replies.(!i) <- Wire.render resp;
+    (match cr with Some c -> crash := Some (!i, c) | None -> ());
+    incr i
+  done;
+  finish t ~replies ~crash:!crash ~executed:!i
+
+let run_concurrent t steps =
+  let n = Array.length steps in
+  let replies = Array.make n "" in
+  let crash = ref None in
+  let turn = ref 0 in
+  let halted = ref false in
+  let cv = Condition.create () in
+  let m = t.p_lock in
+  let sids =
+    List.sort_uniq compare (List.map fst (Array.to_list steps))
+  in
+  let worker sid =
+    Mutex.lock m;
+    let running = ref true in
+    while !running do
+      while
+        (not !halted) && !turn < n && fst steps.(!turn) <> sid
+      do
+        Condition.wait cv m
+      done;
+      if !halted || !turn >= n then running := false
+      else begin
+        let idx = !turn in
+        let _, stmt = steps.(idx) in
+        let resp, cr = exec_unlocked t sid stmt in
+        replies.(idx) <- Wire.render resp;
+        (match cr with
+         | Some c ->
+           crash := Some (idx, c);
+           halted := true
+         | None -> ());
+        turn := idx + 1;
+        Condition.broadcast cv
+      end
+    done;
+    Condition.broadcast cv;
+    Mutex.unlock m
+  in
+  let domains =
+    List.map (fun sid -> Domain.spawn (fun () -> worker sid)) sids
+  in
+  List.iter Domain.join domains;
+  finish t ~replies ~crash:!crash ~executed:!turn

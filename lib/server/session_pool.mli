@@ -1,0 +1,71 @@
+(** N client sessions multiplexed over one shared {!Minidb.Engine}.
+
+    One session is attached to the shared catalog at a time; context
+    switches park/unpark connection state through
+    {!Minidb.Catalog.park_session} and swap statement-type windows, so
+    transaction state and bug-registry windows track the {e session}.
+    Cross-session fault predicates ([other_txn_dirty],
+    [other_session_in_txn], [other_session_window]) are answered from
+    the other sessions' mirror flags via {!Minidb.Engine.set_fault_ext}.
+
+    Schedules execute in two modes with byte-identical outcomes: live
+    on OCaml 5 domains (one per session, a turnstile admitting the
+    session whose turn the schedule names — real cross-domain execution
+    in a deterministic total order) for crash hunting, and serially on
+    the calling domain for triage replay. *)
+
+open Sqlcore
+
+type t
+
+val create :
+  ?limits:Minidb.Limits.t ->
+  ?metrics:Telemetry.Registry.t ->
+  sessions:int ->
+  profile:Minidb.Profile.t ->
+  cov:Coverage.Bitmap.t ->
+  unit ->
+  t
+(** A fresh pool: one engine, [sessions] sessions, session 0 attached.
+    [metrics] receives [session.statements] / [session.switches] /
+    [session.crashes] counters. *)
+
+val sessions : t -> int
+
+val current : t -> int
+(** Id of the attached session. *)
+
+val session : t -> int -> Session.t
+
+val engine : t -> Minidb.Engine.t
+(** The shared engine; exposed for oracles and tests. *)
+
+val exec : t -> session:int -> Ast.stmt -> Wire.response
+(** Serve path: execute one statement as [session], context-switching
+    if needed. Takes the pool lock. A fired bug answers
+    {!Wire.Crashed} rather than raising. *)
+
+type outcome = {
+  o_replies : string array;
+      (** rendered {!Wire.response}s, one per executed step in schedule
+          order *)
+  o_crash : (int * Minidb.Fault.crash) option;
+      (** step index at which a bug fired; execution stopped there *)
+  o_executed : int;
+  o_fingerprint : string;
+      (** {!Oracle.Suite.fingerprint} of the final catalog *)
+}
+
+val outcome_equal : outcome -> outcome -> bool
+(** Replies, executed count, crash identity (bug id + stack) and final
+    fingerprint all agree — the schedule-replay determinism contract. *)
+
+val run_serial : t -> (int * Ast.stmt) array -> outcome
+(** Execute a schedule ([(session, stmt)] steps) on the calling domain,
+    stopping at the first crash. Consumes the pool: run each schedule
+    on a fresh one. *)
+
+val run_concurrent : t -> (int * Ast.stmt) array -> outcome
+(** Execute the same schedule across one domain per participating
+    session under the turnstile. [run_concurrent] and {!run_serial} on
+    fresh pools satisfy {!outcome_equal}. *)

@@ -66,6 +66,8 @@ let insert t row =
   t.t_rows <- Imap.add id row t.t_rows;
   id
 
+let last_rowid t = t.next_rowid - 1
+
 let find_row t rowid = Imap.find_opt rowid t.t_rows
 
 let update_row t rowid row =

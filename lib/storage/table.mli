@@ -39,6 +39,11 @@ val row_count : t -> int
 val insert : t -> Value.t array -> int
 (** Append a row (already coerced); returns its fresh rowid. *)
 
+val last_rowid : t -> int
+(** Rowid handed out by the most recent {!insert}, [-1] before any.
+    Monotonic — deletes never reuse ids — which is what the wire
+    protocol's last-insert-id field reports. *)
+
 val find_row : t -> int -> Value.t array option
 
 val update_row : t -> int -> Value.t array -> unit

@@ -27,4 +27,6 @@ let () =
       ("baselines", Test_baselines.suite);
       ("extensions", Test_extensions.suite);
       ("integration", Test_integration.suite);
-      ("cache", Test_cache.suite) ]
+      ("cache", Test_cache.suite);
+      ("server", Test_server.suite);
+      ("schedule", Test_schedule.suite) ]
