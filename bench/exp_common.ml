@@ -66,6 +66,19 @@ let exec_cache =
   | Some ("off" | "") | None -> 0
   | Some s -> (try max 0 (int_of_string s) with Failure _ -> 0)
 
+(* REPRO_FEEDBACK=grammar|both switches the coverage signal driving the
+   keep/analyze decision to the grammar rule-pair bitmap (DESIGN.md §15);
+   the default matches the CLI: edges, byte-identical to earlier builds.
+   The feedback-ablation bench overrides it per campaign regardless of
+   the global setting. *)
+let feedback =
+  match Sys.getenv_opt "REPRO_FEEDBACK" with
+  | Some s -> (
+      match Fuzz.Harness.feedback_of_string (String.lowercase_ascii s) with
+      | Some f -> f
+      | None -> Fuzz.Harness.Edges)
+  | None -> Fuzz.Harness.Edges
+
 (* REPRO_COW=off reverts engine snapshots to the pre-refactor physical
    deep copies for the whole bench run (DESIGN.md §13); the default is
    the O(1) persistent-map copy. The cow-ablation bench toggles this
@@ -91,12 +104,14 @@ let schedules =
 let () = Minidb.Catalog.set_copy_on_write cow
 
 (* One shard's execution harness, when any harness-level feature
-   (oracles, exec cache) is enabled; [None] lets the fuzzer build its
-   own default harness, as before those features existed. *)
-let campaign_harness ?(exec_cache = exec_cache) profile =
-  if oracles || exec_cache > 0 then
+   (oracles, exec cache, grammar feedback) is enabled; [None] lets the
+   fuzzer build its own default harness, as before those features
+   existed. *)
+let campaign_harness ?(exec_cache = exec_cache) ?(feedback = feedback)
+    profile =
+  if oracles || exec_cache > 0 || feedback <> Fuzz.Harness.Edges then
     Some
-      (Fuzz.Harness.create ~profile ~exec_cache
+      (Fuzz.Harness.create ~profile ~exec_cache ~feedback
          ?oracles:
            (if oracles then Some (Oracle.Suite.create profile) else None)
          ())
@@ -174,7 +189,7 @@ let run_campaign ?(execs = budget) ?(jobs = jobs) ?(exchange = exchange)
     c_wall_s = wall_s }
 
 let make_lego ?(seq = true) ?(max_seq_len = 5) ?(seed = 1)
-    ?(exec_cache = exec_cache) profile =
+    ?(exec_cache = exec_cache) ?(feedback = feedback) profile =
   ( (if seq then "LEGO" else "LEGO-"),
     fun shard_id ->
       let config =
@@ -185,7 +200,7 @@ let make_lego ?(seq = true) ?(max_seq_len = 5) ?(seed = 1)
       in
       let t =
         Lego.Lego_fuzzer.create ~config
-          ?harness:(campaign_harness ~exec_cache profile) profile
+          ?harness:(campaign_harness ~exec_cache ~feedback profile) profile
       in
       (Lego.Lego_fuzzer.fuzzer t, Some t) )
 
@@ -199,7 +214,11 @@ let make_baseline name create fuzzer ?(seed = 1) profile =
        None) )
 
 (* Fraction of executions that restored a cached prefix ([nan] when the
-   cache was off: no lookups at all). *)
+   cache was off: no lookups at all). The denominator is hits + misses
+   only: unhinted single-session executions land in [cache.bypass] and
+   interleaving-schedule executions in [cache.schedule_bypass], and
+   neither belongs in a prefix-restore rate — a campaign with a long
+   schedule phase must report the same hit rate as one without. *)
 let cache_hit_rate c =
   let hits = Telemetry.Registry.counter_value c.c_metrics "cache.hits" in
   let misses = Telemetry.Registry.counter_value c.c_metrics "cache.misses" in

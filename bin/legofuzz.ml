@@ -119,6 +119,35 @@ let exec_cache_arg =
   Arg.(
     value & opt cache_conv 1024 & info [ "exec-cache" ] ~docv:"on|off|N" ~doc)
 
+let feedback_arg =
+  let doc =
+    "Coverage feedback driving the keep/analyze decision: $(b,edges) (the \
+     engine edge bitmap — the paper's signal and the default, \
+     byte-identical to earlier builds), $(b,grammar) (the grammar \
+     rule-pair bitmap: every executed case is re-parsed and productions \
+     fired under their parent production count as coverage), or \
+     $(b,both) (either signal; also biases generation toward unfired \
+     rule pairs)."
+  in
+  let feedback_conv =
+    let parse s =
+      match Fuzz.Harness.feedback_of_string (String.lowercase_ascii s) with
+      | Some f -> Ok f
+      | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "invalid feedback %S (edges, grammar or both)" s))
+    in
+    let print ppf f =
+      Format.pp_print_string ppf (Fuzz.Harness.feedback_to_string f)
+    in
+    Arg.conv (parse, print)
+  in
+  Arg.(
+    value
+    & opt feedback_conv Fuzz.Harness.Edges
+    & info [ "feedback" ] ~docv:"edges|grammar|both" ~doc)
+
 let cow_arg =
   let doc =
     "Copy-on-write engine snapshots: $(b,on) takes snapshots as O(1) \
@@ -171,14 +200,15 @@ let json_arg =
    engine (it executes the initial corpus). With [oracles] on, each shard
    gets a harness wired to its own oracle suite — suites hold replay
    state and must stay domain-private like the harness itself. *)
-let make_fuzzer ?(oracles = false) ?(exec_cache = 0) name profile seed =
+let make_fuzzer ?(oracles = false) ?(exec_cache = 0)
+    ?(feedback = Fuzz.Harness.Edges) name profile seed =
   let harness () =
-    if oracles || exec_cache > 0 then
+    if oracles || exec_cache > 0 || feedback <> Fuzz.Harness.Edges then
       Some
         (Fuzz.Harness.create ~profile
            ?oracles:
              (if oracles then Some (Oracle.Suite.create profile) else None)
-           ~exec_cache ())
+           ~exec_cache ~feedback ())
     else None
   in
   let lego ~seq shard_id =
@@ -298,10 +328,10 @@ let fuzz_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "save" ] ~docv:"DIR" ~doc)
   in
   let run fuzzer profile execs seed jobs sync_every sync_seeds
-      sync_affinities oracles exec_cache cow sessions schedules telemetry
-      json save =
+      sync_affinities oracles exec_cache feedback cow sessions schedules
+      telemetry json save =
     Minidb.Catalog.set_copy_on_write cow;
-    match make_fuzzer ~oracles ~exec_cache fuzzer profile seed with
+    match make_fuzzer ~oracles ~exec_cache ~feedback fuzzer profile seed with
     | Error (`Msg m) ->
       prerr_endline m;
       exit 2
@@ -329,6 +359,8 @@ let fuzz_cmd =
              ("sync_affinities", Telemetry.Json.Bool sync_affinities);
              ("oracles", Telemetry.Json.Bool oracles);
              ("exec_cache", Telemetry.Json.Int exec_cache);
+             ("feedback",
+              Telemetry.Json.Str (Fuzz.Harness.feedback_to_string feedback));
              ("sessions", Telemetry.Json.Int sessions);
              ("schedules", Telemetry.Json.Int schedules) ]);
       let start = Telemetry.Span.now_s () in
@@ -459,8 +491,9 @@ let fuzz_cmd =
   let term =
     Term.(const run $ fuzzer_arg $ dialect_arg $ execs_arg $ seed_arg
           $ jobs_arg $ sync_arg $ sync_seeds_arg $ sync_affinities_arg
-          $ oracles_arg $ exec_cache_arg $ cow_arg $ sessions_arg
-          $ schedules_arg $ telemetry_arg $ json_arg $ save_arg)
+          $ oracles_arg $ exec_cache_arg $ feedback_arg $ cow_arg
+          $ sessions_arg $ schedules_arg $ telemetry_arg $ json_arg
+          $ save_arg)
   in
   Cmd.v (Cmd.info "fuzz" ~doc:"Run one fuzzer on one simulated DBMS.") term
 
@@ -468,7 +501,7 @@ let fuzz_cmd =
 
 let compare_cmd =
   let run profile execs seed jobs sync_every sync_seeds sync_affinities
-      exec_cache telemetry json =
+      exec_cache feedback telemetry json =
     let dialect = Minidb.Profile.name profile in
     let exchange = exchange_of ~sync_seeds ~sync_affinities in
     let sink, recording =
@@ -485,10 +518,12 @@ let compare_cmd =
            ("sync_every", Telemetry.Json.Int sync_every);
            ("sync_seeds", Telemetry.Json.Bool sync_seeds);
            ("sync_affinities", Telemetry.Json.Bool sync_affinities);
-           ("exec_cache", Telemetry.Json.Int exec_cache) ]);
+           ("exec_cache", Telemetry.Json.Int exec_cache);
+           ("feedback",
+            Telemetry.Json.Str (Fuzz.Harness.feedback_to_string feedback)) ]);
     List.iter
       (fun name ->
-         match make_fuzzer ~exec_cache name profile seed with
+         match make_fuzzer ~exec_cache ~feedback name profile seed with
          | Error _ -> ()
          | Ok make ->
            (* The series prefix keeps the five fuzzers' checkpoint series
@@ -516,7 +551,7 @@ let compare_cmd =
   let term =
     Term.(const run $ dialect_arg $ execs_arg $ seed_arg $ jobs_arg
           $ sync_arg $ sync_seeds_arg $ sync_affinities_arg $ exec_cache_arg
-          $ telemetry_arg $ json_arg)
+          $ feedback_arg $ telemetry_arg $ json_arg)
   in
   Cmd.v
     (Cmd.info "compare"

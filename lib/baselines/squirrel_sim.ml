@@ -10,7 +10,7 @@ type t = {
 
 let process ?hint t tc =
   let outcome = Fuzz.Harness.execute ?hint t.harness tc in
-  if outcome.Fuzz.Harness.o_new_branches > 0 then
+  if outcome.Fuzz.Harness.o_interesting then
     ignore
       (Fuzz.Seed_pool.add t.pool ~tc ~cov_hash:outcome.o_cov_hash
          ~new_branches:outcome.o_new_branches ~cost:outcome.o_cost)

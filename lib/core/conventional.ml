@@ -210,3 +210,8 @@ let mutate_testcase_at ?(rich = true) rng tc =
     (Instantiate.repair rng mutated, target)
 
 let mutate_testcase ?rich rng tc = fst (mutate_testcase_at ?rich rng tc)
+
+let mutate_testcase_at_biased ?rich rng ~novelty tc =
+  let ((m1, _) as r1) = mutate_testcase_at ?rich rng tc in
+  let ((m2, _) as r2) = mutate_testcase_at ?rich rng tc in
+  if novelty m2 > novelty m1 then r2 else r1

@@ -28,3 +28,17 @@ val mutate_testcase_at :
     rewrites invalid references), so the position serves as a prefix hint
     for the harness's execution cache. Same RNG stream as
     {!mutate_testcase}. *)
+
+val mutate_testcase_at_biased :
+  ?rich:bool ->
+  Reprutil.Rng.t ->
+  novelty:(Ast.testcase -> int) ->
+  Ast.testcase ->
+  Ast.testcase * int
+(** Grammar-feedback generation bias (DESIGN.md §15): draw two
+    independent {!mutate_testcase_at} candidates and keep the one
+    [novelty] scores higher (ties keep the first draw, so a constant
+    [novelty] reduces to discarding one candidate). Consumes two
+    {!mutate_testcase_at} RNG draws — callers gate it on the harness
+    actually running grammar feedback to preserve the default mode's
+    RNG stream. *)

@@ -64,14 +64,32 @@ let synthesize_from t ~slot aff =
   Synthesis.on_new_affinity_iter t.synthesis t.affinity aff
     (enqueue_seq t ~slot)
 
-(* Execute a candidate; if it covers new branches, keep it: pool, skeleton
+(* Grammar-feedback generation bias (DESIGN.md §15): when the harness
+   records grammar coverage, draw a second candidate and keep the one
+   whose printed form would light more unfired grammar cells. The probe
+   is read-only (scratch parse against the grammar virgin map), so
+   losing candidates claim nothing. In edges mode this is [gen ()]
+   exactly — no extra RNG draws, preserving byte-identity. *)
+let best_of_two t gen =
+  let c1 = gen () in
+  if not (Fuzz.Harness.grammar_feedback t.harness) then c1
+  else begin
+    let c2 = gen () in
+    if Fuzz.Harness.grammar_novelty t.harness c2
+       > Fuzz.Harness.grammar_novelty t.harness c1
+    then c2
+    else c1
+  end
+
+(* Execute a candidate; if it is coverage-interesting under the harness's
+   feedback mode, keep it: pool, skeleton
    harvest, affinity analysis, and synthesis from each new affinity.
    [hint] is the statement prefix the candidate shares with its parent,
    forwarded to the harness's prefix-snapshot cache: the first hinted
    execution captures the boundary, its siblings restore from it. *)
 let process_candidate t ?(analyze = true) ?hint tc =
   let outcome = Fuzz.Harness.execute ?hint t.harness tc in
-  if outcome.Fuzz.Harness.o_new_branches > 0 then begin
+  if outcome.Fuzz.Harness.o_interesting then begin
     ignore
       (Fuzz.Seed_pool.add t.pool ~tc ~cov_hash:outcome.o_cov_hash
          ~new_branches:outcome.o_new_branches ~cost:outcome.o_cost);
@@ -146,7 +164,8 @@ let step t () =
             (* instantiation is its own pipeline stage (the paper's
                Step 2 second half), timed apart from Algorithm 3 *)
             Telemetry.Span.time t.sp_instantiate (fun () ->
-                Instantiate.sequence t.rng ~skeletons:t.skeletons seq)
+                best_of_two t (fun () ->
+                    Instantiate.sequence t.rng ~skeletons:t.skeletons seq))
           in
           ignore (process_candidate t tc)
         done
@@ -185,7 +204,11 @@ let step t () =
       for _ = 1 to t.cfg.conventional_per_step do
         let mutant, pos =
           Telemetry.Span.time t.sp_mutate (fun () ->
-              Conventional.mutate_testcase_at t.rng tc)
+              if Fuzz.Harness.grammar_feedback t.harness then
+                Conventional.mutate_testcase_at_biased t.rng
+                  ~novelty:(Fuzz.Harness.grammar_novelty t.harness)
+                  tc
+              else Conventional.mutate_testcase_at t.rng tc)
         in
         ignore
           (process_candidate t ~analyze:t.cfg.sequence_oriented ~hint:pos
@@ -205,10 +228,13 @@ let step t () =
            (fun i s -> if i < pos then Sym_schema.apply schema s)
            tc;
          let ty = Ast.type_of_stmt (List.nth tc pos) in
-         let fresh = Instantiate.statement t.rng ~skeletons:t.skeletons ~schema ty in
          let mutant =
-           Instantiate.repair t.rng
-             (List.mapi (fun i s -> if i = pos then fresh else s) tc)
+           best_of_two t (fun () ->
+               let fresh =
+                 Instantiate.statement t.rng ~skeletons:t.skeletons ~schema ty
+               in
+               Instantiate.repair t.rng
+                 (List.mapi (fun i s -> if i = pos then fresh else s) tc))
          in
          ignore
            (process_candidate t ~analyze:t.cfg.sequence_oriented ~hint:pos

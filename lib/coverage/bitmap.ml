@@ -59,6 +59,22 @@ let probe t ~site ~key =
   let h = (site * 0x9E3779B1) lxor ((key + 1) * 0x85EBCA6B) in
   hit t (h lxor (h lsr 15))
 
+(* [probe]'s xor-of-products folds the site id in linearly, so distinct
+   (site, key) pairs can alias to one slot with nothing downstream able
+   to tell (the edge map keeps it unchanged for bitmap compatibility
+   with recorded campaigns). New slot families use this murmur-style
+   finalizer instead: the site id is multiplied and re-avalanched so
+   every site bit disturbs every output bit. *)
+let mix ~site ~key =
+  let h = (site + 1) * 0x9E3779B1 in
+  let h = h lxor (h lsr 16) in
+  let h = (h lxor ((key + 1) * 0x85EBCA6B)) * 0xC2B2AE35 in
+  let h = h lxor (h lsr 13) in
+  let h = h * 0x27D4EB2F in
+  h lxor (h lsr 16)
+
+let probe_mixed t ~site ~key = hit t (mix ~site ~key)
+
 (* Dirty entries are unique (recorded only on 0 -> nonzero) and stay
    nonzero until the next [reset], so when the map is unsaturated the
    dirty prefix {e is} the nonzero cell set. *)
@@ -71,6 +87,22 @@ let count_nonzero t =
     done;
     !n
   end
+
+(* Nonzero cells within [lo, hi): lets one map carry two disjoint slot
+   families (e.g. grammar rules below 0x8000, rule pairs above) that are
+   counted separately but share the merge/diff/compact algebra. *)
+let count_nonzero_in t ~lo ~hi =
+  let n = ref 0 in
+  if not t.saturated then
+    for k = 0 to t.n_dirty - 1 do
+      let i = Array.unsafe_get t.dirty k in
+      if i >= lo && i < hi then incr n
+    done
+  else
+    for i = lo to hi - 1 do
+      if Bytes.unsafe_get t.buf i <> '\000' then incr n
+    done;
+  !n
 
 let bucket = function
   | 0 -> 0
@@ -151,6 +183,27 @@ let load ~into src =
     into.saturated <- true;
     into.n_dirty <- 0
   end
+
+(* Like [merge_into] without the mutation: how many cells of the exec
+   map [t] hold bucket bits the virgin map lacks. Generation bias ranks
+   candidate testcases by this without polluting the virgin map. *)
+let count_news ~virgin t =
+  let news = ref 0 in
+  let check i c =
+    if bucket c land lnot (Char.code (Bytes.unsafe_get virgin.buf i)) <> 0
+    then incr news
+  in
+  if not t.saturated then
+    for k = 0 to t.n_dirty - 1 do
+      let i = Array.unsafe_get t.dirty k in
+      check i (Char.code (Bytes.unsafe_get t.buf i))
+    done
+  else
+    for i = 0 to size - 1 do
+      let c = Char.code (Bytes.unsafe_get t.buf i) in
+      if c <> 0 then check i c
+    done;
+  !news
 
 let diff t ~since =
   let news = ref 0 in

@@ -30,8 +30,25 @@ val hit : t -> int -> unit
 val probe : t -> site:int -> key:int -> unit
 (** Record that probe [site] fired in state [key]. *)
 
+val mix : site:int -> key:int -> int
+(** Avalanching slot index for [(site, key)]. Unlike {!probe}'s
+    historical xor-of-products — which folds the site id in linearly and
+    lets distinct (site, key) pairs alias to one slot — [mix] multiplies
+    the site id in and re-finalises, so every site bit disturbs every
+    output bit. New slot families (the grammar rule-pair region) use
+    this; the edge map keeps {!probe} so recorded edge campaigns stay
+    comparable. *)
+
+val probe_mixed : t -> site:int -> key:int -> unit
+(** [hit t (mix ~site ~key)]. *)
+
 val count_nonzero : t -> int
 (** Number of cells with a nonzero value — the "branches" metric. *)
+
+val count_nonzero_in : t -> lo:int -> hi:int -> int
+(** Nonzero cells with index in [\[lo, hi)]. Lets one map carry two
+    disjoint slot families that are counted separately but share the
+    merge/diff/compact algebra. *)
 
 val bucket : int -> int
 (** AFL hit-count bucket of a raw count (power-of-two bit). *)
@@ -39,6 +56,11 @@ val bucket : int -> int
 val merge_into : virgin:t -> t -> int
 (** Fold an execution map into the accumulated virgin map; returns the
     number of cells whose bucket set grew (i.e. new coverage). *)
+
+val count_news : virgin:t -> t -> int
+(** What {!merge_into} would return, without mutating [virgin]: the
+    number of execution-map cells holding bucket bits the virgin map
+    lacks. Generation bias ranks candidates by this. *)
 
 val merge : into:t -> t -> int
 (** Union of two {e virgin} maps ([into ⊔ src], bitwise or per cell since

@@ -1,0 +1,24 @@
+(* Grammar-rule coverage lives in its own bitmap, split into two slot
+   families: the lower half holds one cell per production site (the cell
+   index IS the site id, so rules can never alias each other or anything
+   else), the upper half holds (production x parent-production) pairs
+   spread by the avalanching [Bitmap.mix]. Keeping both families in one
+   map means the whole merge/diff/snapshot/compact algebra built for the
+   edge map applies unchanged to grammar coverage. *)
+
+let rule_region = Bitmap.size / 2
+
+let rule_slot ~site =
+  assert (site < rule_region);
+  site
+
+let pair_slot ~site ~parent =
+  rule_region lor (Bitmap.mix ~site ~key:parent land (rule_region - 1))
+
+let record g ~site ~parent =
+  Bitmap.hit g (rule_slot ~site);
+  Bitmap.hit g (pair_slot ~site ~parent)
+
+let rules g = Bitmap.count_nonzero_in g ~lo:0 ~hi:rule_region
+
+let pairs g = Bitmap.count_nonzero_in g ~lo:rule_region ~hi:Bitmap.size

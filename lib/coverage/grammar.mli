@@ -1,0 +1,31 @@
+(** Slot layout for grammar-rule coverage.
+
+    The parser records fired productions into a second {!Bitmap}
+    (separate from the edge map, so grammar slots can never collide with
+    edge slots). The map's lower half holds one cell per production site
+    — the cell index {e is} the {!Sites} id, injective by construction —
+    and the upper half holds rule {e pairs} (production × parent
+    production), spread by the avalanching {!Bitmap.mix}. Both families
+    share the edge map's merge/diff/snapshot/compact algebra, so shards
+    union grammar coverage with the very same [Bitmap.merge] the
+    campaign engine already uses for edges. *)
+
+val rule_region : int
+(** Boundary between the two families: rule cells occupy
+    [\[0, rule_region)], pair cells [\[rule_region, Bitmap.size)]. *)
+
+val rule_slot : site:int -> int
+(** The cell of production [site]: the id itself. *)
+
+val pair_slot : site:int -> parent:int -> int
+(** The cell of the (production, parent production) pair. *)
+
+val record : Bitmap.t -> site:int -> parent:int -> unit
+(** Fire production [site] under [parent]: hits both the rule cell and
+    the pair cell. *)
+
+val rules : Bitmap.t -> int
+(** Distinct productions fired. *)
+
+val pairs : Bitmap.t -> int
+(** Distinct (production, parent) pairs fired. *)

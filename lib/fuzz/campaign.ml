@@ -306,10 +306,22 @@ let run ?(checkpoint_every = 0) ?(on_checkpoint = fun _ -> ()) ?sync_every
         ~execs:(sum (fun s -> s.Driver.st_execs))
         ~total_crashes:(sum (fun s -> s.Driver.st_total_crashes))
     in
+    let metrics = Sync.metrics sync in
+    (* Per-shard grammar gauges max-merge to the largest single shard;
+       the campaign-level truth is the cross-shard union, so overwrite
+       from the merged global grammar map. No-op (and no gauge creation)
+       when no shard ran grammar feedback. *)
+    let g_rules, g_pairs = Sync.grammar_counts sync in
+    if g_rules > 0 || g_pairs > 0 then begin
+      Telemetry.Registry.set_max
+        (Telemetry.Registry.gauge metrics "grammar.rules") g_rules;
+      Telemetry.Registry.set_max
+        (Telemetry.Registry.gauge metrics "grammar.pairs") g_pairs
+    end;
     { cg_snapshot = aggregate;
       cg_shards = shards;
       cg_crashes = Sync.unique_crashes sync;
       cg_logic = Sync.unique_logic sync;
       cg_sync_rounds = Sync.rounds sync;
-      cg_metrics = Sync.metrics sync }
+      cg_metrics = metrics }
   end

@@ -1,3 +1,20 @@
+(* What counts as coverage news: the edge bitmap (the paper's signal),
+   the grammar-rule bitmap (which productions and rule pairs the parsed
+   testcase fires), or either. [Edges] is the default and leaves every
+   decision byte-identical to a harness without grammar support. *)
+type feedback = Edges | Grammar | Both
+
+let feedback_of_string = function
+  | "edges" -> Some Edges
+  | "grammar" -> Some Grammar
+  | "both" -> Some Both
+  | _ -> None
+
+let feedback_to_string = function
+  | Edges -> "edges"
+  | Grammar -> "grammar"
+  | Both -> "both"
+
 type outcome = {
   o_new_branches : int;
   o_cov_hash : int64;
@@ -7,6 +24,8 @@ type outcome = {
   o_executed : int;
   o_cost : int;
   o_violations : int;
+  o_new_rules : int;
+  o_interesting : bool;
 }
 
 type t = {
@@ -27,6 +46,24 @@ type t = {
   h_sp_triage : Telemetry.Span.t;
   h_oracles : oracle_state option;
   h_cache : cache_state option;
+  h_feedback : feedback;
+  h_grammar : grammar_state option;
+}
+
+(* Grammar-rule coverage (DESIGN.md §15): in [Grammar]/[Both] modes each
+   executed testcase is printed and re-parsed with a grammar bitmap
+   attached, recording which productions and (production, parent) rule
+   pairs fired. Recording is orthogonal to the engine and the prefix
+   cache — the parse always covers the whole printed testcase — so
+   enabling it cannot perturb edge coverage or cache accounting. *)
+and grammar_state = {
+  gs_exec : Coverage.Bitmap.t;     (* per-execution scratch *)
+  gs_virgin : Coverage.Bitmap.t;   (* accumulated rule/pair coverage *)
+  gs_scratch : Coverage.Bitmap.t;  (* candidate-ranking scratch *)
+  gs_g_rules : Telemetry.Registry.gauge;
+  gs_g_pairs : Telemetry.Registry.gauge;
+  gs_c_parse_errors : Telemetry.Registry.counter;
+  gs_span : Telemetry.Span.t;
 }
 
 (* Prefix-snapshot execution cache (DESIGN.md §12). Entries are keyed by
@@ -88,9 +125,26 @@ and oracle_state = {
 let cache_max_bytes = 256 * 1024 * 1024
 
 let create ?(limits = Minidb.Limits.default) ?metrics ?oracles
-    ?(exec_cache = 0) ~profile () =
+    ?(exec_cache = 0) ?(feedback = Edges) ~profile () =
   let m =
     match metrics with Some m -> m | None -> Telemetry.Registry.create ()
+  in
+  (* grammar metrics are registered only when the mode asks for them, so
+     [Edges] keeps the registry namespace byte-identical to a harness
+     without grammar support *)
+  let grammar_state =
+    match feedback with
+    | Edges -> None
+    | Grammar | Both ->
+      Some
+        { gs_exec = Coverage.Bitmap.create ();
+          gs_virgin = Coverage.Bitmap.create ();
+          gs_scratch = Coverage.Bitmap.create ();
+          gs_g_rules = Telemetry.Registry.gauge m "grammar.rules";
+          gs_g_pairs = Telemetry.Registry.gauge m "grammar.pairs";
+          gs_c_parse_errors =
+            Telemetry.Registry.counter m "grammar.parse_errors";
+          gs_span = Telemetry.Span.stage m "grammar" }
   in
   let cache_state =
     if exec_cache <= 0 then None
@@ -141,7 +195,9 @@ let create ?(limits = Minidb.Limits.default) ?metrics ?oracles
     h_sp_execute = Telemetry.Span.stage m "execute";
     h_sp_triage = Telemetry.Span.stage m "triage";
     h_oracles = oracle_state;
-    h_cache = cache_state }
+    h_cache = cache_state;
+    h_feedback = feedback;
+    h_grammar = grammar_state }
 
 let profile t = t.h_profile
 
@@ -321,6 +377,41 @@ let execute ?hint t tc =
   in
   let news = Coverage.Bitmap.merge_into ~virgin:t.h_virgin t.h_exec_map in
   if news > 0 then Telemetry.Registry.incr ~by:news t.h_c_new_branches;
+  (* Grammar feedback: print and re-parse the whole testcase into the
+     grammar scratch map, then fold it into the grammar virgin map. The
+     parse covers every statement regardless of how much of the engine
+     run came from the prefix cache, so cache hits and grammar coverage
+     never interact. Printed testcases are parseable by construction;
+     a failure is counted, not fatal. *)
+  let gram_news =
+    match t.h_grammar with
+    | None -> 0
+    | Some gs ->
+      Telemetry.Span.time gs.gs_span (fun () ->
+          Coverage.Bitmap.reset gs.gs_exec;
+          (match
+             Sqlparser.Parser.parse_testcase ~grammar:gs.gs_exec
+               (Sqlcore.Sql_printer.testcase tc)
+           with
+           | Ok _ -> ()
+           | Error _ -> Telemetry.Registry.incr gs.gs_c_parse_errors);
+          let n =
+            Coverage.Bitmap.merge_into ~virgin:gs.gs_virgin gs.gs_exec
+          in
+          if n > 0 then begin
+            Telemetry.Registry.set_max gs.gs_g_rules
+              (Coverage.Grammar.rules gs.gs_virgin);
+            Telemetry.Registry.set_max gs.gs_g_pairs
+              (Coverage.Grammar.pairs gs.gs_virgin)
+          end;
+          n)
+  in
+  let interesting =
+    match t.h_feedback with
+    | Edges -> news > 0
+    | Grammar -> gram_news > 0
+    | Both -> news > 0 || gram_news > 0
+  in
   let crash = stats.Minidb.Engine.rs_crash in
   let crash_is_new =
     match crash with
@@ -336,11 +427,12 @@ let execute ?hint t tc =
   in
   Telemetry.Registry.observe t.h_h_cost stats.rs_cost;
   (* Logic-bug oracles only replay coverage-increasing, non-crashing test
-     cases: new coverage is the paper's interestingness signal, and a
-     crashing case already carries a stronger verdict. *)
+     cases: new coverage is the paper's interestingness signal (edge
+     and/or grammar, per the feedback mode), and a crashing case already
+     carries a stronger verdict. *)
   let violations =
     match t.h_oracles with
-    | Some os when news > 0 && crash = None ->
+    | Some os when interesting && crash = None ->
       let outcome =
         Telemetry.Span.time os.os_span (fun () ->
             Oracle.Suite.check os.os_suite tc)
@@ -370,9 +462,33 @@ let execute ?hint t tc =
     o_errors = stats.rs_errors;
     o_executed = stats.rs_executed;
     o_cost = stats.rs_cost;
-    o_violations = violations }
+    o_violations = violations;
+    o_new_rules = gram_news;
+    o_interesting = interesting }
 
 let cache_enabled t = t.h_cache <> None
+
+let feedback t = t.h_feedback
+
+let grammar_feedback t = t.h_feedback <> Edges
+
+let grammar_virgin t =
+  match t.h_grammar with None -> None | Some gs -> Some gs.gs_virgin
+
+(* Rank a candidate without executing it: parse into the ranking scratch
+   map and count the cells the grammar virgin map lacks. Read-only on
+   the virgin map, so probing candidates never claims their coverage. *)
+let grammar_novelty t tc =
+  match t.h_grammar with
+  | None -> 0
+  | Some gs ->
+    Coverage.Bitmap.reset gs.gs_scratch;
+    (match
+       Sqlparser.Parser.parse_testcase ~grammar:gs.gs_scratch
+         (Sqlcore.Sql_printer.testcase tc)
+     with
+     | Ok _ -> Coverage.Bitmap.count_news ~virgin:gs.gs_virgin gs.gs_scratch
+     | Error _ -> 0)
 
 let execs t = t.h_execs
 

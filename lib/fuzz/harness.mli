@@ -24,6 +24,16 @@
     runs with no sink attached behave byte-identically to runs recorded
     to a sink. *)
 
+type feedback = Edges | Grammar | Both
+(** What counts as coverage news when deciding whether an execution is
+    interesting: the edge bitmap only (the paper's signal, and the
+    default), the grammar-rule bitmap only, or either (DESIGN.md §15). *)
+
+val feedback_of_string : string -> feedback option
+(** ["edges"], ["grammar"] or ["both"]. *)
+
+val feedback_to_string : feedback -> string
+
 type outcome = {
   o_new_branches : int;  (** virgin-map cells this execution lit up *)
   o_cov_hash : int64;    (** digest of the execution's coverage *)
@@ -34,6 +44,12 @@ type outcome = {
   o_cost : int;          (** execution cost proxy *)
   o_violations : int;    (** logic-bug oracle violations (0 when oracles
                              are off) *)
+  o_new_rules : int;     (** grammar virgin cells (rules + rule pairs)
+                             this execution lit up; 0 in [Edges] mode *)
+  o_interesting : bool;  (** coverage news under the harness's feedback
+                             mode — the keep/analyze signal fuzzers use;
+                             equals [o_new_branches > 0] in [Edges]
+                             mode *)
 }
 
 type t
@@ -43,6 +59,7 @@ val create :
   ?metrics:Telemetry.Registry.t ->
   ?oracles:Oracle.Suite.t ->
   ?exec_cache:int ->
+  ?feedback:feedback ->
   profile:Minidb.Profile.t ->
   unit ->
   t
@@ -67,7 +84,15 @@ val create :
     (all counters are pre-created so the namespace exports even when
     everything passes), with replay time under the [oracle] stage span.
     Omitted (the default), behaviour — including every metric — is
-    byte-identical to earlier builds. *)
+    byte-identical to earlier builds.
+
+    [feedback] (default {!Edges}) selects the coverage signal. In
+    {!Grammar}/{!Both} modes every executed testcase is printed and
+    re-parsed with a grammar bitmap attached, grammar news is folded
+    into a harness-local grammar virgin map, and the registry gains
+    [grammar.rules]/[grammar.pairs] gauges, a [grammar.parse_errors]
+    counter and a [grammar] stage span. {!Edges} registers none of
+    these and is byte-identical to earlier builds. *)
 
 val profile : t -> Minidb.Profile.t
 
@@ -82,6 +107,22 @@ val execute : ?hint:int -> t -> Sqlcore.Ast.testcase -> outcome
     Ignored when the cache is off. *)
 
 val cache_enabled : t -> bool
+
+val feedback : t -> feedback
+
+val grammar_feedback : t -> bool
+(** [true] when the feedback mode records grammar coverage
+    ({!Grammar} or {!Both}). *)
+
+val grammar_virgin : t -> Coverage.Bitmap.t option
+(** The harness-local grammar virgin map, when grammar feedback is on.
+    {!Sync} unions it across shards exactly like the edge virgin map. *)
+
+val grammar_novelty : t -> Sqlcore.Ast.testcase -> int
+(** Rank a candidate without executing it: parse its printed form into a
+    scratch grammar map and count the cells the grammar virgin map
+    lacks. 0 when grammar feedback is off or the candidate fails to
+    parse. Read-only — probing a candidate never claims its coverage. *)
 
 val execs : t -> int
 (** Total executions so far. *)

@@ -230,6 +230,13 @@ let campaign ?limits ?metrics ?(max_tries = 512) ~profile ~sessions
     let steps = sched.sc_steps in
     count metrics "schedule.generated" 1;
     count metrics ("schedule.kind." ^ sched.sc_kind) 1;
+    (* Both pool executions below (live concurrent + serial replay) run
+       through Server.Session_pool, never through the harness's
+       prefix-snapshot cache. Tag them explicitly so cache-rate math
+       (cache.hits / (cache.hits + cache.misses), see bench/exp_common)
+       provably excludes the schedule phase instead of letting its
+       executions masquerade as single-session cache.bypass traffic. *)
+    count metrics "cache.schedule_bypass" 2;
     steps_total := !steps_total + Array.length steps;
     count metrics "schedule.steps" (Array.length steps);
     (* live concurrent execution (crash hunting) ... *)

@@ -52,6 +52,9 @@ exception Aborted
 type t = {
   lock : Mutex.t;
   virgin : Coverage.Bitmap.t;
+  gram_virgin : Coverage.Bitmap.t;
+      (* cross-shard union of grammar-rule coverage; empty unless shards
+         publish grammar maps (feedback grammar/both) *)
   seen : (string, unit) Hashtbl.t;
   mutable uniques :
     (Minidb.Fault.crash * Sqlcore.Ast.testcase option) list;
@@ -88,6 +91,8 @@ type t = {
       (* global virgin frozen at the last round release: every party of a
          round pulls the same map even if a fast shard already started
          publishing the next round *)
+  mutable gram_pull : Coverage.Bitmap.t;
+      (* grammar counterpart of [pull_map], frozen at the same instant *)
   seen_seeds : (int64, unit) Hashtbl.t;
   seen_affinities : (int * int, unit) Hashtbl.t;
   seen_skeletons : (string, unit) Hashtbl.t;
@@ -100,6 +105,7 @@ let create ?(interval = default_interval) ?(exchange = exchange_off)
     ?(parties = 1) () =
   { lock = Mutex.create ();
     virgin = Coverage.Bitmap.create ();
+    gram_virgin = Coverage.Bitmap.create ();
     seen = Hashtbl.create 32;
     uniques = [];
     n_uniques = 0;
@@ -121,6 +127,7 @@ let create ?(interval = default_interval) ?(exchange = exchange_off)
     staged = [];
     store = Reprutil.Vec.create ();
     pull_map = Coverage.Bitmap.create ();
+    gram_pull = Coverage.Bitmap.create ();
     seen_seeds = Hashtbl.create 64;
     seen_affinities = Hashtbl.create 64;
     seen_skeletons = Hashtbl.create 64;
@@ -151,31 +158,37 @@ let note_logic t ((violation, _) as u) =
     t.n_logic <- t.n_logic + 1
   end
 
-(* Caller holds the lock. Common bookkeeping of one shard publish. *)
-let publish_locked ?metrics t ~virgin ~execs_delta ~crashes_delta =
+(* Caller holds the lock. Common bookkeeping of one shard publish.
+   [gram], when the shard runs grammar feedback, is its grammar virgin
+   map — unioned with the very same merge the edge map uses. *)
+let publish_locked ?metrics ?gram t ~virgin ~execs_delta ~crashes_delta =
   t.rounds <- t.rounds + 1;
   t.execs_seen <- t.execs_seen + max 0 execs_delta;
   t.total_crashes <- t.total_crashes + max 0 crashes_delta;
   (match metrics with
    | None -> ()
    | Some delta -> Telemetry.Registry.merge ~into:t.metrics delta);
+  (match gram with
+   | None -> ()
+   | Some g -> ignore (Coverage.Bitmap.merge ~into:t.gram_virgin g));
   Coverage.Bitmap.merge ~into:t.virgin virgin
 
-let publish ?metrics ?(crashes_delta = 0) t ~virgin ~triage ~execs_delta =
+let publish ?metrics ?gram ?(crashes_delta = 0) t ~virgin ~triage
+    ~execs_delta =
   (* Triage is shard-private: read it before taking the global lock. *)
   let crashes = Triage.unique_with_cases triage in
   let logic = Triage.unique_logic triage in
   locked t (fun () ->
       let news =
-        publish_locked ?metrics t ~virgin ~execs_delta ~crashes_delta
+        publish_locked ?metrics ?gram t ~virgin ~execs_delta ~crashes_delta
       in
       List.iter (note_unique t) crashes;
       List.iter (note_logic t) logic;
       news)
 
 let publish_harness ?metrics ?crashes_delta t h ~execs_delta =
-  publish ?metrics ?crashes_delta t ~virgin:(Harness.virgin h)
-    ~triage:(Harness.triage h) ~execs_delta
+  publish ?metrics ?gram:(Harness.grammar_virgin h) ?crashes_delta t
+    ~virgin:(Harness.virgin h) ~triage:(Harness.triage h) ~execs_delta
 
 (* --- exchange rounds -------------------------------------------------- *)
 
@@ -217,7 +230,8 @@ let release_round t =
            sp.sp_skeletons
        end)
     staged;
-  t.pull_map <- Coverage.Bitmap.snapshot t.virgin
+  t.pull_map <- Coverage.Bitmap.snapshot t.virgin;
+  t.gram_pull <- Coverage.Bitmap.snapshot t.gram_virgin
 
 let abort t =
   Mutex.lock t.lock;
@@ -233,8 +247,8 @@ let rec insert_staged sp = function
   | hd :: _ as l when sp.sp_shard <= hd.sp_shard -> sp :: l
   | hd :: tl -> hd :: insert_staged sp tl
 
-let exchange_round ?metrics ?(crashes_delta = 0) t ~shard ~virgin ~triage
-    ~execs_delta ~export =
+let exchange_round ?metrics ?gram ?(crashes_delta = 0) t ~shard ~virgin
+    ~triage ~execs_delta ~export =
   (* Everything derivable from shard-private state is prepared before
      the lock: the triage reads, the affinity dedup keys and the printed
      skeleton SQL. The barrier's critical section then only merges and
@@ -268,7 +282,8 @@ let exchange_round ?metrics ?(crashes_delta = 0) t ~shard ~virgin ~triage
   locked t (fun () ->
       if t.aborted then raise Aborted;
       ignore
-        (publish_locked ?metrics t ~virgin ~execs_delta ~crashes_delta);
+        (publish_locked ?metrics ?gram t ~virgin ~execs_delta
+           ~crashes_delta);
       t.staged <- insert_staged staged t.staged;
       t.arrived <- t.arrived + 1;
       let gen = t.generation in
@@ -289,6 +304,9 @@ let exchange_round ?metrics ?(crashes_delta = 0) t ~shard ~virgin ~triage
          already knows stop counting as new there, and collect the foreign
          store entries this shard has not imported yet. *)
       ignore (Coverage.Bitmap.merge ~into:virgin t.pull_map);
+      (match gram with
+       | None -> ()
+       | Some g -> ignore (Coverage.Bitmap.merge ~into:g t.gram_pull));
       let from =
         match Hashtbl.find_opt t.cursors shard with
         | Some i -> i
@@ -305,9 +323,9 @@ let exchange_round ?metrics ?(crashes_delta = 0) t ~shard ~virgin ~triage
 
 let exchange_harness_round ?metrics ?crashes_delta t h ~shard ~execs_delta
     ~export =
-  exchange_round ?metrics ?crashes_delta t ~shard
-    ~virgin:(Harness.virgin h) ~triage:(Harness.triage h) ~execs_delta
-    ~export
+  exchange_round ?metrics ?gram:(Harness.grammar_virgin h) ?crashes_delta t
+    ~shard ~virgin:(Harness.virgin h) ~triage:(Harness.triage h)
+    ~execs_delta ~export
 
 (* Seed-only port over a plain seed pool — the exchange capability of the
    conventional baselines. The cursor lives in the closure: exports drain
@@ -344,6 +362,11 @@ let metrics t = locked t (fun () -> Telemetry.Registry.snapshot t.metrics)
 
 let branches t =
   locked t (fun () -> Coverage.Bitmap.count_nonzero t.virgin)
+
+let grammar_counts t =
+  locked t (fun () ->
+      ( Coverage.Grammar.rules t.gram_virgin,
+        Coverage.Grammar.pairs t.gram_virgin ))
 
 let execs_seen t = locked t (fun () -> t.execs_seen)
 

@@ -95,6 +95,7 @@ val exchange_config : t -> exchange
 
 val publish :
   ?metrics:Telemetry.Registry.t ->
+  ?gram:Coverage.Bitmap.t ->
   ?crashes_delta:int ->
   t ->
   virgin:Coverage.Bitmap.t ->
@@ -114,7 +115,12 @@ val publish :
     shard's last publish ({!Telemetry.Registry.diff}); it is merged into
     the global registry under the same lock, mirroring the virgin-map
     union. Deltas — not absolute registries — keep the non-idempotent
-    counter/histogram merge correct across repeated publishes. *)
+    counter/histogram merge correct across repeated publishes.
+
+    [gram], when the shard runs grammar feedback, is its grammar virgin
+    map: it is unioned into a global grammar virgin map under the same
+    lock, with the same idempotent {!Coverage.Bitmap.merge} the edge map
+    uses (see {!grammar_counts}). *)
 
 val publish_harness :
   ?metrics:Telemetry.Registry.t ->
@@ -127,6 +133,7 @@ val publish_harness :
 
 val exchange_round :
   ?metrics:Telemetry.Registry.t ->
+  ?gram:Coverage.Bitmap.t ->
   ?crashes_delta:int ->
   t ->
   shard:int ->
@@ -151,6 +158,11 @@ val exchange_round :
     derives a fixed round count from the budget); a shard whose budget is
     exhausted keeps joining with empty deltas. Kinds disabled in the
     {!exchange} configuration are dropped at staging time.
+
+    [gram], like in {!publish}, is the shard's grammar virgin map; it is
+    additionally absorbed back from the round-frozen global grammar map
+    at the pull-back, so rule pairs any shard has fired stop counting as
+    grammar news everywhere.
     @raise Aborted after {!abort}. *)
 
 val exchange_harness_round :
@@ -182,6 +194,10 @@ val metrics : t -> Telemetry.Registry.t
 val branches : t -> int
 (** Branches of the merged global virgin map — the aggregate Figure 9
     metric across shards. *)
+
+val grammar_counts : t -> int * int
+(** [(rules, pairs)] of the merged global grammar virgin map; [(0, 0)]
+    when no shard published grammar coverage. *)
 
 val execs_seen : t -> int
 (** Total executions published so far across all shards. *)

@@ -56,6 +56,35 @@ let () = List.iter (fun k -> Hashtbl.replace keyword_set k ()) keywords
 
 let is_keyword s = Hashtbl.mem keyword_set (String.uppercase_ascii s)
 
+(* Token-class coverage sites for the grammar map: one per keyword plus
+   one per literal/identifier class. All registration happens here at
+   module initialisation — [Sites] is a plain hashtable, so sites must
+   never be registered from inside shard domains. *)
+let kw_sites : (string, int) Hashtbl.t =
+  let h = Hashtbl.create 256 in
+  List.iter
+    (fun k -> Hashtbl.replace h k (Coverage.Sites.register_in Coverage.Sites.grammar ("tok.kw." ^ k)))
+    keywords;
+  h
+
+let site_ident = Coverage.Sites.register_in Coverage.Sites.grammar "tok.ident"
+let site_int = Coverage.Sites.register_in Coverage.Sites.grammar "tok.int"
+let site_float = Coverage.Sites.register_in Coverage.Sites.grammar "tok.float"
+let site_string = Coverage.Sites.register_in Coverage.Sites.grammar "tok.string"
+let site_punct = Coverage.Sites.register_in Coverage.Sites.grammar "tok.punct"
+
+let token_site = function
+  | KW k ->
+    (* every KW comes from [keywords] by construction *)
+    (match Hashtbl.find_opt kw_sites k with
+     | Some s -> s
+     | None -> site_punct)
+  | IDENT _ -> site_ident
+  | INT _ -> site_int
+  | FLOAT _ -> site_float
+  | STRING _ -> site_string
+  | _ -> site_punct
+
 let is_word_start c =
   (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
 

@@ -41,4 +41,11 @@ val tokenize : string -> token array
 val is_keyword : string -> bool
 (** Case-insensitive membership in the keyword set. *)
 
+val token_site : token -> int
+(** The token's class site for the grammar coverage map — one
+    [tok.kw.*] site per keyword, one site per literal/identifier class,
+    one shared [tok.punct] site for punctuation. All sites are
+    registered at module initialisation, never during tokenizing, so
+    parses running inside shard domains only read the registry. *)
+
 val pp_token : Format.formatter -> token -> unit

@@ -2,7 +2,76 @@ open Sqlcore.Ast
 
 exception Parse_error of string
 
-type state = { toks : Lexer.token array; mutable pos : int }
+(* Grammar-rule coverage sites, one per named production, registered
+   once at module initialisation (sites must never be registered inside
+   shard domains — the registry is a plain hashtable). When a parse
+   carries a grammar bitmap, each production fired records both its rule
+   cell and its (production, parent production) pair cell. *)
+let site_root = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.root"
+let site_testcase = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.testcase"
+let site_stmt = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.stmt"
+let site_literal = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.literal"
+let site_data_type = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.data_type"
+let site_or = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.expr.or"
+let site_and = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.expr.and"
+let site_not = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.expr.not"
+let site_predicate = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.expr.predicate"
+let site_in = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.expr.in"
+let site_between = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.expr.between"
+let site_add = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.expr.add"
+let site_mul = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.expr.mul"
+let site_unary = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.expr.unary"
+let site_primary = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.expr.primary"
+let site_call = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.expr.call"
+let site_over = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.expr.over"
+let site_frame_bound = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.expr.frame_bound"
+let site_order_list = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.expr.order_list"
+let site_query = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.query"
+let site_query_atom = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.query.atom"
+let site_select = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.query.select"
+let site_proj = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.query.proj"
+let site_from = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.query.from"
+let site_from_atom = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.query.from_atom"
+let site_col_def = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.stmt.col_def"
+let site_trig_event = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.stmt.trig_event"
+let site_priv = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.stmt.priv"
+let site_privs = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.stmt.privs"
+let site_literal_rows = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.stmt.literal_rows"
+let site_create = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.stmt.create"
+let site_create_table = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.stmt.create_table"
+let site_create_index = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.stmt.create_index"
+let site_create_view = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.stmt.create_view"
+let site_drop = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.stmt.drop"
+let site_alter = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.stmt.alter"
+let site_insert = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.stmt.insert"
+let site_update = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.stmt.update"
+let site_delete = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.stmt.delete"
+let site_copy = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.stmt.copy"
+let site_with = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.stmt.with"
+let site_with_body = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.stmt.with_body"
+let site_set = Coverage.Sites.register_in Coverage.Sites.grammar "grammar.stmt.set"
+
+type state = {
+  toks : Lexer.token array;
+  mutable pos : int;
+  grammar : Coverage.Bitmap.t option;
+  mutable parent : int;  (** site of the enclosing production *)
+}
+
+(* Production wrapper: a plain passthrough when no grammar bitmap is
+   attached (the default, so edge-only parses cost one match), otherwise
+   records the rule and rule-pair cells and scopes [parent] around the
+   body. No restore on Parse_error — a failed parse abandons the state. *)
+let prod st site f =
+  match st.grammar with
+  | None -> f ()
+  | Some g ->
+    let parent = st.parent in
+    Coverage.Grammar.record g ~site ~parent;
+    st.parent <- site;
+    let r = f () in
+    st.parent <- parent;
+    r
 
 let peek st = st.toks.(st.pos)
 
@@ -68,6 +137,7 @@ let string_lit st =
     fail st "expected string literal"
 
 let parse_literal st =
+  prod st site_literal @@ fun () ->
   match next st with
   | Lexer.INT n -> L_int n
   | Lexer.FLOAT f -> L_float f
@@ -87,6 +157,7 @@ let parse_literal st =
     fail st "expected literal"
 
 let parse_data_type st =
+  prod st site_data_type @@ fun () ->
   match next st with
   | Lexer.KW "INT" | Lexer.KW "INTEGER" -> T_int
   | Lexer.KW "FLOAT" -> T_float
@@ -132,6 +203,7 @@ let starts_query st =
 let rec parse_expr_top st = parse_or st
 
 and parse_or st =
+  prod st site_or @@ fun () ->
   let lhs = ref (parse_and st) in
   while accept_kw st "OR" do
     let rhs = parse_and st in
@@ -140,6 +212,7 @@ and parse_or st =
   !lhs
 
 and parse_and st =
+  prod st site_and @@ fun () ->
   let lhs = ref (parse_not st) in
   while accept_kw st "AND" do
     let rhs = parse_not st in
@@ -148,6 +221,7 @@ and parse_and st =
   !lhs
 
 and parse_not st =
+  prod st site_not @@ fun () ->
   if accept_kw st "NOT" then
     if peek st = Lexer.KW "EXISTS" then begin
       advance st;
@@ -160,6 +234,7 @@ and parse_not st =
   else parse_predicate st
 
 and parse_predicate st =
+  prod st site_predicate @@ fun () ->
   let e = ref (parse_add st) in
   let continue = ref true in
   while !continue do
@@ -217,6 +292,7 @@ and parse_predicate st =
   !e
 
 and parse_in st e negated =
+  prod st site_in @@ fun () ->
   expect_tok st Lexer.LPAREN "(";
   if starts_query st then begin
     (* IN (SELECT ...): the subquery is the single item *)
@@ -234,12 +310,14 @@ and parse_in st e negated =
   end
 
 and parse_between st e negated =
+  prod st site_between @@ fun () ->
   let lo = parse_add st in
   expect_kw st "AND";
   let hi = parse_add st in
   Between { e; lo; hi; negated }
 
 and parse_add st =
+  prod st site_add @@ fun () ->
   let lhs = ref (parse_mul st) in
   let continue = ref true in
   while !continue do
@@ -258,6 +336,7 @@ and parse_add st =
   !lhs
 
 and parse_mul st =
+  prod st site_mul @@ fun () ->
   let lhs = ref (parse_unary st) in
   let continue = ref true in
   while !continue do
@@ -276,6 +355,7 @@ and parse_mul st =
   !lhs
 
 and parse_unary st =
+  prod st site_unary @@ fun () ->
   match peek st with
   | Lexer.MINUS -> (
       advance st;
@@ -294,6 +374,7 @@ and parse_unary st =
   | _ -> parse_primary st
 
 and parse_primary st =
+  prod st site_primary @@ fun () ->
   match peek st with
   | Lexer.INT n ->
     advance st;
@@ -363,6 +444,7 @@ and parse_primary st =
   | _ -> fail st "expected expression"
 
 and parse_call st name =
+  prod st site_call @@ fun () ->
   expect_tok st Lexer.LPAREN "(";
   match agg_of_name name with
   | Some fn ->
@@ -396,6 +478,7 @@ and parse_call st name =
      | None -> Fn (String.uppercase_ascii name, args))
 
 and parse_over st =
+  prod st site_over @@ fun () ->
   let partition_by =
     if accept_kw st "PARTITION" then begin
       expect_kw st "BY";
@@ -432,6 +515,7 @@ and parse_over st =
   { partition_by; w_order_by; frame }
 
 and parse_frame_bound st =
+  prod st site_frame_bound @@ fun () ->
   match next st with
   | Lexer.KW "UNBOUNDED" ->
     (match next st with
@@ -455,6 +539,7 @@ and parse_frame_bound st =
     fail st "expected frame bound"
 
 and parse_order_list st =
+  prod st site_order_list @@ fun () ->
   let item () =
     let e = parse_expr_top st in
     let dir =
@@ -475,6 +560,7 @@ and parse_order_list st =
 (* ------------------------------------------------------------------ *)
 
 and parse_query st =
+  prod st site_query @@ fun () ->
   let lhs = ref (parse_query_atom st) in
   let continue = ref true in
   while !continue do
@@ -494,6 +580,7 @@ and parse_query st =
   !lhs
 
 and parse_query_atom st =
+  prod st site_query_atom @@ fun () ->
   match peek st with
   | Lexer.KW "SELECT" -> Q_select (parse_select st)
   | Lexer.KW "VALUES" ->
@@ -515,6 +602,7 @@ and parse_query_atom st =
   | _ -> fail st "expected SELECT or VALUES"
 
 and parse_select st =
+  prod st site_select @@ fun () ->
   expect_kw st "SELECT";
   let distinct = accept_kw st "DISTINCT" in
   let projs = ref [ parse_proj st ] in
@@ -548,6 +636,7 @@ and parse_select st =
     order_by; limit; offset }
 
 and parse_proj st =
+  prod st site_proj @@ fun () ->
   match (peek st, peek_at st 1, peek_at st 2) with
   | Lexer.STAR, _, _ ->
     advance st;
@@ -563,6 +652,7 @@ and parse_proj st =
     Proj (e, alias)
 
 and parse_from st =
+  prod st site_from @@ fun () ->
   let lhs = ref (parse_from_atom st) in
   let continue = ref true in
   while !continue do
@@ -599,6 +689,7 @@ and parse_from st =
   !lhs
 
 and parse_from_atom st =
+  prod st site_from_atom @@ fun () ->
   match peek st with
   | Lexer.IDENT name ->
     advance st;
@@ -625,6 +716,7 @@ and parse_from_atom st =
 (* ------------------------------------------------------------------ *)
 
 let parse_col_def st =
+  prod st site_col_def @@ fun () ->
   let col_name = ident st in
   let col_type = parse_data_type st in
   let not_null = ref false in
@@ -658,6 +750,7 @@ let parse_col_def st =
     unique = !unique; default = !default; zerofill = !zerofill }
 
 let parse_trig_event st =
+  prod st site_trig_event @@ fun () ->
   match next st with
   | Lexer.KW "INSERT" -> Ev_insert
   | Lexer.KW "UPDATE" -> Ev_update
@@ -667,6 +760,7 @@ let parse_trig_event st =
     fail st "expected INSERT, UPDATE or DELETE"
 
 let parse_priv st =
+  prod st site_priv @@ fun () ->
   match next st with
   | Lexer.KW "SELECT" -> P_select
   | Lexer.KW "INSERT" -> P_insert
@@ -678,6 +772,7 @@ let parse_priv st =
     fail st "expected privilege"
 
 let parse_literal_rows st =
+  prod st site_literal_rows @@ fun () ->
   let row () =
     expect_tok st Lexer.LPAREN "(";
     let ls = ref [ parse_literal st ] in
@@ -694,6 +789,17 @@ let parse_literal_rows st =
   List.rev !rows
 
 let rec parse_stmt st =
+  prod st site_stmt @@ fun () ->
+  (* the head keyword names the statement kind: record its token-class
+     site as a child of [stmt] so per-statement rule pairs exist without
+     a site per match arm *)
+  (match (st.grammar, peek st) with
+   | Some g, (Lexer.KW _ as tok) ->
+     Coverage.Grammar.record g ~site:(Lexer.token_site tok) ~parent:site_stmt
+   | _ -> ());
+  parse_stmt_body st
+
+and parse_stmt_body st =
   match peek st with
   | Lexer.KW "CREATE" ->
     advance st;
@@ -962,6 +1068,7 @@ and opt_ident st =
   | _ -> None
 
 and parse_privs st =
+  prod st site_privs @@ fun () ->
   let privs = ref [ parse_priv st ] in
   while accept_tok st Lexer.COMMA do
     privs := parse_priv st :: !privs
@@ -969,6 +1076,7 @@ and parse_privs st =
   List.rev !privs
 
 and parse_create st =
+  prod st site_create @@ fun () ->
   match next st with
   | Lexer.KW "TEMPORARY" ->
     expect_kw st "TABLE";
@@ -1064,6 +1172,7 @@ and signed_int st =
   if accept_tok st Lexer.MINUS then -int_lit st else int_lit st
 
 and parse_create_table st ~temp =
+  prod st site_create_table @@ fun () ->
   let if_not_exists =
     if accept_kw st "IF" then begin
       expect_kw st "NOT";
@@ -1082,6 +1191,7 @@ and parse_create_table st ~temp =
   S_create_table { temp; if_not_exists; name; cols = List.rev !cols }
 
 and parse_create_index st ~unique =
+  prod st site_create_index @@ fun () ->
   let name = ident st in
   expect_kw st "ON";
   let table = ident st in
@@ -1094,12 +1204,14 @@ and parse_create_index st ~unique =
   S_create_index { unique; name; table; cols = List.rev !cols }
 
 and parse_create_view st ~materialized =
+  prod st site_create_view @@ fun () ->
   let name = ident st in
   expect_kw st "AS";
   let query = parse_query st in
   S_create_view { materialized; name; query }
 
 and parse_drop st =
+  prod st site_drop @@ fun () ->
   let if_exists_after st =
     if accept_kw st "IF" then begin
       expect_kw st "EXISTS";
@@ -1143,6 +1255,7 @@ and parse_drop st =
     fail st "expected object kind after DROP"
 
 and parse_alter st =
+  prod st site_alter @@ fun () ->
   match next st with
   | Lexer.KW "TABLE" ->
     let table = ident st in
@@ -1189,6 +1302,7 @@ and parse_alter st =
     fail st "expected TABLE, SEQUENCE, USER or SYSTEM after ALTER"
 
 and parse_insert_body st =
+  prod st site_insert @@ fun () ->
   let i_ignore = accept_kw st "IGNORE" in
   expect_kw st "INTO";
   let i_table = ident st in
@@ -1226,6 +1340,7 @@ and parse_insert_body st =
   { i_table; i_cols; i_source; i_ignore }
 
 and parse_update_body st =
+  prod st site_update @@ fun () ->
   let u_table = ident st in
   expect_kw st "SET";
   let set () =
@@ -1243,6 +1358,7 @@ and parse_update_body st =
   { u_table; u_sets = List.rev !sets; u_where; u_limit }
 
 and parse_delete_body st =
+  prod st site_delete @@ fun () ->
   expect_kw st "FROM";
   let d_table = ident st in
   let d_where = if accept_kw st "WHERE" then Some (parse_expr_top st) else None in
@@ -1250,6 +1366,7 @@ and parse_delete_body st =
   { d_table; d_where; d_limit }
 
 and parse_copy st =
+  prod st site_copy @@ fun () ->
   if peek st = Lexer.LPAREN then begin
     advance st;
     let q = parse_query st in
@@ -1285,6 +1402,7 @@ and parse_csv_header st =
   else false
 
 and parse_with st =
+  prod st site_with @@ fun () ->
   let cte () =
     let cte_name = ident st in
     expect_kw st "AS";
@@ -1301,6 +1419,7 @@ and parse_with st =
   S_with { ctes = List.rev !ctes; body }
 
 and parse_with_body st =
+  prod st site_with_body @@ fun () ->
   match peek st with
   | Lexer.KW "SELECT" | Lexer.KW "VALUES" -> W_query (parse_query st)
   | Lexer.KW "INSERT" ->
@@ -1315,6 +1434,7 @@ and parse_with_body st =
   | _ -> fail st "expected query or DML in WITH body"
 
 and parse_set st =
+  prod st site_set @@ fun () ->
   match peek st with
   | Lexer.KW "ROLE" ->
     advance st;
@@ -1352,10 +1472,21 @@ and parse_set st =
 (* Entry points                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let with_state input f =
+let with_state ?grammar input f =
   try
     let toks = Lexer.tokenize input in
-    let st = { toks; pos = 0 } in
+    (* lexer contribution: every token class fired by the input, as
+       children of the root production *)
+    (match grammar with
+     | Some g ->
+       Array.iter
+         (fun tok ->
+            if tok <> Lexer.EOF then
+              Coverage.Grammar.record g ~site:(Lexer.token_site tok)
+                ~parent:site_root)
+         toks
+     | None -> ());
+    let st = { toks; pos = 0; grammar; parent = site_root } in
     Ok (f st)
   with
   | Parse_error msg -> Error msg
@@ -1366,6 +1497,7 @@ let finish_eof st =
   if peek st <> Lexer.EOF then fail st "trailing input"
 
 let parse_testcase_state st =
+  prod st site_testcase @@ fun () ->
   let stmts = ref [] in
   while peek st = Lexer.SEMI do
     advance st
@@ -1379,7 +1511,8 @@ let parse_testcase_state st =
   done;
   List.rev !stmts
 
-let parse_testcase input = with_state input parse_testcase_state
+let parse_testcase ?grammar input =
+  with_state ?grammar input parse_testcase_state
 
 let parse_stmt_state st =
   let s = parse_stmt st in
@@ -1387,20 +1520,20 @@ let parse_stmt_state st =
   finish_eof st;
   s
 
-let parse_stmt input = with_state input parse_stmt_state
+let parse_stmt ?grammar input = with_state ?grammar input parse_stmt_state
 
-let parse_expr input =
-  with_state input (fun st ->
+let parse_expr ?grammar input =
+  with_state ?grammar input (fun st ->
       let e = parse_expr_top st in
       finish_eof st;
       e)
 
-let parse_testcase_exn input =
-  match parse_testcase input with
+let parse_testcase_exn ?grammar input =
+  match parse_testcase ?grammar input with
   | Ok tc -> tc
   | Error msg -> raise (Parse_error msg)
 
-let parse_stmt_exn input =
-  match parse_stmt input with
+let parse_stmt_exn ?grammar input =
+  match parse_stmt ?grammar input with
   | Ok s -> s
   | Error msg -> raise (Parse_error msg)

@@ -5,20 +5,32 @@
     optional [ASC], [TRUNCATE] without [TABLE], line comments, ...). The
     paper uses its AST parser both to harvest statement structures from
     seeds and to re-validate instantiated test cases; this module plays the
-    same role. *)
+    same role.
+
+    Every entry point takes an optional [?grammar] bitmap. When present,
+    each production fired during the parse records its rule cell and its
+    (production × parent production) pair cell via
+    {!Coverage.Grammar.record} — the grammar-coverage feedback channel —
+    and the lexer contributes one token-class site per token. Without
+    [?grammar] the parse is exactly the pre-instrumentation one. *)
 
 exception Parse_error of string
 
-val parse_testcase : string -> (Sqlcore.Ast.testcase, string) result
+val parse_testcase :
+  ?grammar:Coverage.Bitmap.t -> string ->
+  (Sqlcore.Ast.testcase, string) result
 (** Parse a [';']-separated sequence of statements. *)
 
-val parse_stmt : string -> (Sqlcore.Ast.stmt, string) result
+val parse_stmt :
+  ?grammar:Coverage.Bitmap.t -> string -> (Sqlcore.Ast.stmt, string) result
 (** Parse a single statement (an optional trailing [';'] is accepted). *)
 
-val parse_expr : string -> (Sqlcore.Ast.expr, string) result
+val parse_expr :
+  ?grammar:Coverage.Bitmap.t -> string -> (Sqlcore.Ast.expr, string) result
 (** Parse a stand-alone expression (for tests and tools). *)
 
-val parse_testcase_exn : string -> Sqlcore.Ast.testcase
+val parse_testcase_exn :
+  ?grammar:Coverage.Bitmap.t -> string -> Sqlcore.Ast.testcase
 (** @raise Parse_error on malformed input. *)
 
-val parse_stmt_exn : string -> Sqlcore.Ast.stmt
+val parse_stmt_exn : ?grammar:Coverage.Bitmap.t -> string -> Sqlcore.Ast.stmt

@@ -43,8 +43,8 @@ let render_meta buf events =
           List.filter_map
             (fun k ->
                Option.map (fun v -> Printf.sprintf "%s=%s" k v) (cell k))
-            [ "cmd"; "fuzzer"; "dialect"; "seed"; "execs"; "jobs";
-              "sync_every" ]
+            [ "command"; "fuzzer"; "dialect"; "seed"; "execs"; "jobs";
+              "sync_every"; "feedback" ]
         in
         if pairs <> [] then
           Buffer.add_string buf
@@ -54,7 +54,15 @@ let render_meta buf events =
 
 let render_series buf events =
   let points = checkpoints events in
-  if points <> [] then begin
+  (* A run recorded with a checkpoint interval longer than its budget has
+     zero checkpoints; say so rather than silently dropping the section
+     (the stream is valid, there is just no time series to plot). *)
+  if points = [] then begin
+    if events <> [] then
+      Buffer.add_string buf
+        "\ncoverage over time: no checkpoints recorded\n"
+  end
+  else begin
     Buffer.add_string buf "\ncoverage over time (branches vs execs)\n";
     let max_branches =
       List.fold_left (fun m (p : Event.point) -> max m p.p_branches) 1 points
@@ -137,6 +145,29 @@ let render_stages buf events =
        end)
     dumps
 
+(* Grammar-rule coverage (DESIGN.md §15): present only when the run was
+   recorded with --feedback grammar|both, i.e. when a registry dump
+   carries the grammar.* namespace. *)
+let render_grammar buf events =
+  List.iter
+    (function
+      | Event.Registry_dump { series; registry } ->
+        let rules = Registry.gauge_value registry "grammar.rules" in
+        let pairs = Registry.gauge_value registry "grammar.pairs" in
+        if rules > 0 || pairs > 0 then begin
+          Buffer.add_string buf
+            (Printf.sprintf "\ngrammar coverage [%s]\n" series);
+          Buffer.add_string buf
+            (Printf.sprintf "  %-28s %12d\n" "rules fired" rules);
+          Buffer.add_string buf
+            (Printf.sprintf "  %-28s %12d\n" "rule pairs fired" pairs);
+          Buffer.add_string buf
+            (Printf.sprintf "  %-28s %12d\n" "parse errors"
+               (Registry.counter_value registry "grammar.parse_errors"))
+        end
+      | _ -> ())
+    events
+
 let render_summary buf events =
   List.iter
     (function
@@ -176,6 +207,7 @@ let render events =
   render_meta buf events;
   render_series buf events;
   render_stages buf events;
+  render_grammar buf events;
   render_summary buf events;
   if Buffer.length buf = 0 then "empty telemetry stream\n"
   else Buffer.contents buf

@@ -168,6 +168,91 @@ let test_checkpoint_crash_totals () =
     (fun v -> Alcotest.(check bool) "bounded by final total" true (v <= final))
     seq
 
+(* --- grammar-coverage feedback --------------------------------------- *)
+
+let lego_factory_fb ~feedback ~seed shard_id =
+  let config =
+    { Lego.Lego_fuzzer.default_config with
+      seed = Fuzz.Campaign.shard_seed ~seed ~shard_id }
+  in
+  let harness = Fuzz.Harness.create ~profile ~feedback () in
+  Lego.Lego_fuzzer.fuzzer (Lego.Lego_fuzzer.create ~config ~harness profile)
+
+let test_sync_grammar_union () =
+  let sync = Fuzz.Sync.create () in
+  let virgin = Coverage.Bitmap.create () in
+  let tri = Fuzz.Triage.create () in
+  Alcotest.(check (pair int int)) "empty before any publish" (0, 0)
+    (Fuzz.Sync.grammar_counts sync);
+  let g1 = Coverage.Bitmap.create () in
+  Coverage.Grammar.record g1 ~site:1 ~parent:0;
+  ignore (Fuzz.Sync.publish ~gram:g1 sync ~virgin ~triage:tri ~execs_delta:1);
+  Alcotest.(check (pair int int)) "first shard's rules and pairs" (1, 1)
+    (Fuzz.Sync.grammar_counts sync);
+  let g2 = Coverage.Bitmap.create () in
+  Coverage.Grammar.record g2 ~site:1 ~parent:0;
+  Coverage.Grammar.record g2 ~site:2 ~parent:1;
+  ignore (Fuzz.Sync.publish ~gram:g2 sync ~virgin ~triage:tri ~execs_delta:1);
+  Alcotest.(check (pair int int)) "union across shards" (2, 2)
+    (Fuzz.Sync.grammar_counts sync);
+  ignore (Fuzz.Sync.publish ~gram:g1 sync ~virgin ~triage:tri ~execs_delta:0);
+  Alcotest.(check (pair int int)) "re-publish is idempotent" (2, 2)
+    (Fuzz.Sync.grammar_counts sync)
+
+let test_feedback_edges_identity () =
+  (* --feedback edges must be byte-identical to a fuzzer-built default
+     harness: same outcomes, same snapshots, at one shard and at four. *)
+  List.iter
+    (fun jobs ->
+       let base =
+         Fuzz.Campaign.run ~jobs ~sync_every:300 ~execs:1200
+           (lego_factory ~seed:5)
+       in
+       let edges =
+         Fuzz.Campaign.run ~jobs ~sync_every:300 ~execs:1200
+           (lego_factory_fb ~feedback:Fuzz.Harness.Edges ~seed:5)
+       in
+       Alcotest.(check bool)
+         (Printf.sprintf "jobs=%d: snapshots identical" jobs)
+         true
+         (base.Fuzz.Campaign.cg_snapshot = edges.Fuzz.Campaign.cg_snapshot);
+       Alcotest.(check int)
+         (Printf.sprintf "jobs=%d: no grammar gauges in edges mode" jobs)
+         0
+         (Telemetry.Registry.gauge_value edges.Fuzz.Campaign.cg_metrics
+            "grammar.rules"))
+    [ 1; 4 ]
+
+let test_feedback_both_sharded_campaign () =
+  let res =
+    Fuzz.Campaign.run ~jobs:4 ~sync_every:300 ~execs:2000
+      (lego_factory_fb ~feedback:Fuzz.Harness.Both ~seed:7)
+  in
+  let agg name =
+    Telemetry.Registry.gauge_value res.Fuzz.Campaign.cg_metrics name
+  in
+  Alcotest.(check bool) "rules fired" true (agg "grammar.rules" > 0);
+  Alcotest.(check bool) "pairs fired" true (agg "grammar.pairs" > 0);
+  Alcotest.(check int) "no parse errors on printed testcases" 0
+    (Telemetry.Registry.counter_value res.Fuzz.Campaign.cg_metrics
+       "grammar.parse_errors");
+  (* the aggregate gauge is the cross-shard union: at least every
+     shard's own count *)
+  List.iter
+    (fun (sh : Fuzz.Campaign.shard) ->
+       let m = Fuzz.Harness.metrics sh.sh_fuzzer.Fuzz.Driver.f_harness in
+       Alcotest.(check bool)
+         (Printf.sprintf "aggregate rules >= shard %d" sh.sh_id)
+         true
+         (agg "grammar.rules"
+          >= Telemetry.Registry.gauge_value m "grammar.rules");
+       Alcotest.(check bool)
+         (Printf.sprintf "aggregate pairs >= shard %d" sh.sh_id)
+         true
+         (agg "grammar.pairs"
+          >= Telemetry.Registry.gauge_value m "grammar.pairs"))
+    res.Fuzz.Campaign.cg_shards
+
 let test_driver_stall_aborts () =
   (* A fuzzer whose steps perform no executions used to livelock
      run_until_execs; it must now abort with Driver.Stalled. *)
@@ -383,5 +468,10 @@ let suite =
     ("exchange beats publish-only sync", `Slow,
      test_exchange_beats_publish_only);
     ("sequential metrics are a snapshot", `Quick,
-     test_sequential_metrics_is_snapshot)
+     test_sequential_metrics_is_snapshot);
+    ("sync unions grammar maps", `Quick, test_sync_grammar_union);
+    ("feedback=edges is byte-identical", `Slow,
+     test_feedback_edges_identity);
+    ("feedback=both 4-shard campaign", `Slow,
+     test_feedback_both_sharded_campaign)
   ]

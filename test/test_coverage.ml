@@ -158,6 +158,133 @@ let test_sites_registry () =
   Alcotest.(check (option string)) "name_of" (Some "test.site.beta")
     (Coverage.Sites.name_of b)
 
+(* The historical probe formula folds the site id in linearly (xor of two
+   products), so distinct (site, key) pairs alias onto one slot. Find a
+   real collision by brute force, then show {!B.mix} separates it — the
+   regression that motivated giving new slot families their own mixer. *)
+let old_probe_slot ~site ~key =
+  let h = (site * 0x9E3779B1) lxor ((key + 1) * 0x85EBCA6B) in
+  (h lxor (h lsr 15)) mod B.size
+
+let test_probe_aliasing_fixed () =
+  let seen = Hashtbl.create 4096 in
+  let found = ref None in
+  (try
+     for site = 0 to 511 do
+       for key = 0 to 511 do
+         let slot = old_probe_slot ~site ~key in
+         match Hashtbl.find_opt seen slot with
+         | Some (site', key') when (site', key') <> (site, key) ->
+           if
+             B.mix ~site ~key land (B.size - 1)
+             <> B.mix ~site:site' ~key:key' land (B.size - 1)
+           then begin
+             found := Some ((site', key'), (site, key));
+             raise Exit
+           end
+         | _ -> Hashtbl.replace seen slot (site, key)
+       done
+     done
+   with Exit -> ());
+  match !found with
+  | None ->
+    Alcotest.fail
+      "no old-formula collision in 512x512 — formula changed under the test?"
+  | Some ((s1, k1), (s2, k2)) ->
+    Alcotest.(check int)
+      (Printf.sprintf "(%d,%d) and (%d,%d) alias under the old formula" s1
+         k1 s2 k2)
+      (old_probe_slot ~site:s1 ~key:k1)
+      (old_probe_slot ~site:s2 ~key:k2);
+    Alcotest.(check bool) "mix separates the aliased pair" true
+      (B.mix ~site:s1 ~key:k1 land (B.size - 1)
+       <> B.mix ~site:s2 ~key:k2 land (B.size - 1))
+
+let test_count_nonzero_in () =
+  let m = B.create () in
+  let half = B.size / 2 in
+  B.hit m 3;
+  B.hit m 40;
+  B.hit m half;
+  B.hit m (B.size - 1);
+  Alcotest.(check int) "lower half" 2 (B.count_nonzero_in m ~lo:0 ~hi:half);
+  Alcotest.(check int) "upper half" 2
+    (B.count_nonzero_in m ~lo:half ~hi:B.size);
+  Alcotest.(check int) "whole range matches count_nonzero"
+    (B.count_nonzero m)
+    (B.count_nonzero_in m ~lo:0 ~hi:B.size)
+
+let test_count_news_matches_merge () =
+  let virgin = B.create () in
+  let seeded = B.create () in
+  B.hit seeded 7;
+  ignore (B.merge_into ~virgin seeded);
+  let exec = B.create () in
+  B.hit exec 7;
+  (* same bucket: not news *)
+  B.hit exec 21;
+  B.hit exec 22;
+  let before = B.snapshot virgin in
+  Alcotest.(check int) "counted without mutating" 2
+    (B.count_news ~virgin exec);
+  Alcotest.(check int) "virgin untouched" 0 (B.diff virgin ~since:before);
+  Alcotest.(check int) "merge_into agrees" 2 (B.merge_into ~virgin exec);
+  Alcotest.(check int) "after the merge, no news left" 0
+    (B.count_news ~virgin exec)
+
+(* Grammar-map layout: rule slots fill the lower half (cell = site id),
+   pair slots the upper half, so one bitmap carries both families and
+   counts them apart. *)
+let test_grammar_regions () =
+  let g = B.create () in
+  let region = B.size / 2 in
+  Coverage.Grammar.record g ~site:3 ~parent:0;
+  Coverage.Grammar.record g ~site:3 ~parent:1;
+  Coverage.Grammar.record g ~site:5 ~parent:3;
+  Coverage.Grammar.record g ~site:5 ~parent:3;
+  (* repeat: no new cells *)
+  Alcotest.(check int) "distinct rules" 2 (Coverage.Grammar.rules g);
+  Alcotest.(check int) "distinct rule pairs" 3 (Coverage.Grammar.pairs g);
+  Alcotest.(check int) "rule slots stay in the lower half"
+    (Coverage.Grammar.rules g)
+    (B.count_nonzero_in g ~lo:0 ~hi:region);
+  Alcotest.(check int) "pair slots stay in the upper half"
+    (Coverage.Grammar.pairs g)
+    (B.count_nonzero_in g ~lo:region ~hi:B.size);
+  Alcotest.(check int) "the two regions partition the map"
+    (B.count_nonzero g)
+    (Coverage.Grammar.rules g + Coverage.Grammar.pairs g)
+
+let test_sites_family_limit () =
+  let fam = Coverage.Sites.make_family ~label:"test" ~limit:4 in
+  let ids =
+    List.map
+      (fun n -> Coverage.Sites.register_in fam n)
+      [ "a"; "b"; "c"; "d" ]
+  in
+  Alcotest.(check int) "distinct ids up to the limit" 4
+    (List.length (List.sort_uniq compare ids));
+  Alcotest.(check int) "re-registering at capacity is fine"
+    (List.hd ids)
+    (Coverage.Sites.register_in fam "a");
+  Alcotest.check_raises "overflow fails loudly instead of wrapping"
+    (Invalid_argument
+       "Coverage.Sites.register \"e\": 5 test sites exceed the 4-cell \
+        bitmap domain")
+    (fun () -> ignore (Coverage.Sites.register_in fam "e"))
+
+let test_sites_families_independent () =
+  (* the grammar family never perturbs engine edge-site ids: registering
+     a grammar site leaves the edge counter alone, and both families
+     allocate from their own zero-based sequence *)
+  let edge_count = Coverage.Sites.count () in
+  ignore
+    (Coverage.Sites.register_in Coverage.Sites.grammar "test.gram.site");
+  Alcotest.(check int) "edge family unmoved" edge_count
+    (Coverage.Sites.count ());
+  Alcotest.(check bool) "grammar ids stay inside the rule region" true
+    (Coverage.Sites.count_in Coverage.Sites.grammar <= B.size / 2)
+
 let prop_merge_monotone =
   QCheck.Test.make ~name:"virgin count monotone under merges" ~count:100
     QCheck.(list (int_range 0 1000))
@@ -193,5 +320,12 @@ let suite =
     ("snapshot and diff", `Quick, test_snapshot_diff);
     ("hash sensitivity", `Quick, test_hash_sensitivity);
     ("probe spreads", `Quick, test_probe_spreads);
+    ("probe aliasing fixed by mix", `Quick, test_probe_aliasing_fixed);
+    ("count_nonzero_in ranges", `Quick, test_count_nonzero_in);
+    ("count_news matches merge_into", `Quick,
+     test_count_news_matches_merge);
+    ("grammar map regions", `Quick, test_grammar_regions);
+    ("sites family limit", `Quick, test_sites_family_limit);
+    ("sites families independent", `Quick, test_sites_families_independent);
     ("sites registry", `Quick, test_sites_registry);
     QCheck_alcotest.to_alcotest prop_merge_monotone ]

@@ -220,6 +220,52 @@ let prop_generator_roundtrip =
            QCheck.Test.fail_reportf "roundtrip mismatch:\n%s\n%s" printed
              (Sql_printer.stmt reparsed))
 
+(* Grammar recording must be a pure function of the SQL text: parsing
+   the same input twice into fresh grammar bitmaps yields cell-identical
+   maps with equal rule/pair counts — the determinism the cross-shard
+   grammar-map union relies on (DESIGN.md §15). Exercised over generated
+   statements of every type, 1000 cases. *)
+let grammar_digest sql =
+  let g = Coverage.Bitmap.create () in
+  match P.parse_testcase ~grammar:g sql with
+  | Error msg -> `Parse_error msg
+  | Ok _ ->
+    `Parsed
+      (Coverage.Bitmap.hash g, Coverage.Grammar.rules g,
+       Coverage.Grammar.pairs g)
+
+let test_grammar_bitmap_deterministic () =
+  Reprutil.Prop.check ~count:1000
+    ~name:"parse-twice grammar-bitmap determinism"
+    Reprutil.Prop.(
+      pair (int_range 1 1_000_000) (int_range 0 (Stmt_type.count - 1)))
+    (fun (seed, ty_idx) ->
+       let rng = Reprutil.Rng.create seed in
+       let schema = Lego.Sym_schema.empty () in
+       Lego.Sym_schema.apply schema
+         (P.parse_stmt_exn "CREATE TABLE g1 (c1 INT, c2 TEXT)");
+       let stmt =
+         Lego.Generator.stmt rng schema (Stmt_type.of_index ty_idx)
+       in
+       let sql = Sql_printer.testcase [ stmt ] in
+       match (grammar_digest sql, grammar_digest sql) with
+       | `Parsed (h1, r1, p1), `Parsed (h2, r2, p2) ->
+         (* identical map, nonzero counts: the instrumentation fired *)
+         h1 = h2 && r1 = r2 && p1 = p2 && r1 > 0 && p1 > 0
+       | `Parse_error _, `Parse_error _ ->
+         false (* generated statements always print to parseable SQL *)
+       | _ -> false)
+
+let test_grammar_off_is_plain_parse () =
+  (* parses with and without a grammar map agree on the AST *)
+  let sql = "SELECT a, COUNT(*) FROM t WHERE a > 1 GROUP BY a ORDER BY a" in
+  let g = Coverage.Bitmap.create () in
+  let with_g = P.parse_testcase ~grammar:g sql in
+  let without = P.parse_testcase sql in
+  Alcotest.(check bool) "same AST" true (with_g = without);
+  Alcotest.(check bool) "grammar map populated" true
+    (Coverage.Bitmap.count_nonzero g > 0)
+
 let suite =
   [ ("lexer tokens", `Quick, test_lexer_tokens);
     ("lexer comments", `Quick, test_lexer_comments);
@@ -234,4 +280,7 @@ let suite =
     ("parse errors", `Quick, test_parse_errors);
     ("fig7 testcase parses", `Quick, test_fig7_testcase_parses);
     ("handwritten roundtrips", `Quick, test_handwritten_roundtrips);
+    ("grammar bitmap deterministic (1000 cases)", `Quick,
+     test_grammar_bitmap_deterministic);
+    ("grammar off is plain parse", `Quick, test_grammar_off_is_plain_parse);
     QCheck_alcotest.to_alcotest prop_generator_roundtrip ]

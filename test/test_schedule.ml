@@ -228,6 +228,16 @@ let test_campaign_smoke () =
     (cv "schedule.steps");
   Alcotest.(check int) "replay_mismatch counter" 0
     (cv "schedule.replay_mismatch");
+  (* Schedule executions (live + serial replay per schedule) are tagged
+     with their own counter and must not leak into the single-session
+     cache counters, whose hit-rate denominator (hits + misses) they
+     would otherwise skew. *)
+  Alcotest.(check int) "schedule executions tagged" (2 * 24)
+    (cv "cache.schedule_bypass");
+  Alcotest.(check int) "cache.bypass untouched by schedules" 0
+    (cv "cache.bypass");
+  Alcotest.(check int) "cache.hits untouched by schedules" 0
+    (cv "cache.hits");
   Alcotest.(check bool) "kind counters cover all schedules" true
     (cv "schedule.kind.round_robin" + cv "schedule.kind.txn_biased"
      + cv "schedule.kind.spliced"

@@ -153,6 +153,67 @@ let test_report_parse_error () =
     Alcotest.(check bool) "error carries the line number" true
       (contains msg "line")
 
+let mentions hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec scan i =
+    i + nl <= hl && (String.sub hay i nl = needle || scan (i + 1))
+  in
+  scan 0
+
+(* Degenerate streams: a report over zero events, or over events that
+   carry no checkpoints, must render cleanly and say what is missing
+   rather than crash or silently drop the time-series section. *)
+let test_report_empty_stream () =
+  Alcotest.(check string) "empty stream renders the sentinel"
+    "empty telemetry stream\n"
+    (T.Report.render [])
+
+let test_report_no_checkpoints () =
+  let out =
+    T.Report.render
+      [ T.Event.Meta [ ("command", T.Json.Str "fuzz");
+                       ("seed", T.Json.Int 7) ] ]
+  in
+  Alcotest.(check bool) "meta table survives" true (mentions out "fuzz");
+  Alcotest.(check bool) "missing series is called out" true
+    (mentions out "no checkpoints recorded")
+
+let test_report_single_checkpoint () =
+  let point =
+    { T.Event.p_series = "aggregate"; p_iteration = 1; p_execs = 100;
+      p_branches = 40; p_crashes_total = 0; p_crashes_unique = 0;
+      p_bugs = [] }
+  in
+  let out =
+    T.Report.render
+      [ T.Event.Checkpoint { point; wall_s = Some 0.1; execs_per_sec = None } ]
+  in
+  Alcotest.(check bool) "series plotted" true (mentions out "aggregate");
+  Alcotest.(check bool) "one checkpoint is a series, not a gap" false
+    (mentions out "no checkpoints recorded")
+
+let test_report_grammar_section () =
+  let reg = T.Registry.create () in
+  T.Registry.set_max (T.Registry.gauge reg "grammar.rules") 17;
+  T.Registry.set_max (T.Registry.gauge reg "grammar.pairs") 23;
+  let out =
+    T.Report.render
+      [ T.Event.Registry_dump { series = "aggregate"; registry = reg } ]
+  in
+  List.iter
+    (fun needle ->
+       Alcotest.(check bool)
+         (Printf.sprintf "grammar section mentions %S" needle)
+         true (mentions out needle))
+    [ "grammar coverage [aggregate]"; "rules fired"; "rule pairs fired";
+      "parse errors" ];
+  (* a registry without grammar gauges must not emit the section *)
+  let plain = T.Report.render
+      [ T.Event.Registry_dump { series = "x"; registry = T.Registry.create () } ]
+  in
+  Alcotest.(check bool) "section absent without grammar gauges" false
+    (mentions plain "grammar coverage")
+
 (* The determinism contract: a jobs=1 campaign rendered through the human
    sink must print byte-identically across runs of the same seed, and the
    telemetry plumbing (spans, counters, null sink) must not disturb the
@@ -239,6 +300,13 @@ let suite =
       test_event_jsonl_roundtrip;
     Alcotest.test_case "report render" `Quick test_report_render;
     Alcotest.test_case "report parse error" `Quick test_report_parse_error;
+    Alcotest.test_case "report empty stream" `Quick test_report_empty_stream;
+    Alcotest.test_case "report no checkpoints" `Quick
+      test_report_no_checkpoints;
+    Alcotest.test_case "report single checkpoint" `Quick
+      test_report_single_checkpoint;
+    Alcotest.test_case "report grammar section" `Quick
+      test_report_grammar_section;
     Alcotest.test_case "human sink byte-identical (jobs=1)" `Quick
       test_human_sink_byte_identical;
     Alcotest.test_case "campaign metrics" `Quick test_campaign_metrics ]
