@@ -197,59 +197,17 @@ let json_arg =
 
 (* Validate the fuzzer name up front and return a shard factory: fuzzer
    construction is deferred into the shard's domain by the campaign
-   engine (it executes the initial corpus). With [oracles] on, each shard
-   gets a harness wired to its own oracle suite — suites hold replay
-   state and must stay domain-private like the harness itself. *)
+   engine (it executes the initial corpus). The factory itself lives in
+   Farm.Spec so that a store's meta.json resolves to exactly the same
+   fuzzer assembly the CLI uses. *)
 let make_fuzzer ?(oracles = false) ?(exec_cache = 0)
     ?(feedback = Fuzz.Harness.Edges) name profile seed =
-  let harness () =
-    if oracles || exec_cache > 0 || feedback <> Fuzz.Harness.Edges then
-      Some
-        (Fuzz.Harness.create ~profile
-           ?oracles:
-             (if oracles then Some (Oracle.Suite.create profile) else None)
-           ~exec_cache ~feedback ())
-    else None
-  in
-  let lego ~seq shard_id =
-    let cfg =
-      { Lego.Lego_fuzzer.default_config with
-        seed = Fuzz.Campaign.shard_seed ~seed ~shard_id;
-        sequence_oriented = seq }
-    in
-    Lego.Lego_fuzzer.fuzzer
-      (Lego.Lego_fuzzer.create ~config:cfg ?harness:(harness ()) profile)
-  in
-  let baseline create fuzzer shard_id =
-    fuzzer
-      (create
-         ~seed:(Fuzz.Campaign.shard_seed ~seed ~shard_id)
-         ?harness:(harness ()) profile)
-  in
-  match String.lowercase_ascii name with
-  | "lego" -> Ok (lego ~seq:true)
-  | "lego-" | "lego_minus" -> Ok (lego ~seq:false)
-  | "squirrel" ->
-    Ok
-      (baseline
-         (fun ~seed ?harness p -> Baselines.Squirrel_sim.create ~seed ?harness p)
-         Baselines.Squirrel_sim.fuzzer)
-  | "sqlancer" ->
-    Ok
-      (baseline
-         (fun ~seed ?harness p -> Baselines.Sqlancer_sim.create ~seed ?harness p)
-         Baselines.Sqlancer_sim.fuzzer)
-  | "sqlsmith" ->
-    Ok
-      (baseline
-         (fun ~seed ?harness p -> Baselines.Sqlsmith_sim.create ~seed ?harness p)
-         Baselines.Sqlsmith_sim.fuzzer)
-  | other ->
-    Error
-      (`Msg
-         (Printf.sprintf
-            "unknown fuzzer %S (lego, lego-, squirrel, sqlancer, sqlsmith)"
-            other))
+  match
+    Farm.Spec.fuzzer_factory ~oracles ~exec_cache ~feedback ~name ~profile
+      ~seed ()
+  with
+  | Ok make -> Ok make
+  | Error m -> Error (`Msg m)
 
 (* --- telemetry plumbing ---------------------------------------------- *)
 
@@ -327,10 +285,25 @@ let fuzz_cmd =
     let doc = "Directory to write one reduced .sql reproducer per bug." in
     Arg.(value & opt (some string) None & info [ "o"; "save" ] ~docv:"DIR" ~doc)
   in
+  let store_arg =
+    let doc =
+      "Persist the campaign's final state (corpus, affinities, skeletons, \
+       virgin maps, dedup keys) as a store generation under \
+       runs/$(docv)/store, resumable with $(b,legofuzz resume) $(docv)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "store" ] ~docv:"CAMPAIGN" ~doc)
+  in
   let run fuzzer profile execs seed jobs sync_every sync_seeds
       sync_affinities oracles exec_cache feedback cow sessions schedules
-      telemetry json save =
+      telemetry json save store =
     Minidb.Catalog.set_copy_on_write cow;
+    (match store with
+     | Some id when not (Farm.Spec.valid_id id) ->
+       Printf.eprintf
+         "invalid campaign id %S (letters, digits, '.', '_', '-')\n" id;
+       exit 2
+     | _ -> ());
     match make_fuzzer ~oracles ~exec_cache ~feedback fuzzer profile seed with
     | Error (`Msg m) ->
       prerr_endline m;
@@ -483,6 +456,28 @@ let fuzz_cmd =
       Telemetry.Registry.merge ~into:aggregate post;
       Telemetry.Registry.merge ~into:aggregate sched_metrics;
       registry_dumps ~aggregate ~prefix:"" sink res;
+      (* Persist the campaign as a resumable store generation. *)
+      (match store with
+       | None -> ()
+       | Some id ->
+         let campaign =
+           { Farm.Store.sc_id = id; sc_fuzzer = fuzzer; sc_dialect = dialect;
+             sc_quirks = []; sc_feedback = feedback; sc_oracles = oracles;
+             sc_exec_cache = exec_cache; sc_seed = seed; sc_budget = execs }
+         in
+         let snapshot =
+           Farm.Resume.capture
+             ~prior:(Farm.Store.empty_snapshot campaign)
+             ~campaign
+             ~progress:
+               { Farm.Store.pr_execs_done =
+                   res.Fuzz.Campaign.cg_snapshot.Fuzz.Driver.st_execs;
+                 pr_epoch = 0 }
+             res
+         in
+         let dir = Farm.Store.store_dir id in
+         let gen = Farm.Store.save ~dir snapshot in
+         if not json then Printf.printf "store: %s (generation %d)\n" dir gen);
       Telemetry.Sink.close sink;
       match recording with
       | Some path when not json -> Printf.printf "telemetry: %s\n" path
@@ -493,7 +488,7 @@ let fuzz_cmd =
           $ jobs_arg $ sync_arg $ sync_seeds_arg $ sync_affinities_arg
           $ oracles_arg $ exec_cache_arg $ feedback_arg $ cow_arg
           $ sessions_arg $ schedules_arg $ telemetry_arg $ json_arg
-          $ save_arg)
+          $ save_arg $ store_arg)
   in
   Cmd.v (Cmd.info "fuzz" ~doc:"Run one fuzzer on one simulated DBMS.") term
 
@@ -556,6 +551,162 @@ let compare_cmd =
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Run every fuzzer on one DBMS with the same budget.")
+    term
+
+(* --- resume ---------------------------------------------------------- *)
+
+let resume_cmd =
+  let id_arg =
+    let doc = "Campaign id: the store under runs/$(docv)/store." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"CAMPAIGN" ~doc)
+  in
+  let execs_opt_arg =
+    let doc =
+      "Run N $(i,additional) executions, extending the stored budget; \
+       without it the campaign runs its unspent remainder."
+    in
+    Arg.(value & opt (some int) None & info [ "n"; "execs" ] ~docv:"N" ~doc)
+  in
+  let run id execs jobs sync_every cow telemetry json =
+    Minidb.Catalog.set_copy_on_write cow;
+    let jobs = max 1 jobs in
+    let dir = Farm.Store.store_dir id in
+    let run_dir = Filename.concat (Telemetry.Sink.runs_dir ()) id in
+    Farm.Store.ensure_dir run_dir;
+    (* Resumed segments append to the campaign's own events.jsonl, so one
+       stream carries every epoch; the Meta event's resumed_from field
+       marks each boundary. *)
+    let console =
+      if json then Telemetry.Sink.json_lines () else Telemetry.Sink.human ()
+    in
+    let sink, recording =
+      match telemetry with
+      | `None -> (console, None)
+      | `Jsonl ->
+        let recorder, path =
+          Telemetry.Sink.jsonl ~dir:run_dir ~append:true ~name:"events" ()
+        in
+        (Telemetry.Sink.tee [ console; recorder ], Some path)
+    in
+    let start = Telemetry.Span.now_s () in
+    match Farm.Resume.run ~jobs ?execs ~sync_every ~sink ~dir () with
+    | Error e ->
+      Telemetry.Sink.close sink;
+      prerr_endline e;
+      exit 1
+    | Ok out ->
+      let wall_s = Telemetry.Span.now_s () -. start in
+      let res = out.Farm.Resume.rs_result in
+      List.iter
+        (fun w -> Printf.eprintf "warning: %s\n" w)
+        out.Farm.Resume.rs_warnings;
+      if not json then
+        Printf.printf
+          "resumed %s from generation %d (epoch %d): +%d execs (%d/%d \
+           total), generation %d written\n"
+          id out.Farm.Resume.rs_from_generation out.Farm.Resume.rs_epoch
+          out.Farm.Resume.rs_executed out.Farm.Resume.rs_execs_done
+          out.Farm.Resume.rs_budget out.Farm.Resume.rs_generation;
+      Telemetry.Sink.emit sink
+        (summary_event
+           ~name:out.Farm.Resume.rs_campaign.Farm.Store.sc_fuzzer
+           ~shards:(shard_points res)
+           ~sync_rounds:res.Fuzz.Campaign.cg_sync_rounds ~wall_s
+           res.Fuzz.Campaign.cg_snapshot);
+      registry_dumps ~prefix:"" sink res;
+      Telemetry.Sink.close sink;
+      match recording with
+      | Some path when not json -> Printf.printf "telemetry: %s\n" path
+      | _ -> ()
+  in
+  let term =
+    Term.(const run $ id_arg $ execs_opt_arg $ jobs_arg $ sync_arg $ cow_arg
+          $ telemetry_arg $ json_arg)
+  in
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:
+         "Resume a stored campaign from its last good store generation: \
+          rebuild the fuzzer, preload corpus/affinities/skeletons/virgin \
+          maps/dedup keys, and continue the budget without re-reporting \
+          old findings.")
+    term
+
+(* --- farm ------------------------------------------------------------ *)
+
+let farm_cmd =
+  let spec_arg =
+    let doc =
+      "Farm spec: a JSON file listing campaigns (id, fuzzer, dialect, \
+       budget, optional quirks/feedback/oracles/exec_cache/seed) and the \
+       global total_execs / round_execs / workers / policy knobs."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC.json" ~doc)
+  in
+  let run spec_path cow telemetry json =
+    Minidb.Catalog.set_copy_on_write cow;
+    match Farm.Spec.of_file spec_path with
+    | Error e ->
+      Printf.eprintf "%s: %s\n" spec_path e;
+      exit 2
+    | Ok spec ->
+      let sink, recording = sink_stack ~json ~telemetry ~name:"farm" in
+      if not json then
+        Printf.printf
+          "farm: %d campaign(s), %d total execs, %d per round, %d \
+           worker(s), %s policy\n%!"
+          (List.length spec.Farm.Spec.fs_campaigns)
+          spec.Farm.Spec.fs_total_execs spec.Farm.Spec.fs_round_execs
+          spec.Farm.Spec.fs_workers
+          (Farm.Spec.policy_to_string spec.Farm.Spec.fs_policy);
+      let start = Telemetry.Span.now_s () in
+      (match Farm.Scheduler.run ~sink spec with
+       | Error e ->
+         Telemetry.Sink.close sink;
+         prerr_endline e;
+         exit 1
+       | Ok res ->
+         let wall_s = Telemetry.Span.now_s () -. start in
+         List.iter
+           (fun w -> Printf.eprintf "warning: %s\n" w)
+           res.Farm.Scheduler.fr_warnings;
+         if not json then begin
+           Printf.printf "farm done: %d round(s), %d execs dealt, %.1fs\n"
+             res.Farm.Scheduler.fr_rounds res.Farm.Scheduler.fr_allocated
+             wall_s;
+           List.iter
+             (fun (c : Farm.Scheduler.campaign_result) ->
+                Printf.printf
+                  "  %-16s execs=%d/%d keys=%d(+%d) crashes(unique)=%d \
+                   gen=%d%s%s%s\n"
+                  c.Farm.Scheduler.fc_campaign.Farm.Store.sc_id
+                  c.fc_execs_done c.fc_campaign.Farm.Store.sc_budget
+                  c.fc_coverage_keys c.fc_new_keys c.fc_crashes_unique
+                  c.fc_generation
+                  (match c.fc_resumed_from with
+                   | Some g -> Printf.sprintf " resumed-from=%d" g
+                   | None -> "")
+                  (if c.fc_finished then " finished" else "")
+                  (match c.fc_error with
+                   | Some e -> " error: " ^ e
+                   | None -> ""))
+             res.Farm.Scheduler.fr_campaigns
+         end;
+         Telemetry.Sink.close sink;
+         match recording with
+         | Some path when not json -> Printf.printf "telemetry: %s\n" path
+         | _ -> ())
+  in
+  let term =
+    Term.(const run $ spec_arg $ cow_arg $ telemetry_arg $ json_arg)
+  in
+  Cmd.v
+    (Cmd.info "farm"
+       ~doc:
+         "Run a farm of campaigns over a domain pool, reallocating the \
+          execution budget each round with UCB1 over new-coverage-key \
+          rewards; every campaign persists a resumable store generation \
+          per round.")
     term
 
 (* --- report ---------------------------------------------------------- *)
@@ -817,5 +968,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ fuzz_cmd; compare_cmd; report_cmd; bugs_cmd; affinities_cmd;
-            exec_cmd; serve_cmd; reduce_cmd ]))
+          [ fuzz_cmd; compare_cmd; farm_cmd; resume_cmd; report_cmd; bugs_cmd;
+            affinities_cmd; exec_cmd; serve_cmd; reduce_cmd ]))

@@ -287,3 +287,49 @@ let load_compact ~into c =
 let compact_bytes = function
   | C_cells { idx; _ } -> 32 + (9 * Array.length idx)
   | C_full _ -> size + 16
+
+(* Canonical serialisable form: ascending (index, value) pairs. The
+   compact's own idx array is in touch order (and C_full is positional),
+   so both arms sort/scan into the same ascending listing. *)
+let compact_cells c =
+  match c with
+  | C_cells { idx; vals } ->
+    let n = Array.length idx in
+    let pairs = Array.init n (fun k -> (idx.(k), Char.code (Bytes.get vals k))) in
+    Array.sort compare pairs;
+    Array.to_list (Array.of_seq (Seq.filter (fun (_, v) -> v <> 0) (Array.to_seq pairs)))
+  | C_full buf ->
+    let acc = ref [] in
+    for i = size - 1 downto 0 do
+      let v = Char.code (Bytes.unsafe_get buf i) in
+      if v <> 0 then acc := (i, v) :: !acc
+    done;
+    !acc
+
+let compact_of_cells cells =
+  (* Deduplicate through a scratch buffer: duplicate indices must not
+     inflate the dirty count the C_cells loader reconstructs. *)
+  let buf = Bytes.make size '\000' in
+  let n = ref 0 in
+  List.iter
+    (fun (i, v) ->
+       let i = i land mask in
+       let v = max 0 (min 255 v) in
+       if Bytes.get buf i = '\000' && v <> 0 then incr n;
+       if v <> 0 then Bytes.set buf i (Char.chr v))
+    cells;
+  if !n > dirty_cap then C_full buf
+  else begin
+    let idx = Array.make !n 0 in
+    let vals = Bytes.create !n in
+    let k = ref 0 in
+    for i = 0 to size - 1 do
+      let v = Bytes.unsafe_get buf i in
+      if v <> '\000' then begin
+        idx.(!k) <- i;
+        Bytes.set vals !k v;
+        incr k
+      end
+    done;
+    C_cells { idx; vals }
+  end

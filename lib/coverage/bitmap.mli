@@ -102,3 +102,14 @@ val load_compact : into:t -> compact -> unit
 
 val compact_bytes : compact -> int
 (** Approximate heap footprint, for cache memory accounting. *)
+
+val compact_cells : compact -> (int * int) list
+(** The nonzero cells of a compact map as [(index, value)] pairs in
+    ascending index order — the canonical serialisable form (the farm
+    store persists virgin maps this way). Deterministic for equal map
+    contents regardless of the order cells were touched in. *)
+
+val compact_of_cells : (int * int) list -> compact
+(** Inverse of {!compact_cells}: rebuild a compact map from cell pairs.
+    Indices are reduced mod {!size} and values clamped to a byte; later
+    duplicates overwrite earlier ones. *)

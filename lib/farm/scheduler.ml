@@ -1,0 +1,341 @@
+(* The farm round loop. Each round: allocate → dispatch to a domain
+   pool → join → reward the bandit, bump farm.* counters, persist each
+   ran campaign's store generation, emit checkpoints. Campaigns are
+   single-shard and never share mutable state; the pool only decides
+   which domain runs which campaign, never what the campaign does. *)
+
+type campaign_result = {
+  fc_campaign : Store.campaign;
+  fc_rounds : int;
+  fc_allocated : int;
+  fc_executed : int;
+  fc_execs_done : int;
+  fc_branches : int;
+  fc_coverage_keys : int;
+  fc_new_keys : int;
+  fc_crashes_unique : int;
+  fc_logic_unique : int;
+  fc_bugs : string list;
+  fc_generation : int;
+  fc_resumed_from : int option;
+  fc_finished : bool;
+  fc_error : string option;
+}
+
+type result = {
+  fr_campaigns : campaign_result list;
+  fr_rounds : int;
+  fr_allocated : int;
+  fr_metrics : Telemetry.Registry.t;
+  fr_warnings : string list;
+}
+
+let coverage_keys (fz : Fuzz.Driver.fuzzer) =
+  let h = fz.Fuzz.Driver.f_harness in
+  Fuzz.Harness.branches h
+  + (match Fuzz.Harness.grammar_virgin h with
+     | Some g -> Coverage.Bitmap.count_nonzero g
+     | None -> 0)
+
+type cstate = {
+  cs_campaign : Store.campaign;
+  cs_dir : string;
+  cs_fuzzer : Fuzz.Driver.fuzzer;
+  cs_acc : Store.acc;
+  cs_prior_execs : int;  (* execs_done carried in from the store *)
+  cs_epoch : int;
+  cs_resumed_from : int option;
+  mutable cs_keys : int;        (* coverage keys at last observation *)
+  cs_start_keys : int;
+  mutable cs_rounds : int;
+  mutable cs_allocated : int;
+  mutable cs_generation : int;
+  mutable cs_error : string option;
+}
+
+let execs_done st = st.cs_prior_execs + Fuzz.Harness.execs st.cs_fuzzer.Fuzz.Driver.f_harness
+
+let remaining st = st.cs_campaign.sc_budget - execs_done st
+
+let finished st = remaining st <= 0
+
+let alive st = st.cs_error = None && not (finished st)
+
+let empty_compact = lazy (Coverage.Bitmap.compact_of_cells [])
+
+(* Persist one campaign's current state as a fresh store generation. *)
+let save_state st =
+  let fz = st.cs_fuzzer in
+  let h = fz.Fuzz.Driver.f_harness in
+  (match fz.Fuzz.Driver.f_exchange with
+   | Some port -> Store.acc_add_export st.cs_acc (port.Fuzz.Sync.p_export ())
+   | None -> ());
+  let tri = Fuzz.Harness.triage h in
+  let snapshot =
+    Store.acc_snapshot st.cs_acc ~campaign:st.cs_campaign
+      ~progress:{ Store.pr_execs_done = execs_done st; pr_epoch = st.cs_epoch }
+      ~virgin:(Coverage.Bitmap.compact (Fuzz.Harness.virgin h))
+      ~grammar:
+        (match Fuzz.Harness.grammar_virgin h with
+         | Some g -> Coverage.Bitmap.compact g
+         | None -> Lazy.force empty_compact)
+      ~crash_keys:(Fuzz.Triage.crash_keys tri)
+      ~logic_keys:(Fuzz.Triage.logic_keys tri)
+  in
+  st.cs_generation <- Store.save ~dir:st.cs_dir snapshot
+
+(* Build one campaign's state: fresh, or preloaded from an existing
+   store (spec config authoritative, learned state from disk). *)
+let init_campaign ~runs_dir warnings (c : Store.campaign) =
+  let dir = Store.store_dir ?runs_dir c.sc_id in
+  let prior, epoch, resumed_from, preload =
+    if Store.generations ~dir = [] then (0, 0, None, None)
+    else
+      match Store.load ~dir with
+      | Ok (sn, gen, warns) ->
+        List.iter (fun w -> warnings := (c.sc_id ^ ": " ^ w) :: !warnings) warns;
+        ( sn.Store.sn_progress.pr_execs_done,
+          sn.Store.sn_progress.pr_epoch + 1, Some gen, Some sn )
+      | Error warns ->
+        List.iter (fun w -> warnings := (c.sc_id ^ ": " ^ w) :: !warnings) warns;
+        warnings :=
+          (Printf.sprintf "%s: no valid store generation, starting fresh"
+             c.sc_id)
+          :: !warnings;
+        (0, 0, None, None)
+  in
+  match Spec.make ~campaign:c ~seed:(Spec.epoch_seed ~campaign:c ~epoch) with
+  | Error e -> Error e
+  | Ok base ->
+    let fz = base 0 in
+    Option.iter (fun sn -> Resume.preload_fuzzer sn fz) preload;
+    let acc =
+      match preload with
+      | Some sn -> Store.acc_of_snapshot sn
+      | None -> Store.acc_create ()
+    in
+    let keys = coverage_keys fz in
+    Ok
+      { cs_campaign = c; cs_dir = dir; cs_fuzzer = fz; cs_acc = acc;
+        cs_prior_execs = prior; cs_epoch = epoch;
+        cs_resumed_from = resumed_from; cs_keys = keys; cs_start_keys = keys;
+        cs_rounds = 0; cs_allocated = 0; cs_generation = 0; cs_error = None }
+
+(* Run one campaign's round slice on the calling domain. Exceptions
+   (Stalled, engine faults) retire the arm instead of killing the
+   farm. *)
+let run_slice st ~execs =
+  let h = st.cs_fuzzer.Fuzz.Driver.f_harness in
+  let target = Fuzz.Harness.execs h + execs in
+  try ignore (Fuzz.Driver.run_until_execs st.cs_fuzzer ~execs:target)
+  with
+  | Fuzz.Driver.Stalled msg -> st.cs_error <- Some ("stalled: " ^ msg)
+  | exn -> st.cs_error <- Some (Printexc.to_string exn)
+
+let checkpoint_event ~round st =
+  let h = st.cs_fuzzer.Fuzz.Driver.f_harness in
+  let tri = Fuzz.Harness.triage h in
+  Telemetry.Event.Checkpoint
+    { point =
+        { Telemetry.Event.p_series = "farm/" ^ st.cs_campaign.sc_id;
+          p_iteration = round; p_execs = execs_done st;
+          p_branches = st.cs_keys;
+          p_crashes_total = Fuzz.Triage.total_crashes tri;
+          p_crashes_unique = Fuzz.Triage.unique_count tri;
+          p_bugs = Fuzz.Triage.bug_ids tri };
+      wall_s = None; execs_per_sec = None }
+
+let run ?(sink = Telemetry.Sink.null) ?runs_dir (spec : Spec.t) =
+  let warnings = ref [] in
+  let states_r =
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | c :: rest -> (
+          match init_campaign ~runs_dir warnings c with
+          | Error e -> Error e
+          | Ok st -> go (st :: acc) rest)
+    in
+    go [] spec.fs_campaigns
+  in
+  match states_r with
+  | Error e -> Error e
+  | Ok states_l ->
+    let states = Array.of_list states_l in
+    let n = Array.length states in
+    let metrics = Telemetry.Registry.create () in
+    let rounds_ctr = Telemetry.Registry.counter metrics "farm.rounds" in
+    let alloc_ctr = Telemetry.Registry.counter metrics "farm.allocated" in
+    let per_ctr st which =
+      Telemetry.Registry.counter metrics
+        (Printf.sprintf "farm.%s.%s" st.cs_campaign.sc_id which)
+    in
+    Array.iter
+      (fun st ->
+         ignore (per_ctr st "rounds");
+         ignore (per_ctr st "allocated");
+         ignore (per_ctr st "new_keys"))
+      states;
+    Telemetry.Sink.emit sink
+      (Telemetry.Event.Meta
+         [ ("command", Telemetry.Json.Str "farm");
+           ("campaigns", Telemetry.Json.Int n);
+           ("total_execs", Telemetry.Json.Int spec.fs_total_execs);
+           ("round_execs", Telemetry.Json.Int spec.fs_round_execs);
+           ("workers", Telemetry.Json.Int spec.fs_workers);
+           ("policy", Telemetry.Json.Str (Spec.policy_to_string spec.fs_policy))
+         ]);
+    let bandit = Bandit.create ~c:spec.fs_ucb_c ~arms:n () in
+    let dealt_total = ref 0 and round = ref 0 in
+    let progressed = ref true in
+    let continue_ () =
+      !progressed
+      && !dealt_total < spec.fs_total_execs
+      && Array.exists alive states
+    in
+    while continue_ () do
+      incr round;
+      let active = Array.map alive states in
+      let round_budget =
+        min spec.fs_round_execs (spec.fs_total_execs - !dealt_total)
+      in
+      let alloc, pulls =
+        match spec.fs_policy with
+        | Spec.Bandit -> Bandit.allocate bandit ~budget:round_budget ~active
+        | Spec.Round_robin ->
+          let n_active =
+            Array.fold_left (fun a b -> if b then a + 1 else a) 0 active
+          in
+          let alloc = Array.make n 0 and pulls = Array.make n 0 in
+          if n_active > 0 then begin
+            let base = round_budget / n_active
+            and rem = ref (round_budget mod n_active) in
+            Array.iteri
+              (fun i is_active ->
+                 if is_active then begin
+                   alloc.(i) <- base + (if !rem > 0 then 1 else 0);
+                   if !rem > 0 then decr rem;
+                   pulls.(i) <- 1
+                 end)
+              active
+          end;
+          (alloc, pulls)
+      in
+      (* Cap by each campaign's own remaining budget; hand overflow to
+         arms with spare capacity so the round's deal stays whole. *)
+      let overflow = ref 0 in
+      Array.iteri
+        (fun i a ->
+           if a > 0 then begin
+             let cap = max 0 (remaining states.(i)) in
+             if a > cap then begin
+               overflow := !overflow + (a - cap);
+               alloc.(i) <- cap
+             end
+           end)
+        (Array.copy alloc);
+      Array.iteri
+        (fun i st ->
+           if !overflow > 0 && active.(i) then begin
+             let spare = max 0 (remaining st - alloc.(i)) in
+             let take = min spare !overflow in
+             alloc.(i) <- alloc.(i) + take;
+             overflow := !overflow - take
+           end)
+        states;
+      let jobs =
+        Array.to_list (Array.mapi (fun i a -> (i, a)) alloc)
+        |> List.filter (fun (_, a) -> a > 0)
+        |> Array.of_list
+      in
+      if Array.length jobs = 0 then
+        (* Nothing allocatable (every active arm is out of budget, or the
+           whole round's deal overflowed): stop instead of spinning. *)
+        progressed := false
+      else begin
+        progressed := true;
+        let keys_before = Array.map (fun st -> st.cs_keys) states in
+        let next = Atomic.make 0 in
+        let worker () =
+          let rec loop () =
+            let k = Atomic.fetch_and_add next 1 in
+            if k < Array.length jobs then begin
+              let i, a = jobs.(k) in
+              run_slice states.(i) ~execs:a;
+              loop ()
+            end
+          in
+          loop ()
+        in
+        let pool = min spec.fs_workers (Array.length jobs) in
+        if pool <= 1 then worker ()
+        else begin
+          let domains =
+            Array.init (pool - 1) (fun _ -> Domain.spawn worker)
+          in
+          worker ();
+          Array.iter Domain.join domains
+        end;
+        (* Join done: observe, reward, persist, report — main thread. *)
+        Array.iter
+          (fun (i, a) ->
+             let st = states.(i) in
+             st.cs_keys <- coverage_keys st.cs_fuzzer;
+             let delta = st.cs_keys - keys_before.(i) in
+             st.cs_rounds <- st.cs_rounds + 1;
+             st.cs_allocated <- st.cs_allocated + a;
+             dealt_total := !dealt_total + a;
+             (match spec.fs_policy with
+              | Spec.Bandit ->
+                Bandit.update bandit ~arm:i ~pulls:pulls.(i)
+                  ~reward:(float_of_int delta /. float_of_int (max 1 a))
+              | Spec.Round_robin -> ());
+             Telemetry.Registry.incr (per_ctr st "rounds");
+             Telemetry.Registry.incr ~by:a (per_ctr st "allocated");
+             Telemetry.Registry.incr ~by:(max 0 delta) (per_ctr st "new_keys");
+             save_state st;
+             Telemetry.Sink.emit sink (checkpoint_event ~round:!round st))
+          jobs;
+        Telemetry.Registry.incr rounds_ctr;
+        Telemetry.Registry.incr
+          ~by:(Array.fold_left (fun acc (_, a) -> acc + a) 0 jobs)
+          alloc_ctr
+      end
+    done;
+    (* Campaigns that never got a round still deserve a generation (the
+       initial corpus is real learned state), and every campaign's
+       harness metrics fold into the farm registry. *)
+    Array.iter
+      (fun st ->
+         if st.cs_generation = 0 then save_state st;
+         Telemetry.Registry.merge ~into:metrics
+           (Telemetry.Registry.snapshot
+              (Fuzz.Harness.metrics st.cs_fuzzer.Fuzz.Driver.f_harness)))
+      states;
+    Telemetry.Sink.emit sink
+      (Telemetry.Event.Registry_dump { series = "farm"; registry = metrics });
+    let campaigns =
+      Array.to_list
+        (Array.map
+           (fun st ->
+              let h = st.cs_fuzzer.Fuzz.Driver.f_harness in
+              let tri = Fuzz.Harness.triage h in
+              { fc_campaign = st.cs_campaign; fc_rounds = st.cs_rounds;
+                fc_allocated = st.cs_allocated;
+                fc_executed = Fuzz.Harness.execs h;
+                fc_execs_done = execs_done st;
+                fc_branches = Fuzz.Harness.branches h;
+                fc_coverage_keys = st.cs_keys;
+                fc_new_keys = st.cs_keys - st.cs_start_keys;
+                fc_crashes_unique = Fuzz.Triage.unique_count tri;
+                fc_logic_unique = Fuzz.Triage.logic_count tri;
+                fc_bugs = Fuzz.Triage.bug_ids tri;
+                fc_generation = st.cs_generation;
+                fc_resumed_from = st.cs_resumed_from;
+                fc_finished = finished st; fc_error = st.cs_error })
+           states)
+    in
+    Ok
+      { fr_campaigns = campaigns;
+        fr_rounds = Telemetry.Registry.counter_value metrics "farm.rounds";
+        fr_allocated = !dealt_total; fr_metrics = metrics;
+        fr_warnings = List.rev !warnings }

@@ -1,0 +1,68 @@
+(** The farm scheduler: many campaigns, one exec budget, UCB1 arms.
+
+    [legofuzz farm <spec.json>] multiplexes the spec's campaigns over a
+    bounded pool of OCaml 5 domains. Each round the scheduler
+    reallocates [fs_round_execs] executions across the still-active
+    campaigns — UCB1 ({!Bandit}) over per-round new-coverage-key
+    deltas, or plain round-robin for the ablation baseline — runs the
+    allocated slices concurrently (each campaign entirely on one domain
+    per round, so campaigns stay single-shard deterministic), then
+    feeds the observed rewards back and persists every ran campaign's
+    store generation. A farm killed between rounds therefore loses at
+    most one round of work, and [legofuzz resume] (or simply re-running
+    the farm) picks each campaign up from its last good generation.
+
+    Coverage keys: edge branches plus nonzero grammar-virgin cells —
+    the same news signal the harness feedback modes use.
+
+    Determinism: campaigns never share state, rewards are pure exec /
+    key counts, and {!Bandit} is RNG-free — a farm run is a function of
+    (spec, stores on disk), independent of domain scheduling. *)
+
+type campaign_result = {
+  fc_campaign : Store.campaign;
+  fc_rounds : int;        (** rounds this campaign was allocated work in *)
+  fc_allocated : int;     (** execs allocated to it by the farm *)
+  fc_executed : int;      (** execs it actually performed this farm run *)
+  fc_execs_done : int;    (** cumulative, including pre-farm store state *)
+  fc_branches : int;      (** edge branches at end *)
+  fc_coverage_keys : int; (** branches + grammar cells at end *)
+  fc_new_keys : int;      (** coverage keys gained during this farm run *)
+  fc_crashes_unique : int;  (** unique crashes, preloaded keys excluded *)
+  fc_logic_unique : int;
+  fc_bugs : string list;
+  fc_generation : int;    (** newest store generation written (0 = none) *)
+  fc_resumed_from : int option;  (** generation preloaded at farm start *)
+  fc_finished : bool;     (** budget exhausted *)
+  fc_error : string option;  (** stalled / died; arm retired *)
+}
+
+type result = {
+  fr_campaigns : campaign_result list;  (** spec order *)
+  fr_rounds : int;
+  fr_allocated : int;  (** total execs dealt across all rounds *)
+  fr_metrics : Telemetry.Registry.t;
+      (** [farm.*] scheduling counters plus the union of every
+          campaign's harness registry *)
+  fr_warnings : string list;  (** corrupt store generations skipped *)
+}
+
+val coverage_keys : Fuzz.Driver.fuzzer -> int
+(** The reward signal: edge branches + nonzero grammar-virgin cells of
+    the fuzzer's harness. *)
+
+val run :
+  ?sink:Telemetry.Sink.t ->
+  ?runs_dir:string ->
+  Spec.t ->
+  (result, string) Stdlib.result
+(** Run a farm to completion: until the spec's [fs_total_execs] are
+    dealt or every campaign is finished or dead. Campaign stores live
+    under [<runs_dir>/<id>/store] (default runs dir
+    {!Telemetry.Sink.runs_dir}); existing stores are resumed — config
+    from the spec, learned state from the store. Telemetry: a [Meta]
+    header, one [farm/<id>] checkpoint per campaign per ran round, and
+    a final [Registry_dump] of the farm registry go to [sink] (default
+    null). [Error] only on setup failures (unknown fuzzer/dialect,
+    unloadable pre-existing store with no valid generation is treated
+    as a fresh campaign, not an error). *)

@@ -1,0 +1,536 @@
+(* The versioned on-disk campaign store (DESIGN.md §16).
+
+   Layout: <dir>/gen-NNNNNN/{meta.json, corpus.jsonl, affinities.txt,
+   skeletons.jsonl, virgin.json, grammar.json, dedup.json, MANIFEST.json}.
+   Every file is written to <name>.tmp and renamed into place; the
+   manifest — schema tag, generation number, FNV-64 digest per section —
+   goes last, so a generation without a valid manifest is by definition
+   torn and the loader falls back to the previous one. *)
+
+module Json = Telemetry.Json
+
+type campaign = {
+  sc_id : string;
+  sc_fuzzer : string;
+  sc_dialect : string;
+  sc_quirks : string list;
+  sc_feedback : Fuzz.Harness.feedback;
+  sc_oracles : bool;
+  sc_exec_cache : int;
+  sc_seed : int;
+  sc_budget : int;
+}
+
+type progress = { pr_execs_done : int; pr_epoch : int }
+
+type snapshot = {
+  sn_campaign : campaign;
+  sn_progress : progress;
+  sn_seeds : Fuzz.Sync.xseed list;
+  sn_affinities : (Sqlcore.Stmt_type.t * Sqlcore.Stmt_type.t) list;
+  sn_skeletons : Sqlcore.Ast.stmt list;
+  sn_virgin : Coverage.Bitmap.compact;
+  sn_grammar : Coverage.Bitmap.compact;
+  sn_crash_keys : string list;
+  sn_logic_keys : string list;
+}
+
+let schema = "legofuzz-store-v1"
+
+let meta_file = "meta.json"
+let corpus_file = "corpus.jsonl"
+let affinities_file = "affinities.txt"
+let skeletons_file = "skeletons.jsonl"
+let virgin_file = "virgin.json"
+let grammar_file = "grammar.json"
+let dedup_file = "dedup.json"
+
+let section_files =
+  [ meta_file; corpus_file; affinities_file; skeletons_file; virgin_file;
+    grammar_file; dedup_file ]
+
+let manifest_file = "MANIFEST.json"
+
+(* --- paths ----------------------------------------------------------- *)
+
+let store_dir ?runs_dir id =
+  let runs = match runs_dir with Some d -> d | None -> Telemetry.Sink.runs_dir () in
+  Filename.concat (Filename.concat runs id) "store"
+
+let generation_dir ~dir gen = Filename.concat dir (Printf.sprintf "gen-%06d" gen)
+
+let generation_of_basename base =
+  if String.length base = 10 && String.sub base 0 4 = "gen-" then
+    int_of_string_opt (String.sub base 4 6)
+  else None
+
+let generations ~dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map generation_of_basename
+    |> List.sort compare
+
+let rec mkdir_p path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path)
+  then begin
+    mkdir_p (Filename.dirname path);
+    try Sys.mkdir path 0o755 with Sys_error _ when Sys.file_exists path -> ()
+  end
+
+let ensure_dir = mkdir_p
+
+let empty_snapshot campaign =
+  { sn_campaign = campaign;
+    sn_progress = { pr_execs_done = 0; pr_epoch = 0 }; sn_seeds = [];
+    sn_affinities = []; sn_skeletons = [];
+    sn_virgin = Coverage.Bitmap.compact_of_cells [];
+    sn_grammar = Coverage.Bitmap.compact_of_cells []; sn_crash_keys = [];
+    sn_logic_keys = [] }
+
+(* --- digests --------------------------------------------------------- *)
+
+let fnv64 s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+       h := Int64.logxor !h (Int64.of_int (Char.code c));
+       h := Int64.mul !h 0x100000001b3L)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+(* --- rendering ------------------------------------------------------- *)
+
+let hex64 v = Printf.sprintf "%016Lx" v
+
+let parse_hex64 s =
+  if String.length s = 16 then
+    try Some (Int64.of_string ("0x" ^ s)) with Failure _ -> None
+  else None
+
+let render_meta sn =
+  let c = sn.sn_campaign and p = sn.sn_progress in
+  Json.to_string
+    (Json.Obj
+       [ ("id", Json.Str c.sc_id); ("fuzzer", Json.Str c.sc_fuzzer);
+         ("dialect", Json.Str c.sc_dialect);
+         ("quirks", Json.Arr (List.map (fun q -> Json.Str q) c.sc_quirks));
+         ("feedback", Json.Str (Fuzz.Harness.feedback_to_string c.sc_feedback));
+         ("oracles", Json.Bool c.sc_oracles);
+         ("exec_cache", Json.Int c.sc_exec_cache);
+         ("seed", Json.Int c.sc_seed); ("budget", Json.Int c.sc_budget);
+         ("execs_done", Json.Int p.pr_execs_done);
+         ("epoch", Json.Int p.pr_epoch) ])
+  ^ "\n"
+
+let render_corpus sn =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (xs : Fuzz.Sync.xseed) ->
+       Buffer.add_string buf
+         (Json.to_string
+            (Json.Obj
+               [ ("sql", Json.Str (Sqlcore.Sql_printer.testcase xs.xs_tc));
+                 ("cov_hash", Json.Str (hex64 xs.xs_cov_hash));
+                 ("new_branches", Json.Int xs.xs_new_branches);
+                 ("cost", Json.Int xs.xs_cost) ]));
+       Buffer.add_char buf '\n')
+    sn.sn_seeds;
+  Buffer.contents buf
+
+let render_affinities sn =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (a, b) ->
+       Buffer.add_string buf (Sqlcore.Stmt_type.name a);
+       Buffer.add_string buf " -> ";
+       Buffer.add_string buf (Sqlcore.Stmt_type.name b);
+       Buffer.add_char buf '\n')
+    sn.sn_affinities;
+  Buffer.contents buf
+
+let render_skeletons sn =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun st ->
+       Buffer.add_string buf
+         (Json.to_string
+            (Json.Obj [ ("sql", Json.Str (Sqlcore.Sql_printer.stmt st)) ]));
+       Buffer.add_char buf '\n')
+    sn.sn_skeletons;
+  Buffer.contents buf
+
+let render_bitmap compact =
+  Json.to_string
+    (Json.Obj
+       [ ( "cells",
+           Json.Arr
+             (List.map
+                (fun (i, v) -> Json.Arr [ Json.Int i; Json.Int v ])
+                (Coverage.Bitmap.compact_cells compact)) ) ])
+  ^ "\n"
+
+let render_dedup sn =
+  Json.to_string
+    (Json.Obj
+       [ ("crashes", Json.Arr (List.map (fun k -> Json.Str k) sn.sn_crash_keys));
+         ("logic", Json.Arr (List.map (fun k -> Json.Str k) sn.sn_logic_keys)) ])
+  ^ "\n"
+
+let render sn =
+  [ (meta_file, render_meta sn); (corpus_file, render_corpus sn);
+    (affinities_file, render_affinities sn);
+    (skeletons_file, render_skeletons sn);
+    (virgin_file, render_bitmap sn.sn_virgin);
+    (grammar_file, render_bitmap sn.sn_grammar);
+    (dedup_file, render_dedup sn) ]
+
+let snapshot_equal a b = render a = render b
+
+(* --- parsing --------------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let field name conv json =
+  match Json.member name json with
+  | None -> Error (Printf.sprintf "missing field %S" name)
+  | Some v -> (
+      match conv v with
+      | Some x -> Ok x
+      | None -> Error (Printf.sprintf "bad field %S" name))
+
+let str_list json =
+  match json with
+  | Json.Arr items ->
+    let rec go acc = function
+      | [] -> Some (List.rev acc)
+      | Json.Str s :: rest -> go (s :: acc) rest
+      | _ -> None
+    in
+    go [] items
+  | _ -> None
+
+let jsonl_lines content =
+  String.split_on_char '\n' content
+  |> List.filter (fun l -> String.trim l <> "")
+
+let parse_meta content =
+  let* json =
+    Json.of_string (String.trim content)
+    |> Result.map_error (fun e -> "meta: " ^ e)
+  in
+  let* id = field "id" Json.to_str json in
+  let* fuzzer = field "fuzzer" Json.to_str json in
+  let* dialect = field "dialect" Json.to_str json in
+  let* quirks = field "quirks" str_list json in
+  let* fb = field "feedback" Json.to_str json in
+  let* feedback =
+    match Fuzz.Harness.feedback_of_string fb with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "meta: unknown feedback %S" fb)
+  in
+  let* oracles =
+    field "oracles" (function Json.Bool b -> Some b | _ -> None) json
+  in
+  let* exec_cache = field "exec_cache" Json.to_int json in
+  let* seed = field "seed" Json.to_int json in
+  let* budget = field "budget" Json.to_int json in
+  let* execs_done = field "execs_done" Json.to_int json in
+  let* epoch = field "epoch" Json.to_int json in
+  Ok
+    ( { sc_id = id; sc_fuzzer = fuzzer; sc_dialect = dialect;
+        sc_quirks = quirks; sc_feedback = feedback; sc_oracles = oracles;
+        sc_exec_cache = exec_cache; sc_seed = seed; sc_budget = budget },
+      { pr_execs_done = execs_done; pr_epoch = epoch } )
+
+let parse_corpus content =
+  let rec go acc n = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      let ctx msg = Printf.sprintf "corpus line %d: %s" n msg in
+      let* json = Json.of_string line |> Result.map_error ctx in
+      let* sql = field "sql" Json.to_str json |> Result.map_error ctx in
+      let* hash_s = field "cov_hash" Json.to_str json |> Result.map_error ctx in
+      let* cov_hash =
+        match parse_hex64 hash_s with
+        | Some h -> Ok h
+        | None -> Error (ctx "bad cov_hash")
+      in
+      let* new_branches =
+        field "new_branches" Json.to_int json |> Result.map_error ctx
+      in
+      let* cost = field "cost" Json.to_int json |> Result.map_error ctx in
+      let* tc = Sqlparser.Parser.parse_testcase sql |> Result.map_error ctx in
+      go
+        ({ Fuzz.Sync.xs_tc = tc; xs_cov_hash = cov_hash;
+           xs_new_branches = new_branches; xs_cost = cost }
+         :: acc)
+        (n + 1) rest
+  in
+  go [] 1 (jsonl_lines content)
+
+let parse_affinities content =
+  let rec go acc n = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match
+          String.split_on_char '>' line |> function
+          | [ left; right ] when String.length left > 0
+                                 && left.[String.length left - 1] = '-' ->
+            let left = String.trim (String.sub left 0 (String.length left - 1))
+            and right = String.trim right in
+            (match
+               (Sqlcore.Stmt_type.of_name left, Sqlcore.Stmt_type.of_name right)
+             with
+             | Some a, Some b -> Some (a, b)
+             | _ -> None)
+          | _ -> None
+        with
+        | Some pair -> go (pair :: acc) (n + 1) rest
+        | None -> Error (Printf.sprintf "affinities line %d: unparseable" n))
+  in
+  go [] 1 (jsonl_lines content)
+
+let parse_skeletons content =
+  let rec go acc n = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      let ctx msg = Printf.sprintf "skeletons line %d: %s" n msg in
+      let* json = Json.of_string line |> Result.map_error ctx in
+      let* sql = field "sql" Json.to_str json |> Result.map_error ctx in
+      let* st = Sqlparser.Parser.parse_stmt sql |> Result.map_error ctx in
+      go (st :: acc) (n + 1) rest
+  in
+  go [] 1 (jsonl_lines content)
+
+let parse_bitmap ~name content =
+  let* json =
+    Json.of_string (String.trim content)
+    |> Result.map_error (fun e -> name ^ ": " ^ e)
+  in
+  let* cells =
+    field "cells"
+      (fun v ->
+         match v with
+         | Json.Arr items ->
+           let rec go acc = function
+             | [] -> Some (List.rev acc)
+             | Json.Arr [ Json.Int i; Json.Int value ] :: rest ->
+               go ((i, value) :: acc) rest
+             | _ -> None
+           in
+           go [] items
+         | _ -> None)
+      json
+    |> Result.map_error (fun e -> name ^ ": " ^ e)
+  in
+  Ok (Coverage.Bitmap.compact_of_cells cells)
+
+let parse_dedup content =
+  let* json =
+    Json.of_string (String.trim content)
+    |> Result.map_error (fun e -> "dedup: " ^ e)
+  in
+  let* crashes =
+    field "crashes" str_list json |> Result.map_error (fun e -> "dedup: " ^ e)
+  in
+  let* logic =
+    field "logic" str_list json |> Result.map_error (fun e -> "dedup: " ^ e)
+  in
+  Ok (crashes, logic)
+
+(* --- save ------------------------------------------------------------ *)
+
+let write_atomic gdir name content =
+  let tmp = Filename.concat gdir (name ^ ".tmp") in
+  Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc content);
+  Sys.rename tmp (Filename.concat gdir name)
+
+let rec remove_tree path =
+  if Sys.is_directory path then begin
+    Array.iter
+      (fun entry -> remove_tree (Filename.concat path entry))
+      (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let prune ~keep ~dir =
+  let keep = max 1 keep in
+  let gens = List.rev (generations ~dir) in
+  List.iteri
+    (fun i g ->
+       if i >= keep then
+         try remove_tree (generation_dir ~dir g) with Sys_error _ -> ())
+    gens
+
+let save ?(keep = 3) ~dir sn =
+  mkdir_p dir;
+  let gen =
+    match List.rev (generations ~dir) with [] -> 1 | g :: _ -> g + 1
+  in
+  let gdir = generation_dir ~dir gen in
+  mkdir_p gdir;
+  let digests =
+    List.map
+      (fun (name, content) ->
+         write_atomic gdir name content;
+         (name, Json.Str (fnv64 content)))
+      (render sn)
+  in
+  let manifest =
+    Json.to_string
+      (Json.Obj
+         [ ("schema", Json.Str schema); ("generation", Json.Int gen);
+           ("files", Json.Obj digests) ])
+    ^ "\n"
+  in
+  write_atomic gdir manifest_file manifest;
+  prune ~keep ~dir;
+  gen
+
+(* --- load ------------------------------------------------------------ *)
+
+let read_file path =
+  if Sys.file_exists path && not (Sys.is_directory path) then
+    try Some (In_channel.with_open_bin path In_channel.input_all)
+    with Sys_error _ -> None
+  else None
+
+let load_generation ~dir gen =
+  let gdir = generation_dir ~dir gen in
+  let* manifest_raw =
+    match read_file (Filename.concat gdir manifest_file) with
+    | Some c -> Ok c
+    | None -> Error "missing manifest (torn write)"
+  in
+  let* manifest =
+    Json.of_string (String.trim manifest_raw)
+    |> Result.map_error (fun e -> "manifest: " ^ e)
+  in
+  let* () =
+    match Json.member "schema" manifest with
+    | Some (Json.Str s) when s = schema -> Ok ()
+    | Some (Json.Str s) -> Error (Printf.sprintf "unknown schema %S" s)
+    | _ -> Error "manifest: missing schema"
+  in
+  let* () =
+    match Json.member "generation" manifest with
+    | Some (Json.Int g) when g = gen -> Ok ()
+    | Some (Json.Int g) ->
+      Error (Printf.sprintf "manifest generation %d in gen-%06d" g gen)
+    | _ -> Error "manifest: missing generation"
+  in
+  let* files =
+    match Json.member "files" manifest with
+    | Some (Json.Obj kvs) -> Ok kvs
+    | _ -> Error "manifest: missing files"
+  in
+  let* sections =
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | name :: rest ->
+        let* digest =
+          match List.assoc_opt name files with
+          | Some (Json.Str d) -> Ok d
+          | _ -> Error (Printf.sprintf "manifest: no digest for %s" name)
+        in
+        let* content =
+          match read_file (Filename.concat gdir name) with
+          | Some c -> Ok c
+          | None -> Error (Printf.sprintf "missing section %s" name)
+        in
+        if fnv64 content <> digest then
+          Error (Printf.sprintf "digest mismatch in %s" name)
+        else go ((name, content) :: acc) rest
+    in
+    go [] section_files
+  in
+  let get name = List.assoc name sections in
+  let* campaign, progress = parse_meta (get meta_file) in
+  let* seeds = parse_corpus (get corpus_file) in
+  let* affinities = parse_affinities (get affinities_file) in
+  let* skeletons = parse_skeletons (get skeletons_file) in
+  let* virgin = parse_bitmap ~name:"virgin" (get virgin_file) in
+  let* grammar = parse_bitmap ~name:"grammar" (get grammar_file) in
+  let* crash_keys, logic_keys = parse_dedup (get dedup_file) in
+  Ok
+    { sn_campaign = campaign; sn_progress = progress; sn_seeds = seeds;
+      sn_affinities = affinities; sn_skeletons = skeletons;
+      sn_virgin = virgin; sn_grammar = grammar; sn_crash_keys = crash_keys;
+      sn_logic_keys = logic_keys }
+
+let load ~dir =
+  match List.rev (generations ~dir) with
+  | [] -> Error [ Printf.sprintf "no store generations under %s" dir ]
+  | gens ->
+    let rec go warnings = function
+      | [] -> Error (List.rev warnings)
+      | g :: rest -> (
+          match load_generation ~dir g with
+          | Ok snap -> Ok (snap, g, List.rev warnings)
+          | Error msg ->
+            go (Printf.sprintf "gen-%06d skipped: %s" g msg :: warnings) rest)
+    in
+    go [] gens
+
+(* --- discovery accumulation ------------------------------------------ *)
+
+type acc = {
+  mutable a_seeds : Fuzz.Sync.xseed list;  (* reverse discovery order *)
+  mutable a_affinities : (Sqlcore.Stmt_type.t * Sqlcore.Stmt_type.t) list;
+  mutable a_skeletons : Sqlcore.Ast.stmt list;
+  seen_seeds : (int64, unit) Hashtbl.t;
+  seen_affinities : (int * int, unit) Hashtbl.t;
+  seen_skeletons : (string, unit) Hashtbl.t;
+}
+
+let acc_create () =
+  { a_seeds = []; a_affinities = []; a_skeletons = [];
+    seen_seeds = Hashtbl.create 64; seen_affinities = Hashtbl.create 64;
+    seen_skeletons = Hashtbl.create 64 }
+
+let acc_add_seed acc (xs : Fuzz.Sync.xseed) =
+  if not (Hashtbl.mem acc.seen_seeds xs.xs_cov_hash) then begin
+    Hashtbl.replace acc.seen_seeds xs.xs_cov_hash ();
+    acc.a_seeds <- xs :: acc.a_seeds
+  end
+
+let acc_add_affinity acc (a, b) =
+  let key = (Sqlcore.Stmt_type.to_index a, Sqlcore.Stmt_type.to_index b) in
+  if not (Hashtbl.mem acc.seen_affinities key) then begin
+    Hashtbl.replace acc.seen_affinities key ();
+    acc.a_affinities <- (a, b) :: acc.a_affinities
+  end
+
+let acc_add_skeleton acc st =
+  let key = Sqlcore.Sql_printer.stmt st in
+  if not (Hashtbl.mem acc.seen_skeletons key) then begin
+    Hashtbl.replace acc.seen_skeletons key ();
+    acc.a_skeletons <- st :: acc.a_skeletons
+  end
+
+let acc_add_export acc (xp : Fuzz.Sync.export) =
+  List.iter (acc_add_seed acc) xp.xp_seeds;
+  List.iter (acc_add_affinity acc) xp.xp_affinities;
+  List.iter (acc_add_skeleton acc) xp.xp_skeletons
+
+let acc_of_snapshot sn =
+  let acc = acc_create () in
+  List.iter (acc_add_seed acc) sn.sn_seeds;
+  List.iter (acc_add_affinity acc) sn.sn_affinities;
+  List.iter (acc_add_skeleton acc) sn.sn_skeletons;
+  acc
+
+let acc_counts acc =
+  ( List.length acc.a_seeds, List.length acc.a_affinities,
+    List.length acc.a_skeletons )
+
+let acc_snapshot acc ~campaign ~progress ~virgin ~grammar ~crash_keys
+    ~logic_keys =
+  { sn_campaign = campaign; sn_progress = progress;
+    sn_seeds = List.rev acc.a_seeds;
+    sn_affinities = List.rev acc.a_affinities;
+    sn_skeletons = List.rev acc.a_skeletons; sn_virgin = virgin;
+    sn_grammar = grammar; sn_crash_keys = crash_keys;
+    sn_logic_keys = logic_keys }

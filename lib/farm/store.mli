@@ -1,0 +1,135 @@
+(** The versioned on-disk campaign store (DESIGN.md §16).
+
+    A store lives under [runs/<campaign-id>/store/] and holds everything
+    needed to resume a campaign: its configuration, progress counters,
+    the corpus in {!Fuzz.Sync.xseed} exchange form, the affinity table
+    and skeleton library, the edge and grammar virgin maps
+    ({!Coverage.Bitmap.compact_cells} form), and the crash /
+    logic-violation dedup keys.
+
+    Writes are {e generational}: each {!save} creates a fresh
+    [gen-NNNNNN/] directory, writing every section to a temp file first
+    and renaming it into place, with a [MANIFEST.json] (schema tag +
+    FNV-64 content digests of every section) written {e last}. A torn
+    write — killed writer, truncated or bit-flipped file, missing
+    manifest — therefore leaves either a detectably-invalid generation
+    or a stray [.tmp] file, never a silently corrupt store. {!load}
+    scans generations newest-first, validates manifest, digests and
+    section syntax, and falls back to the most recent {e good}
+    generation, reporting what it skipped. Old generations are pruned on
+    save (default: keep 3). *)
+
+type campaign = {
+  sc_id : string;        (** filesystem-safe campaign identifier *)
+  sc_fuzzer : string;    (** lego, lego-, squirrel, sqlancer, sqlsmith *)
+  sc_dialect : string;   (** {!Dialects.Registry.by_name} key *)
+  sc_quirks : string list;  (** extra {!Minidb.Profile.with_quirks} quirks *)
+  sc_feedback : Fuzz.Harness.feedback;
+  sc_oracles : bool;
+  sc_exec_cache : int;
+  sc_seed : int;
+  sc_budget : int;       (** total execution budget across all epochs *)
+}
+
+type progress = {
+  pr_execs_done : int;  (** executions already spent against [sc_budget] *)
+  pr_epoch : int;       (** completed run segments; resume derives a fresh
+                            RNG stream from it so a resumed campaign does
+                            not replay the interrupted epoch's decisions *)
+}
+
+type snapshot = {
+  sn_campaign : campaign;
+  sn_progress : progress;
+  sn_seeds : Fuzz.Sync.xseed list;  (** discovery order *)
+  sn_affinities : (Sqlcore.Stmt_type.t * Sqlcore.Stmt_type.t) list;
+  sn_skeletons : Sqlcore.Ast.stmt list;
+  sn_virgin : Coverage.Bitmap.compact;   (** edge virgin map *)
+  sn_grammar : Coverage.Bitmap.compact;  (** grammar virgin map (empty when
+                                             feedback is [Edges]) *)
+  sn_crash_keys : string list;   (** {!Fuzz.Triage.stack_key}s, first-seen
+                                     order *)
+  sn_logic_keys : string list;   (** {!Oracle.Violation.key}s *)
+}
+
+val schema : string
+(** ["legofuzz-store-v1"] — the manifest schema tag. *)
+
+val section_files : string list
+(** The per-generation section file names (everything a manifest must
+    digest): meta, corpus, affinities, skeletons, virgin maps, dedup. *)
+
+val manifest_file : string
+(** ["MANIFEST.json"]. *)
+
+val store_dir : ?runs_dir:string -> string -> string
+(** [store_dir id] = [<runs_dir>/<id>/store] (default runs dir
+    {!Telemetry.Sink.runs_dir}). Does not create anything. *)
+
+val generation_dir : dir:string -> int -> string
+(** [<dir>/gen-NNNNNN]. *)
+
+val generations : dir:string -> int list
+(** Generation numbers present under [dir], ascending. Empty when the
+    store directory does not exist. *)
+
+val ensure_dir : string -> unit
+(** [mkdir -p]. *)
+
+val empty_snapshot : campaign -> snapshot
+(** A fresh campaign's snapshot: zero progress, no entries, empty
+    maps — the [prior] of a first-epoch capture. *)
+
+val fnv64 : string -> string
+(** FNV-1a 64-bit digest as 16 hex chars — the manifest's content
+    digest. *)
+
+val save : ?keep:int -> dir:string -> snapshot -> int
+(** Persist a new generation (1 + the newest present) and prune all but
+    the last [keep] (default 3, clamped to ≥ 1). Returns the generation
+    number written. Every file goes through temp-file + rename; the
+    manifest is renamed into place last, making the generation valid
+    atomically. *)
+
+val load : dir:string -> (snapshot * int * string list, string list) result
+(** Load the newest valid generation: [Ok (snapshot, generation,
+    warnings)] where [warnings] describes newer generations that were
+    skipped as corrupt (torn manifest, digest mismatch, missing file,
+    unparseable section). [Error warnings] when no valid generation
+    exists (or the store directory is missing). Stray [*.tmp] files are
+    ignored entirely. *)
+
+val snapshot_equal : snapshot -> snapshot -> bool
+(** Structural equality on the serialised form — what the round-trip
+    property battery checks. *)
+
+(** {2 Discovery accumulation}
+
+    Both the farm scheduler and [resume] fold a campaign's exchange-port
+    exports into the store; [acc] is that accumulator, deduplicating by
+    the same keys {!Fuzz.Sync} uses (seed cov-hash, affinity pair,
+    printed skeleton SQL) so re-exported entries never bloat the
+    store. *)
+
+type acc
+
+val acc_create : unit -> acc
+
+val acc_of_snapshot : snapshot -> acc
+(** Seed the accumulator with a loaded generation's entries (resume
+    path), so only genuinely new discoveries append. *)
+
+val acc_add_export : acc -> Fuzz.Sync.export -> unit
+
+val acc_counts : acc -> int * int * int
+(** [(seeds, affinities, skeletons)] accumulated so far. *)
+
+val acc_snapshot :
+  acc ->
+  campaign:campaign ->
+  progress:progress ->
+  virgin:Coverage.Bitmap.compact ->
+  grammar:Coverage.Bitmap.compact ->
+  crash_keys:string list ->
+  logic_keys:string list ->
+  snapshot

@@ -172,7 +172,7 @@ let sequential ?checkpoint_every ?(on_checkpoint = fun _ -> ()) ~sink
 
 let run ?(checkpoint_every = 0) ?(on_checkpoint = fun _ -> ()) ?sync_every
     ?(exchange = Sync.exchange_off) ?(sink = Telemetry.Sink.null)
-    ?(series_prefix = "") ~jobs ~execs make =
+    ?(series_prefix = "") ?(prime_sync = fun _ -> ()) ~jobs ~execs make =
   let jobs = max 1 jobs in
   if jobs = 1 then
     (* Bit-for-bit the pre-sharding sequential path: one fuzzer, one
@@ -184,6 +184,7 @@ let run ?(checkpoint_every = 0) ?(on_checkpoint = fun _ -> ()) ?sync_every
       make
   else begin
     let sync = Sync.create ?interval:sync_every ~exchange ~parties:jobs () in
+    prime_sync sync;
     let start = Telemetry.Span.now_s () in
     (* Shards on other domains never write the sink directly: checkpoint
        events are buffered with a (rank, execs, seq) tag and emitted in

@@ -65,6 +65,7 @@ val run :
   ?exchange:Sync.exchange ->
   ?sink:Telemetry.Sink.t ->
   ?series_prefix:string ->
+  ?prime_sync:(Sync.t -> unit) ->
   jobs:int ->
   execs:int ->
   (int -> Driver.fuzzer) ->
@@ -83,6 +84,13 @@ val run :
     executions (default {!Sync.default_interval}); [on_checkpoint]
     receives aggregate snapshots roughly every [checkpoint_every]
     {e published} executions, including the true published crash total.
+
+    [prime_sync] (default: nothing) is applied to the freshly created
+    {!Sync.t} before any shard domain is spawned — the farm-resume hook
+    that preloads persisted virgin maps and dedup keys
+    ({!Sync.preload}) so a resumed sharded campaign never re-reports
+    pre-interruption findings. Ignored at [jobs = 1] (the sequential
+    path has no sync; resume preloads the harness directly).
 
     [exchange] (default {!Sync.exchange_off}) turns the sync rounds into
     barriered bidirectional exchange rounds: all shards run the same

@@ -327,6 +327,33 @@ let exchange_harness_round ?metrics ?crashes_delta t h ~shard ~execs_delta
     ~shard ~virgin:(Harness.virgin h) ~triage:(Harness.triage h)
     ~execs_delta ~export
 
+(* Prime a fresh sync with persisted campaign state before any shard
+   publishes: merged-in virgin maps stop resurrected coverage counting
+   as news, and pre-marked dedup keys keep persisted findings out of the
+   unique lists (a resumed campaign reports only what it finds {e after}
+   the interruption). *)
+let preload ?virgin ?gram ?(crash_keys = []) ?(logic_keys = [])
+    ?(seed_hashes = []) ?(affinity_keys = []) ?(skeleton_keys = []) t =
+  let load_merge ~into c =
+    let tmp = Coverage.Bitmap.create () in
+    Coverage.Bitmap.load_compact ~into:tmp c;
+    ignore (Coverage.Bitmap.merge ~into tmp)
+  in
+  locked t (fun () ->
+      (match virgin with
+       | None -> ()
+       | Some c -> load_merge ~into:t.virgin c);
+      (match gram with
+       | None -> ()
+       | Some c -> load_merge ~into:t.gram_virgin c);
+      List.iter (fun k -> Hashtbl.replace t.seen k ()) crash_keys;
+      List.iter (fun k -> Hashtbl.replace t.lseen k ()) logic_keys;
+      List.iter (fun h -> Hashtbl.replace t.seen_seeds h ()) seed_hashes;
+      List.iter (fun k -> Hashtbl.replace t.seen_affinities k ())
+        affinity_keys;
+      List.iter (fun k -> Hashtbl.replace t.seen_skeletons k ())
+        skeleton_keys)
+
 (* Seed-only port over a plain seed pool — the exchange capability of the
    conventional baselines. The cursor lives in the closure: exports drain
    pool entries admitted since the last call, and it is re-synced after an

@@ -181,6 +181,26 @@ val abort : t -> unit
     idempotent. Called when a shard dies so the campaign can fail instead
     of hanging. *)
 
+val preload :
+  ?virgin:Coverage.Bitmap.compact ->
+  ?gram:Coverage.Bitmap.compact ->
+  ?crash_keys:string list ->
+  ?logic_keys:string list ->
+  ?seed_hashes:int64 list ->
+  ?affinity_keys:(int * int) list ->
+  ?skeleton_keys:string list ->
+  t ->
+  unit
+(** Prime a fresh sync with persisted campaign state (farm resume,
+    DESIGN.md §16) before any shard publishes. [virgin]/[gram] are
+    merged into the global virgin maps so resurrected coverage stops
+    counting as news; [crash_keys]/[logic_keys] mark persisted findings
+    as already reported, so a resumed campaign's cross-shard dedup never
+    re-ships a pre-interruption crash or violation (they are excluded
+    from {!unique_crashes}/{!unique_logic} and the counts); the
+    remaining keys prime the exchange-store dedup tables so a
+    re-discovered stored entry is not re-exchanged. Idempotent. *)
+
 val seed_port : Seed_pool.t -> port
 (** Seed-only exchange over a plain seed pool: export drains seeds
     admitted since the previous export, import folds foreign seeds into

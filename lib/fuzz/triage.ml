@@ -8,11 +8,18 @@ type t = {
     (Oracle.Violation.t * Sqlcore.Ast.testcase option) list;
       (* reverse first-seen order *)
   mutable logic_total : int;
+  (* Deterministic key logs: hashtable iteration order is unspecified,
+     but the persisted dedup table must serialize identically run to
+     run. Preloaded keys (farm resume) land here too, so a store saved
+     from a resumed campaign carries the union of old and new keys. *)
+  mutable key_log : string list;        (* reverse order *)
+  mutable logic_key_log : string list;  (* reverse order *)
 }
 
 let create () =
   { seen = Hashtbl.create 32; uniques = []; total = 0;
-    lseen = Hashtbl.create 16; logic_uniques = []; logic_total = 0 }
+    lseen = Hashtbl.create 16; logic_uniques = []; logic_total = 0;
+    key_log = []; logic_key_log = [] }
 
 let stack_key (c : Minidb.Fault.crash) = String.concat "|" c.c_stack
 
@@ -22,6 +29,7 @@ let record t ?testcase crash =
   if Hashtbl.mem t.seen key then false
   else begin
     Hashtbl.replace t.seen key ();
+    t.key_log <- key :: t.key_log;
     t.uniques <- (crash, testcase) :: t.uniques;
     true
   end
@@ -32,6 +40,7 @@ let record_logic t ?testcase violation =
   if Hashtbl.mem t.lseen key then false
   else begin
     Hashtbl.replace t.lseen key ();
+    t.logic_key_log <- key :: t.logic_key_log;
     t.logic_uniques <- (violation, testcase) :: t.logic_uniques;
     true
   end
@@ -49,6 +58,30 @@ let total_logic t = t.logic_total
 let unique_logic t = List.rev t.logic_uniques
 
 let logic_count t = List.length t.logic_uniques
+
+(* The farm-resume fix: previously dedup keys existed only as live
+   hashtable state rebuilt from scratch by each process, so a resumed
+   campaign re-reported every pre-interruption finding as new. Preload
+   marks persisted keys as seen without a representative. *)
+let preload t ~crash_keys ~logic_keys =
+  List.iter
+    (fun key ->
+       if not (Hashtbl.mem t.seen key) then begin
+         Hashtbl.replace t.seen key ();
+         t.key_log <- key :: t.key_log
+       end)
+    crash_keys;
+  List.iter
+    (fun key ->
+       if not (Hashtbl.mem t.lseen key) then begin
+         Hashtbl.replace t.lseen key ();
+         t.logic_key_log <- key :: t.logic_key_log
+       end)
+    logic_keys
+
+let crash_keys t = List.rev t.key_log
+
+let logic_keys t = List.rev t.logic_key_log
 
 let bug_ids t =
   let ids =

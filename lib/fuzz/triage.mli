@@ -48,3 +48,25 @@ val unique_logic :
     paired with the test case that first exposed it. *)
 
 val logic_count : t -> int
+
+(** {2 Persisted-key preload (farm resume)}
+
+    A resumed campaign must not re-report findings the interrupted run
+    already shipped. {!preload} marks persisted dedup keys as seen {e
+    without} a representative: {!record}/{!record_logic} on a preloaded
+    key return [false] (and add nothing to {!unique}/{!unique_logic}),
+    exactly as if the crash had been seen in this process. Preloaded keys
+    do not count toward {!unique_count}, {!total_crashes} or
+    {!logic_count} — those stay "this run's findings". *)
+
+val preload : t -> crash_keys:string list -> logic_keys:string list -> unit
+(** Idempotent; keys already seen (preloaded or recorded) are ignored. *)
+
+val crash_keys : t -> string list
+(** Every crash dedup key this triage knows — preloaded keys first (in
+    preload order), then locally recorded keys in first-seen order. The
+    deterministic persisted form of the dedup table: a store saved from a
+    resumed campaign carries the union. *)
+
+val logic_keys : t -> string list
+(** Logic-signature counterpart of {!crash_keys}. *)

@@ -145,6 +145,63 @@ let render_stages buf events =
        end)
     dumps
 
+(* Farm budget allocation (DESIGN.md §16): present only when the stream
+   was recorded by [legofuzz farm], i.e. when the "farm" registry dump
+   carries farm.<id>.* scheduling counters. The campaign id is whatever
+   sits between the "farm." prefix and the ".rounds/.allocated/.new_keys"
+   suffix, so ids containing dots render correctly. *)
+let render_farm buf events =
+  List.iter
+    (function
+      | Event.Registry_dump { series = "farm"; registry } ->
+        let suffixes = [ ".rounds"; ".allocated"; ".new_keys" ] in
+        let ids =
+          List.filter_map
+            (fun c ->
+               if String.length c > 5 && String.sub c 0 5 = "farm." then
+                 List.find_map
+                   (fun sfx ->
+                      let lc = String.length c and ls = String.length sfx in
+                      if lc > 5 + ls && String.sub c (lc - ls) ls = sfx then
+                        Some (String.sub c 5 (lc - 5 - ls))
+                      else None)
+                   suffixes
+               else None)
+            (Registry.counter_names registry)
+          |> List.sort_uniq compare
+        in
+        if ids <> [] then begin
+          let value id which =
+            Registry.counter_value registry
+              (Printf.sprintf "farm.%s.%s" id which)
+          in
+          let total =
+            List.fold_left (fun acc id -> acc + value id "allocated") 0 ids
+          in
+          Buffer.add_string buf "\nfarm allocation\n";
+          Buffer.add_string buf
+            (Printf.sprintf "  %-16s %7s %10s %7s %9s %9s\n" "campaign"
+               "rounds" "allocated" "share" "new_keys" "keys/1k");
+          List.iter
+            (fun id ->
+               let allocated = value id "allocated" in
+               let new_keys = value id "new_keys" in
+               let share =
+                 if total = 0 then 0.0
+                 else 100.0 *. float_of_int allocated /. float_of_int total
+               in
+               let per_k =
+                 if allocated = 0 then 0.0
+                 else 1000.0 *. float_of_int new_keys /. float_of_int allocated
+               in
+               Buffer.add_string buf
+                 (Printf.sprintf "  %-16s %7d %10d %6.1f%% %9d %9.1f\n" id
+                    (value id "rounds") allocated share new_keys per_k))
+            ids
+        end
+      | _ -> ())
+    events
+
 (* Grammar-rule coverage (DESIGN.md §15): present only when the run was
    recorded with --feedback grammar|both, i.e. when a registry dump
    carries the grammar.* namespace. *)
@@ -206,6 +263,7 @@ let render events =
   let buf = Buffer.create 1024 in
   render_meta buf events;
   render_series buf events;
+  render_farm buf events;
   render_stages buf events;
   render_grammar buf events;
   render_summary buf events;

@@ -23,10 +23,14 @@ let runs_dir () =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   dir
 
-let jsonl ?dir ~name () =
+let jsonl ?dir ?(append = false) ~name () =
   let dir = match dir with Some d -> d | None -> runs_dir () in
   let path = Filename.concat dir (name ^ ".jsonl") in
-  let oc = Out_channel.open_text path in
+  let oc =
+    if append then
+      Out_channel.open_gen [ Open_append; Open_creat; Open_text ] 0o644 path
+    else Out_channel.open_text path
+  in
   ( { emit =
         (fun ev ->
            Out_channel.output_string oc (Json.to_string (Event.to_json ev));

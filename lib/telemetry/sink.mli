@@ -35,10 +35,13 @@ val runs_dir : unit -> string
     file-writing sinks put their output here so runs never scatter
     top-level files. *)
 
-val jsonl : ?dir:string -> name:string -> unit -> t * string
+val jsonl : ?dir:string -> ?append:bool -> name:string -> unit -> t * string
 (** A JSONL recorder writing [<dir>/<name>.jsonl] (default dir
     {!runs_dir}); returns the sink and the path. The file is truncated,
-    written line-by-line and flushed on close. *)
+    written line-by-line and flushed on close. With [append] (default
+    false) an existing file is extended instead — a resumed campaign's
+    checkpoints continue the interrupted run's stream (the resume [Meta]
+    event carries the [resumed_from] field marking the boundary). *)
 
 val human : ?print:(string -> unit) -> unit -> t
 (** Console summary formatting. [Checkpoint] events of the ["aggregate"]

@@ -1,0 +1,713 @@
+(* Farm layer (DESIGN.md §16): store round-trip properties, crash
+   recovery, UCB1 bandit behaviour, and the resume golden test. *)
+
+open Sqlcore
+module Store = Farm.Store
+module Bandit = Farm.Bandit
+module Spec = Farm.Spec
+module Resume = Farm.Resume
+module Scheduler = Farm.Scheduler
+module Prop = Reprutil.Prop
+module Bitmap = Coverage.Bitmap
+module Sync = Fuzz.Sync
+
+let parse = Sqlparser.Parser.parse_testcase_exn
+let parse_stmt = Sqlparser.Parser.parse_stmt_exn
+
+(* --- scratch directories --------------------------------------------- *)
+
+let fresh_dir prefix =
+  let f = Filename.temp_file ("legofuzz-" ^ prefix ^ "-") "" in
+  Sys.remove f;
+  Store.ensure_dir f;
+  f
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let with_dir prefix f =
+  let dir = fresh_dir prefix in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let contains haystack needle =
+  let lh = String.length haystack and ln = String.length needle in
+  let rec scan i =
+    i + ln <= lh && (String.sub haystack i ln = needle || scan (i + 1))
+  in
+  scan 0
+
+(* --- generators ------------------------------------------------------- *)
+
+let pick ~print arr =
+  Prop.map ~print
+    (fun i -> arr.(i))
+    (Prop.int_range 0 (Array.length arr - 1))
+
+let pick_str arr = pick ~print:Fun.id arr
+
+let testcase_pool =
+  Array.map parse
+    [| "SELECT 1";
+       "SELECT a FROM t WHERE a > 0";
+       "CREATE TABLE t (a INT, b TEXT)";
+       "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT a FROM t";
+       "INSERT INTO t VALUES (1, 'x')";
+       "UPDATE t SET a = 2 WHERE b = 'x'";
+       "DELETE FROM t WHERE a IS NOT NULL";
+       "DROP TABLE IF EXISTS t";
+       "SELECT a, b FROM t ORDER BY a LIMIT 3" |]
+
+let stmt_pool =
+  Array.map parse_stmt
+    [| "SELECT 1";
+       "CREATE TABLE s (c INT)";
+       "INSERT INTO s VALUES (9)";
+       "UPDATE s SET c = c + 1";
+       "DELETE FROM s WHERE c = 0" |]
+
+let gen_int64 =
+  Prop.map
+    ~print:(Printf.sprintf "%#Lx")
+    (fun (hi, lo) ->
+       Int64.logor (Int64.shift_left (Int64.of_int hi) 32) (Int64.of_int lo))
+    (Prop.pair (Prop.int_range 0 0xFFFFFFFF) (Prop.int_range 0 0xFFFFFFFF))
+
+let print_xseed (s : Sync.xseed) =
+  Printf.sprintf "%s #%Lx" (Sql_printer.testcase s.xs_tc) s.xs_cov_hash
+
+let gen_xseed =
+  Prop.map ~print:print_xseed
+    (fun (tc, (hash, branches, cost)) ->
+       { Sync.xs_tc = tc;
+         xs_cov_hash = hash;
+         xs_new_branches = branches;
+         xs_cost = cost })
+    (Prop.pair
+       (pick ~print:Sql_printer.testcase testcase_pool)
+       (Prop.triple gen_int64 (Prop.int_range 0 512) (Prop.int_range 0 9999)))
+
+let gen_stmt_type =
+  Prop.map ~print:Stmt_type.name Stmt_type.of_index
+    (Prop.int_range 0 (Stmt_type.count - 1))
+
+let gen_affinities =
+  Prop.list ~max_len:16 (Prop.pair gen_stmt_type gen_stmt_type)
+
+let gen_skeletons =
+  Prop.list ~max_len:8 (pick ~print:Sql_printer.stmt stmt_pool)
+
+(* compact_of_cells wants the canonical form: unique indices, ascending. *)
+let canonical_cells cells =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (i, v) -> if not (Hashtbl.mem tbl i) then Hashtbl.add tbl i v)
+    cells;
+  Hashtbl.fold (fun i v acc -> (i, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let gen_compact =
+  Prop.map
+    ~print:(fun c ->
+      Printf.sprintf "%d cells" (List.length (Bitmap.compact_cells c)))
+    (fun cells -> Bitmap.compact_of_cells (canonical_cells cells))
+    (Prop.list ~max_len:64
+       (Prop.pair (Prop.int_range 0 (Bitmap.size - 1)) (Prop.int_range 1 255)))
+
+(* Dedup keys exercise the JSON string escaper: quotes, backslashes,
+   control characters, raw UTF-8 bytes. *)
+let key_pool =
+  [| "minidb:Index.lookup:34";
+     "engine \"quoted\" frame";
+     "back\\slash\\key";
+     "multi\nline\nstack";
+     "tab\there";
+     "plain_key_1";
+     "plain_key_2";
+     "\xce\xbb-unicode";
+     "spaces in key" |]
+
+let gen_keys = Prop.list ~max_len:10 (pick_str key_pool)
+
+let id_pool = [| "a"; "camp-1"; "x.y_z"; "A09"; "dots.in.id"; "under_score" |]
+let fuzzer_pool = [| "lego"; "lego-"; "squirrel"; "sqlancer"; "sqlsmith" |]
+let dialect_pool = [| "postgresql"; "mysql"; "mariadb"; "comdb2" |]
+
+let quirk_pool =
+  [| "index_eq_skips_first"; "or_drops_right"; "limit_off_by_one" |]
+
+let feedback_pool = [| Fuzz.Harness.Edges; Fuzz.Harness.Grammar;
+                       Fuzz.Harness.Both |]
+
+let gen_campaign =
+  Prop.map
+    ~print:(fun c -> c.Store.sc_id ^ "/" ^ c.Store.sc_fuzzer)
+    (fun ((id, fuzzer, dialect),
+          (quirks, feedback, (oracles, cache, (seed, budget)))) ->
+      { Store.sc_id = id;
+        sc_fuzzer = fuzzer;
+        sc_dialect = dialect;
+        sc_quirks = quirks;
+        sc_feedback = feedback;
+        sc_oracles = oracles;
+        sc_exec_cache = cache;
+        sc_seed = seed;
+        sc_budget = budget })
+    (Prop.pair
+       (Prop.triple (pick_str id_pool) (pick_str fuzzer_pool)
+          (pick_str dialect_pool))
+       (Prop.triple
+          (Prop.list ~max_len:2 (pick_str quirk_pool))
+          (pick ~print:(fun _ -> "feedback") feedback_pool)
+          (Prop.triple Prop.bool
+             (Prop.int_range 0 4096)
+             (Prop.pair (Prop.int_range 0 1_000_000)
+                (Prop.int_range 1 1_000_000)))))
+
+let gen_progress =
+  Prop.map
+    ~print:(fun p ->
+      Printf.sprintf "execs=%d epoch=%d" p.Store.pr_execs_done p.Store.pr_epoch)
+    (fun (execs, epoch) -> { Store.pr_execs_done = execs; pr_epoch = epoch })
+    (Prop.pair (Prop.int_range 0 2_000_000) (Prop.int_range 0 12))
+
+let base_campaign =
+  { Store.sc_id = "prop";
+    sc_fuzzer = "lego";
+    sc_dialect = "postgresql";
+    sc_quirks = [];
+    sc_feedback = Fuzz.Harness.Both;
+    sc_oracles = false;
+    sc_exec_cache = 0;
+    sc_seed = 1;
+    sc_budget = 1000 }
+
+let base () = Store.empty_snapshot base_campaign
+
+(* --- store round-trip battery ----------------------------------------- *)
+
+let roundtrips dir sn =
+  let (_ : int) = Store.save ~keep:1 ~dir sn in
+  match Store.load ~dir with
+  | Ok (sn', _, _) -> Store.snapshot_equal sn sn'
+  | Error _ -> false
+
+let test_roundtrip_meta () =
+  with_dir "rt-meta" (fun dir ->
+    Prop.check ~name:"meta save→load ≡ identity"
+      (Prop.pair gen_campaign gen_progress)
+      (fun (c, p) ->
+         roundtrips dir { (Store.empty_snapshot c) with Store.sn_progress = p }))
+
+let test_roundtrip_corpus () =
+  with_dir "rt-corpus" (fun dir ->
+    Prop.check ~name:"corpus save→load ≡ identity"
+      (Prop.list ~max_len:12 gen_xseed)
+      (fun seeds -> roundtrips dir { (base ()) with Store.sn_seeds = seeds }))
+
+let test_roundtrip_affinities () =
+  with_dir "rt-aff" (fun dir ->
+    Prop.check ~name:"affinities save→load ≡ identity" gen_affinities
+      (fun affs ->
+         roundtrips dir { (base ()) with Store.sn_affinities = affs }))
+
+let test_roundtrip_skeletons () =
+  with_dir "rt-skel" (fun dir ->
+    Prop.check ~name:"skeletons save→load ≡ identity" gen_skeletons
+      (fun skels ->
+         roundtrips dir { (base ()) with Store.sn_skeletons = skels }))
+
+let test_roundtrip_maps () =
+  with_dir "rt-maps" (fun dir ->
+    Prop.check ~name:"virgin maps save→load ≡ identity"
+      (Prop.pair gen_compact gen_compact)
+      (fun (virgin, grammar) ->
+         roundtrips dir
+           { (base ()) with Store.sn_virgin = virgin; sn_grammar = grammar }))
+
+let test_roundtrip_dedup () =
+  with_dir "rt-dedup" (fun dir ->
+    Prop.check ~name:"dedup keys save→load ≡ identity"
+      (Prop.pair gen_keys gen_keys)
+      (fun (crashes, logic) ->
+         roundtrips dir
+           { (base ()) with
+             Store.sn_crash_keys = crashes;
+             sn_logic_keys = logic }))
+
+let test_roundtrip_full () =
+  with_dir "rt-full" (fun dir ->
+    Prop.check ~count:300 ~name:"full snapshot save→load ≡ identity"
+      (Prop.pair
+         (Prop.triple (Prop.pair gen_campaign gen_progress)
+            (Prop.list ~max_len:8 gen_xseed) gen_affinities)
+         (Prop.triple gen_skeletons (Prop.pair gen_compact gen_compact)
+            (Prop.pair gen_keys gen_keys)))
+      (fun (((c, p), seeds, affs), (skels, (virgin, grammar), (ck, lk))) ->
+         roundtrips dir
+           { Store.sn_campaign = c;
+             sn_progress = p;
+             sn_seeds = seeds;
+             sn_affinities = affs;
+             sn_skeletons = skels;
+             sn_virgin = virgin;
+             sn_grammar = grammar;
+             sn_crash_keys = ck;
+             sn_logic_keys = lk }))
+
+(* --- crash recovery --------------------------------------------------- *)
+
+let sample_snapshot n =
+  let take k arr = Array.to_list (Array.sub arr 0 k) in
+  let seed i tc =
+    { Sync.xs_tc = tc;
+      xs_cov_hash = Int64.of_int (0x1234 + (i * 7919));
+      xs_new_branches = i + 1;
+      xs_cost = 10 * (i + 1) }
+  in
+  { Store.sn_campaign = base_campaign;
+    sn_progress = { pr_execs_done = 100 * n; pr_epoch = n };
+    sn_seeds = List.mapi seed (take (min n 4) testcase_pool);
+    sn_affinities =
+      List.init n (fun i ->
+        (Stmt_type.of_index (i mod Stmt_type.count),
+         Stmt_type.of_index ((i * 3) mod Stmt_type.count)));
+    sn_skeletons = take (min n 3) stmt_pool;
+    sn_virgin =
+      Bitmap.compact_of_cells (List.init (4 * n) (fun i -> (17 * i, 1 + i)));
+    sn_grammar = Bitmap.compact_of_cells (List.init n (fun i -> (31 * i, 8)));
+    sn_crash_keys = List.init n (Printf.sprintf "crash-%d");
+    sn_logic_keys = List.init n (Printf.sprintf "logic-%d") }
+
+(* Two generations: gen 1 holds [snap_a], gen 2 the richer [snap_b]. *)
+let snap_a = sample_snapshot 2
+let snap_b = sample_snapshot 5
+
+let two_gen_store dir =
+  let g1 = Store.save ~dir snap_a in
+  let g2 = Store.save ~dir snap_b in
+  Alcotest.(check (pair int int)) "generation numbers" (1, 2) (g1, g2)
+
+let truncate_file path =
+  let s = read_file path in
+  write_file path (String.sub s 0 (String.length s / 2))
+
+let bitflip_file path =
+  let s = Bytes.of_string (read_file path) in
+  let i = Bytes.length s / 2 in
+  Bytes.set s i (Char.chr (Char.code (Bytes.get s i) lxor 0x20));
+  write_file path (Bytes.to_string s)
+
+let check_falls_back_to_gen1 dir =
+  match Store.load ~dir with
+  | Ok (sn, generation, warnings) ->
+    Alcotest.(check int) "fell back to generation 1" 1 generation;
+    Alcotest.(check bool) "recovered snapshot is gen 1's" true
+      (Store.snapshot_equal snap_a sn);
+    Alcotest.(check bool) "corruption reported" true (warnings <> []);
+    Alcotest.(check bool) "warning names the bad generation" true
+      (List.exists (fun w -> contains w "gen-000002") warnings)
+  | Error ws ->
+    Alcotest.failf "no valid generation: %s" (String.concat "; " ws)
+
+let corrupt_gen dir gen how file =
+  how (Filename.concat (Store.generation_dir ~dir gen) file)
+
+let test_recovery_truncated () =
+  with_dir "rec-trunc" (fun dir ->
+    two_gen_store dir;
+    corrupt_gen dir 2 truncate_file "corpus.jsonl";
+    check_falls_back_to_gen1 dir)
+
+let test_recovery_bitflip () =
+  with_dir "rec-flip" (fun dir ->
+    two_gen_store dir;
+    corrupt_gen dir 2 bitflip_file "virgin.json";
+    check_falls_back_to_gen1 dir)
+
+let test_recovery_missing_section () =
+  with_dir "rec-del" (fun dir ->
+    two_gen_store dir;
+    corrupt_gen dir 2 Sys.remove "meta.json";
+    check_falls_back_to_gen1 dir)
+
+let test_recovery_torn_manifest () =
+  with_dir "rec-manifest" (fun dir ->
+    two_gen_store dir;
+    corrupt_gen dir 2 Sys.remove Store.manifest_file;
+    check_falls_back_to_gen1 dir)
+
+let test_recovery_stray_tmp_ignored () =
+  with_dir "rec-tmp" (fun dir ->
+    two_gen_store dir;
+    (* A writer killed mid-save leaves temp files; they must not affect
+       loading or digest validation. *)
+    write_file
+      (Filename.concat (Store.generation_dir ~dir 2) "corpus.jsonl.tmp")
+      "half-written garbage";
+    write_file (Filename.concat dir "stray.tmp") "noise";
+    match Store.load ~dir with
+    | Ok (sn, generation, warnings) ->
+      Alcotest.(check int) "newest generation still valid" 2 generation;
+      Alcotest.(check bool) "snapshot intact" true
+        (Store.snapshot_equal snap_b sn);
+      Alcotest.(check (list string)) "no warnings" [] warnings
+    | Error ws ->
+      Alcotest.failf "no valid generation: %s" (String.concat "; " ws))
+
+let test_recovery_all_corrupt () =
+  with_dir "rec-all" (fun dir ->
+    two_gen_store dir;
+    corrupt_gen dir 1 truncate_file "dedup.json";
+    corrupt_gen dir 2 bitflip_file "corpus.jsonl";
+    match Store.load ~dir with
+    | Ok (_, generation, _) ->
+      Alcotest.failf "loaded corrupt generation %d" generation
+    | Error warnings ->
+      Alcotest.(check bool) "both generations reported" true
+        (List.length warnings >= 2))
+
+let test_recovery_save_after_corruption () =
+  with_dir "rec-resave" (fun dir ->
+    two_gen_store dir;
+    corrupt_gen dir 2 bitflip_file "skeletons.jsonl";
+    (* The next save must not reuse the corrupt generation's number. *)
+    let g3 = Store.save ~dir snap_b in
+    Alcotest.(check int) "new generation after the corrupt one" 3 g3;
+    match Store.load ~dir with
+    | Ok (sn, generation, _) ->
+      Alcotest.(check int) "loads the new generation" 3 generation;
+      Alcotest.(check bool) "snapshot intact" true
+        (Store.snapshot_equal snap_b sn)
+    | Error ws ->
+      Alcotest.failf "no valid generation: %s" (String.concat "; " ws))
+
+(* --- bandit ----------------------------------------------------------- *)
+
+let test_bandit_deterministic () =
+  let drive () =
+    let b = Bandit.create ~arms:3 () in
+    let rounds = ref [] in
+    for _ = 1 to 6 do
+      let active = [| true; true; true |] in
+      let execs, pulls = Bandit.allocate b ~budget:1000 ~active in
+      rounds := Array.to_list execs :: !rounds;
+      Array.iteri
+        (fun arm p ->
+           if p > 0 then
+             Bandit.update b ~arm ~pulls:p
+               ~reward:(0.1 *. float_of_int (arm + 1)))
+        pulls
+    done;
+    List.rev !rounds
+  in
+  Alcotest.(check (list (list int)))
+    "same update sequence, same allocations" (drive ()) (drive ())
+
+let test_bandit_conservation () =
+  Prop.check ~name:"allocate conserves the budget exactly"
+    (Prop.triple (Prop.int_range 1 6) (Prop.int_range 0 5000)
+       (Prop.pair (Prop.list ~max_len:6 Prop.bool)
+          (Prop.list ~max_len:6 (Prop.int_range 0 10))))
+    (fun (arms, budget, (mask, rewards)) ->
+       let active =
+         Array.init arms (fun i ->
+           match List.nth_opt mask i with Some b -> b | None -> false)
+       in
+       let b = Bandit.create ~arms () in
+       (* Vary the committed state before the allocation under test. *)
+       List.iteri
+         (fun i r ->
+            if i < arms then
+              Bandit.update b ~arm:i ~pulls:(1 + (i mod 3))
+                ~reward:(float_of_int r /. 10.0))
+         rewards;
+       let execs, _ = Bandit.allocate b ~budget ~active in
+       let sum = Array.fold_left ( + ) 0 execs in
+       let any = Array.exists Fun.id active in
+       let inactive_zero =
+         Array.for_all2 (fun a e -> a || e = 0) active execs
+       in
+       (if any then sum = budget else sum = 0) && inactive_zero)
+
+let test_bandit_explores_fresh_arms () =
+  let b = Bandit.create ~arms:4 () in
+  let execs, pulls =
+    Bandit.allocate b ~budget:1000 ~active:[| true; true; true; true |]
+  in
+  Array.iteri
+    (fun arm e ->
+       Alcotest.(check bool)
+         (Printf.sprintf "arm %d explored" arm)
+         true (e > 0 && pulls.(arm) > 0))
+    execs
+
+let test_bandit_planted_two_arms () =
+  let b = Bandit.create ~arms:2 () in
+  let total = [| 0; 0 |] in
+  for _ = 1 to 40 do
+    let execs, pulls = Bandit.allocate b ~budget:250 ~active:[| true; true |] in
+    total.(0) <- total.(0) + execs.(0);
+    total.(1) <- total.(1) + execs.(1);
+    Array.iteri
+      (fun arm p ->
+         if p > 0 then
+           Bandit.update b ~arm ~pulls:p
+             ~reward:(if arm = 0 then 0.9 else 0.1))
+      pulls
+  done;
+  let dealt = total.(0) + total.(1) in
+  Alcotest.(check int) "budget conserved over all rounds" (40 * 250) dealt;
+  Alcotest.(check bool)
+    (Printf.sprintf "high-yield arm got %d/%d (wanted >= 60%%)" total.(0) dealt)
+    true
+    (total.(0) * 100 >= 60 * dealt)
+
+let test_bandit_inactive_arm () =
+  let b = Bandit.create ~arms:2 () in
+  Bandit.update b ~arm:1 ~pulls:4 ~reward:5.0;
+  let execs, _ = Bandit.allocate b ~budget:300 ~active:[| true; false |] in
+  Alcotest.(check (list int)) "retired arm gets nothing" [ 300; 0 ]
+    (Array.to_list execs)
+
+(* --- spec parsing ----------------------------------------------------- *)
+
+let spec_text =
+  {|{"campaigns":[
+      {"id":"hot","fuzzer":"lego","dialect":"postgresql","feedback":"both",
+       "budget":8000,"seed":11},
+      {"id":"cold","fuzzer":"sqlsmith","dialect":"mysql",
+       "quirks":["index_eq_skips_first"],"budget":8000,"seed":11}],
+     "total_execs":8000,"round_execs":800,"workers":2,
+     "policy":"bandit","ucb_c":0.3}|}
+
+let parse_spec () =
+  match Telemetry.Json.of_string spec_text with
+  | Error m -> Alcotest.failf "spec json: %s" m
+  | Ok j ->
+    (match Spec.of_json j with
+     | Error m -> Alcotest.failf "spec: %s" m
+     | Ok spec -> spec)
+
+let test_spec_json_roundtrip () =
+  let spec = parse_spec () in
+  Alcotest.(check int) "campaigns" 2 (List.length spec.Spec.fs_campaigns);
+  Alcotest.(check string) "policy" "bandit"
+    (Spec.policy_to_string spec.fs_policy);
+  match Spec.of_json (Spec.to_json spec) with
+  | Error m -> Alcotest.failf "re-parse: %s" m
+  | Ok spec' ->
+    Alcotest.(check bool) "to_json ∘ of_json is the identity" true
+      (spec = spec')
+
+let test_spec_rejects_unknown_fuzzer () =
+  let bad =
+    {|{"campaigns":[{"id":"x","fuzzer":"afl","dialect":"postgresql",
+       "budget":10}],"total_execs":10}|}
+  in
+  match Telemetry.Json.of_string bad with
+  | Error m -> Alcotest.failf "spec json: %s" m
+  | Ok j ->
+    (match Spec.of_json j with
+     | Ok _ -> Alcotest.fail "unknown fuzzer accepted"
+     | Error m ->
+       Alcotest.(check bool) "error names the fuzzer" true (contains m "afl"))
+
+(* --- planted two-campaign farm ---------------------------------------- *)
+
+let test_scheduler_planted () =
+  with_dir "farm-planted" (fun runs_dir ->
+    let spec = parse_spec () in
+    match Scheduler.run ~runs_dir spec with
+    | Error m -> Alcotest.failf "farm: %s" m
+    | Ok r ->
+      let find id =
+        List.find
+          (fun c -> c.Scheduler.fc_campaign.Store.sc_id = id)
+          r.Scheduler.fr_campaigns
+      in
+      let hot = find "hot" and cold = find "cold" in
+      Alcotest.(check int) "whole farm budget dealt"
+        spec.Spec.fs_total_execs r.fr_allocated;
+      Alcotest.(check int) "per-round allocations sum to the farm total"
+        r.fr_allocated
+        (hot.fc_allocated + cold.fc_allocated);
+      Alcotest.(check bool)
+        (Printf.sprintf "bandit favours the high-yield arm: %d/%d"
+           hot.fc_allocated r.fr_allocated)
+        true
+        (hot.fc_allocated * 100 >= 60 * r.fr_allocated);
+      Alcotest.(check int) "farm counter mirrors the allocation"
+        hot.fc_allocated
+        (Telemetry.Registry.counter_value r.fr_metrics "farm.hot.allocated");
+      List.iter
+        (fun c ->
+           Alcotest.(check bool)
+             (c.Scheduler.fc_campaign.Store.sc_id ^ " store written") true
+             (c.fc_generation >= 1
+              && Store.generations
+                   ~dir:
+                     (Store.store_dir ~runs_dir c.fc_campaign.Store.sc_id)
+                 <> []))
+        [ hot; cold ])
+
+(* --- resume golden test ------------------------------------------------ *)
+
+let golden_budget = 12_000
+
+let golden_campaign =
+  { Store.sc_id = "golden";
+    sc_fuzzer = "lego";
+    sc_dialect = "postgresql";
+    sc_quirks = [];
+    sc_feedback = Fuzz.Harness.Both;
+    sc_oracles = false;
+    sc_exec_cache = 0;
+    sc_seed = 5;
+    sc_budget = golden_budget }
+
+let golden_factory () =
+  match Spec.make ~campaign:golden_campaign ~seed:golden_campaign.sc_seed with
+  | Ok f -> f
+  | Error m -> Alcotest.failf "factory: %s" m
+
+let keys_of_result (res : Fuzz.Campaign.result) =
+  match res.cg_shards with
+  | [ sh ] -> Scheduler.coverage_keys sh.Fuzz.Campaign.sh_fuzzer
+  | shards -> Alcotest.failf "expected one shard, got %d" (List.length shards)
+
+let is_prefix xs ys =
+  let rec go = function
+    | [], _ -> true
+    | _, [] -> false
+    | x :: xs, y :: ys -> x = y && go (xs, ys)
+  in
+  go (xs, ys)
+
+let test_resume_golden () =
+  (* Uninterrupted run at the full budget — the parity baseline. *)
+  let full = Fuzz.Campaign.run ~jobs:1 ~execs:golden_budget (golden_factory ()) in
+  let keys_full = keys_of_result full in
+  with_dir "golden" (fun dir ->
+    (* Interrupt at half budget and persist — what fuzz --store does. *)
+    let half =
+      Fuzz.Campaign.run ~jobs:1 ~execs:(golden_budget / 2) (golden_factory ())
+    in
+    let sn1 =
+      Resume.capture
+        ~prior:(Store.empty_snapshot golden_campaign)
+        ~campaign:golden_campaign
+        ~progress:
+          { Store.pr_execs_done = half.cg_snapshot.Fuzz.Driver.st_execs;
+            pr_epoch = 0 }
+        half
+    in
+    let g1 = Store.save ~dir sn1 in
+    Alcotest.(check int) "first generation" 1 g1;
+    let stored_crashes = sn1.Store.sn_crash_keys in
+    let stored_logic = sn1.Store.sn_logic_keys in
+    match Resume.run ~dir () with
+    | Error m -> Alcotest.failf "resume: %s" m
+    | Ok o ->
+      Alcotest.(check int) "resumed from generation 1" 1 o.Resume.rs_from_generation;
+      Alcotest.(check int) "second generation written" 2 o.rs_generation;
+      Alcotest.(check int) "fresh epoch" 1 o.rs_epoch;
+      Alcotest.(check int) "budget unchanged" golden_budget o.rs_budget;
+      Alcotest.(check bool) "budget fully spent" true
+        (o.rs_execs_done >= golden_budget);
+      Alcotest.(check int) "pre-crash findings preloaded"
+        (List.length stored_crashes) o.rs_preloaded_crashes;
+      (* Parity: at equal total budget the resumed campaign must reach at
+         least 99% of the uninterrupted run's coverage keys. (It often
+         reaches MORE — the resumed epoch runs a fresh RNG stream over
+         the imported corpus, a diversity bonus — so the bound is
+         one-sided.) *)
+      let keys_resumed = keys_of_result o.rs_result in
+      Alcotest.(check bool)
+        (Printf.sprintf "coverage-key parity: resumed=%d vs full=%d"
+           keys_resumed keys_full)
+        true
+        (float_of_int keys_resumed >= 0.99 *. float_of_int keys_full);
+      (* Zero re-reported findings: every crash or violation the resumed
+         segment reports must be new, i.e. its dedup key absent from the
+         store it resumed from. *)
+      let seg_crashes =
+        List.map (fun (c, _) -> Fuzz.Triage.stack_key c) o.rs_result.cg_crashes
+      in
+      let seg_logic =
+        List.map (fun (v, _) -> Oracle.Violation.key v) o.rs_result.cg_logic
+      in
+      Alcotest.(check (list string)) "no crash re-reported" []
+        (List.filter (fun k -> List.mem k stored_crashes) seg_crashes);
+      Alcotest.(check (list string)) "no violation re-reported" []
+        (List.filter (fun k -> List.mem k stored_logic) seg_logic);
+      (* The new generation extends the old dedup keys in order. *)
+      (match Store.load ~dir with
+       | Error ws -> Alcotest.failf "reload: %s" (String.concat "; " ws)
+       | Ok (sn2, g2, _) ->
+         Alcotest.(check int) "newest generation" 2 g2;
+         Alcotest.(check bool) "crash keys extended, never rewritten" true
+           (is_prefix stored_crashes sn2.Store.sn_crash_keys);
+         Alcotest.(check bool) "logic keys extended, never rewritten" true
+           (is_prefix stored_logic sn2.Store.sn_logic_keys);
+         Alcotest.(check int) "progress accumulated" o.rs_execs_done
+           sn2.sn_progress.Store.pr_execs_done);
+      (* Crash recovery end-to-end: corrupt the newest generation and the
+         next resume must fall back and still complete. *)
+      bitflip_file
+        (Filename.concat (Store.generation_dir ~dir 2) "corpus.jsonl");
+      (match Resume.run ~dir ~execs:200 () with
+       | Error m -> Alcotest.failf "resume after corruption: %s" m
+       | Ok o2 ->
+         Alcotest.(check int) "fell back to generation 1" 1
+           o2.Resume.rs_from_generation;
+         Alcotest.(check bool) "corruption reported" true
+           (o2.rs_warnings <> []);
+         Alcotest.(check int) "wrote a fresh generation" 3 o2.rs_generation))
+
+let suite =
+  [ Alcotest.test_case "roundtrip: meta" `Quick test_roundtrip_meta;
+    Alcotest.test_case "roundtrip: corpus" `Quick test_roundtrip_corpus;
+    Alcotest.test_case "roundtrip: affinities" `Quick
+      test_roundtrip_affinities;
+    Alcotest.test_case "roundtrip: skeletons" `Quick test_roundtrip_skeletons;
+    Alcotest.test_case "roundtrip: virgin maps" `Quick test_roundtrip_maps;
+    Alcotest.test_case "roundtrip: dedup keys" `Quick test_roundtrip_dedup;
+    Alcotest.test_case "roundtrip: full snapshot" `Quick test_roundtrip_full;
+    Alcotest.test_case "recovery: truncated section" `Quick
+      test_recovery_truncated;
+    Alcotest.test_case "recovery: bit flip" `Quick test_recovery_bitflip;
+    Alcotest.test_case "recovery: missing section" `Quick
+      test_recovery_missing_section;
+    Alcotest.test_case "recovery: torn manifest" `Quick
+      test_recovery_torn_manifest;
+    Alcotest.test_case "recovery: stray temp files ignored" `Quick
+      test_recovery_stray_tmp_ignored;
+    Alcotest.test_case "recovery: all generations corrupt" `Quick
+      test_recovery_all_corrupt;
+    Alcotest.test_case "recovery: save after corruption" `Quick
+      test_recovery_save_after_corruption;
+    Alcotest.test_case "bandit: deterministic" `Quick
+      test_bandit_deterministic;
+    Alcotest.test_case "bandit: budget conservation" `Quick
+      test_bandit_conservation;
+    Alcotest.test_case "bandit: explores fresh arms" `Quick
+      test_bandit_explores_fresh_arms;
+    Alcotest.test_case "bandit: planted two arms" `Quick
+      test_bandit_planted_two_arms;
+    Alcotest.test_case "bandit: inactive arm" `Quick test_bandit_inactive_arm;
+    Alcotest.test_case "spec: json roundtrip" `Quick test_spec_json_roundtrip;
+    Alcotest.test_case "spec: unknown fuzzer rejected" `Quick
+      test_spec_rejects_unknown_fuzzer;
+    Alcotest.test_case "farm: planted two campaigns" `Slow
+      test_scheduler_planted;
+    Alcotest.test_case "resume: golden parity" `Slow test_resume_golden ]

@@ -29,4 +29,5 @@ let () =
       ("integration", Test_integration.suite);
       ("cache", Test_cache.suite);
       ("server", Test_server.suite);
-      ("schedule", Test_schedule.suite) ]
+      ("schedule", Test_schedule.suite);
+      ("farm", Test_farm.suite) ]
