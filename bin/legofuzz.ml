@@ -632,6 +632,40 @@ let resume_cmd =
           old findings.")
     term
 
+(* --- worker (internal) ----------------------------------------------- *)
+
+(* The farm worker process entrypoint: spawned by `farm --workers N`,
+   never run by hand. stdout carries protocol lines only, so the
+   human-facing chatter other commands print must stay off this path. *)
+let worker_cmd =
+  let id_arg =
+    let doc = "Worker slot id (tags store generation namespaces)." in
+    Arg.(required & opt (some int) None & info [ "worker-id" ] ~docv:"K" ~doc)
+  in
+  let runs_dir_arg =
+    let doc = "Runs directory the campaign stores live under." in
+    Arg.(
+      value & opt (some string) None & info [ "runs-dir" ] ~docv:"DIR" ~doc)
+  in
+  let hb_arg =
+    let doc = "Executions between mid-round heartbeats." in
+    Arg.(value & opt int 500 & info [ "heartbeat-execs" ] ~docv:"N" ~doc)
+  in
+  let run worker runs_dir heartbeat_execs cow =
+    Minidb.Catalog.set_copy_on_write cow;
+    Farm.Worker.serve ?runs_dir ~heartbeat_execs ~worker stdin stdout
+  in
+  let term =
+    Term.(const run $ id_arg $ runs_dir_arg $ hb_arg $ cow_arg)
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "(internal) Farm worker process: serves farm rounds over a \
+          line-framed JSON protocol on stdin/stdout. Spawned by \
+          $(b,legofuzz farm --workers N); not meant to be run by hand.")
+    term
+
 (* --- farm ------------------------------------------------------------ *)
 
 let farm_cmd =
@@ -643,7 +677,25 @@ let farm_cmd =
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC.json" ~doc)
   in
-  let run spec_path cow telemetry json =
+  let workers_arg =
+    let doc =
+      "Run round slices in N spawned worker processes (the multi-process \
+       backend: each worker is a separate $(b,legofuzz worker) process, \
+       coordinated over pipes, merging results through store generation \
+       namespaces). 0 (default) keeps the in-process domain pool sized by \
+       the spec's $(b,workers) field."
+    in
+    Arg.(value & opt int 0 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let hb_timeout_arg =
+    let doc =
+      "Seconds of mid-round silence after which a worker process is \
+       declared wedged, killed and its round re-queued (multi-process \
+       backend only)."
+    in
+    Arg.(value & opt float 30. & info [ "heartbeat-timeout" ] ~docv:"S" ~doc)
+  in
+  let run spec_path workers heartbeat_timeout cow telemetry json =
     Minidb.Catalog.set_copy_on_write cow;
     match Farm.Spec.of_file spec_path with
     | Error e ->
@@ -653,14 +705,28 @@ let farm_cmd =
       let sink, recording = sink_stack ~json ~telemetry ~name:"farm" in
       if not json then
         Printf.printf
-          "farm: %d campaign(s), %d total execs, %d per round, %d \
-           worker(s), %s policy\n%!"
+          "farm: %d campaign(s), %d total execs, %d per round, %s, %s \
+           policy\n%!"
           (List.length spec.Farm.Spec.fs_campaigns)
           spec.Farm.Spec.fs_total_execs spec.Farm.Spec.fs_round_execs
-          spec.Farm.Spec.fs_workers
+          (if workers > 0 then
+             Printf.sprintf "%d worker process(es)" workers
+           else
+             Printf.sprintf "%d domain worker(s)" spec.Farm.Spec.fs_workers)
           (Farm.Spec.policy_to_string spec.Farm.Spec.fs_policy);
       let start = Telemetry.Span.now_s () in
-      (match Farm.Scheduler.run ~sink spec with
+      let result =
+        if workers > 0 then
+          let worker_argv k =
+            [| Sys.executable_name; "worker"; "--worker-id";
+               string_of_int k; "--runs-dir"; Telemetry.Sink.runs_dir ();
+               "--cow"; (if cow then "on" else "off") |]
+          in
+          Farm.Scheduler.run_processes ~sink ~worker_cmd:worker_argv
+            ~heartbeat_timeout ~workers spec
+        else Farm.Scheduler.run ~sink spec
+      in
+      (match result with
        | Error e ->
          Telemetry.Sink.close sink;
          prerr_endline e;
@@ -698,15 +764,17 @@ let farm_cmd =
          | _ -> ())
   in
   let term =
-    Term.(const run $ spec_arg $ cow_arg $ telemetry_arg $ json_arg)
+    Term.(const run $ spec_arg $ workers_arg $ hb_timeout_arg $ cow_arg
+          $ telemetry_arg $ json_arg)
   in
   Cmd.v
     (Cmd.info "farm"
        ~doc:
-         "Run a farm of campaigns over a domain pool, reallocating the \
-          execution budget each round with UCB1 over new-coverage-key \
-          rewards; every campaign persists a resumable store generation \
-          per round.")
+         "Run a farm of campaigns over a domain pool — or, with \
+          $(b,--workers N), over N spawned worker processes — \
+          reallocating the execution budget each round with UCB1 over \
+          new-coverage-key rewards; every campaign persists a resumable \
+          store generation per round.")
     term
 
 (* --- report ---------------------------------------------------------- *)
@@ -968,5 +1036,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ fuzz_cmd; compare_cmd; farm_cmd; resume_cmd; report_cmd; bugs_cmd;
-            affinities_cmd; exec_cmd; serve_cmd; reduce_cmd ]))
+          [ fuzz_cmd; compare_cmd; farm_cmd; worker_cmd; resume_cmd;
+            report_cmd; bugs_cmd; affinities_cmd; exec_cmd; serve_cmd;
+            reduce_cmd ]))

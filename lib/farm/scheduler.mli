@@ -66,3 +66,39 @@ val run :
     null). [Error] only on setup failures (unknown fuzzer/dialect,
     unloadable pre-existing store with no valid generation is treated
     as a fresh campaign, not an error). *)
+
+val run_processes :
+  ?sink:Telemetry.Sink.t ->
+  ?runs_dir:string ->
+  ?worker_cmd:(int -> string array) ->
+  ?heartbeat_timeout:float ->
+  ?max_restarts:int ->
+  ?on_heartbeat:(worker:int -> pid:int -> unit) ->
+  workers:int ->
+  Spec.t ->
+  (result, string) Stdlib.result
+(** The multi-process backend (DESIGN.md §17): the same round loop,
+    but each round slice runs in a spawned worker process
+    ([legofuzz worker], or whatever argv [worker_cmd slot_id] returns)
+    speaking the {!Transport} line protocol over its stdin/stdout.
+    Workers persist rounds into their store generation namespaces
+    ([gen-NNNNNN.wK]); the coordinator {!Store.promote}s each reported
+    generation under the store lock, so a finding is merged exactly
+    once and duplicate reporting is structurally impossible.
+
+    Failure containment: a worker that exits, misses heartbeats for
+    [heartbeat_timeout] seconds (default 30) mid-round, or emits a
+    malformed control line is killed and its in-flight round re-queued
+    to another slot — a lost worker costs at most one round. The slot
+    respawns up to [max_restarts] times (default 3), then retires.
+    [Error] only when setup fails or every slot dies before any round
+    completes.
+
+    [on_heartbeat] is a test hook invoked on every worker heartbeat
+    with the slot id and live pid.
+
+    Extra metrics over the in-process backend:
+    [farm.worker.<K>.{rounds,execs,restarts}] and
+    [farm.store.{reloads,reload_skipped}]. Campaign harness internals
+    ([exec.*, stage.*]) stay in the worker processes and are not
+    merged. *)

@@ -71,6 +71,42 @@ let generations ~dir =
     |> List.filter_map generation_of_basename
     |> List.sort compare
 
+(* Worker-namespace generations: gen-NNNNNN.wK, invisible to
+   [generations] (and so to every plain load path) until the
+   coordinator promotes them. *)
+
+let worker_generation_dir ~dir ~worker gen =
+  Filename.concat dir (Printf.sprintf "gen-%06d.w%d" gen worker)
+
+let worker_generation_of_basename base =
+  if
+    String.length base >= 13
+    && String.sub base 0 4 = "gen-"
+    && String.sub base 10 2 = ".w"
+  then
+    match
+      ( int_of_string_opt (String.sub base 4 6),
+        int_of_string_opt (String.sub base 12 (String.length base - 12)) )
+    with
+    | Some g, Some w when w >= 0 -> Some (g, w)
+    | _ -> None
+  else None
+
+let worker_generations ~dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map worker_generation_of_basename
+    |> List.sort compare
+
+(* --- lock paths ------------------------------------------------------- *)
+
+let store_lock_path ~dir = Filename.concat dir "LOCK"
+
+let generation_lock_path ~dir gen =
+  Filename.concat (Filename.concat dir "locks")
+    (Printf.sprintf "gen-%06d.lck" gen)
+
 let rec mkdir_p path =
   if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path)
   then begin
@@ -355,21 +391,39 @@ let rec remove_tree path =
   end
   else Sys.remove path
 
+(* Keep the newest [keep] generations — but never one another live
+   process still holds a read-mark on: a worker parsing gen G while the
+   coordinator races three saves ahead must not have the files yanked
+   from under it. A SIGKILLed reader's marks vanish with its process
+   (POSIX locks die with the holder), so a crash can only ever delay
+   pruning by one pass, never wedge it. *)
 let prune ~keep ~dir =
   let keep = max 1 keep in
   let gens = List.rev (generations ~dir) in
   List.iteri
     (fun i g ->
-       if i >= keep then
-         try remove_tree (generation_dir ~dir g) with Sys_error _ -> ())
+       if i >= keep && not (Lock.is_locked (generation_lock_path ~dir g))
+       then begin
+         (try remove_tree (generation_dir ~dir g) with Sys_error _ -> ());
+         try Sys.remove (generation_lock_path ~dir g) with Sys_error _ -> ()
+       end)
     gens
 
-let save ?(keep = 3) ~dir sn =
+(* Next generation number: one past the newest, counting unpromoted
+   worker generations too, so a worker's fresh write never collides
+   with a plain generation (or another worker's) racing it. *)
+let next_generation ~dir =
+  let ws = List.map fst (worker_generations ~dir) in
+  1 + List.fold_left max 0 (generations ~dir @ ws)
+
+let save ?(keep = 3) ?worker ~dir sn =
   mkdir_p dir;
-  let gen =
-    match List.rev (generations ~dir) with [] -> 1 | g :: _ -> g + 1
+  let gen = next_generation ~dir in
+  let gdir =
+    match worker with
+    | None -> generation_dir ~dir gen
+    | Some w -> worker_generation_dir ~dir ~worker:w gen
   in
-  let gdir = generation_dir ~dir gen in
   mkdir_p gdir;
   let digests =
     List.map
@@ -386,7 +440,9 @@ let save ?(keep = 3) ~dir sn =
     ^ "\n"
   in
   write_atomic gdir manifest_file manifest;
-  prune ~keep ~dir;
+  (* Workers never prune: only the coordinator (or a single-process
+     saver) retires old generations, and it does so lock-aware. *)
+  (match worker with None -> prune ~keep ~dir | Some _ -> ());
   gen
 
 (* --- load ------------------------------------------------------------ *)
@@ -397,8 +453,7 @@ let read_file path =
     with Sys_error _ -> None
   else None
 
-let load_generation ~dir gen =
-  let gdir = generation_dir ~dir gen in
+let load_generation_at ~gdir gen =
   let* manifest_raw =
     match read_file (Filename.concat gdir manifest_file) with
     | Some c -> Ok c
@@ -460,19 +515,59 @@ let load_generation ~dir gen =
       sn_virgin = virgin; sn_grammar = grammar; sn_crash_keys = crash_keys;
       sn_logic_keys = logic_keys }
 
-let load ~dir =
+let load_generation ~dir gen =
+  load_generation_at ~gdir:(generation_dir ~dir gen) gen
+
+let load_general ~read_marks ~dir =
   match List.rev (generations ~dir) with
   | [] -> Error [ Printf.sprintf "no store generations under %s" dir ]
   | gens ->
+    let attempt g =
+      if read_marks then
+        (* Hold a shared read-mark while parsing, so a lock-aware pruner
+           in another process never deletes the generation mid-read. *)
+        match Lock.acquire ~kind:Lock.Shared (generation_lock_path ~dir g) with
+        | Some l ->
+          Fun.protect
+            ~finally:(fun () -> Lock.release l)
+            (fun () -> load_generation ~dir g)
+        | None -> load_generation ~dir g
+      else load_generation ~dir g
+    in
     let rec go warnings = function
       | [] -> Error (List.rev warnings)
       | g :: rest -> (
-          match load_generation ~dir g with
+          match attempt g with
           | Ok snap -> Ok (snap, g, List.rev warnings)
           | Error msg ->
             go (Printf.sprintf "gen-%06d skipped: %s" g msg :: warnings) rest)
     in
     go [] gens
+
+let load ~dir = load_general ~read_marks:false ~dir
+
+let load_marked ~dir = load_general ~read_marks:true ~dir
+
+(* --- manifest digest probe ------------------------------------------- *)
+
+let manifest_digests gdir =
+  match read_file (Filename.concat gdir manifest_file) with
+  | None -> None
+  | Some raw -> (
+      match Json.of_string (String.trim raw) with
+      | Error _ -> None
+      | Ok m -> (
+          match Json.member "files" m with
+          | Some (Json.Obj kvs) ->
+            let rec go acc = function
+              | [] -> Some (List.rev acc)
+              | name :: rest -> (
+                  match List.assoc_opt name kvs with
+                  | Some (Json.Str d) -> go ((name, d) :: acc) rest
+                  | _ -> None)
+            in
+            go [] section_files
+          | _ -> None))
 
 (* --- discovery accumulation ------------------------------------------ *)
 
@@ -534,3 +629,80 @@ let acc_snapshot acc ~campaign ~progress ~virgin ~grammar ~crash_keys
     sn_skeletons = List.rev acc.a_skeletons; sn_virgin = virgin;
     sn_grammar = grammar; sn_crash_keys = crash_keys;
     sn_logic_keys = logic_keys }
+
+(* --- snapshot merge & worker-generation promotion --------------------- *)
+
+let bitmap_union x y =
+  let m = Coverage.Bitmap.create () in
+  Coverage.Bitmap.load_compact ~into:m x;
+  let t = Coverage.Bitmap.create () in
+  Coverage.Bitmap.load_compact ~into:t y;
+  ignore (Coverage.Bitmap.merge ~into:m t);
+  Coverage.Bitmap.compact m
+
+(* a's keys first in their stored order, then b's unseen ones — the same
+   extend-never-rewrite discipline resume uses, so preloaded dedup keys
+   stay a prefix through any merge. *)
+let union_keys xs ys =
+  xs @ List.filter (fun k -> not (List.mem k xs)) ys
+
+let merge_snapshots a b =
+  let acc = acc_of_snapshot a in
+  List.iter (acc_add_seed acc) b.sn_seeds;
+  List.iter (acc_add_affinity acc) b.sn_affinities;
+  List.iter (acc_add_skeleton acc) b.sn_skeletons;
+  acc_snapshot acc ~campaign:a.sn_campaign
+    ~progress:
+      { pr_execs_done =
+          max a.sn_progress.pr_execs_done b.sn_progress.pr_execs_done;
+        pr_epoch = max a.sn_progress.pr_epoch b.sn_progress.pr_epoch }
+    ~virgin:(bitmap_union a.sn_virgin b.sn_virgin)
+    ~grammar:(bitmap_union a.sn_grammar b.sn_grammar)
+    ~crash_keys:(union_keys a.sn_crash_keys b.sn_crash_keys)
+    ~logic_keys:(union_keys a.sn_logic_keys b.sn_logic_keys)
+
+let promote ?(keep = 3) ~dir ~worker gen =
+  let src = worker_generation_dir ~dir ~worker gen in
+  if not (Sys.file_exists src) then
+    Error
+      (Printf.sprintf "missing worker generation %s" (Filename.basename src))
+  else
+    Lock.with_exclusive (store_lock_path ~dir) (fun () ->
+        let dst = generation_dir ~dir gen in
+        let finish g =
+          prune ~keep ~dir;
+          Ok g
+        in
+        if not (Sys.file_exists dst) then begin
+          (* The common case: the number the worker claimed is still
+             free, so promotion is one rename — manifest, digests and
+             generation number all carry over unchanged. *)
+          Sys.rename src dst;
+          finish gen
+        end
+        else
+          match
+            (load_generation_at ~gdir:dst gen, load_generation_at ~gdir:src gen)
+          with
+          | Ok a, Ok b ->
+            let merged = merge_snapshots a b in
+            (try remove_tree src with Sys_error _ -> ());
+            finish (save ~keep ~dir merged)
+          | Error _, Ok _ ->
+            (* The plain twin is torn; the worker's copy is whole. *)
+            (try remove_tree dst with Sys_error _ -> ());
+            Sys.rename src dst;
+            finish gen
+          | _, Error e ->
+            (try remove_tree src with Sys_error _ -> ());
+            Error
+              (Printf.sprintf "worker generation gen-%06d.w%d invalid: %s" gen
+                 worker e))
+
+let discard_worker_generations ~dir ~worker =
+  List.iter
+    (fun (g, w) ->
+       if w = worker then
+         try remove_tree (worker_generation_dir ~dir ~worker:w g)
+         with Sys_error _ -> ())
+    (worker_generations ~dir)

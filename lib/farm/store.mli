@@ -71,7 +71,33 @@ val generation_dir : dir:string -> int -> string
 
 val generations : dir:string -> int list
 (** Generation numbers present under [dir], ascending. Empty when the
-    store directory does not exist. *)
+    store directory does not exist. Worker-namespace generations
+    ([gen-NNNNNN.wK]) are {e not} listed — they become visible to
+    loaders only through {!promote}. *)
+
+(** {2 Worker generation namespaces (DESIGN.md §17)}
+
+    A farm worker process persists its round as [gen-NNNNNN.wK] (K =
+    worker slot), a complete generation — sections, manifest, digests —
+    that no plain load path can see. The coordinator {!promote}s it
+    under the store's exclusive [LOCK]: a rename when the plain number
+    is free (the common case; digests carry over unchanged), or a
+    snapshot merge into a fresh generation when a twin exists.
+    Concurrent writers therefore never contend on a section file. *)
+
+val worker_generation_dir : dir:string -> worker:int -> int -> string
+(** [<dir>/gen-NNNNNN.wK]. *)
+
+val worker_generations : dir:string -> (int * int) list
+(** Unpromoted [(generation, worker)] pairs under [dir], ascending. *)
+
+val store_lock_path : dir:string -> string
+(** [<dir>/LOCK] — the exclusive lock {!promote} holds while renaming /
+    merging / pruning. *)
+
+val generation_lock_path : dir:string -> int -> string
+(** [<dir>/locks/gen-NNNNNN.lck] — the shared read-mark a process holds
+    while parsing that generation; {!prune} skips locked generations. *)
 
 val ensure_dir : string -> unit
 (** [mkdir -p]. *)
@@ -84,12 +110,16 @@ val fnv64 : string -> string
 (** FNV-1a 64-bit digest as 16 hex chars — the manifest's content
     digest. *)
 
-val save : ?keep:int -> dir:string -> snapshot -> int
-(** Persist a new generation (1 + the newest present) and prune all but
-    the last [keep] (default 3, clamped to ≥ 1). Returns the generation
-    number written. Every file goes through temp-file + rename; the
-    manifest is renamed into place last, making the generation valid
-    atomically. *)
+val save : ?keep:int -> ?worker:int -> dir:string -> snapshot -> int
+(** Persist a new generation (1 + the newest present, counting
+    unpromoted worker generations) and prune all but the last [keep]
+    (default 3, clamped to ≥ 1; generations carrying a live read-mark
+    are never pruned). Returns the generation number written. Every
+    file goes through temp-file + rename; the manifest is renamed into
+    place last, making the generation valid atomically. With [worker],
+    the generation is written into that worker's namespace
+    ([gen-NNNNNN.wK]) and {e nothing is pruned} — only the promoting
+    coordinator retires generations. *)
 
 val load : dir:string -> (snapshot * int * string list, string list) result
 (** Load the newest valid generation: [Ok (snapshot, generation,
@@ -98,6 +128,45 @@ val load : dir:string -> (snapshot * int * string list, string list) result
     unparseable section). [Error warnings] when no valid generation
     exists (or the store directory is missing). Stray [*.tmp] files are
     ignored entirely. *)
+
+val load_marked : dir:string -> (snapshot * int * string list, string list) result
+(** {!load}, but each generation is parsed under its shared
+    {!generation_lock_path} read-mark — what worker processes use on a
+    store the coordinator concurrently prunes, so a lock-aware
+    {!prune} in another process cannot delete a generation mid-read. *)
+
+val prune : keep:int -> dir:string -> unit
+(** Remove all but the newest [keep] generations (clamped to ≥ 1),
+    skipping any whose read-mark ({!generation_lock_path}) is currently
+    held by a live process. *)
+
+val manifest_digests : string -> (string * string) list option
+(** [(section, fnv64)] pairs from a generation {e directory}'s
+    manifest, in {!section_files} order — the cheap identity probe the
+    reload short-circuit compares, without parsing any section. [None]
+    when the manifest is missing, torn, or lacks a digest. *)
+
+val merge_snapshots : snapshot -> snapshot -> snapshot
+(** Union two snapshots of the same campaign: seeds / affinities /
+    skeletons deduplicated by their exchange keys (first snapshot's
+    entries keep their order), virgin and grammar maps bitmap-merged,
+    dedup keys extended never rewritten (first snapshot's keys stay a
+    prefix), progress counters taken pointwise-max. Campaign config
+    comes from the first snapshot. *)
+
+val promote :
+  ?keep:int -> dir:string -> worker:int -> int -> (int, string) result
+(** Promote a worker generation into the plain namespace, under the
+    store's exclusive [LOCK]: renames [gen-NNNNNN.wK] to [gen-NNNNNN]
+    when that number is still free (digests unchanged), or
+    {!merge_snapshots} both twins into a fresh generation when a plain
+    one landed first. Prunes (lock-aware, keep [keep], default 3) on
+    the way out. Returns the resulting plain generation number. *)
+
+val discard_worker_generations : dir:string -> worker:int -> unit
+(** Remove every unpromoted generation of one worker slot — coordinator
+    hygiene after killing or losing that worker, so half-written
+    namespaces never accumulate. *)
 
 val snapshot_equal : snapshot -> snapshot -> bool
 (** Structural equality on the serialised form — what the round-trip

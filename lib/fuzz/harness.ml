@@ -444,14 +444,18 @@ let execute ?hint t tc =
              Telemetry.Registry.incr ~by:n checks
            | _ -> ())
         outcome.Oracle.Suite.oc_checks;
-      List.iter
-        (fun v ->
-           (match List.assoc_opt v.Oracle.Violation.vi_oracle os.os_counters
-            with
-            | Some (_, violations) -> Telemetry.Registry.incr violations
-            | None -> ());
-           ignore (Triage.record_logic t.h_triage ~testcase:tc v))
-        outcome.Oracle.Suite.oc_violations;
+      (* Logic-violation dedup is triage work too: bracket it under the
+         triage span so oracle-heavy runs attribute it correctly. *)
+      Telemetry.Span.time t.h_sp_triage (fun () ->
+          List.iter
+            (fun v ->
+               (match
+                  List.assoc_opt v.Oracle.Violation.vi_oracle os.os_counters
+                with
+                | Some (_, violations) -> Telemetry.Registry.incr violations
+                | None -> ());
+               ignore (Triage.record_logic t.h_triage ~testcase:tc v))
+            outcome.Oracle.Suite.oc_violations);
       List.length outcome.Oracle.Suite.oc_violations
     | _ -> 0
   in

@@ -155,10 +155,21 @@ let render_farm buf events =
     (function
       | Event.Registry_dump { series = "farm"; registry } ->
         let suffixes = [ ".rounds"; ".allocated"; ".new_keys" ] in
+        (* farm.worker.* and farm.store.* are scheduler namespaces, not
+           campaign ids — the worker table below renders those. *)
+        let reserved = [ "farm.worker."; "farm.store." ] in
+        let has_prefix p c =
+          String.length c >= String.length p
+          && String.sub c 0 (String.length p) = p
+        in
         let ids =
           List.filter_map
             (fun c ->
-               if String.length c > 5 && String.sub c 0 5 = "farm." then
+               if
+                 String.length c > 5
+                 && String.sub c 0 5 = "farm."
+                 && not (List.exists (fun p -> has_prefix p c) reserved)
+               then
                  List.find_map
                    (fun sfx ->
                       let lc = String.length c and ls = String.length sfx in
@@ -198,6 +209,58 @@ let render_farm buf events =
                  (Printf.sprintf "  %-16s %7d %10d %6.1f%% %9d %9.1f\n" id
                     (value id "rounds") allocated share new_keys per_k))
             ids
+        end
+      | _ -> ())
+    events
+
+(* Worker-process utilization (DESIGN.md §17): present only for
+   multi-process farm runs, i.e. when the "farm" registry dump carries
+   farm.worker.<K>.* counters. *)
+let render_workers buf events =
+  List.iter
+    (function
+      | Event.Registry_dump { series = "farm"; registry } ->
+        let prefix = "farm.worker." in
+        let lp = String.length prefix in
+        let ids =
+          List.filter_map
+            (fun c ->
+               if String.length c > lp && String.sub c 0 lp = prefix then
+                 match String.index_from_opt c lp '.' with
+                 | Some dot -> int_of_string_opt (String.sub c lp (dot - lp))
+                 | None -> None
+               else None)
+            (Registry.counter_names registry)
+          |> List.sort_uniq compare
+        in
+        if ids <> [] then begin
+          let value k which =
+            Registry.counter_value registry
+              (Printf.sprintf "farm.worker.%d.%s" k which)
+          in
+          Buffer.add_string buf "\nfarm workers\n";
+          Buffer.add_string buf
+            (Printf.sprintf "  %-8s %7s %10s %9s\n" "worker" "rounds"
+               "execs" "restarts");
+          List.iter
+            (fun k ->
+               Buffer.add_string buf
+                 (Printf.sprintf "  %-8d %7d %10d %9d\n" k
+                    (value k "rounds") (value k "execs")
+                    (value k "restarts")))
+            ids;
+          let reloads =
+            Registry.counter_value registry "farm.store.reloads"
+          in
+          let skipped =
+            Registry.counter_value registry "farm.store.reload_skipped"
+          in
+          if reloads > 0 || skipped > 0 then
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "  store reloads: %d performed, %d skipped (manifest \
+                  unchanged)\n"
+                 reloads skipped)
         end
       | _ -> ())
     events
@@ -264,6 +327,7 @@ let render events =
   render_meta buf events;
   render_series buf events;
   render_farm buf events;
+  render_workers buf events;
   render_stages buf events;
   render_grammar buf events;
   render_summary buf events;

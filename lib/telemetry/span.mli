@@ -20,7 +20,11 @@ val stage : Registry.t -> string -> t
 (** The span for stage [name] in [registry] (find-or-create). *)
 
 val time : t -> (unit -> 'a) -> 'a
-(** Run the thunk, record its duration. Exceptions propagate untimed. *)
+(** Run the thunk, record its duration. Exceptions propagate untimed.
+    Durations are recorded in whole microseconds, but the sub-µs
+    remainder carries over into the span's next timed section, so a
+    stage of many fast calls accumulates its true total instead of
+    truncating to zero. *)
 
 val record_us : t -> int -> unit
 (** Record an externally measured duration in microseconds. *)

@@ -674,6 +674,386 @@ let test_resume_golden () =
            (o2.rs_warnings <> []);
          Alcotest.(check int) "wrote a fresh generation" 3 o2.rs_generation))
 
+(* --- worker transport: line-framed JSON round-trip --------------------- *)
+
+module Transport = Farm.Transport
+module Lock = Farm.Lock
+
+let small_int = Prop.int_range (-3) 999_999
+
+let gen_opt_err =
+  Prop.map
+    ~print:(function None -> "None" | Some s -> "Some " ^ s)
+    (fun (b, s) -> if b then Some s else None)
+    (Prop.pair Prop.bool (pick_str key_pool))
+
+let gen_command =
+  Prop.map ~print:Transport.command_to_line
+    (fun (shutdown, (c, (e, r))) ->
+       if shutdown then Transport.Shutdown
+       else Transport.Run { rc_campaign = c; rc_execs = e; rc_round = r })
+    (Prop.pair Prop.bool
+       (Prop.pair (pick_str key_pool) (Prop.pair small_int small_int)))
+
+let gen_report =
+  Prop.map
+    ~print:(fun r -> Transport.message_to_line (Transport.Round r))
+    (fun ((c, (round, alloc, ex), (ed, br, keys)),
+          ((nk, cu, lu), bugs, ((g, rl, rs), fin, err))) ->
+      { Transport.rr_campaign = c; rr_round = round; rr_allocated = alloc;
+        rr_executed = ex; rr_execs_done = ed; rr_branches = br;
+        rr_coverage_keys = keys; rr_new_keys = nk; rr_crashes_unique = cu;
+        rr_logic_unique = lu; rr_bugs = bugs; rr_generation = g;
+        rr_finished = fin; rr_reloads = rl; rr_reload_skipped = rs;
+        rr_error = err })
+    (Prop.pair
+       (Prop.triple (pick_str key_pool)
+          (Prop.triple small_int small_int small_int)
+          (Prop.triple small_int small_int small_int))
+       (Prop.triple
+          (Prop.triple small_int small_int small_int)
+          (Prop.list ~max_len:4 (pick_str key_pool))
+          (Prop.triple
+             (Prop.triple small_int small_int small_int)
+             Prop.bool gen_opt_err)))
+
+let gen_message =
+  Prop.map ~print:Transport.message_to_line
+    (fun ((tag, w, n), (s, rep)) ->
+       match tag with
+       | 0 -> Transport.Hello { h_worker = w; h_pid = n }
+       | 1 -> Transport.Heartbeat { hb_worker = w; hb_execs = n }
+       | 2 -> Transport.Fatal s
+       | _ -> Transport.Round rep)
+    (Prop.pair
+       (Prop.triple (Prop.int_range 0 3) small_int small_int)
+       (Prop.pair (pick_str key_pool) gen_report))
+
+let test_transport_command_roundtrip () =
+  Prop.check ~name:"transport: command line round-trip" gen_command (fun c ->
+      Transport.command_of_line (Transport.command_to_line c) = Ok c
+      (* line framing: the encoder must never emit an embedded newline *)
+      && not (String.contains (Transport.command_to_line c) '\n'))
+
+let test_transport_message_roundtrip () =
+  Prop.check ~name:"transport: message line round-trip" gen_message (fun m ->
+      Transport.message_of_line (Transport.message_to_line m) = Ok m
+      && not (String.contains (Transport.message_to_line m) '\n'))
+
+let test_transport_rejects_garbage () =
+  List.iter
+    (fun line ->
+       (match Transport.command_of_line line with
+        | Ok _ -> Alcotest.failf "command accepted %S" line
+        | Error _ -> ());
+       match Transport.message_of_line line with
+       | Ok _ -> Alcotest.failf "message accepted %S" line
+       | Error _ -> ())
+    [ ""; "bogus"; "{}"; {|{"cmd":"fly"}|}; {|{"msg":"hello"}|};
+      {|[1,2,3]|}; {|{"cmd":42}|} ]
+
+(* --- advisory locks ---------------------------------------------------- *)
+
+let test_lock_basic () =
+  with_dir "lock" (fun dir ->
+    let path = Filename.concat dir "L" in
+    Alcotest.(check bool) "unlocked initially" false (Lock.is_locked path);
+    (match Lock.acquire ~kind:Lock.Exclusive path with
+     | None -> Alcotest.fail "exclusive acquire failed"
+     | Some l ->
+       Alcotest.(check bool) "held" true (Lock.is_locked path);
+       Lock.release l);
+    Alcotest.(check bool) "released" false (Lock.is_locked path);
+    match
+      (Lock.acquire ~kind:Lock.Shared path, Lock.acquire ~kind:Lock.Shared path)
+    with
+    | Some a, Some b ->
+      Alcotest.(check bool) "shared locks coexist" true (Lock.is_locked path);
+      Lock.release a;
+      Alcotest.(check bool) "still marked while one holder remains" true
+        (Lock.is_locked path);
+      Lock.release b;
+      Alcotest.(check bool) "clear once the last holder releases" false
+        (Lock.is_locked path)
+    | _ -> Alcotest.fail "shared acquire failed")
+
+let test_lock_with_exclusive () =
+  with_dir "lock-we" (fun dir ->
+    let path = Filename.concat dir "L" in
+    let out =
+      Lock.with_exclusive path (fun () ->
+          Alcotest.(check bool) "held inside" true (Lock.is_locked path);
+          17)
+    in
+    Alcotest.(check int) "body result returned" 17 out;
+    Alcotest.(check bool) "released on exit" false (Lock.is_locked path);
+    (try
+       Lock.with_exclusive path (fun () -> failwith "boom")
+     with Failure _ -> ());
+    Alcotest.(check bool) "released on exception" false (Lock.is_locked path))
+
+(* Keep-3 pruning must spare a generation another process is reading:
+   simulate the concurrent reader with a shared read-mark, race several
+   saves past it, then release and watch the next save retire it. *)
+let test_prune_lock_aware () =
+  with_dir "prune-lock" (fun dir ->
+    Alcotest.(check int) "gen 1 written" 1
+      (Store.save ~keep:10 ~dir (sample_snapshot 1));
+    let mark =
+      match Lock.acquire ~kind:Lock.Shared (Store.generation_lock_path ~dir 1)
+      with
+      | Some l -> l
+      | None -> Alcotest.fail "read-mark acquire failed"
+    in
+    for i = 2 to 6 do
+      ignore (Store.save ~keep:3 ~dir (sample_snapshot i))
+    done;
+    let gens = Store.generations ~dir in
+    Alcotest.(check bool) "read-marked generation survives keep-3" true
+      (List.mem 1 gens);
+    Alcotest.(check bool) "unmarked old generations pruned" false
+      (List.mem 2 gens);
+    Lock.release mark;
+    ignore (Store.save ~keep:3 ~dir (sample_snapshot 7));
+    let gens = Store.generations ~dir in
+    Alcotest.(check bool) "released generation pruned by the next save" false
+      (List.mem 1 gens);
+    Alcotest.(check int) "keep-3 holds afterwards" 3 (List.length gens))
+
+(* --- worker namespaces and promotion ----------------------------------- *)
+
+let test_worker_namespace_promote () =
+  with_dir "wns" (fun dir ->
+    let g = Store.save ~worker:1 ~dir snap_a in
+    Alcotest.(check int) "worker generation numbered from 1" 1 g;
+    Alcotest.(check (list int)) "invisible to plain listings" []
+      (Store.generations ~dir);
+    Alcotest.(check bool) "listed as a worker generation" true
+      (List.mem (1, 1) (Store.worker_generations ~dir));
+    (match Store.load ~dir with
+     | Ok _ -> Alcotest.fail "plain load saw an unpromoted worker generation"
+     | Error _ -> ());
+    let digests_before =
+      Store.manifest_digests (Store.worker_generation_dir ~dir ~worker:1 1)
+    in
+    Alcotest.(check bool) "manifest digests readable" true
+      (digests_before <> None);
+    (match Store.promote ~dir ~worker:1 1 with
+     | Error m -> Alcotest.failf "promote: %s" m
+     | Ok g' ->
+       Alcotest.(check int) "renamed into place under the same number" 1 g');
+    Alcotest.(check (list int)) "now visible" [ 1 ] (Store.generations ~dir);
+    Alcotest.(check bool) "digests unchanged by rename promotion" true
+      (digests_before = Store.manifest_digests (Store.generation_dir ~dir 1));
+    match Store.load ~dir with
+    | Error ws -> Alcotest.failf "load: %s" (String.concat "; " ws)
+    | Ok (sn, g', _) ->
+      Alcotest.(check int) "loaded the promoted generation" 1 g';
+      Alcotest.(check bool) "snapshot intact" true
+        (Store.snapshot_equal snap_a sn))
+
+let test_promote_conflict_merges () =
+  with_dir "wmerge" (fun dir ->
+    with_dir "wmerge2" (fun other ->
+      (* Forge the race the store lock exists for: a worker generation
+         and a plain generation carrying the same number. *)
+      Alcotest.(check int) "worker gen 1" 1 (Store.save ~worker:1 ~dir snap_a);
+      Alcotest.(check int) "twin gen 1" 1 (Store.save ~dir:other snap_b);
+      Sys.rename (Store.generation_dir ~dir:other 1)
+        (Store.generation_dir ~dir 1);
+      match Store.promote ~dir ~worker:1 1 with
+      | Error m -> Alcotest.failf "promote: %s" m
+      | Ok g ->
+        Alcotest.(check int) "conflict merged into a fresh generation" 2 g;
+        Alcotest.(check (list (pair int int))) "worker namespace drained" []
+          (Store.worker_generations ~dir);
+        (match Store.load ~dir with
+         | Error ws -> Alcotest.failf "load: %s" (String.concat "; " ws)
+         | Ok (sn, g', _) ->
+           Alcotest.(check int) "newest is the merge" 2 g';
+           Alcotest.(check int) "dedup keys are the union" 5
+             (List.length sn.Store.sn_crash_keys);
+           Alcotest.(check bool) "merge keeps the twin's keys a prefix" true
+             (sn.sn_crash_keys = snap_b.Store.sn_crash_keys);
+           Alcotest.(check int) "progress is the pointwise max" 500
+             sn.sn_progress.Store.pr_execs_done;
+           Alcotest.(check int) "seed union deduplicated" 4
+             (List.length sn.sn_seeds))))
+
+let test_discard_worker_generations () =
+  with_dir "wdiscard" (fun dir ->
+    ignore (Store.save ~worker:1 ~dir snap_a);
+    ignore (Store.save ~worker:2 ~dir snap_b);
+    Store.discard_worker_generations ~dir ~worker:1;
+    Alcotest.(check (list (pair int int))) "only worker 2's remains"
+      [ (2, 2) ]
+      (Store.worker_generations ~dir);
+    Store.discard_worker_generations ~dir ~worker:2;
+    Alcotest.(check (list (pair int int))) "namespace empty" []
+      (Store.worker_generations ~dir))
+
+(* --- multi-process farm ------------------------------------------------ *)
+
+(* The tests below spawn the real CLI: dune runs the suite from the
+   build directory, so the binary sits one level up. *)
+let legofuzz = "../bin/legofuzz.exe"
+
+let real_worker ~runs_dir k =
+  [| legofuzz; "worker"; "--worker-id"; string_of_int k; "--runs-dir";
+     runs_dir; "--heartbeat-execs"; "50" |]
+
+let process_spec () =
+  let text =
+    {|{"campaigns":[
+        {"id":"hot","fuzzer":"lego","dialect":"postgresql","feedback":"both",
+         "budget":4000,"seed":7},
+        {"id":"cold","fuzzer":"sqlsmith","dialect":"postgresql",
+         "budget":4000,"seed":9}],
+       "total_execs":4000,"round_execs":1000,"workers":2,
+       "policy":"bandit","ucb_c":0.3}|}
+  in
+  match Telemetry.Json.of_string text with
+  | Error m -> Alcotest.failf "spec json: %s" m
+  | Ok j ->
+    (match Spec.of_json j with
+     | Error m -> Alcotest.failf "spec: %s" m
+     | Ok spec -> spec)
+
+let no_dups l = List.length l = List.length (List.sort_uniq compare l)
+
+(* Zero duplicate findings after merge: every dedup key in the final
+   store appears exactly once, however many worker generations fed it. *)
+let check_store_dedup ~runs_dir id =
+  let dir = Store.store_dir ~runs_dir id in
+  match Store.load ~dir with
+  | Error ws -> Alcotest.failf "%s store: %s" id (String.concat "; " ws)
+  | Ok (sn, _, _) ->
+    Alcotest.(check bool) (id ^ ": crash keys duplicate-free") true
+      (no_dups sn.Store.sn_crash_keys);
+    Alcotest.(check bool) (id ^ ": logic keys duplicate-free") true
+      (no_dups sn.Store.sn_logic_keys)
+
+let counter r name = Telemetry.Registry.counter_value r.Scheduler.fr_metrics name
+
+(* SIGKILL a worker mid-round: the farm must finish the full budget,
+   respawn the slot, and re-report nothing. *)
+let test_processes_sigkill_recovery () =
+  with_dir "farm-kill" (fun runs_dir ->
+    let spec = process_spec () in
+    let killed = ref None in
+    let on_heartbeat ~worker ~pid =
+      if !killed = None && pid > 0 then begin
+        killed := Some worker;
+        Unix.kill pid Sys.sigkill
+      end
+    in
+    match
+      Scheduler.run_processes ~runs_dir
+        ~worker_cmd:(real_worker ~runs_dir)
+        ~on_heartbeat ~workers:2 spec
+    with
+    | Error m -> Alcotest.failf "farm: %s" m
+    | Ok r ->
+      Alcotest.(check bool) "a worker was SIGKILLed mid-round" true
+        (!killed <> None);
+      Alcotest.(check int) "whole farm budget still dealt"
+        spec.Spec.fs_total_execs r.fr_allocated;
+      let restarts =
+        counter r "farm.worker.1.restarts" + counter r "farm.worker.2.restarts"
+      in
+      Alcotest.(check bool) "the killed slot was restarted" true
+        (restarts >= 1);
+      List.iter
+        (fun c ->
+           check_store_dedup ~runs_dir c.Scheduler.fc_campaign.Store.sc_id)
+        r.fr_campaigns)
+
+(* A wedged worker (answers hello, then never heartbeats) must be
+   detected by heartbeat age and quarantined; the other slot finishes
+   the farm. *)
+let test_processes_wedged_worker () =
+  with_dir "farm-wedge" (fun runs_dir ->
+    let spec = process_spec () in
+    let worker_cmd k =
+      if k = 1 then
+        [| "/bin/sh"; "-c";
+           {|echo '{"msg":"hello","worker":1,"pid":0}'; exec sleep 600|} |]
+      else real_worker ~runs_dir k
+    in
+    match
+      Scheduler.run_processes ~runs_dir ~worker_cmd ~heartbeat_timeout:1.0
+        ~max_restarts:0 ~workers:2 spec
+    with
+    | Error m -> Alcotest.failf "farm: %s" m
+    | Ok r ->
+      Alcotest.(check int) "surviving worker dealt the whole budget"
+        spec.Spec.fs_total_execs r.fr_allocated;
+      Alcotest.(check bool) "wedged slot restarted then retired" true
+        (counter r "farm.worker.1.restarts" >= 1);
+      Alcotest.(check bool) "missed heartbeats reported" true
+        (List.exists (fun w -> contains w "worker 1") r.fr_warnings))
+
+(* A worker that talks garbage on its control channel is quarantined —
+   the farm carries on instead of aborting. *)
+let test_processes_malformed_worker () =
+  with_dir "farm-garbage" (fun runs_dir ->
+    let spec = process_spec () in
+    let worker_cmd k =
+      if k = 1 then
+        [| "/bin/sh"; "-c"; "while :; do echo bogus; sleep 0.1; done" |]
+      else real_worker ~runs_dir k
+    in
+    match
+      Scheduler.run_processes ~runs_dir ~worker_cmd ~max_restarts:0 ~workers:2
+        spec
+    with
+    | Error m -> Alcotest.failf "farm: %s" m
+    | Ok r ->
+      Alcotest.(check int) "farm completed despite the rogue worker"
+        spec.Spec.fs_total_execs r.fr_allocated;
+      Alcotest.(check bool) "malformed line reported" true
+        (List.exists (fun w -> contains w "malformed") r.fr_warnings))
+
+(* Equal-budget parity: the process backend must reach what the
+   in-process farm reaches on the same spec — same budget dealt, ≥99%
+   of the coverage keys — and merge without duplicate findings. *)
+let test_processes_parity () =
+  with_dir "farm-par-a" (fun dir_a ->
+    with_dir "farm-par-b" (fun dir_b ->
+      let spec = process_spec () in
+      let inproc =
+        match Scheduler.run ~runs_dir:dir_a spec with
+        | Error m -> Alcotest.failf "in-process farm: %s" m
+        | Ok r -> r
+      in
+      let procs =
+        match
+          Scheduler.run_processes ~runs_dir:dir_b
+            ~worker_cmd:(real_worker ~runs_dir:dir_b) ~workers:2 spec
+        with
+        | Error m -> Alcotest.failf "process farm: %s" m
+        | Ok r -> r
+      in
+      Alcotest.(check int) "equal budgets dealt" inproc.Scheduler.fr_allocated
+        procs.Scheduler.fr_allocated;
+      let keys r =
+        List.fold_left
+          (fun acc c -> acc + c.Scheduler.fc_coverage_keys)
+          0 r.Scheduler.fr_campaigns
+      in
+      let ka = keys inproc and kb = keys procs in
+      Alcotest.(check bool)
+        (Printf.sprintf "process farm reaches >= 99%% of keys: %d vs %d" kb ka)
+        true
+        (kb * 100 >= 99 * ka);
+      Alcotest.(check bool) "reload short-circuit hit at least once" true
+        (counter procs "farm.store.reload_skipped" >= 1);
+      List.iter
+        (fun c ->
+           check_store_dedup ~runs_dir:dir_b
+             c.Scheduler.fc_campaign.Store.sc_id)
+        procs.fr_campaigns))
+
 let suite =
   [ Alcotest.test_case "roundtrip: meta" `Quick test_roundtrip_meta;
     Alcotest.test_case "roundtrip: corpus" `Quick test_roundtrip_corpus;
@@ -708,6 +1088,30 @@ let suite =
     Alcotest.test_case "spec: json roundtrip" `Quick test_spec_json_roundtrip;
     Alcotest.test_case "spec: unknown fuzzer rejected" `Quick
       test_spec_rejects_unknown_fuzzer;
+    Alcotest.test_case "transport: command round-trip" `Quick
+      test_transport_command_roundtrip;
+    Alcotest.test_case "transport: message round-trip" `Quick
+      test_transport_message_roundtrip;
+    Alcotest.test_case "transport: garbage rejected" `Quick
+      test_transport_rejects_garbage;
+    Alcotest.test_case "lock: acquire/release" `Quick test_lock_basic;
+    Alcotest.test_case "lock: with_exclusive" `Quick test_lock_with_exclusive;
+    Alcotest.test_case "store: prune is lock-aware" `Quick
+      test_prune_lock_aware;
+    Alcotest.test_case "store: worker namespace promotion" `Quick
+      test_worker_namespace_promote;
+    Alcotest.test_case "store: promote conflict merges" `Quick
+      test_promote_conflict_merges;
+    Alcotest.test_case "store: discard worker generations" `Quick
+      test_discard_worker_generations;
     Alcotest.test_case "farm: planted two campaigns" `Slow
       test_scheduler_planted;
-    Alcotest.test_case "resume: golden parity" `Slow test_resume_golden ]
+    Alcotest.test_case "resume: golden parity" `Slow test_resume_golden;
+    Alcotest.test_case "processes: SIGKILL recovery" `Slow
+      test_processes_sigkill_recovery;
+    Alcotest.test_case "processes: wedged worker quarantined" `Slow
+      test_processes_wedged_worker;
+    Alcotest.test_case "processes: malformed worker quarantined" `Slow
+      test_processes_malformed_worker;
+    Alcotest.test_case "processes: equal-budget parity" `Slow
+      test_processes_parity ]

@@ -285,6 +285,39 @@ let test_campaign_metrics () =
          (List.mem s stages))
     [ "execute"; "triage"; "mutate"; "synthesize" ]
 
+(* A timed section longer than the clock's resolution must record
+   roughly its true duration. *)
+let test_span_measures_sleep () =
+  let reg = T.Registry.create () in
+  let sp = T.Span.stage reg "nap" in
+  T.Span.time sp (fun () -> Unix.sleepf 0.002);
+  match T.Span.stage_stats reg "nap" with
+  | None -> Alcotest.fail "stage not recorded"
+  | Some (calls, us) ->
+    Alcotest.(check int) "one call" 1 calls;
+    Alcotest.(check bool)
+      (Printf.sprintf "2ms sleep recorded as %dus" us)
+      true (us >= 1500)
+
+(* The regression behind BENCH stage.triage = 0.0: sections shorter
+   than 1µs truncated to zero on every call, so a stage of many fast
+   calls summed to nothing. The sub-µs carry must keep the *sum* honest
+   even when individual calls round to zero. *)
+let test_span_subus_carry () =
+  let reg = T.Registry.create () in
+  let sp = T.Span.stage reg "fast" in
+  let sink = ref 0 in
+  for i = 1 to 20_000 do
+    T.Span.time sp (fun () -> sink := !sink + i)
+  done;
+  match T.Span.stage_stats reg "fast" with
+  | None -> Alcotest.fail "stage not recorded"
+  | Some (calls, us) ->
+    Alcotest.(check int) "every call counted" 20_000 calls;
+    Alcotest.(check bool)
+      (Printf.sprintf "20k sub-us sections summed to %dus (want > 0)" us)
+      true (us > 0)
+
 let suite =
   [ Alcotest.test_case "merge commutative" `Quick test_merge_commutative;
     Alcotest.test_case "merge associative" `Quick test_merge_associative;
@@ -309,4 +342,7 @@ let suite =
       test_report_grammar_section;
     Alcotest.test_case "human sink byte-identical (jobs=1)" `Quick
       test_human_sink_byte_identical;
-    Alcotest.test_case "campaign metrics" `Quick test_campaign_metrics ]
+    Alcotest.test_case "campaign metrics" `Quick test_campaign_metrics;
+    Alcotest.test_case "span measures a sleep" `Quick
+      test_span_measures_sleep;
+    Alcotest.test_case "span sub-us carry" `Quick test_span_subus_carry ]
